@@ -1,0 +1,84 @@
+// Command idobench regenerates the tables and figures of the iDO paper's
+// evaluation on the simulated-NVM substrate.
+//
+// Usage:
+//
+//	idobench -exp all                 # everything, paper-scale parameters
+//	idobench -exp fig5 -quick         # one experiment, smoke-scale
+//	idobench -exp fig7 -duration 1s -threads 1,2,4,8,16
+//
+// Experiments: fig5, fig6, fig7, fig8, table1, fig9, ablations, all.
+// See DESIGN.md for the experiment index and EXPERIMENTS.md for
+// paper-versus-measured notes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/ido-nvm/ido/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|table1|fig9|ablations|all")
+	quick := flag.Bool("quick", false, "smoke-scale parameters")
+	duration := flag.Duration("duration", 0, "override measurement interval per point")
+	threads := flag.String("threads", "", "override thread sweep, e.g. 1,2,4,8")
+	flag.Parse()
+
+	o := bench.DefaultOptions()
+	if *quick {
+		o = bench.QuickOptions()
+	}
+	o.Out = os.Stdout
+	if *duration > 0 {
+		o.Duration = *duration
+	}
+	if *threads != "" {
+		var sweep []int
+		for _, tok := range strings.Split(*threads, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || n < 1 {
+				fatalf("bad -threads value %q", tok)
+			}
+			sweep = append(sweep, n)
+		}
+		o.Threads = sweep
+	}
+
+	start := time.Now()
+	var err error
+	switch *exp {
+	case "all":
+		err = bench.RunAll(o)
+	case "fig5":
+		_, err = bench.RunFig5(o)
+	case "fig6":
+		_, err = bench.RunFig6(o)
+	case "fig7":
+		_, err = bench.RunFig7(o)
+	case "fig8":
+		_, err = bench.RunFig8(o)
+	case "table1":
+		_, err = bench.RunTable1(o)
+	case "fig9":
+		_, err = bench.RunFig9(o)
+	case "ablations":
+		_, err = bench.RunAblations(o)
+	default:
+		fatalf("unknown experiment %q", *exp)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("done in %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "idobench: "+format+"\n", args...)
+	os.Exit(1)
+}

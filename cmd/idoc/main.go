@@ -1,0 +1,89 @@
+// Command idoc runs the iDO compiler pipeline (Fig. 4) on a mini-IR
+// source file and prints the instrumented result: inferred FASEs,
+// idempotent-region boundaries, and the per-boundary log sets.
+//
+// Usage:
+//
+//	idoc file.ir             # compile and print instrumented IR
+//	idoc -stats file.ir      # also print static region statistics
+//	idoc -per-store file.ir  # ablation: degenerate one-store regions
+//	idoc -builtin            # compile the built-in benchmark kernels
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/ido-nvm/ido/internal/compile"
+	"github.com/ido-nvm/ido/internal/ir"
+	"github.com/ido-nvm/ido/internal/irprog"
+)
+
+func main() {
+	showStats := flag.Bool("stats", false, "print static region statistics")
+	perStore := flag.Bool("per-store", false, "ablation: cut after every store")
+	builtin := flag.Bool("builtin", false, "compile the built-in benchmark kernels")
+	flag.Parse()
+
+	var src string
+	switch {
+	case *builtin:
+		src = irprog.Source
+	case flag.NArg() == 1:
+		raw, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		src = string(raw)
+	default:
+		fatalf("usage: idoc [-stats] [-per-store] file.ir | -builtin")
+	}
+
+	prog, err := ir.Parse(src)
+	if err != nil {
+		fatalf("parse: %v", err)
+	}
+	cfg := compile.Config{}
+	if *perStore {
+		cfg.Idem.MaxStoresPerRegion = 1
+	}
+	compiled, err := compile.Program(prog, cfg)
+	if err != nil {
+		fatalf("compile: %v", err)
+	}
+
+	names := make([]string, 0, len(compiled.Funcs))
+	for n := range compiled.Funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	totalRegions := 0
+	for _, n := range names {
+		cf := compiled.Funcs[n]
+		fmt.Print(cf.F.String())
+		totalRegions += len(cf.Regions)
+		if *showStats {
+			fmt.Printf("// %s: %d regions", n, len(cf.Regions))
+			if len(cf.Regions) > 0 {
+				logSum := 0
+				for _, r := range cf.Regions {
+					logSum += len(r.Log)
+				}
+				fmt.Printf(", %.1f logged registers per boundary",
+					float64(logSum)/float64(len(cf.Regions)))
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	if *showStats {
+		fmt.Printf("// program: %d functions, %d regions\n", len(names), totalRegions)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "idoc: "+format+"\n", args...)
+	os.Exit(1)
+}

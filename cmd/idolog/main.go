@@ -1,0 +1,102 @@
+// Command idolog inspects the iDO log list inside a persistent region
+// image — the post-mortem view a recovery engineer wants: which threads
+// were mid-FASE at the crash, their recovery_pc values, the staged
+// boundary record, and the locks they held.
+//
+// Usage:
+//
+//	idolog heap.img            # inspect an image saved with SaveFile
+//	idolog -demo               # build a crashed image in memory and dump it
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/ido-nvm/ido/internal/core"
+	"github.com/ido-nvm/ido/internal/locks"
+	"github.com/ido-nvm/ido/internal/nvm"
+	"github.com/ido-nvm/ido/internal/persist"
+	"github.com/ido-nvm/ido/internal/region"
+)
+
+func main() {
+	demo := flag.Bool("demo", false, "build and dump a demo crashed image")
+	flag.Parse()
+
+	var reg *region.Region
+	switch {
+	case *demo:
+		reg = buildDemo()
+	case flag.NArg() == 1:
+		var err error
+		reg, err = region.OpenFile(flag.Arg(0), nvm.Config{})
+		if err != nil {
+			fatalf("%v", err)
+		}
+	default:
+		fatalf("usage: idolog heap.img | idolog -demo")
+	}
+
+	entries := core.InspectLogs(reg)
+	if len(entries) == 0 {
+		fmt.Println("no iDO thread logs in this region")
+		return
+	}
+	fmt.Printf("%d thread log(s):\n", len(entries))
+	for _, e := range entries {
+		state := "idle"
+		if e.RegionID != 0 {
+			state = fmt.Sprintf("MID-FASE at region %#x (%d staged registers)", e.RegionID, len(e.Staged))
+		}
+		fmt.Printf("  thread %d @ %#x: %s\n", e.ThreadID, e.LogAddr, state)
+		for _, s := range e.Staged {
+			fmt.Printf("    r%-3d = %d (%#x)\n", s.Reg, s.Val, s.Val)
+		}
+		if len(e.Locks) > 0 {
+			fmt.Printf("    holds %d lock(s):", len(e.Locks))
+			for _, h := range e.Locks {
+				fmt.Printf(" holder@%#x", h)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+// buildDemo creates a region, runs a FASE partway, and "crashes" it.
+func buildDemo() *region.Region {
+	reg := region.Create(1<<20, nvm.Config{})
+	lm := locks.NewManager(reg)
+	rt := core.New(core.DefaultConfig())
+	if err := rt.Attach(reg, lm); err != nil {
+		fatalf("%v", err)
+	}
+	l, err := lm.Create()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cell, err := reg.Alloc.Alloc(8)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	t, err := rt.NewThread()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	t.Lock(l)
+	t.Boundary(0x1234, persist.RV(0, cell), persist.RV(1, 42))
+	t.Store64(cell, 41)
+	// Power fails here, mid-FASE.
+	reg.Dev.Crash(nvm.CrashDiscard, nil)
+	reg2, err := region.Attach(reg.Dev)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return reg2
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "idolog: "+format+"\n", args...)
+	os.Exit(1)
+}

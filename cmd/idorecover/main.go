@@ -1,0 +1,137 @@
+// Command idorecover demonstrates end-to-end crash recovery on the VM:
+// it compiles the built-in benchmark kernels, runs a hash-map workload,
+// injects a crash mid-FASE, settles the device under the chosen
+// adversary, saves the surviving image to a file, reopens it in a fresh
+// machine, runs §III-C recovery, and verifies the structure.
+//
+// Usage:
+//
+//	idorecover                       # random crash point, random adversary
+//	idorecover -budget 500 -mode discard -image /tmp/heap.img
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"github.com/ido-nvm/ido/internal/compile"
+	"github.com/ido-nvm/ido/internal/irprog"
+	"github.com/ido-nvm/ido/internal/locks"
+	"github.com/ido-nvm/ido/internal/nvm"
+	"github.com/ido-nvm/ido/internal/region"
+	"github.com/ido-nvm/ido/internal/vm"
+)
+
+func main() {
+	budget := flag.Int64("budget", -2, "crash after N VM events (-2: random)")
+	modeStr := flag.String("mode", "random", "crash adversary: discard|random|persist-all")
+	image := flag.String("image", "", "save the post-crash image to this file and reopen it")
+	seed := flag.Int64("seed", 1, "workload seed")
+	ops := flag.Int("ops", 200, "operations before the crash window")
+	flag.Parse()
+
+	var mode nvm.CrashMode
+	switch *modeStr {
+	case "discard":
+		mode = nvm.CrashDiscard
+	case "random":
+		mode = nvm.CrashRandom
+	case "persist-all":
+		mode = nvm.CrashPersistAll
+	default:
+		fatalf("unknown -mode %q", *modeStr)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	if *budget == -2 {
+		*budget = int64(rng.Intn(*ops * 60))
+	}
+
+	prog, err := irprog.Compile(compile.Config{})
+	if err != nil {
+		fatalf("compile: %v", err)
+	}
+	reg := region.Create(1<<24, nvm.Config{Size: 1 << 24})
+	lm := locks.NewManager(reg)
+	m := vm.New(reg, lm, prog, vm.ModeIDO)
+	mp, err := irprog.NewMap(reg, lm, 8)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	reg.SetRoot(1, mp)
+	th, err := m.NewThread()
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("running map_put workload; crash budget %d events, adversary %s\n", *budget, mode)
+	m.SetCrashBudget(*budget)
+	completed := map[uint64]uint64{}
+	crashed := false
+	for i := 0; i < *ops; i++ {
+		k := uint64(rng.Intn(64) + 1)
+		if _, err := th.Call("map_put", mp, k, k*10); err != nil {
+			crashed = true
+			fmt.Printf("CRASH after %d completed operations (mid-FASE)\n", i)
+			break
+		}
+		completed[k] = k * 10
+	}
+	m.SetCrashBudget(-1)
+	if !crashed {
+		fmt.Println("workload completed before the budget expired; nothing to recover")
+	}
+
+	// Power failure: volatile state dies under the adversary.
+	reg.Dev.Crash(mode, rng)
+
+	// Optionally round-trip the surviving bytes through a file, exactly
+	// like a recovery process re-mapping the region.
+	if *image != "" {
+		if err := reg.SaveFile(*image); err != nil {
+			fatalf("save: %v", err)
+		}
+		reg, err = region.OpenFile(*image, nvm.Config{})
+		if err != nil {
+			fatalf("reopen: %v", err)
+		}
+		fmt.Printf("image saved to %s and reopened\n", *image)
+	} else {
+		reg, err = region.Attach(reg.Dev)
+		if err != nil {
+			fatalf("attach: %v", err)
+		}
+	}
+
+	lm2 := locks.NewManager(reg)
+	m2 := vm.New(reg, lm2, prog, vm.ModeIDO)
+	st, err := m2.Recover()
+	if err != nil {
+		fatalf("recover: %v", err)
+	}
+	fmt.Printf("recovery: %d thread logs examined, %d FASEs resumed in %s\n",
+		st.Threads, st.Resumed, st.Elapsed)
+
+	// Verify: every completed put survives, the map is well formed.
+	mp2 := reg.Root(1)
+	th2, err := m2.NewThread()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for k, v := range completed {
+		r, err := th2.Call("map_get", mp2, k)
+		if err != nil {
+			fatalf("map_get: %v", err)
+		}
+		if r[0] != 1 || r[1] != v {
+			fatalf("VERIFY FAILED: key %d = %v, want %d", k, r, v)
+		}
+	}
+	fmt.Printf("verified: all %d completed puts durable and readable\n", len(completed))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "idorecover: "+format+"\n", args...)
+	os.Exit(1)
+}

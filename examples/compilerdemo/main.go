@@ -1,0 +1,86 @@
+// compilerdemo: a walkthrough of the three iDO compiler phases (Fig. 4)
+// on a small function — FASE inference, idempotent-region formation, and
+// input-preservation/output-persistence instrumentation.
+//
+// Run: go run ./examples/compilerdemo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ido-nvm/ido/internal/alias"
+	"github.com/ido-nvm/ido/internal/compile"
+	"github.com/ido-nvm/ido/internal/fase"
+	"github.com/ido-nvm/ido/internal/idem"
+	"github.com/ido-nvm/ido/internal/ir"
+)
+
+// A bank-transfer-shaped FASE: read two balances, write two balances.
+// The read-then-overwrite of each account word is the antidependence the
+// region formation must cut.
+const src = `
+func transfer 3 {          // r0 = accounts base, r1 = amount, r2 = lock holder
+entry:
+  lock r2
+  a = load r0 0            // balance A
+  b = load r0 8            // balance B
+  na = sub a r1
+  nb = add b r1
+  store r0 0 na            // antidependence on [r0+0] -> region cut above
+  store r0 8 nb
+  unlock r2
+  ret
+}
+`
+
+func main() {
+	f, err := ir.ParseFunc(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ir.Verify(f); err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1: FASE inference.
+	fi, err := fase.Infer(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("phase 1 — FASE inference: %d mandatory boundary points (post-acquire, pre-release)\n",
+		len(fi.MandatoryCuts))
+
+	// Phase 2: idempotent region formation over basicAA-style aliasing.
+	aa := alias.Analyze(f)
+	res, err := idem.Form(f, aa, fi, idem.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("phase 2 — region formation: %d idempotent regions (cuts at %v)\n",
+		res.NumRegions(), res.Cuts)
+	if err := idem.Check(f, aa, fi, res); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("          idempotence check: no region overwrites its own memory inputs")
+
+	// Phase 3: instrumentation with per-boundary log sets.
+	cf, err := compile.Func(f, 0x7000, compile.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nphase 3 — instrumented function (boundary <id> <logged registers>):")
+	fmt.Print(cf.F.String())
+	fmt.Println("\nper-region log sets (OutputSet_prev ∩ LiveIn, Eq. 1; full live-in at FASE entry):")
+	for _, r := range cf.Regions {
+		names := make([]string, 0, len(r.Log))
+		for _, reg := range r.Log {
+			if n, ok := f.RegNames[reg]; ok {
+				names = append(names, n)
+			} else {
+				names = append(names, fmt.Sprintf("r%d", int(reg)))
+			}
+		}
+		fmt.Printf("  region %#x: logs %v\n", r.ID, names)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/ido-nvm/ido
+
+go 1.22

@@ -1,0 +1,119 @@
+package ido_test
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"github.com/ido-nvm/ido"
+)
+
+// The facade test drives the full public workflow: create, FASE, crash,
+// file round trip, recover, verify — the quickstart example as a test.
+
+const (
+	ridBody  = 0x801 // after lock: read the counter
+	ridStore = 0x802 // antidep cut: write it back
+	ridRel   = 0x803 // before the unlock
+)
+
+func register(db *ido.DB) {
+	db.Registry.Register(ridBody, func(t ido.Thread, rf []uint64) {
+		body(db, t, rf[0], rf[1])
+	})
+	db.Registry.Register(ridStore, func(t ido.Thread, rf []uint64) {
+		store(db, t, rf[0], rf[1], rf[2])
+	})
+	db.Registry.Register(ridRel, func(t ido.Thread, rf []uint64) {
+		t.Unlock(db.LockAt(rf[1]))
+	})
+}
+
+func inc(db *ido.DB, t ido.Thread, ctr, holder uint64) {
+	t.Lock(db.LockAt(holder))
+	t.Boundary(ridBody, ido.RV(0, ctr), ido.RV(1, holder))
+	body(db, t, ctr, holder)
+}
+
+func body(db *ido.DB, t ido.Thread, ctr, holder uint64) {
+	v := t.Load64(ctr)
+	t.Boundary(ridStore, ido.RV(2, v))
+	store(db, t, ctr, holder, v)
+}
+
+func store(db *ido.DB, t ido.Thread, ctr, holder, v uint64) {
+	t.Store64(ctr, v+1)
+	t.Boundary(ridRel)
+	t.Unlock(db.LockAt(holder))
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	db, err := ido.Create(1<<20, ido.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	register(db)
+	ctr, err := db.Alloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lock, err := db.NewLock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetRoot(1, ctr)
+	db.SetRoot(2, lock.Holder())
+
+	th, err := db.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		inc(db, th, ctr, lock.Holder())
+	}
+
+	// Crash in place under the random adversary.
+	db2, err := db.Crash(ido.CrashRandom, rand.New(rand.NewSource(2)), ido.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	register(db2)
+	if _, err := db2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.Region.Dev.Load64(db2.Root(1)); got != 25 {
+		t.Fatalf("counter after crash = %d, want 25", got)
+	}
+
+	// File round trip.
+	path := filepath.Join(t.TempDir(), "heap.img")
+	if err := db2.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	db3, err := ido.OpenFile(path, ido.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	register(db3)
+	if _, err := db3.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db3.Region.Dev.Load64(db3.Root(1)); got != 25 {
+		t.Fatalf("counter after file round trip = %d", got)
+	}
+	// And the region is fully usable post-open.
+	th3, err := db3.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc(db3, th3, db3.Root(1), db3.Root(2))
+	if got := db3.Region.Dev.Load64(db3.Root(1)); got != 26 {
+		t.Fatalf("counter after resume-use = %d", got)
+	}
+}
+
+func TestOpenFileMissing(t *testing.T) {
+	if _, err := ido.OpenFile(filepath.Join(t.TempDir(), "nope.img"), ido.DefaultConfig()); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,268 @@
+// Package alias implements a basicAA-style may-alias analysis for the
+// mini-IR, mirroring the LLVM analysis the iDO compiler relies on
+// (§IV-A(b)). It tracks the provenance of address values — function
+// parameters, distinct allocation sites, distinct stack slots, absolute
+// constants — plus constant offsets, and answers conservative may-alias
+// queries for load/store pairs. Like basicAA it is deliberately simple:
+// anything it cannot prove distinct may alias.
+package alias
+
+import (
+	"github.com/ido-nvm/ido/internal/ir"
+)
+
+// BaseKind classifies the provenance of an address.
+type BaseKind int
+
+// Provenance kinds.
+const (
+	Unknown BaseKind = iota // no information: aliases everything
+	Param                   // the value of parameter i at function entry
+	Alloc                   // a heap allocation site (fresh memory)
+	SAlloc                  // a stack slot site (fresh per execution)
+	Const                   // an absolute address
+)
+
+// Addr is an abstract address: a base plus a constant byte offset.
+type Addr struct {
+	Kind BaseKind
+	// ID identifies the base: the parameter index for Param, an
+	// allocation-site ordinal for Alloc/SAlloc, unused otherwise.
+	ID  int
+	Off uint64 // constant offset from the base (absolute value for Const)
+}
+
+// unknownAddr is the top element.
+var unknownAddr = Addr{Kind: Unknown}
+
+func (a Addr) eq(b Addr) bool { return a == b }
+
+// MayAlias reports whether two 8-byte accesses at the given abstract
+// addresses can overlap.
+func MayAlias(a, b Addr) bool {
+	const size = 8
+	if a.Kind == Unknown || b.Kind == Unknown {
+		return true
+	}
+	sameBase := a.Kind == b.Kind && a.ID == b.ID
+	if sameBase {
+		return a.Off < b.Off+size && b.Off < a.Off+size
+	}
+	// Distinct fresh memory never aliases anything else.
+	if a.Kind == Alloc || b.Kind == Alloc || a.Kind == SAlloc || b.Kind == SAlloc {
+		return false
+	}
+	// Param vs Param (different params), Param vs Const: unknown aliasing.
+	return true
+}
+
+// Analysis holds per-instruction abstract addresses for the memory
+// operations of one function.
+type Analysis struct {
+	f *ir.Func
+	// At[b][i] is the abstract address of the memory operand of
+	// instruction i in block b; only meaningful for OpLoad/OpStore.
+	At [][]Addr
+	// Val[b][i] is the provenance of the VALUE operand of the store at
+	// instruction i in block b (unknownAddr elsewhere). A store whose
+	// value carries Alloc/SAlloc provenance is the point where that
+	// allocation's address escapes to memory — before it, no pointer
+	// loaded from memory can refer to the allocation, which is the
+	// noalias-malloc refinement LLVM's basicAA applies.
+	Val [][]Addr
+}
+
+// Analyze runs the forward provenance analysis to a fixpoint.
+func Analyze(f *ir.Func) *Analysis {
+	n := len(f.Blocks)
+	// envIn[b][r] is the abstract address register r holds at b's entry.
+	envIn := make([][]Addr, n)
+	for i := range envIn {
+		envIn[i] = nil // nil = not yet visited
+	}
+	entry := make([]Addr, f.NumRegs)
+	for r := range entry {
+		entry[r] = unknownAddr
+	}
+	for i := 0; i < f.NumParams; i++ {
+		entry[i] = Addr{Kind: Param, ID: i}
+	}
+	envIn[0] = entry
+
+	// Number allocation sites deterministically.
+	siteID := map[ir.Loc]int{}
+	next := 0
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			op := b.Instrs[i].Op
+			if op == ir.OpAlloc || op == ir.OpSAlloc || op == ir.OpNewLock {
+				siteID[ir.Loc{Block: b.Index, Index: i}] = next
+				next++
+			}
+		}
+	}
+
+	merge := func(dst, src []Addr) ([]Addr, bool) {
+		if dst == nil {
+			out := make([]Addr, len(src))
+			copy(out, src)
+			return out, true
+		}
+		changed := false
+		for i := range dst {
+			if !dst[i].eq(src[i]) && dst[i].Kind != Unknown {
+				dst[i] = unknownAddr
+				changed = true
+			}
+		}
+		return dst, changed
+	}
+
+	work := []int{0}
+	inWork := make([]bool, n)
+	inWork[0] = true
+	for len(work) > 0 {
+		bi := work[0]
+		work = work[1:]
+		inWork[bi] = false
+		env := make([]Addr, f.NumRegs)
+		copy(env, envIn[bi])
+		b := f.Blocks[bi]
+		for i := range b.Instrs {
+			transfer(&b.Instrs[i], env, siteID, ir.Loc{Block: bi, Index: i})
+		}
+		for _, s := range b.Succs {
+			var changed bool
+			envIn[s], changed = merge(envIn[s], env)
+			if changed && !inWork[s] {
+				work = append(work, s)
+				inWork[s] = true
+			}
+		}
+	}
+
+	// Record per-instruction memory addresses and store-value provenance.
+	a := &Analysis{f: f, At: make([][]Addr, n), Val: make([][]Addr, n)}
+	for bi, b := range f.Blocks {
+		a.At[bi] = make([]Addr, len(b.Instrs))
+		a.Val[bi] = make([]Addr, len(b.Instrs))
+		for i := range a.Val[bi] {
+			a.Val[bi][i] = unknownAddr
+		}
+		if envIn[bi] == nil {
+			for i := range a.At[bi] {
+				a.At[bi][i] = unknownAddr
+			}
+			continue
+		}
+		env := make([]Addr, f.NumRegs)
+		copy(env, envIn[bi])
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == ir.OpLoad || in.Op == ir.OpStore {
+				base := env[in.Args[0].Reg]
+				if base.Kind == Unknown {
+					a.At[bi][i] = unknownAddr
+				} else {
+					a.At[bi][i] = Addr{Kind: base.Kind, ID: base.ID, Off: base.Off + in.Imm}
+				}
+			}
+			if in.Op == ir.OpStore && !in.Args[1].IsImm {
+				a.Val[bi][i] = env[in.Args[1].Reg]
+			}
+			transfer(in, env, siteID, ir.Loc{Block: bi, Index: i})
+		}
+	}
+	return a
+}
+
+// transfer updates the abstract environment for one instruction.
+func transfer(in *ir.Instr, env []Addr, siteID map[ir.Loc]int, loc ir.Loc) {
+	val := func(v ir.Value) Addr {
+		if v.IsImm {
+			return Addr{Kind: Const, Off: v.Imm}
+		}
+		return env[v.Reg]
+	}
+	if in.Dest == ir.NoReg {
+		return
+	}
+	switch in.Op {
+	case ir.OpConst:
+		env[in.Dest] = Addr{Kind: Const, Off: in.Imm}
+	case ir.OpMov:
+		env[in.Dest] = val(in.Args[0])
+	case ir.OpAdd:
+		a, b := val(in.Args[0]), val(in.Args[1])
+		switch {
+		case a.Kind != Unknown && b.Kind == Const:
+			env[in.Dest] = Addr{Kind: a.Kind, ID: a.ID, Off: a.Off + b.Off}
+		case b.Kind != Unknown && a.Kind == Const:
+			env[in.Dest] = Addr{Kind: b.Kind, ID: b.ID, Off: b.Off + a.Off}
+		default:
+			env[in.Dest] = unknownAddr
+		}
+	case ir.OpSub:
+		a, b := val(in.Args[0]), val(in.Args[1])
+		if a.Kind != Unknown && b.Kind == Const {
+			env[in.Dest] = Addr{Kind: a.Kind, ID: a.ID, Off: a.Off - b.Off}
+		} else {
+			env[in.Dest] = unknownAddr
+		}
+	case ir.OpAlloc, ir.OpNewLock:
+		env[in.Dest] = Addr{Kind: Alloc, ID: siteID[loc]}
+	case ir.OpSAlloc:
+		env[in.Dest] = Addr{Kind: SAlloc, ID: siteID[loc]}
+	default:
+		env[in.Dest] = unknownAddr
+	}
+}
+
+// AddrAt returns the abstract address of the memory operand of the
+// load/store at loc.
+func (a *Analysis) AddrAt(loc ir.Loc) Addr { return a.At[loc.Block][loc.Index] }
+
+// StoredSite returns the allocation-site ID whose address the store at
+// loc writes to memory (the escape point), or ok=false when the stored
+// value carries no fresh-allocation provenance.
+func (a *Analysis) StoredSite(loc ir.Loc) (int, bool) {
+	v := a.Val[loc.Block][loc.Index]
+	if v.Kind == Alloc || v.Kind == SAlloc {
+		return v.ID, true
+	}
+	return 0, false
+}
+
+// MayAliasAt reports whether the memory operations at the two locations
+// may touch overlapping bytes.
+func (a *Analysis) MayAliasAt(l1, l2 ir.Loc) bool {
+	return MayAlias(a.AddrAt(l1), a.AddrAt(l2))
+}
+
+// fresh reports whether the address is a fresh allocation of this
+// function (heap, stack slot, or lock holder).
+func fresh(x Addr) bool { return x.Kind == Alloc || x.Kind == SAlloc }
+
+// MayAliasEscape is MayAlias refined with escape information: an access
+// through an Unknown pointer can only touch a fresh allocation whose
+// address had already escaped to memory at the time of that access.
+// escA/escB list the allocation sites escaped before the respective
+// accesses executed.
+func MayAliasEscape(a, b Addr, escA, escB []int) bool {
+	if a.Kind == Unknown && fresh(b) {
+		return containsSite(escA, b.ID)
+	}
+	if b.Kind == Unknown && fresh(a) {
+		return containsSite(escB, a.ID)
+	}
+	return MayAlias(a, b)
+}
+
+func containsSite(s []int, id int) bool {
+	for _, x := range s {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}

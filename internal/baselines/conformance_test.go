@@ -1,0 +1,469 @@
+package baselines_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/ido-nvm/ido/internal/baselines/atlas"
+	"github.com/ido-nvm/ido/internal/baselines/justdo"
+	"github.com/ido-nvm/ido/internal/baselines/mnemosyne"
+	"github.com/ido-nvm/ido/internal/baselines/nvml"
+	"github.com/ido-nvm/ido/internal/baselines/nvthreads"
+	"github.com/ido-nvm/ido/internal/baselines/origin"
+	"github.com/ido-nvm/ido/internal/core"
+	"github.com/ido-nvm/ido/internal/locks"
+	"github.com/ido-nvm/ido/internal/nvm"
+	"github.com/ido-nvm/ido/internal/persist"
+	"github.com/ido-nvm/ido/internal/region"
+)
+
+func allRuntimes() map[string]func() persist.Runtime {
+	return map[string]func() persist.Runtime{
+		"ido":       func() persist.Runtime { return core.New(core.DefaultConfig()) },
+		"justdo":    func() persist.Runtime { return justdo.New() },
+		"atlas":     func() persist.Runtime { return atlas.New(atlas.Config{}) },
+		"mnemosyne": func() persist.Runtime { return mnemosyne.New() },
+		"nvthreads": func() persist.Runtime { return nvthreads.New() },
+		"nvml":      func() persist.Runtime { return nvml.New() },
+		"origin":    func() persist.Runtime { return origin.New() },
+	}
+}
+
+func setup(t *testing.T, mk func() persist.Runtime) (*region.Region, *locks.Manager, persist.Runtime) {
+	t.Helper()
+	reg := region.Create(1<<22, nvm.Config{})
+	lm := locks.NewManager(reg)
+	rt := mk()
+	if err := rt.Attach(reg, lm); err != nil {
+		t.Fatal(err)
+	}
+	return reg, lm, rt
+}
+
+// TestConcurrentCounterAllRuntimes runs the same lock-based increment
+// workload on every runtime: the persistence mechanisms differ but the
+// observable result must be identical.
+func TestConcurrentCounterAllRuntimes(t *testing.T) {
+	for name, mk := range allRuntimes() {
+		t.Run(name, func(t *testing.T) {
+			reg, lm, rt := setup(t, mk)
+			lock, err := lm.Create()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctr, _ := reg.Alloc.Alloc(8)
+			const workers, each = 8, 200
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				th, err := rt.NewThread()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				go func(th persist.Thread) {
+					defer wg.Done()
+					for i := 0; i < each; i++ {
+						th.Exec(func() {
+							th.Lock(lock)
+							th.Boundary(0x900)
+							v := th.Load64(ctr)
+							th.Boundary(0x901, persist.RV(0, v))
+							th.Store64(ctr, v+1)
+							th.Unlock(lock)
+						})
+					}
+				}(th)
+			}
+			wg.Wait()
+			if got := reg.Dev.Load64(ctr); got != workers*each {
+				t.Fatalf("%s: counter = %d, want %d", name, got, workers*each)
+			}
+			s := rt.Stats()
+			if s.FASEs != workers*each {
+				t.Fatalf("%s: FASEs = %d, want %d", name, s.FASEs, workers*each)
+			}
+		})
+	}
+}
+
+// TestJUSTDOStoreDurability: after a JUSTDO Store64 inside a FASE returns,
+// the value has already been fenced durable.
+func TestJUSTDOStoreDurability(t *testing.T) {
+	reg, lm, rt := setup(t, func() persist.Runtime { return justdo.New() })
+	lock, _ := lm.Create()
+	cell, _ := reg.Alloc.Alloc(8)
+	th, _ := rt.NewThread()
+	th.Lock(lock)
+	th.Store64(cell, 88)
+	// Crash with the FASE still open: the store must survive.
+	reg.Dev.Crash(nvm.CrashDiscard, nil)
+	if got := reg.Dev.Load64(cell); got != 88 {
+		t.Fatalf("JUSTDO store not durable before crash: %d", got)
+	}
+}
+
+// TestAtlasRollbackIncompleteFASE: with retained logs, a crash mid-FASE
+// rolls the FASE's stores back; a completed FASE survives.
+func TestAtlasRollbackIncompleteFASE(t *testing.T) {
+	reg, lm, _ := setup(t, func() persist.Runtime { return origin.New() }) // region only
+	rt := atlas.New(atlas.Config{Retain: true})
+	if err := rt.Attach(reg, lm); err != nil {
+		t.Fatal(err)
+	}
+	lock, _ := lm.Create()
+	a, _ := reg.Alloc.Alloc(8)
+	b, _ := reg.Alloc.Alloc(8)
+
+	// FASE 1 completes: a = 10.
+	t1, _ := rt.NewThread()
+	t1.Lock(lock)
+	t1.Store64(a, 10)
+	t1.Unlock(lock)
+
+	// FASE 2 crashes mid-flight: b = 20 must be rolled back.
+	t2, _ := rt.NewThread()
+	t2.Lock(lock)
+	t2.Store64(b, 20)
+	// Simulate crash: volatile state dies; note Atlas defers data
+	// write-back, but the adversary may have evicted the line, so use
+	// the persist-all crash — rollback must still undo it.
+	reg2, err := reg.Crash(nvm.CrashPersistAll, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2 := atlas.New(atlas.Config{Retain: true})
+	if err := rt2.Attach(reg2, locks.NewManager(reg2)); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := rt2.Recover(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg2.Dev.Load64(a); got != 10 {
+		t.Fatalf("completed FASE lost: a = %d, want 10", got)
+	}
+	if got := reg2.Dev.Load64(b); got != 0 {
+		t.Fatalf("incomplete FASE not rolled back: b = %d, want 0", got)
+	}
+	if stats.RolledBack != 1 {
+		t.Fatalf("rolled back %d FASEs, want 1", stats.RolledBack)
+	}
+}
+
+// TestAtlasDependentRollback reproduces the cross-FASE dependence case of
+// §I: T1's hand-over-hand FASE releases a lock mid-FASE and crashes
+// incomplete; T2 completed a FASE under that lock. Recovery must roll
+// back T2's completed FASE as well.
+func TestAtlasDependentRollback(t *testing.T) {
+	reg, lm, _ := setup(t, func() persist.Runtime { return origin.New() })
+	rt := atlas.New(atlas.Config{Retain: true})
+	if err := rt.Attach(reg, lm); err != nil {
+		t.Fatal(err)
+	}
+	lockA, _ := lm.Create()
+	lockB, _ := lm.Create()
+	x, _ := reg.Alloc.Alloc(8)
+	y, _ := reg.Alloc.Alloc(8)
+
+	t1, _ := rt.NewThread()
+	t2, _ := rt.NewThread()
+
+	t1.Lock(lockA)
+	t1.Store64(x, 1) // uncommitted write, visible after A's release
+	t1.Lock(lockB)
+	t1.Unlock(lockA) // hand-over-hand: A released mid-FASE
+
+	t2.Lock(lockA)
+	v := t2.Load64(x) // reads T1's uncommitted 1
+	t2.Store64(y, v+100)
+	t2.Unlock(lockA) // T2's FASE completes
+
+	// T1 crashes still holding B, FASE incomplete.
+	reg2, err := reg.Crash(nvm.CrashPersistAll, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2 := atlas.New(atlas.Config{Retain: true})
+	if err := rt2.Attach(reg2, locks.NewManager(reg2)); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := rt2.Recover(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RolledBack != 2 {
+		t.Fatalf("rolled back %d FASEs, want 2 (incomplete + dependent)", stats.RolledBack)
+	}
+	if got := reg2.Dev.Load64(x); got != 0 {
+		t.Fatalf("x = %d, want 0", got)
+	}
+	if got := reg2.Dev.Load64(y); got != 0 {
+		t.Fatalf("dependent completed FASE survived: y = %d, want 0", got)
+	}
+}
+
+// TestAtlasPrunedLogsStayBounded: in the default pruning mode the log is
+// reset at each FASE end, so entries never accumulate.
+func TestAtlasPrunedLogsStayBounded(t *testing.T) {
+	reg, lm, _ := setup(t, func() persist.Runtime { return origin.New() })
+	rt := atlas.New(atlas.Config{})
+	if err := rt.Attach(reg, lm); err != nil {
+		t.Fatal(err)
+	}
+	lock, _ := lm.Create()
+	cell, _ := reg.Alloc.Alloc(8)
+	th, _ := rt.NewThread()
+	for i := 0; i < 5000; i++ {
+		th.Lock(lock)
+		th.Store64(cell, uint64(i))
+		th.Unlock(lock)
+	}
+	// A crash now must find (nearly) empty logs: recovery scans few
+	// entries even after 5000 FASEs.
+	reg2, err := reg.Crash(nvm.CrashPersistAll, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2 := atlas.New(atlas.Config{})
+	if err := rt2.Attach(reg2, locks.NewManager(reg2)); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := rt2.Recover(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LogEntries > 16 {
+		t.Fatalf("pruned-mode recovery scanned %d entries", stats.LogEntries)
+	}
+	if got := reg2.Dev.Load64(cell); got != 4999 {
+		t.Fatalf("cell = %d, want 4999", got)
+	}
+}
+
+// TestAtlasRetainedLogsGrow: retained logs accumulate with run length —
+// the effect behind Table I.
+func TestAtlasRetainedLogsGrow(t *testing.T) {
+	count := func(fases int) uint64 {
+		reg := region.Create(1<<24, nvm.Config{})
+		lm := locks.NewManager(reg)
+		rt := atlas.New(atlas.Config{Retain: true})
+		if err := rt.Attach(reg, lm); err != nil {
+			t.Fatal(err)
+		}
+		lock, _ := lm.Create()
+		cell, _ := reg.Alloc.Alloc(8)
+		th, _ := rt.NewThread()
+		for i := 0; i < fases; i++ {
+			th.Lock(lock)
+			th.Store64(cell, uint64(i))
+			th.Unlock(lock)
+		}
+		reg2, err := reg.Crash(nvm.CrashPersistAll, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt2 := atlas.New(atlas.Config{Retain: true})
+		if err := rt2.Attach(reg2, locks.NewManager(reg2)); err != nil {
+			t.Fatal(err)
+		}
+		stats, err := rt2.Recover(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.LogEntries
+	}
+	small, large := count(100), count(1000)
+	if large < small*5 {
+		t.Fatalf("retained logs did not grow with run length: %d vs %d", small, large)
+	}
+}
+
+// TestMnemosyneReplayCommittedLog: a commit record without truncation is
+// replayed idempotently on recovery.
+func TestMnemosyneReplayCommittedLog(t *testing.T) {
+	reg, lm, rt := setup(t, func() persist.Runtime { return mnemosyne.New() })
+	_ = lm
+	th, _ := rt.NewThread()
+	cell, _ := reg.Alloc.Alloc(8)
+	// Run one committed tx so the thread log exists and is linked.
+	th.Exec(func() {
+		th.BeginDurable()
+		th.Store64(cell, 5)
+		th.EndDurable()
+	})
+	// Forge the crash window: rewrite the log as committed-but-unapplied.
+	log := reg.Root(region.RootMnemosyneHead)
+	dev := reg.Dev
+	dev.StoreNT(log+64, cell)
+	dev.StoreNT(log+72, 77)
+	dev.StoreNT(log+8, 1) // count
+	dev.StoreNT(log+0, 1) // state = committed
+	dev.Fence()
+	reg2, err := reg.Crash(nvm.CrashDiscard, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2 := mnemosyne.New()
+	if err := rt2.Attach(reg2, locks.NewManager(reg2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt2.Recover(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg2.Dev.Load64(cell); got != 77 {
+		t.Fatalf("committed log not replayed: %d, want 77", got)
+	}
+	// Replay must have truncated; a second recovery is a no-op.
+	if got := reg2.Dev.Load64(log + 0); got != 0 {
+		t.Fatalf("log state = %d after replay, want 0", got)
+	}
+}
+
+// TestMnemosyneIsolation: racing increments with aborted retries still
+// produce an exact count, and conflicts actually occur.
+func TestMnemosyneIsolation(t *testing.T) {
+	reg, lm, rt := setup(t, func() persist.Runtime { return mnemosyne.New() })
+	lock, _ := lm.Create()
+	ctr, _ := reg.Alloc.Alloc(8)
+	const workers, each = 8, 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		th, _ := rt.NewThread()
+		wg.Add(1)
+		go func(th persist.Thread) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				th.Exec(func() {
+					th.Lock(lock)
+					th.Store64(ctr, th.Load64(ctr)+1)
+					th.Unlock(lock)
+				})
+			}
+		}(th)
+	}
+	wg.Wait()
+	if got := reg.Dev.Load64(ctr); got != workers*each {
+		t.Fatalf("counter = %d, want %d", got, workers*each)
+	}
+}
+
+// TestNVMLRollback: a crash inside a programmer-delineated FASE restores
+// the old values.
+func TestNVMLRollback(t *testing.T) {
+	reg, lm, rt := setup(t, func() persist.Runtime { return nvml.New() })
+	_ = lm
+	cell, _ := reg.Alloc.Alloc(16)
+	th, _ := rt.NewThread()
+	// Seed committed state.
+	th.BeginDurable()
+	th.Store64(cell, 1)
+	th.Store64(cell+8, 2)
+	th.EndDurable()
+	// Crash mid-FASE.
+	th.BeginDurable()
+	th.Store64(cell, 100)
+	th.Store64(cell+8, 200)
+	reg2, err := reg.Crash(nvm.CrashPersistAll, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2 := nvml.New()
+	if err := rt2.Attach(reg2, locks.NewManager(reg2)); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := rt2.Recover(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RolledBack != 1 {
+		t.Fatalf("rolled back %d, want 1", stats.RolledBack)
+	}
+	if a, b := reg2.Dev.Load64(cell), reg2.Dev.Load64(cell+8); a != 1 || b != 2 {
+		t.Fatalf("cells = %d,%d want 1,2", a, b)
+	}
+}
+
+// TestNVThreadsCrashBeforeCommitLosesNothing: writes buffered in private
+// pages never reach NVM before commit, so a pre-commit crash leaves old
+// state intact without any rollback.
+func TestNVThreadsCrashBeforeCommitLosesNothing(t *testing.T) {
+	reg, lm, rt := setup(t, func() persist.Runtime { return nvthreads.New() })
+	lock, _ := lm.Create()
+	cell, _ := reg.Alloc.Alloc(8)
+	th, _ := rt.NewThread()
+	// Committed baseline.
+	th.Lock(lock)
+	th.Store64(cell, 7)
+	th.Unlock(lock)
+	// Crash mid-CS: buffered page writes must not leak even if the
+	// adversary persists the whole cache (the buffer is program state,
+	// not NVM).
+	th2, _ := rt.NewThread()
+	th2.Lock(lock)
+	th2.Store64(cell, 999)
+	if got := th2.Load64(cell); got != 999 {
+		t.Fatalf("read-own-write failed: %d", got)
+	}
+	reg2, err := reg.Crash(nvm.CrashPersistAll, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2 := nvthreads.New()
+	if err := rt2.Attach(reg2, locks.NewManager(reg2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt2.Recover(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg2.Dev.Load64(cell); got != 7 {
+		t.Fatalf("cell = %d, want 7", got)
+	}
+}
+
+// TestRandomizedCrashConsistencyAtlasNVML fuzzes crash points across many
+// FASEs for the two UNDO systems: after recovery the counter must reflect
+// a whole number of completed FASEs.
+func TestRandomizedCrashConsistencyAtlasNVML(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 15; trial++ {
+		reg := region.Create(1<<22, nvm.Config{})
+		lm := locks.NewManager(reg)
+		rt := atlas.New(atlas.Config{Retain: true})
+		if err := rt.Attach(reg, lm); err != nil {
+			t.Fatal(err)
+		}
+		lock, _ := lm.Create()
+		ctr, _ := reg.Alloc.Alloc(8)
+		th, _ := rt.NewThread()
+		completed := uint64(0)
+		crashAt := rng.Intn(40)
+		for i := 0; i < 40; i++ {
+			if i == crashAt {
+				// Open a FASE and crash inside it.
+				th.Lock(lock)
+				th.Store64(ctr, th.Load64(ctr)+1)
+				break
+			}
+			th.Lock(lock)
+			th.Store64(ctr, th.Load64(ctr)+1)
+			th.Unlock(lock)
+			completed++
+		}
+		mode := nvm.CrashMode(rng.Intn(3))
+		reg2, err := reg.Crash(mode, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt2 := atlas.New(atlas.Config{Retain: true})
+		if err := rt2.Attach(reg2, locks.NewManager(reg2)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt2.Recover(nil); err != nil {
+			t.Fatal(err)
+		}
+		if got := reg2.Dev.Load64(ctr); got != completed {
+			t.Fatalf("trial %d mode %v: counter = %d, want %d", trial, mode, got, completed)
+		}
+	}
+}

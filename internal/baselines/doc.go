@@ -1,0 +1,7 @@
+// Package baselines groups the failure-atomicity systems the iDO paper
+// compares against (§V): Atlas (UNDO, lock-based), Mnemosyne (REDO,
+// transactional), JUSTDO (per-store resumption), NVThreads (page-granular
+// REDO), NVML (library UNDO), and the uninstrumented Origin baseline. Each
+// subpackage implements persist.Runtime, so the data structures and
+// key-value stores in this repository run unchanged on every system.
+package baselines

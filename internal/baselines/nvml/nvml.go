@@ -1,0 +1,219 @@
+// Package nvml implements the NVML baseline (Intel's persistent-memory
+// library, now PMDK) as characterized in the iDO paper: a library-based
+// UNDO-logging system with programmer-delineated FASEs. There is no
+// compiler integration and no synchronization support: the programmer
+// annotates every persistent store inside a FASE (our Store64 inside a
+// delineated section), locks are ordinary mutexes with no persistence
+// bookkeeping, and no cross-FASE dependences are tracked. Each annotated
+// store appends an undo record that is fenced durable before the store;
+// commit flushes the FASE's data and truncates the log.
+package nvml
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/ido-nvm/ido/internal/locks"
+	"github.com/ido-nvm/ido/internal/nvm"
+	"github.com/ido-nvm/ido/internal/persist"
+	"github.com/ido-nvm/ido/internal/region"
+)
+
+const (
+	// Per-thread undo log layout.
+	logCount = 0 // live entry count; 0 = no FASE in flight
+	logNext  = 8
+	logBase  = 64 // entries: {addr, old} pairs
+	maxUndo  = 4096
+	logSize  = logBase + maxUndo*16
+)
+
+// Runtime is the NVML baseline runtime.
+type Runtime struct {
+	reg *region.Region
+
+	mu      sync.Mutex
+	threads []*thread
+	nextID  int
+}
+
+// New creates an NVML runtime.
+func New() *Runtime { return &Runtime{} }
+
+// Name implements persist.Runtime.
+func (rt *Runtime) Name() string { return "nvml" }
+
+// Attach implements persist.Runtime.
+func (rt *Runtime) Attach(reg *region.Region, _ *locks.Manager) error {
+	rt.reg = reg
+	return nil
+}
+
+// NewThread implements persist.Runtime.
+func (rt *Runtime) NewThread() (persist.Thread, error) {
+	raw, err := rt.reg.Alloc.Alloc(logSize + nvm.LineSize)
+	if err != nil {
+		return nil, fmt.Errorf("nvml: allocating undo log: %w", err)
+	}
+	log := (raw + nvm.LineSize - 1) &^ (nvm.LineSize - 1)
+	dev := rt.reg.Dev
+	rt.mu.Lock()
+	dev.Store64(log+logCount, 0)
+	dev.Store64(log+logNext, rt.reg.Root(region.RootNVMLHead))
+	dev.PersistRange(log, logBase)
+	dev.Fence()
+	rt.reg.SetRoot(region.RootNVMLHead, log)
+	t := &thread{rt: rt, id: rt.nextID, log: log}
+	rt.nextID++
+	rt.threads = append(rt.threads, t)
+	rt.mu.Unlock()
+	return t, nil
+}
+
+// Stats implements persist.Runtime.
+func (rt *Runtime) Stats() persist.RuntimeStats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var out persist.RuntimeStats
+	for _, t := range rt.threads {
+		out.Add(&t.stats)
+	}
+	return out
+}
+
+// Recover rolls back any FASE whose undo log was never truncated,
+// applying the records newest-first. With no dependence tracking this is
+// sound only under NVML's programming model (FASEs on private or
+// externally synchronized data).
+func (rt *Runtime) Recover(*persist.ResumeRegistry) (persist.RecoveryStats, error) {
+	start := time.Now()
+	dev := rt.reg.Dev
+	var stats persist.RecoveryStats
+	for log := rt.reg.Root(region.RootNVMLHead); log != 0; log = dev.Load64(log + logNext) {
+		stats.Threads++
+		n := int(dev.Load64(log + logCount))
+		if n == 0 {
+			continue
+		}
+		if n > maxUndo {
+			n = maxUndo
+		}
+		for i := n - 1; i >= 0; i-- {
+			e := log + logBase + uint64(i)*16
+			addr := dev.Load64(e)
+			old := dev.Load64(e + 8)
+			dev.Store64(addr, old)
+			dev.CLWB(addr)
+			stats.LogEntries++
+		}
+		dev.Fence()
+		dev.Store64(log+logCount, 0)
+		dev.CLWB(log + logCount)
+		dev.Fence()
+		stats.RolledBack++
+	}
+	stats.Elapsed = time.Since(start)
+	return stats, nil
+}
+
+type thread struct {
+	rt  *Runtime
+	id  int
+	log uint64
+
+	depth int
+	used  int
+	dirty []uint64
+
+	stats persist.RuntimeStats
+}
+
+func (t *thread) ID() int        { return t.id }
+func (t *thread) Exec(op func()) { op() }
+
+// Lock takes the mutex with no persistence bookkeeping; the outermost
+// lock still opens a FASE so lock-based callers get undo protection.
+func (t *thread) Lock(l *locks.Lock) {
+	l.Acquire()
+	t.depth++
+}
+
+func (t *thread) Unlock(l *locks.Lock) {
+	if t.depth == 1 {
+		t.commit()
+	}
+	t.depth--
+	l.Release()
+}
+
+func (t *thread) BeginDurable() { t.depth++ }
+
+func (t *thread) EndDurable() {
+	if t.depth == 1 {
+		t.commit()
+	}
+	t.depth--
+}
+
+// Store64 appends the undo record (fenced before the store can reach
+// NVM), then stores in place.
+func (t *thread) Store64(addr, val uint64) {
+	dev := t.rt.reg.Dev
+	if t.depth == 0 {
+		dev.Store64(addr, val)
+		return
+	}
+	if t.used == maxUndo {
+		panic(fmt.Sprintf("nvml: FASE exceeded %d undo records", maxUndo))
+	}
+	old := dev.Load64(addr)
+	e := t.log + logBase + uint64(t.used)*16
+	dev.Store64(e, addr)
+	dev.Store64(e+8, old)
+	t.used++
+	dev.Store64(t.log+logCount, uint64(t.used))
+	dev.CLWB(e)
+	dev.CLWB(t.log + logCount)
+	dev.Fence()
+	dev.Store64(addr, val)
+	t.trackLine(addr)
+	t.stats.Stores++
+	t.stats.LoggedEntries++
+	t.stats.LoggedBytes += 16
+}
+
+func (t *thread) trackLine(addr uint64) {
+	line := addr &^ (nvm.LineSize - 1)
+	for _, l := range t.dirty {
+		if l == line {
+			return
+		}
+	}
+	t.dirty = append(t.dirty, line)
+}
+
+func (t *thread) Load64(addr uint64) uint64 { return t.rt.reg.Dev.Load64(addr) }
+
+// Boundary is ignored: NVML has no region concept.
+func (t *thread) Boundary(uint64, ...persist.RegVal) {}
+
+// commit flushes the FASE's data, then truncates the undo log.
+func (t *thread) commit() {
+	dev := t.rt.reg.Dev
+	for _, line := range t.dirty {
+		dev.CLWB(line)
+	}
+	t.dirty = t.dirty[:0]
+	dev.Fence()
+	dev.Store64(t.log+logCount, 0)
+	dev.CLWB(t.log + logCount)
+	dev.Fence()
+	t.used = 0
+	t.stats.FASEs++
+}
+
+var (
+	_ persist.Runtime = (*Runtime)(nil)
+	_ persist.Thread  = (*thread)(nil)
+)

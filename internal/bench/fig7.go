@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/ido-nvm/ido/internal/ds"
+	"github.com/ido-nvm/ido/internal/persist"
+	"github.com/ido-nvm/ido/internal/stats"
+)
+
+// Fig7Runtimes are the systems compared on the microbenchmarks (§V-B).
+// NVThreads is absent, as in the paper (its page-granularity REDO cannot
+// express hand-over-hand locking).
+var Fig7Runtimes = []string{"ido", "justdo", "atlas", "mnemosyne"}
+
+// Fig7Structures names the four microbenchmark data structures.
+var Fig7Structures = []string{"stack", "queue", "orderedlist", "hashmap"}
+
+// RunFig7 regenerates Fig. 7: microbenchmark throughput (Mops/s) as a
+// function of thread count for the four shared data structures, with each
+// thread repeatedly choosing a random operation (insert/remove for stack
+// and queue; get/put on a random key for list and map).
+func RunFig7(o Options) ([]*stats.Figure, error) {
+	var out []*stats.Figure
+	for _, structure := range Fig7Structures {
+		fig := &stats.Figure{
+			Title:  "Fig7 " + structure,
+			XLabel: "threads", YLabel: "Mops/s",
+		}
+		for _, sp := range specs(Fig7Runtimes...) {
+			for _, nt := range o.Threads {
+				ops, err := runMicroPoint(o, sp, structure, nt)
+				if err != nil {
+					return nil, fmt.Errorf("fig7 %s/%s/%d: %w", structure, sp.name, nt, err)
+				}
+				fig.Add(sp.name, float64(nt), stats.Throughput(ops, o.Duration))
+			}
+		}
+		fprintf(o.out(), "%s\n", fig)
+		out = append(out, fig)
+	}
+	return out, nil
+}
+
+// Microbenchmark parameters: the ordered list uses a small key range so
+// traversals stay reasonably long (the paper's hand-over-hand stress),
+// the hash map spreads a larger range over many buckets so bucket lists
+// stay short and parallelism is high.
+const (
+	listKeyRange = 256
+	mapKeyRange  = 1 << 12
+	mapBuckets   = 1 << 8
+)
+
+func runMicroPoint(o Options, sp spec, structure string, nThreads int) (uint64, error) {
+	w, err := newWorld(sp.mk, o.DeviceBytes, 0)
+	if err != nil {
+		return 0, err
+	}
+	env := &ds.Env{Reg: w.reg, LM: w.lm}
+	switch structure {
+	case "stack":
+		s, _, err := ds.NewStack(env)
+		if err != nil {
+			return 0, err
+		}
+		// Prefill so removes usually succeed.
+		pre, _ := w.rt.NewThread()
+		for i := 0; i < 256; i++ {
+			i := i
+			pre.Exec(func() { s.Push(pre, uint64(i+1)) })
+		}
+		return measure(w, nThreads, o.Duration, func(i int, t persist.Thread) func() {
+			rng := rand.New(rand.NewSource(int64(100 + i)))
+			return func() {
+				if rng.Intn(2) == 0 {
+					s.Push(t, rng.Uint64()|1)
+				} else {
+					s.Pop(t)
+				}
+			}
+		})
+	case "queue":
+		q, _, err := ds.NewQueue(env)
+		if err != nil {
+			return 0, err
+		}
+		pre, _ := w.rt.NewThread()
+		for i := 0; i < 256; i++ {
+			i := i
+			pre.Exec(func() { q.Enqueue(pre, uint64(i+1)) })
+		}
+		return measure(w, nThreads, o.Duration, func(i int, t persist.Thread) func() {
+			rng := rand.New(rand.NewSource(int64(200 + i)))
+			return func() {
+				if rng.Intn(2) == 0 {
+					q.Enqueue(t, rng.Uint64()|1)
+				} else {
+					q.Dequeue(t)
+				}
+			}
+		})
+	case "orderedlist":
+		l, _, err := ds.NewList(env)
+		if err != nil {
+			return 0, err
+		}
+		pre, _ := w.rt.NewThread()
+		for k := uint64(2); k <= listKeyRange; k += 2 {
+			k := k
+			pre.Exec(func() { l.Put(pre, k, k) })
+		}
+		return measure(w, nThreads, o.Duration, func(i int, t persist.Thread) func() {
+			rng := rand.New(rand.NewSource(int64(300 + i)))
+			return func() {
+				k := uint64(rng.Intn(listKeyRange)) + 1
+				if rng.Intn(2) == 0 {
+					l.Put(t, k, k*2)
+				} else {
+					l.Get(t, k)
+				}
+			}
+		})
+	case "hashmap":
+		m, _, err := ds.NewHashMap(env, mapBuckets)
+		if err != nil {
+			return 0, err
+		}
+		pre, _ := w.rt.NewThread()
+		for k := uint64(1); k <= mapKeyRange; k += 2 {
+			k := k
+			pre.Exec(func() { m.Put(pre, k, k) })
+		}
+		return measure(w, nThreads, o.Duration, func(i int, t persist.Thread) func() {
+			rng := rand.New(rand.NewSource(int64(400 + i)))
+			return func() {
+				k := uint64(rng.Intn(mapKeyRange)) + 1
+				if rng.Intn(2) == 0 {
+					m.Put(t, k, k*2)
+				} else {
+					m.Get(t, k)
+				}
+			}
+		})
+	}
+	return 0, fmt.Errorf("unknown structure %q", structure)
+}

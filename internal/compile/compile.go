@@ -1,0 +1,247 @@
+// Package compile implements the three-phase iDO compiler of Fig. 4 on
+// the mini-IR:
+//
+//  1. FASE inference (package fase) finds lock-delineated failure-atomic
+//     sections and the mandatory boundary points around lock operations;
+//  2. idempotent region formation (package idem, using the basicAA-style
+//     analysis in package alias) cuts each FASE into regions with no
+//     memory antidependence on their inputs;
+//  3. input preservation and output persistence: each boundary is
+//     materialized as an OpBoundary instruction carrying the region's ID
+//     and the registers whose persistent log slots must be refreshed —
+//     the live-ins of the region that the predecessor regions (re)defined,
+//     which is exactly OutputSet_{pred} ∩ LiveIn_{region} (Eq. 1), or the
+//     full live-in set at a FASE entry where nothing has been logged yet.
+//
+// The instrumented function is executable by internal/vm under any of its
+// runtime modes; the region map gives recovery its resume targets.
+package compile
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ido-nvm/ido/internal/alias"
+	"github.com/ido-nvm/ido/internal/dataflow"
+	"github.com/ido-nvm/ido/internal/fase"
+	"github.com/ido-nvm/ido/internal/idem"
+	"github.com/ido-nvm/ido/internal/ir"
+)
+
+// Config tunes compilation.
+type Config struct {
+	// Idem passes options to region formation (ablation knobs).
+	Idem idem.Config
+}
+
+// RegionInfo describes one compiled idempotent region.
+type RegionInfo struct {
+	ID    uint64
+	Entry ir.Loc   // boundary instruction location in the compiled func
+	Log   []ir.Reg // registers the boundary logs
+}
+
+// CompiledFunc is the instrumentation result for one function.
+type CompiledFunc struct {
+	F       *ir.Func // the instrumented function
+	Orig    *ir.Func
+	Regions []RegionInfo
+	// ByID maps region IDs to indices in Regions.
+	ByID map[uint64]int
+	// HasFASEs reports whether any instrumentation was necessary.
+	HasFASEs bool
+}
+
+// Func compiles a single function; idBase makes its region IDs globally
+// unique (region r gets ID idBase+r+1; IDs must stay below 2^48).
+func Func(f *ir.Func, idBase uint64, cfg Config) (*CompiledFunc, error) {
+	if err := ir.Verify(f); err != nil {
+		return nil, fmt.Errorf("compile: %w", err)
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == ir.OpBoundary {
+				return nil, fmt.Errorf("compile: %s already instrumented (boundary at %s.%d)", f.Name, b.Name, i)
+			}
+		}
+	}
+	fi, err := fase.Infer(f)
+	if err != nil {
+		return nil, fmt.Errorf("compile: %w", err)
+	}
+	if !fi.HasFASEs() {
+		return &CompiledFunc{F: f, Orig: f, ByID: map[uint64]int{}}, nil
+	}
+	aa := alias.Analyze(f)
+	res, err := idem.Form(f, aa, fi, cfg.Idem)
+	if err != nil {
+		return nil, err
+	}
+	if err := idem.Check(f, aa, fi, res); err != nil {
+		return nil, err
+	}
+	lv := dataflow.ComputeLiveness(f)
+
+	// Per-region defined registers.
+	defs := make([]dataflow.RegSet, res.NumRegions())
+	for i := range defs {
+		defs[i] = dataflow.NewRegSet(f.NumRegs)
+	}
+	for bi, b := range f.Blocks {
+		for i := range b.Instrs {
+			if r := res.RegionOf[bi][i]; r >= 0 && b.Instrs[i].Dest != ir.NoReg {
+				defs[r].Add(b.Instrs[i].Dest)
+			}
+		}
+	}
+
+	// Predecessor regions of each cut, and whether the cut is a FASE
+	// entry (reached from non-region code such as the lock acquire).
+	predRegions := make([]map[int]bool, res.NumRegions())
+	faseEntry := make([]bool, res.NumRegions())
+	for i := range predRegions {
+		predRegions[i] = map[int]bool{}
+	}
+	notePred := func(region int, predRegion int) {
+		if predRegion < 0 {
+			faseEntry[region] = true
+		} else if predRegion != region {
+			predRegions[region][predRegion] = true
+		}
+	}
+	for _, c := range res.Cuts {
+		region := res.CutRegion[c]
+		if c.Index > 0 {
+			notePred(region, res.RegionOf[c.Block][c.Index-1])
+			continue
+		}
+		for _, p := range f.Blocks[c.Block].Preds {
+			pb := f.Blocks[p]
+			if len(pb.Instrs) == 0 {
+				notePred(region, -1)
+				continue
+			}
+			notePred(region, res.RegionOf[p][len(pb.Instrs)-1])
+		}
+	}
+	// A region whose predecessors include the region itself (loop header
+	// cut) must also count its own defs as needing re-logging.
+	for _, c := range res.Cuts {
+		region := res.CutRegion[c]
+		if c.Index == 0 {
+			for _, p := range f.Blocks[c.Block].Preds {
+				pb := f.Blocks[p]
+				if len(pb.Instrs) > 0 && res.RegionOf[p][len(pb.Instrs)-1] == region {
+					predRegions[region][region] = true
+				}
+			}
+		}
+	}
+
+	// Log set per region.
+	logSets := make([][]ir.Reg, res.NumRegions())
+	for _, c := range res.Cuts {
+		region := res.CutRegion[c]
+		liveIn := lv.LiveBefore(c.Block, c.Index)
+		var set []ir.Reg
+		if faseEntry[region] {
+			set = liveIn.Regs()
+		} else {
+			combined := dataflow.NewRegSet(f.NumRegs)
+			for pr := range predRegions[region] {
+				combined.Union(defs[pr])
+			}
+			for _, r := range liveIn.Regs() {
+				if combined.Has(r) {
+					set = append(set, r)
+				}
+			}
+		}
+		logSets[region] = set
+	}
+
+	// Materialize: insert OpBoundary before each cut instruction.
+	out := &ir.Func{
+		Name:      f.Name,
+		NumParams: f.NumParams,
+		NumRegs:   f.NumRegs,
+		RegNames:  f.RegNames,
+	}
+	cf := &CompiledFunc{F: out, Orig: f, ByID: map[uint64]int{}, HasFASEs: true}
+	cutsInBlock := map[int][]ir.Loc{}
+	for _, c := range res.Cuts {
+		cutsInBlock[c.Block] = append(cutsInBlock[c.Block], c)
+	}
+	for bi, b := range f.Blocks {
+		nb := &ir.Block{Index: bi, Name: b.Name}
+		cuts := cutsInBlock[bi]
+		sort.Slice(cuts, func(i, j int) bool { return cuts[i].Less(cuts[j]) })
+		ci := 0
+		for i := range b.Instrs {
+			if ci < len(cuts) && cuts[ci].Index == i {
+				region := res.CutRegion[cuts[ci]]
+				id := idBase + uint64(region) + 1
+				args := make([]ir.Value, 0, len(logSets[region]))
+				for _, r := range logSets[region] {
+					args = append(args, ir.R(r))
+				}
+				entry := ir.Loc{Block: bi, Index: len(nb.Instrs)}
+				nb.Instrs = append(nb.Instrs, ir.Instr{
+					Op: ir.OpBoundary, Dest: ir.NoReg, Imm: id, Args: args,
+				})
+				cf.ByID[id] = len(cf.Regions)
+				cf.Regions = append(cf.Regions, RegionInfo{ID: id, Entry: entry, Log: logSets[region]})
+				ci++
+			}
+			nb.Instrs = append(nb.Instrs, b.Instrs[i])
+		}
+		out.Blocks = append(out.Blocks, nb)
+	}
+	out.BuildCFG()
+	if err := ir.Verify(out); err != nil {
+		return nil, fmt.Errorf("compile: instrumented %s fails verification: %w", f.Name, err)
+	}
+	if id := idBase + uint64(res.NumRegions()); id >= 1<<48 {
+		return nil, fmt.Errorf("compile: region IDs exceed 48 bits")
+	}
+	return cf, nil
+}
+
+// Compiled is a whole-program compilation result.
+type Compiled struct {
+	Funcs map[string]*CompiledFunc
+	// Resolve maps a region ID to its function and boundary location.
+	Resolve map[uint64]Target
+}
+
+// Target locates a region entry.
+type Target struct {
+	Func  string
+	Entry ir.Loc
+}
+
+// Program compiles every function in prog, assigning non-overlapping
+// region ID ranges (4096 per function, in sorted name order).
+func Program(prog *ir.Program, cfg Config) (*Compiled, error) {
+	names := make([]string, 0, len(prog.Funcs))
+	for n := range prog.Funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := &Compiled{Funcs: map[string]*CompiledFunc{}, Resolve: map[uint64]Target{}}
+	for i, n := range names {
+		base := uint64(i+1) << 12
+		cf, err := Func(prog.Funcs[n], base, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", n, err)
+		}
+		if len(cf.Regions) > 4095 {
+			return nil, fmt.Errorf("%s: %d regions exceed the per-function ID budget", n, len(cf.Regions))
+		}
+		out.Funcs[n] = cf
+		for _, r := range cf.Regions {
+			out.Resolve[r.ID] = Target{Func: n, Entry: r.Entry}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,353 @@
+package compile
+
+import (
+	"testing"
+
+	"github.com/ido-nvm/ido/internal/fase"
+	"github.com/ido-nvm/ido/internal/idem"
+	"github.com/ido-nvm/ido/internal/ir"
+)
+
+// A stack push: lock, read top, link node, publish, unlock.
+const pushSrc = `
+func push 2 {
+entry:
+  lock r0
+  top = load r0 8
+  node = alloc 16
+  store node 0 r1
+  store node 8 top
+  store r0 8 node
+  unlock r0
+  ret
+}
+`
+
+func compileOne(t *testing.T, src string, cfg Config) *CompiledFunc {
+	t.Helper()
+	f, err := ir.ParseFunc(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := Func(f, 0x1000, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cf
+}
+
+func boundaries(cf *CompiledFunc) []ir.Instr {
+	var out []ir.Instr
+	for _, b := range cf.F.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpBoundary {
+				out = append(out, in)
+			}
+		}
+	}
+	return out
+}
+
+func TestPushBoundaries(t *testing.T) {
+	cf := compileOne(t, pushSrc, Config{})
+	bs := boundaries(cf)
+	// One after the lock, one before the unlock, and one cutting the
+	// genuine antidependence: `top = load r0 8` is later overwritten by
+	// `store r0 8 node`.
+	if len(bs) != 3 {
+		t.Fatalf("boundaries = %d, want 3:\n%s", len(bs), cf.F)
+	}
+	// The post-lock boundary must come immediately after the lock.
+	entry := cf.F.Entry().Instrs
+	if entry[0].Op != ir.OpLock || entry[1].Op != ir.OpBoundary {
+		t.Fatalf("prologue:\n%s", cf.F)
+	}
+	seen := map[uint64]bool{}
+	for _, r := range cf.Regions {
+		if seen[r.ID] {
+			t.Fatalf("duplicate region ID %#x", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	for _, r := range cf.Regions {
+		if cf.F.Blocks[r.Entry.Block].Instrs[r.Entry.Index].Op != ir.OpBoundary {
+			t.Fatalf("region %x entry does not point at a boundary", r.ID)
+		}
+	}
+}
+
+func TestFASEEntryLogsAllLiveIns(t *testing.T) {
+	cf := compileOne(t, pushSrc, Config{})
+	// The first region's live-ins include r0 (stack) and r1 (value).
+	log := cf.Regions[0].Log
+	has := map[ir.Reg]bool{}
+	for _, r := range log {
+		has[r] = true
+	}
+	if !has[0] || !has[1] {
+		t.Fatalf("FASE-entry log set %v misses parameters", log)
+	}
+}
+
+func TestAntidependenceForcesCut(t *testing.T) {
+	// load x, then store to the same location: a textbook antidependence
+	// inside one FASE. A boundary must separate them.
+	src := `
+func inc 1 {
+entry:
+  lock r0
+  v = load r0 0
+  w = add v 1
+  store r0 0 w
+  unlock r0
+  ret
+}
+`
+	cf := compileOne(t, src, Config{})
+	bs := boundaries(cf)
+	if len(bs) != 3 {
+		t.Fatalf("boundaries = %d, want 3 (post-lock, antidep, pre-unlock):\n%s", len(bs), cf.F)
+	}
+	// The antidependence boundary must log v or w (the live value the
+	// re-executed store needs).
+	mid := bs[1]
+	if len(mid.Args) == 0 {
+		t.Fatalf("antidep boundary logs nothing:\n%s", cf.F)
+	}
+}
+
+func TestPureLoopStaysUncut(t *testing.T) {
+	// A pure-read traversal loop inside a FASE needs no loop-header cut
+	// (re-executing the whole loop is idempotent); the only extra cut is
+	// at the store that may alias the loop's loads.
+	src := `
+func walk 1 {
+entry:
+  lock r0
+  cur = load r0 0
+  jmp loop
+loop:
+  c = ne cur 0
+  br c body done
+body:
+  cur = load cur 8
+  jmp loop
+done:
+  store r0 8 cur
+  unlock r0
+  ret
+}
+`
+	cf := compileOne(t, src, Config{})
+	loopBlock := cf.F.Blocks[1]
+	if loopBlock.Instrs[0].Op == ir.OpBoundary {
+		t.Fatalf("pure loop got a header boundary:\n%s", cf.F)
+	}
+	// The store in `done` reads via an unknown pointer chain earlier
+	// (load cur 8 may alias r0+8), so a cut must precede it, logging cur.
+	done := cf.F.Blocks[3]
+	if done.Instrs[0].Op != ir.OpBoundary {
+		t.Fatalf("no antidependence cut before the store:\n%s", cf.F)
+	}
+	found := false
+	for _, a := range done.Instrs[0].Args {
+		if cf.F.RegNames[a.Reg] == "cur" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("antidep boundary does not log cur: %v\n%s", done.Instrs[0].Args, cf.F)
+	}
+}
+
+func TestLoopCarriedAntidependenceStillCut(t *testing.T) {
+	// A loop that loads and then stores the same location across
+	// iterations carries an antidependence around the back edge; the
+	// violation analysis must cut it even without unconditional
+	// loop-header cuts.
+	src := `
+func bump 1 {
+entry:
+  lock r0
+  i = const 0
+  jmp loop
+loop:
+  v = load r0 0
+  w = add v 1
+  store r0 0 w
+  i = add i 1
+  c = lt i 10
+  br c loop done
+done:
+  unlock r0
+  ret
+}
+`
+	cf := compileOne(t, src, Config{})
+	// Some cut must separate the load from the store within the loop.
+	loop := cf.F.Blocks[1]
+	sawBoundaryBeforeStore := false
+	for _, in := range loop.Instrs {
+		if in.Op == ir.OpBoundary {
+			sawBoundaryBeforeStore = true
+		}
+		if in.Op == ir.OpStore {
+			break
+		}
+	}
+	if !sawBoundaryBeforeStore {
+		t.Fatalf("loop-carried antidependence not cut:\n%s", cf.F)
+	}
+}
+
+func TestNoFASEsNoInstrumentation(t *testing.T) {
+	src := `
+func pure 2 {
+entry:
+  x = add r0 r1
+  ret x
+}
+`
+	cf := compileOne(t, src, Config{})
+	if cf.HasFASEs || len(boundaries(cf)) != 0 {
+		t.Fatal("pure function was instrumented")
+	}
+}
+
+func TestMaxStoresAblation(t *testing.T) {
+	src := `
+func multi 1 {
+entry:
+  lock r0
+  store r0 0 1
+  store r0 8 2
+  store r0 16 3
+  store r0 24 4
+  unlock r0
+  ret
+}
+`
+	normal := compileOne(t, src, Config{})
+	perStore := compileOne(t, src, Config{Idem: idem.Config{MaxStoresPerRegion: 1}})
+	if len(boundaries(perStore)) <= len(boundaries(normal)) {
+		t.Fatalf("per-store ablation did not add cuts: %d vs %d",
+			len(boundaries(perStore)), len(boundaries(normal)))
+	}
+}
+
+func TestAlreadyInstrumentedRejected(t *testing.T) {
+	src := `
+func f 1 {
+entry:
+  lock r0
+  boundary 0x5
+  unlock r0
+  ret
+}
+`
+	f, err := ir.ParseFunc(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Func(f, 0, Config{}); err == nil {
+		t.Fatal("double instrumentation accepted")
+	}
+}
+
+func TestHandOverHandCompiles(t *testing.T) {
+	src := `
+func hoh 2 {
+entry:
+  lock r0
+  x = load r0 0
+  lock r1
+  unlock r0
+  store r1 0 x
+  unlock r1
+  ret
+}
+`
+	cf := compileOne(t, src, Config{})
+	if len(boundaries(cf)) < 3 {
+		t.Fatalf("hand-over-hand boundaries = %d:\n%s", len(boundaries(cf)), cf.F)
+	}
+}
+
+func TestProgramAssignsDisjointIDs(t *testing.T) {
+	prog, err := ir.Parse(pushSrc + `
+func pop 1 {
+entry:
+  lock r0
+  top = load r0 8
+  c = ne top 0
+  br c take out
+take:
+  nxt = load top 8
+  store r0 8 nxt
+  jmp out
+out:
+  unlock r0
+  ret top
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Program(prog, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for id := range c.Resolve {
+		if seen[id] {
+			t.Fatalf("duplicate region id %#x", id)
+		}
+		seen[id] = true
+	}
+	if len(c.Resolve) < 4 {
+		t.Fatalf("too few regions across program: %d", len(c.Resolve))
+	}
+}
+
+func TestDurableRegionCompiles(t *testing.T) {
+	src := `
+func dur 1 {
+entry:
+  begin_durable
+  v = load r0 0
+  store r0 0 8
+  store r0 8 v
+  end_durable
+  ret
+}
+`
+	cf := compileOne(t, src, Config{})
+	bs := boundaries(cf)
+	if len(bs) < 2 {
+		t.Fatalf("durable boundaries = %d:\n%s", len(bs), cf.F)
+	}
+}
+
+// TestFASEInferenceDepths sanity-checks the fase package directly.
+func TestFASEInferenceDepths(t *testing.T) {
+	f, err := ir.ParseFunc(pushSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := fase.Infer(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.InFASE(ir.Loc{Block: 0, Index: 0}) {
+		t.Fatal("lock itself reported in-FASE")
+	}
+	if !fi.InFASE(ir.Loc{Block: 0, Index: 1}) {
+		t.Fatal("post-lock instruction not in FASE")
+	}
+	if fi.InFASE(ir.Loc{Block: 0, Index: 7}) {
+		t.Fatal("post-unlock instruction in FASE")
+	}
+	if !fi.HasFASEs() {
+		t.Fatal("HasFASEs = false")
+	}
+}

@@ -1,0 +1,598 @@
+// Package core implements the iDO runtime (the paper's primary
+// contribution): failure atomicity for lock-delineated FASEs via
+// idempotent-region logging and recovery-by-resumption.
+//
+// Per-thread state lives in an iDO_Log in NVM (Fig. 3): a packed
+// recovery_pc identifying the current idempotent region, a register file
+// (intRF) holding the region's logged inputs, and a lock_array of indirect
+// lock holder addresses. At each region boundary the runtime executes the
+// three-step protocol of §III-A with exactly two persist fences:
+//
+//  1. write back the ending region's outputs (register slots, plus any
+//     heap/stack lines the region dirtied) — fence;
+//  2. update recovery_pc to the new region — fence;
+//  3. execute the new region.
+//
+// Lock acquire and release each take a single persist fence thanks to
+// indirect locking (§III-B). Recovery (§III-C) re-acquires each crashed
+// thread's locks, restores its register file, jumps to the interrupted
+// region's entry (a registered resume closure standing in for the
+// compiler's recovery_pc), and runs forward to the end of the FASE.
+//
+// Crash-ordering invariants maintained by this implementation:
+//
+//   - recovery_pc != 0  ⇔  the thread is mid-FASE and must be resumed.
+//   - The FASE's data lines are fenced durable before recovery_pc is
+//     cleared, and recovery_pc is fenced clear before lock_array slots
+//     are cleared at the final release; so a nonzero recovery_pc always
+//     finds its locks still recorded.
+//   - Lock-array slots are zeroed on release and fenced before the mutex
+//     is handed to another thread, so one holder address never appears
+//     live in two logs.
+//   - Resumption may re-execute the lock acquire that ends a region or
+//     the release that begins one; Lock and Unlock detect this from the
+//     lock_array mirror and skip the duplicate operation (the paper's
+//     instrumented lock library behaves the same way — this is also what
+//     makes the "robbed lock" window of §III-B benign).
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/ido-nvm/ido/internal/locks"
+	"github.com/ido-nvm/ido/internal/nvm"
+	"github.com/ido-nvm/ido/internal/persist"
+	"github.com/ido-nvm/ido/internal/region"
+)
+
+// iDO_Log layout (byte offsets within the 64-aligned per-thread log).
+// The first cache line holds the list link, thread id, recovery_pc, and
+// the lock-slot bitmap, so step 2 of the boundary protocol is one CLWB.
+const (
+	logNext     = 0  // next log in the global list
+	logThreadID = 8  // registering thread's id
+	logPC       = 16 // recovery_pc packed with nOutputs (0 => not in a FASE)
+	logLockBits = 24 // live-slot bitmask for the lock array
+	rfBase      = 64 // intRF: MaxOutputs register slots
+	numSlots    = 16 // lock_array capacity
+)
+
+// The boundary record ("stage") holds the most recent boundary's
+// (register, value) pairs. It is published atomically with recovery_pc
+// (the pair count rides in the packed pc word) and folded into the fixed
+// intRF slots by the NEXT boundary's step 1 — so a crash between a
+// boundary's two fences can never leave a live-in slot clobbered while
+// recovery_pc still points at the region that needs it. The real compiler
+// obtains the same guarantee by extending live ranges so a region never
+// redefines its own register inputs (§IV-A(c)); lacking a register
+// allocator, we double-buffer the last record instead, at the same fence
+// count.
+
+// pcPack packs a region ID, an output count, and the active boundary-
+// record buffer into one 8-byte word so a single atomic NVM write
+// publishes all three (region IDs must fit 48 bits). The two record
+// buffers ping-pong: a boundary writes the inactive buffer, so the record
+// the current recovery_pc points at is never mutated — a crash (or a
+// spontaneous cache write-back) mid-boundary cannot tear it.
+func pcPack(regionID uint64, n, buf int) uint64 {
+	return regionID | uint64(n)<<48 | uint64(buf)<<56
+}
+
+func pcUnpack(w uint64) (regionID uint64, n, buf int) {
+	return w & (1<<48 - 1), int(w >> 48 & 0xFF), int(w >> 56 & 1)
+}
+
+// Config tunes the runtime.
+type Config struct {
+	// Coalesce enables persist coalescing (§IV-B): register outputs are
+	// packed eight to a cache line so one write-back covers them all.
+	// When false each register slot sits on its own line — the ablation
+	// configuration.
+	Coalesce bool
+}
+
+// DefaultConfig returns the paper's configuration.
+func DefaultConfig() Config { return Config{Coalesce: true} }
+
+// Runtime is the iDO failure-atomicity runtime.
+type Runtime struct {
+	cfg Config
+	reg *region.Region
+	lm  *locks.Manager
+
+	rfStride uint64 // 8 when coalescing, 64 when not
+	logSize  int
+
+	mu      sync.Mutex
+	threads []*Thread
+	nextID  int
+}
+
+// New creates an iDO runtime with the given configuration.
+func New(cfg Config) *Runtime {
+	rt := &Runtime{cfg: cfg}
+	rt.rfStride = 8
+	if !cfg.Coalesce {
+		rt.rfStride = nvm.LineSize
+	}
+	rt.logSize = int(rt.stageBase(1)) + persist.MaxOutputs*16
+	return rt
+}
+
+// stageBase returns the offset of boundary-record buffer buf (0 or 1).
+func (rt *Runtime) stageBase(buf int) uint64 {
+	return rt.laBase() + numSlots*8 + uint64(buf)*persist.MaxOutputs*16
+}
+
+// Name implements persist.Runtime.
+func (rt *Runtime) Name() string { return "ido" }
+
+func (rt *Runtime) laBase() uint64 {
+	return rfBase + persist.MaxOutputs*rt.rfStride
+}
+
+// Attach implements persist.Runtime.
+func (rt *Runtime) Attach(reg *region.Region, lm *locks.Manager) error {
+	rt.reg = reg
+	rt.lm = lm
+	return nil
+}
+
+// NewThread registers a worker: it allocates and persists an iDO_Log and
+// links it onto the global log list anchored at the region's iDO_head
+// root (Fig. 3).
+func (rt *Runtime) NewThread() (persist.Thread, error) {
+	rt.mu.Lock()
+	id := rt.nextID
+	rt.nextID++
+	rt.mu.Unlock()
+
+	raw, err := rt.reg.Alloc.Alloc(rt.logSize + nvm.LineSize)
+	if err != nil {
+		return nil, fmt.Errorf("ido: allocating log: %w", err)
+	}
+	addr := (raw + nvm.LineSize - 1) &^ (nvm.LineSize - 1)
+	dev := rt.reg.Dev
+	dev.Store64(addr+logThreadID, uint64(id))
+	dev.Store64(addr+logPC, 0)
+	dev.Store64(addr+logLockBits, 0)
+
+	rt.mu.Lock()
+	head := rt.reg.Root(region.RootIDOHead)
+	dev.Store64(addr+logNext, head)
+	dev.PersistRange(addr, uint64(rt.logSize))
+	dev.Fence()
+	rt.reg.SetRoot(region.RootIDOHead, addr) // fenced internally
+	t := &Thread{rt: rt, id: id, log: addr}
+	rt.threads = append(rt.threads, t)
+	rt.mu.Unlock()
+	return t, nil
+}
+
+// Thread is a worker's iDO handle. It must be used from one goroutine.
+type Thread struct {
+	rt  *Runtime
+	id  int
+	log uint64
+
+	lockDepth    int
+	durableDepth int
+	slots        [numSlots]uint64 // volatile mirror of the lock_array
+	bits         uint64           // volatile mirror of logLockBits
+	recovering   bool             // set on recovery threads
+
+	dirty          []uint64         // heap lines dirtied in the current region
+	staged         []persist.RegVal // pairs in the current boundary record
+	curBuf         int              // active boundary-record buffer
+	storesInRegion int
+	inRegion       bool
+
+	stats persist.RuntimeStats
+}
+
+var _ persist.Thread = (*Thread)(nil)
+
+// ID implements persist.Thread.
+func (t *Thread) ID() int { return t.id }
+
+// Exec implements persist.Thread; iDO never re-executes speculatively.
+func (t *Thread) Exec(op func()) { op() }
+
+func (t *Thread) inFASE() bool { return t.lockDepth > 0 || t.durableDepth > 0 }
+
+func (t *Thread) trackLine(addr uint64) {
+	line := addr &^ (nvm.LineSize - 1)
+	for _, l := range t.dirty {
+		if l == line {
+			return
+		}
+	}
+	t.dirty = append(t.dirty, line)
+}
+
+// Store64 performs a persistent store. Inside a FASE the dirtied line is
+// tracked so the enclosing region's boundary can write it back (§III-A:
+// "writes-back of variables accessed via pointers are tracked at run time
+// and then written back at the end of the region"). No per-store log is
+// written — that is the point of iDO.
+func (t *Thread) Store64(addr, val uint64) {
+	t.rt.reg.Dev.Store64(addr, val)
+	if t.inFASE() {
+		t.trackLine(addr)
+		t.storesInRegion++
+		t.stats.Stores++
+	}
+}
+
+// Load64 reads persistent data.
+func (t *Thread) Load64(addr uint64) uint64 { return t.rt.reg.Dev.Load64(addr) }
+
+// closeRegion accounts for the region that just ended.
+func (t *Thread) closeRegion() {
+	if !t.inRegion {
+		return
+	}
+	b := t.storesInRegion
+	if b >= persist.HistStores {
+		b = persist.HistStores - 1
+	}
+	t.stats.StoresPerRegion[b]++
+	t.stats.Regions++
+	t.inRegion = false
+	t.storesInRegion = 0
+}
+
+// flushDirty writes back every line the current region dirtied.
+func (t *Thread) flushDirty() {
+	dev := t.rt.reg.Dev
+	for _, line := range t.dirty {
+		dev.CLWB(line)
+	}
+	t.dirty = t.dirty[:0]
+}
+
+// Boundary ends the current idempotent region and opens the one
+// identified by regionID, logging the ending region's OutputSet into the
+// intRF. Each register has a fixed slot, so live-ins of the still-current
+// region are never clobbered before recovery_pc advances. This is the
+// three-step protocol of §III-A; it costs exactly two persist fences.
+func (t *Thread) Boundary(regionID uint64, outputs ...persist.RegVal) {
+	if len(outputs) > persist.MaxOutputs {
+		panic(fmt.Sprintf("ido: region %#x logs %d outputs (max %d)",
+			regionID, len(outputs), persist.MaxOutputs))
+	}
+	if regionID == 0 || regionID >= 1<<48 {
+		panic(fmt.Sprintf("ido: region ID %#x out of range", regionID))
+	}
+	dev := t.rt.reg.Dev
+	t.closeRegion()
+
+	// Step 1a: fold the previous boundary record into the fixed intRF
+	// slots (their lines are flushed below, under this boundary's fence).
+	for _, o := range t.staged {
+		sa := t.log + rfBase + uint64(o.Reg)*t.rt.rfStride
+		dev.Store64(sa, o.Val)
+		t.trackLine(sa)
+	}
+	// Step 1b: write this boundary's record into the INACTIVE buffer —
+	// with persist coalescing the pairs pack two to a cache line, so up
+	// to eight registers cost a handful of contiguous write-backs
+	// (§IV-B) — plus any heap lines the ending region dirtied; fence.
+	buf := 1 - t.curBuf
+	sb := t.log + t.rt.stageBase(buf)
+	for i, o := range outputs {
+		if o.Reg < 0 || o.Reg >= persist.MaxOutputs {
+			panic(fmt.Sprintf("ido: register slot %d out of range", o.Reg))
+		}
+		dev.Store64(sb+uint64(i)*16, uint64(o.Reg))
+		dev.Store64(sb+uint64(i)*16+8, o.Val)
+	}
+	if n := len(outputs); n > 0 {
+		if t.rt.cfg.Coalesce {
+			dev.PersistRange(sb, uint64(n)*16)
+		} else {
+			for i := 0; i < n; i++ {
+				dev.CLWB(sb + uint64(i)*16)
+				dev.CLWB(sb + uint64(i)*16 + 8)
+			}
+		}
+	}
+	t.flushDirty()
+	dev.Fence()
+
+	// Step 2: publish the new recovery_pc (record count and buffer ride
+	// in the packed word, so record and pc switch atomically), fence.
+	// From here on a crash resumes at regionID's entry.
+	dev.Store64(t.log+logPC, pcPack(regionID, len(outputs), buf))
+	dev.CLWB(t.log + logPC)
+	dev.Fence()
+	t.curBuf = buf
+	t.staged = append(t.staged[:0], outputs...)
+
+	t.stats.LoggedEntries++
+	t.stats.LoggedBytes += uint64(len(outputs))*8 + 8
+	t.stats.OutputsPerRegion[len(outputs)]++
+	t.inRegion = true
+	// Step 3 is the caller executing the region's code.
+}
+
+func (t *Thread) slotOf(holder uint64) int {
+	for i := 0; i < numSlots; i++ {
+		if t.slots[i] == holder {
+			return i
+		}
+	}
+	return -1
+}
+
+// Lock acquires l and records its indirect holder in the lock_array with
+// a single persist fence (§III-B). When resumption re-executes an acquire
+// the thread already performed (the lock is already in the mirror), the
+// call is a no-op.
+func (t *Thread) Lock(l *locks.Lock) {
+	if t.slotOf(l.Holder()) >= 0 {
+		if !t.recovering {
+			panic("ido: recursive Lock outside recovery")
+		}
+		return // resumption re-executing an already-held acquire
+	}
+	l.Acquire()
+	slot := t.slotOf(0)
+	if slot < 0 {
+		panic("ido: lock_array overflow (more than 16 locks held)")
+	}
+	dev := t.rt.reg.Dev
+	t.slots[slot] = l.Holder()
+	t.bits |= 1 << uint(slot)
+	slotAddr := t.log + t.rt.laBase() + uint64(slot)*8
+	dev.Store64(slotAddr, l.Holder())
+	dev.Store64(t.log+logLockBits, t.bits)
+	dev.CLWB(slotAddr)
+	dev.CLWB(t.log + logLockBits)
+	dev.Fence() // the single fence
+	t.lockDepth++
+}
+
+// Unlock releases l. For an inner release (other locks remain held) it
+// clears the lock_array entry with a single fence. For the FASE's final
+// release it first makes the FASE's effects durable, then clears
+// recovery_pc (fence), and only then clears the slot and releases — so
+// recovery_pc != 0 always implies the locks are still recorded.
+//
+// When resumption re-executes a release the crashed thread had already
+// completed (the lock is absent from the mirror), the call is a no-op.
+func (t *Thread) Unlock(l *locks.Lock) {
+	slot := t.slotOf(l.Holder())
+	if slot < 0 {
+		if t.recovering {
+			return // release already completed before the crash
+		}
+		panic("ido: unlocking a lock this thread does not hold")
+	}
+	dev := t.rt.reg.Dev
+	last := t.lockDepth == 1 && t.durableDepth == 0
+	if last {
+		t.closeRegion()
+		t.flushDirty()
+		dev.Fence()
+		dev.Store64(t.log+logPC, 0)
+		dev.CLWB(t.log + logPC)
+		dev.Fence()
+		t.stats.FASEs++
+	}
+	t.slots[slot] = 0
+	t.bits &^= 1 << uint(slot)
+	slotAddr := t.log + t.rt.laBase() + uint64(slot)*8
+	dev.Store64(slotAddr, 0)
+	dev.Store64(t.log+logLockBits, t.bits)
+	dev.CLWB(slotAddr)
+	dev.CLWB(t.log + logLockBits)
+	if !last {
+		dev.Fence() // the single fence; the final release already fenced
+	}
+	t.lockDepth--
+	l.Release()
+}
+
+// BeginDurable opens a programmer-delineated FASE (§II-B). The caller
+// must issue a Boundary immediately after, exactly as the compiler
+// inserts one after each lock acquire.
+func (t *Thread) BeginDurable() { t.durableDepth++ }
+
+// EndDurable closes a programmer-delineated FASE, persisting its effects
+// and clearing recovery_pc.
+func (t *Thread) EndDurable() {
+	if t.durableDepth == 0 {
+		panic("ido: EndDurable without BeginDurable")
+	}
+	last := t.durableDepth == 1 && t.lockDepth == 0
+	if last {
+		dev := t.rt.reg.Dev
+		t.closeRegion()
+		t.flushDirty()
+		dev.Fence()
+		dev.Store64(t.log+logPC, 0)
+		dev.CLWB(t.log + logPC)
+		dev.Fence()
+		t.stats.FASEs++
+	}
+	t.durableDepth--
+}
+
+// Stats implements persist.Runtime. Call only while worker threads are
+// quiescent.
+func (rt *Runtime) Stats() persist.RuntimeStats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var out persist.RuntimeStats
+	for _, t := range rt.threads {
+		out.Add(&t.stats)
+	}
+	return out
+}
+
+// Recover implements §III-C: walk the persistent log list, spawn a
+// recovery thread per interrupted log, re-acquire locks, barrier, restore
+// each thread's register file, and resume each interrupted region forward
+// to the end of its FASE. Logs that show no interrupted FASE but have
+// stale lock slots (the benign robbed-lock window: a crash between mutex
+// acquisition and the post-acquire boundary) are scrubbed.
+func (rt *Runtime) Recover(rr *persist.ResumeRegistry) (persist.RecoveryStats, error) {
+	start := time.Now()
+	dev := rt.reg.Dev
+	var stats persist.RecoveryStats
+
+	type pending struct {
+		t        *Thread
+		regionID uint64
+		rf       []uint64
+	}
+	var work []pending
+
+	for p := rt.reg.Root(region.RootIDOHead); p != 0; p = dev.Load64(p + logNext) {
+		stats.Threads++
+		stats.LogEntries++
+		regionID, n, buf := pcUnpack(dev.Load64(p + logPC))
+		bits := dev.Load64(p + logLockBits)
+
+		t := &Thread{rt: rt, id: int(dev.Load64(p + logThreadID)), log: p, recovering: true}
+		rt.mu.Lock()
+		rt.threads = append(rt.threads, t)
+		if t.id >= rt.nextID {
+			rt.nextID = t.id + 1
+		}
+		rt.mu.Unlock()
+
+		if regionID == 0 {
+			// Not mid-FASE. Scrub any stale slots (robbed-lock window).
+			if bits != 0 {
+				for i := 0; i < numSlots; i++ {
+					dev.Store64(p+rt.laBase()+uint64(i)*8, 0)
+				}
+				dev.Store64(p+logLockBits, 0)
+				dev.PersistRange(p+rt.laBase(), numSlots*8)
+				dev.CLWB(p + logLockBits)
+				dev.Fence()
+			}
+			continue
+		}
+
+		held := 0
+		for i := 0; i < numSlots; i++ {
+			if bits&(1<<uint(i)) != 0 {
+				h := dev.Load64(p + rt.laBase() + uint64(i)*8)
+				if h == 0 {
+					t.bits &^= 1 << uint(i)
+					continue
+				}
+				t.slots[i] = h
+				t.bits |= 1 << uint(i)
+				held++
+			}
+		}
+		// Restore the register file: fixed slots overlaid with the
+		// current boundary record (whose count rides in the pc word).
+		rf := make([]uint64, persist.MaxOutputs)
+		for i := range rf {
+			rf[i] = dev.Load64(p + rfBase + uint64(i)*rt.rfStride)
+		}
+		for i := 0; i < n && i < persist.MaxOutputs; i++ {
+			reg := dev.Load64(p + rt.stageBase(buf) + uint64(i)*16)
+			val := dev.Load64(p + rt.stageBase(buf) + uint64(i)*16 + 8)
+			if reg < persist.MaxOutputs {
+				rf[reg] = val
+				t.staged = append(t.staged, persist.RegVal{Reg: int(reg), Val: val})
+			}
+		}
+		t.curBuf = buf
+		if _, ok := rr.Lookup(regionID); !ok {
+			return stats, fmt.Errorf("ido: no resume entry registered for region %#x (thread %d)", regionID, t.id)
+		}
+		t.lockDepth = held
+		if held == 0 {
+			t.durableDepth = 1 // a programmer-delineated FASE was active
+		}
+		t.inRegion = true
+		work = append(work, pending{t: t, regionID: regionID, rf: rf})
+	}
+
+	// Recovery threads acquire their locks, barrier (§III-C step 3), then
+	// resume. Each lock was held by at most one crashed thread, so the
+	// acquisitions cannot deadlock.
+	var barrier, done sync.WaitGroup
+	barrier.Add(len(work))
+	done.Add(len(work))
+	errs := make([]error, len(work))
+	for i, w := range work {
+		go func(i int, w pending) {
+			defer done.Done()
+			for s := 0; s < numSlots; s++ {
+				if w.t.slots[s] != 0 {
+					rt.lm.ByHolder(w.t.slots[s]).Acquire()
+				}
+			}
+			barrier.Done()
+			barrier.Wait()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("ido: resume of region %#x panicked: %v", w.regionID, r)
+				}
+			}()
+			fn, _ := rr.Lookup(w.regionID)
+			fn(w.t, w.rf)
+		}(i, w)
+	}
+	done.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return stats, err
+		}
+	}
+	stats.Resumed = len(work)
+	stats.Elapsed = time.Since(start)
+	return stats, nil
+}
+
+var _ persist.Runtime = (*Runtime)(nil)
+
+// LogEntryInfo is a read-only view of one per-thread iDO log, for
+// post-mortem inspection (cmd/idolog).
+type LogEntryInfo struct {
+	LogAddr  uint64
+	ThreadID int
+	RegionID uint64           // 0 when the thread was not mid-FASE
+	Staged   []persist.RegVal // the boundary record published with the pc
+	Locks    []uint64         // holder addresses recorded in the lock array
+}
+
+// InspectLogs walks a region's iDO log list without mutating anything.
+// It uses the default log layout (the one New(DefaultConfig()) produces).
+func InspectLogs(reg *region.Region) []LogEntryInfo {
+	rt := New(DefaultConfig())
+	dev := reg.Dev
+	var out []LogEntryInfo
+	for p := reg.Root(region.RootIDOHead); p != 0; p = dev.Load64(p + logNext) {
+		e := LogEntryInfo{LogAddr: p, ThreadID: int(dev.Load64(p + logThreadID))}
+		regionID, n, buf := pcUnpack(dev.Load64(p + logPC))
+		e.RegionID = regionID
+		if regionID != 0 {
+			for i := 0; i < n && i < persist.MaxOutputs; i++ {
+				reg := dev.Load64(p + rt.stageBase(buf) + uint64(i)*16)
+				val := dev.Load64(p + rt.stageBase(buf) + uint64(i)*16 + 8)
+				e.Staged = append(e.Staged, persist.RegVal{Reg: int(reg), Val: val})
+			}
+		}
+		bits := dev.Load64(p + logLockBits)
+		for i := 0; i < numSlots; i++ {
+			if bits&(1<<uint(i)) != 0 {
+				if h := dev.Load64(p + rt.laBase() + uint64(i)*8); h != 0 {
+					e.Locks = append(e.Locks, h)
+				}
+			}
+		}
+		out = append(out, e)
+	}
+	return out
+}

@@ -1,0 +1,275 @@
+// Package dataflow provides the classic analyses the iDO compiler needs:
+// reverse postorder, dominators, back-edge detection, and per-instruction
+// liveness. All analyses operate on ir.Func CFGs.
+package dataflow
+
+import (
+	"github.com/ido-nvm/ido/internal/ir"
+)
+
+// RPO returns the blocks of f in reverse postorder from the entry.
+// Unreachable blocks are appended at the end in index order.
+func RPO(f *ir.Func) []int {
+	n := len(f.Blocks)
+	seen := make([]bool, n)
+	var post []int
+	var dfs func(int)
+	dfs = func(b int) {
+		seen[b] = true
+		for _, s := range f.Blocks[b].Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(0)
+	out := make([]int, 0, n)
+	for i := len(post) - 1; i >= 0; i-- {
+		out = append(out, post[i])
+	}
+	for b := 0; b < n; b++ {
+		if !seen[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Dominators computes the immediate dominator of every reachable block
+// using the Cooper–Harvey–Kennedy iterative algorithm. idom[0] == 0;
+// unreachable blocks get idom -1.
+func Dominators(f *ir.Func) []int {
+	rpo := RPO(f)
+	order := make([]int, len(f.Blocks)) // block -> rpo position
+	for i, b := range rpo {
+		order[b] = i
+	}
+	idom := make([]int, len(f.Blocks))
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[0] = 0
+	intersect := func(a, b int) int {
+		for a != b {
+			for order[a] > order[b] {
+				a = idom[a]
+			}
+			for order[b] > order[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range rpo {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range f.Blocks[b].Preds {
+				if idom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether block a dominates block b given idom.
+func Dominates(idom []int, a, b int) bool {
+	for {
+		if b == a {
+			return true
+		}
+		if b == 0 || idom[b] == -1 {
+			return a == 0 && idom[b] != -1 || a == b
+		}
+		if idom[b] == b {
+			return a == b
+		}
+		b = idom[b]
+	}
+}
+
+// BackEdge is a CFG edge whose target dominates its source (a loop edge).
+type BackEdge struct{ From, To int }
+
+// BackEdges returns the loop back edges of f.
+func BackEdges(f *ir.Func) []BackEdge {
+	idom := Dominators(f)
+	var out []BackEdge
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			if idom[s] != -1 && Dominates(idom, s, b.Index) {
+				out = append(out, BackEdge{From: b.Index, To: s})
+			}
+		}
+	}
+	return out
+}
+
+// RegSet is a dense bitset over a function's virtual registers.
+type RegSet []uint64
+
+// NewRegSet returns an empty set sized for n registers.
+func NewRegSet(n int) RegSet { return make(RegSet, (n+63)/64) }
+
+// Has reports membership.
+func (s RegSet) Has(r ir.Reg) bool { return s[int(r)/64]&(1<<(uint(r)%64)) != 0 }
+
+// Add inserts r and reports whether the set changed.
+func (s RegSet) Add(r ir.Reg) bool {
+	w, m := int(r)/64, uint64(1)<<(uint(r)%64)
+	if s[w]&m != 0 {
+		return false
+	}
+	s[w] |= m
+	return true
+}
+
+// Remove deletes r.
+func (s RegSet) Remove(r ir.Reg) { s[int(r)/64] &^= 1 << (uint(r) % 64) }
+
+// Union merges o into s and reports whether s changed.
+func (s RegSet) Union(o RegSet) bool {
+	changed := false
+	for i := range s {
+		if n := s[i] | o[i]; n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Clone copies the set.
+func (s RegSet) Clone() RegSet {
+	out := make(RegSet, len(s))
+	copy(out, s)
+	return out
+}
+
+// Regs lists the members in ascending order.
+func (s RegSet) Regs() []ir.Reg {
+	var out []ir.Reg
+	for w, bits := range s {
+		for bits != 0 {
+			b := bits & (-bits)
+			i := 0
+			for (b >> uint(i)) != 1 {
+				i++
+			}
+			out = append(out, ir.Reg(w*64+i))
+			bits &^= b
+		}
+	}
+	return out
+}
+
+// Count returns the cardinality.
+func (s RegSet) Count() int {
+	n := 0
+	for _, w := range s {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Liveness holds per-block and per-instruction live-register information.
+type Liveness struct {
+	f *ir.Func
+	// LiveIn[b] / LiveOut[b] are the registers live at block b's entry
+	// and exit.
+	LiveIn, LiveOut []RegSet
+	// liveAt[b][i] is the set of registers live immediately BEFORE
+	// instruction i of block b.
+	liveAt [][]RegSet
+}
+
+// ComputeLiveness runs backward liveness to a fixpoint.
+func ComputeLiveness(f *ir.Func) *Liveness {
+	n := len(f.Blocks)
+	lv := &Liveness{
+		f:       f,
+		LiveIn:  make([]RegSet, n),
+		LiveOut: make([]RegSet, n),
+	}
+	for i := 0; i < n; i++ {
+		lv.LiveIn[i] = NewRegSet(f.NumRegs)
+		lv.LiveOut[i] = NewRegSet(f.NumRegs)
+	}
+	rpo := RPO(f)
+	changed := true
+	for changed {
+		changed = false
+		for i := len(rpo) - 1; i >= 0; i-- {
+			b := f.Blocks[rpo[i]]
+			out := lv.LiveOut[b.Index]
+			for _, s := range b.Succs {
+				if out.Union(lv.LiveIn[s]) {
+					changed = true
+				}
+			}
+			in := out.Clone()
+			for k := len(b.Instrs) - 1; k >= 0; k-- {
+				instr := &b.Instrs[k]
+				if instr.Dest != ir.NoReg {
+					in.Remove(instr.Dest)
+				}
+				for _, a := range instr.Args {
+					if !a.IsImm {
+						in.Add(a.Reg)
+					}
+				}
+			}
+			// Compare and swap LiveIn.
+			for w := range in {
+				if in[w] != lv.LiveIn[b.Index][w] {
+					lv.LiveIn[b.Index] = in
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	// Per-instruction sets.
+	lv.liveAt = make([][]RegSet, n)
+	for _, b := range f.Blocks {
+		sets := make([]RegSet, len(b.Instrs)+1)
+		cur := lv.LiveOut[b.Index].Clone()
+		sets[len(b.Instrs)] = cur.Clone()
+		for k := len(b.Instrs) - 1; k >= 0; k-- {
+			instr := &b.Instrs[k]
+			if instr.Dest != ir.NoReg {
+				cur.Remove(instr.Dest)
+			}
+			for _, a := range instr.Args {
+				if !a.IsImm {
+					cur.Add(a.Reg)
+				}
+			}
+			sets[k] = cur.Clone()
+		}
+		lv.liveAt[b.Index] = sets
+	}
+	return lv
+}
+
+// LiveBefore returns the registers live immediately before instruction
+// idx of block b (idx == len(instrs) gives the block's live-out).
+func (lv *Liveness) LiveBefore(b, idx int) RegSet { return lv.liveAt[b][idx] }

@@ -1,0 +1,298 @@
+package dataflow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/ido-nvm/ido/internal/ir"
+)
+
+const loopSrc = `
+func count 1 {
+entry:
+  i = const 0
+  sum = const 0
+  jmp loop
+loop:
+  c = lt i r0
+  br c body done
+body:
+  sum = add sum i
+  i = add i 1
+  jmp loop
+done:
+  ret sum
+}
+`
+
+func mustParse(t *testing.T, src string) *ir.Func {
+	t.Helper()
+	f, err := ir.ParseFunc(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestRPOStartsAtEntryVisitsAll(t *testing.T) {
+	f := mustParse(t, loopSrc)
+	rpo := RPO(f)
+	if rpo[0] != 0 {
+		t.Fatalf("rpo[0] = %d", rpo[0])
+	}
+	if len(rpo) != len(f.Blocks) {
+		t.Fatalf("rpo covers %d of %d blocks", len(rpo), len(f.Blocks))
+	}
+	seen := map[int]bool{}
+	for _, b := range rpo {
+		if seen[b] {
+			t.Fatalf("block %d visited twice", b)
+		}
+		seen[b] = true
+	}
+}
+
+func TestDominatorsLoop(t *testing.T) {
+	f := mustParse(t, loopSrc)
+	idom := Dominators(f)
+	// entry(0) -> loop(1) -> {body(2), done(3)}; body -> loop.
+	if idom[1] != 0 || idom[2] != 1 || idom[3] != 1 {
+		t.Fatalf("idom = %v", idom)
+	}
+	if !Dominates(idom, 0, 3) || !Dominates(idom, 1, 2) {
+		t.Fatal("Dominates failed on obvious pairs")
+	}
+	if Dominates(idom, 2, 3) {
+		t.Fatal("body should not dominate done")
+	}
+}
+
+func TestBackEdges(t *testing.T) {
+	f := mustParse(t, loopSrc)
+	be := BackEdges(f)
+	if len(be) != 1 || be[0].From != 2 || be[0].To != 1 {
+		t.Fatalf("back edges = %v", be)
+	}
+}
+
+func TestNoBackEdgesInDAG(t *testing.T) {
+	f := mustParse(t, `
+func f 1 {
+entry:
+  br r0 a b
+a:
+  jmp join
+b:
+  jmp join
+join:
+  ret
+}
+`)
+	if be := BackEdges(f); len(be) != 0 {
+		t.Fatalf("back edges in DAG: %v", be)
+	}
+}
+
+func TestLivenessLoop(t *testing.T) {
+	f := mustParse(t, loopSrc)
+	lv := ComputeLiveness(f)
+	// At loop entry: i, sum, r0 are live.
+	names := map[string]ir.Reg{}
+	for r, n := range f.RegNames {
+		names[n] = r
+	}
+	in := lv.LiveIn[1]
+	for _, want := range []string{"i", "sum"} {
+		if !in.Has(names[want]) {
+			t.Fatalf("%s not live into loop header", want)
+		}
+	}
+	if !in.Has(ir.Reg(0)) {
+		t.Fatal("r0 not live into loop header")
+	}
+	// After done: nothing needs to be live out.
+	if lv.LiveOut[3].Count() != 0 {
+		t.Fatalf("live out of exit = %v", lv.LiveOut[3].Regs())
+	}
+	// c is live between the compare and the branch only.
+	c := names["c"]
+	if !lv.LiveBefore(1, 1).Has(c) {
+		t.Fatal("c not live before branch")
+	}
+	if lv.LiveBefore(1, 0).Has(c) {
+		t.Fatal("c live before its definition")
+	}
+}
+
+func TestLivenessStraightLine(t *testing.T) {
+	f := mustParse(t, `
+func f 2 {
+entry:
+  x = add r0 r1
+  y = add x 1
+  ret y
+}
+`)
+	lv := ComputeLiveness(f)
+	if got := lv.LiveIn[0].Count(); got != 2 {
+		t.Fatalf("entry live-in = %d, want 2 (params)", got)
+	}
+}
+
+func TestRegSetProperties(t *testing.T) {
+	f := func(elems []uint8) bool {
+		s := NewRegSet(256)
+		ref := map[ir.Reg]bool{}
+		for _, e := range elems {
+			r := ir.Reg(e)
+			s.Add(r)
+			ref[r] = true
+		}
+		if s.Count() != len(ref) {
+			return false
+		}
+		for r := range ref {
+			if !s.Has(r) {
+				return false
+			}
+		}
+		for _, r := range s.Regs() {
+			if !ref[r] {
+				return false
+			}
+		}
+		// Remove everything.
+		for r := range ref {
+			s.Remove(r)
+		}
+		return s.Count() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegSetUnion(t *testing.T) {
+	a := NewRegSet(128)
+	b := NewRegSet(128)
+	a.Add(3)
+	b.Add(70)
+	if !a.Union(b) {
+		t.Fatal("union reported no change")
+	}
+	if !a.Has(3) || !a.Has(70) {
+		t.Fatal("union lost members")
+	}
+	if a.Union(b) {
+		t.Fatal("second union reported change")
+	}
+}
+
+func TestReachingDefsStraightLine(t *testing.T) {
+	f := mustParse(t, `
+func f 1 {
+entry:
+  x = const 1
+  x = add x 1
+  y = add x r0
+  ret y
+}
+`)
+	r := ComputeReaching(f)
+	names := map[string]ir.Reg{}
+	for reg, n := range f.RegNames {
+		names[n] = reg
+	}
+	x := names["x"]
+	// Before instruction 1 (x = add x 1), only def at index 0 reaches.
+	d := r.DefsReaching(0, 1, x)
+	if len(d) != 1 || d[0].Loc.Index != 0 {
+		t.Fatalf("defs before redefinition: %v", d)
+	}
+	// Before instruction 2, only the redefinition reaches.
+	d = r.DefsReaching(0, 2, x)
+	if len(d) != 1 || d[0].Loc.Index != 1 {
+		t.Fatalf("defs after redefinition: %v", d)
+	}
+	// Parameter r0 reaches everywhere from its synthetic site.
+	d = r.DefsReaching(0, 2, 0)
+	if len(d) != 1 || d[0].Loc != ParamLoc(0) {
+		t.Fatalf("param def: %v", d)
+	}
+}
+
+func TestReachingDefsMerge(t *testing.T) {
+	f := mustParse(t, `
+func f 1 {
+entry:
+  br r0 a b
+a:
+  x = const 1
+  jmp join
+b:
+  x = const 2
+  jmp join
+join:
+  y = add x 0
+  ret y
+}
+`)
+	r := ComputeReaching(f)
+	var x ir.Reg
+	for reg, n := range f.RegNames {
+		if n == "x" {
+			x = reg
+		}
+	}
+	d := r.DefsReaching(3, 0, x)
+	if len(d) != 2 {
+		t.Fatalf("both branch defs should reach the join: %v", d)
+	}
+}
+
+func TestReachingDefsLoop(t *testing.T) {
+	f := mustParse(t, loopSrc)
+	r := ComputeReaching(f)
+	var i ir.Reg
+	for reg, n := range f.RegNames {
+		if n == "i" {
+			i = reg
+		}
+	}
+	// At the loop header both the init and the increment reach.
+	d := r.DefsReaching(1, 0, i)
+	if len(d) != 2 {
+		t.Fatalf("loop header defs of i: %v", d)
+	}
+}
+
+func TestDefUseChains(t *testing.T) {
+	f := mustParse(t, `
+func f 1 {
+entry:
+  x = const 5
+  y = add x x
+  z = add x y
+  ret z
+}
+`)
+	du := ComputeDefUse(f)
+	var x ir.Reg
+	for reg, n := range f.RegNames {
+		if n == "x" {
+			x = reg
+		}
+	}
+	uses := du[DefSite{Reg: x, Loc: ir.Loc{Block: 0, Index: 0}}]
+	// x is used by instructions 1 (twice -> recorded twice) and 2.
+	if len(uses) != 3 {
+		t.Fatalf("uses of x: %v", uses)
+	}
+	// The parameter is unused.
+	if len(du[DefSite{Reg: 0, Loc: ParamLoc(0)}]) != 0 {
+		t.Fatal("phantom uses of the parameter")
+	}
+}

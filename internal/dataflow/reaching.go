@@ -1,0 +1,159 @@
+package dataflow
+
+import (
+	"github.com/ido-nvm/ido/internal/ir"
+)
+
+// DefSite identifies one register definition: the instruction at Loc
+// defines Reg. Parameter registers have a synthetic definition at
+// ir.Loc{Block: -1, Index: i} for parameter i.
+type DefSite struct {
+	Reg ir.Reg
+	Loc ir.Loc
+}
+
+// ParamLoc returns the synthetic definition location of parameter i.
+func ParamLoc(i int) ir.Loc { return ir.Loc{Block: -1, Index: i} }
+
+// Reaching holds the reaching-definitions solution for one function.
+type Reaching struct {
+	f *ir.Func
+	// defs enumerates every definition site, indexed densely.
+	defs []DefSite
+	// defID maps a site to its dense index.
+	defID map[DefSite]int
+	// byReg lists the definition indices of each register.
+	byReg map[ir.Reg][]int
+	// in[b] is the bitset of definitions reaching block b's entry.
+	in []RegSet // reused as a generic bitset over definition IDs
+}
+
+// ComputeReaching runs classic reaching definitions to a fixpoint.
+func ComputeReaching(f *ir.Func) *Reaching {
+	r := &Reaching{f: f, defID: map[DefSite]int{}, byReg: map[ir.Reg][]int{}}
+	addDef := func(d DefSite) {
+		if _, ok := r.defID[d]; ok {
+			return
+		}
+		r.defID[d] = len(r.defs)
+		r.byReg[d.Reg] = append(r.byReg[d.Reg], len(r.defs))
+		r.defs = append(r.defs, d)
+	}
+	for i := 0; i < f.NumParams; i++ {
+		addDef(DefSite{Reg: ir.Reg(i), Loc: ParamLoc(i)})
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if d := b.Instrs[i].Dest; d != ir.NoReg {
+				addDef(DefSite{Reg: d, Loc: ir.Loc{Block: b.Index, Index: i}})
+			}
+		}
+	}
+
+	n := len(f.Blocks)
+	nd := len(r.defs)
+	r.in = make([]RegSet, n)
+	out := make([]RegSet, n)
+	for i := 0; i < n; i++ {
+		r.in[i] = NewRegSet(nd)
+		out[i] = NewRegSet(nd)
+	}
+	// Entry: parameters reach.
+	for i := 0; i < f.NumParams; i++ {
+		r.in[0].Add(ir.Reg(r.defID[DefSite{Reg: ir.Reg(i), Loc: ParamLoc(i)}]))
+	}
+
+	transfer := func(b *ir.Block, in RegSet) RegSet {
+		cur := in.Clone()
+		for i := range b.Instrs {
+			d := b.Instrs[i].Dest
+			if d == ir.NoReg {
+				continue
+			}
+			// Kill every other definition of d, generate this one.
+			for _, id := range r.byReg[d] {
+				cur.Remove(ir.Reg(id))
+			}
+			cur.Add(ir.Reg(r.defID[DefSite{Reg: d, Loc: ir.Loc{Block: b.Index, Index: i}}]))
+		}
+		return cur
+	}
+
+	rpo := RPO(f)
+	for changed := true; changed; {
+		changed = false
+		for _, bi := range rpo {
+			b := f.Blocks[bi]
+			if bi != 0 {
+				merged := NewRegSet(nd)
+				for _, p := range b.Preds {
+					merged.Union(out[p])
+				}
+				for w := range merged {
+					if merged[w] != r.in[bi][w] {
+						r.in[bi] = merged
+						changed = true
+						break
+					}
+				}
+			}
+			newOut := transfer(b, r.in[bi])
+			for w := range newOut {
+				if newOut[w] != out[bi][w] {
+					out[bi] = newOut
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return r
+}
+
+// DefsReaching returns the definition sites of reg that reach the point
+// immediately before instruction (b, idx).
+func (r *Reaching) DefsReaching(b, idx int, reg ir.Reg) []DefSite {
+	cur := r.in[b].Clone()
+	blk := r.f.Blocks[b]
+	for i := 0; i < idx; i++ {
+		d := blk.Instrs[i].Dest
+		if d == ir.NoReg {
+			continue
+		}
+		for _, id := range r.byReg[d] {
+			cur.Remove(ir.Reg(id))
+		}
+		cur.Add(ir.Reg(r.defID[DefSite{Reg: d, Loc: ir.Loc{Block: b, Index: i}}]))
+	}
+	var outSites []DefSite
+	for _, id := range r.byReg[reg] {
+		if cur.Has(ir.Reg(id)) {
+			outSites = append(outSites, r.defs[id])
+		}
+	}
+	return outSites
+}
+
+// DefUse is the def-use chain map: for each definition site, the
+// instruction locations that may use it.
+type DefUse map[DefSite][]ir.Loc
+
+// ComputeDefUse builds def-use chains from the reaching solution.
+func ComputeDefUse(f *ir.Func) DefUse {
+	r := ComputeReaching(f)
+	du := DefUse{}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			use := ir.Loc{Block: b.Index, Index: i}
+			for _, a := range b.Instrs[i].Args {
+				if a.IsImm {
+					continue
+				}
+				for _, d := range r.DefsReaching(b.Index, i, a.Reg) {
+					du[d] = append(du[d], use)
+				}
+			}
+		}
+	}
+	return du
+}

@@ -1,0 +1,56 @@
+// Package ds implements the §V-B microbenchmark data structures natively
+// against the persist.Runtime API: a locking Treiber-style stack, the
+// two-lock Michael–Scott queue, a hand-over-hand ordered list, and a
+// fixed-size hash map whose buckets are ordered lists. The same code runs
+// on every runtime (iDO, JUSTDO, Atlas, Mnemosyne, NVThreads, NVML,
+// Origin); only iDO interprets the Boundary annotations.
+//
+// Each operation is written exactly as the iDO compiler would emit it: a
+// Boundary immediately after each lock acquire and before each release,
+// plus a cut at every memory antidependence, with each boundary logging
+// the live-in values ("registers") of the region it opens. The
+// corresponding resume closures — the native stand-in for jumping to
+// recovery_pc — are registered per TYPE, not per instance: a region's
+// logged registers carry every address the resumed code needs, so one
+// registry entry serves all instances of a structure.
+package ds
+
+import (
+	"fmt"
+
+	"github.com/ido-nvm/ido/internal/locks"
+	"github.com/ido-nvm/ido/internal/persist"
+	"github.com/ido-nvm/ido/internal/region"
+)
+
+// Region ID spaces (48-bit budget; one block per structure type).
+const (
+	ridStackBase = 0x21 << 16
+	ridQueueBase = 0x22 << 16
+	ridListBase  = 0x23 << 16
+)
+
+// Env bundles what resume closures need: the region and its lock manager.
+type Env struct {
+	Reg *region.Region
+	LM  *locks.Manager
+}
+
+// RegisterAll installs the resume entries for every structure type in
+// this package. Call once per process before Recover.
+func RegisterAll(rr *persist.ResumeRegistry, env *Env) {
+	registerStack(rr, env)
+	registerQueue(rr, env)
+	registerList(rr, env)
+	registerTransfer(rr, env)
+}
+
+// alloc allocates persistent memory or panics; data-structure operations
+// treat heap exhaustion as fatal, like the paper's nv_malloc users.
+func (e *Env) alloc(n int) uint64 {
+	p, err := e.Reg.Alloc.Alloc(n)
+	if err != nil {
+		panic(fmt.Sprintf("ds: %v", err))
+	}
+	return p
+}

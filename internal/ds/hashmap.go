@@ -1,0 +1,74 @@
+package ds
+
+import (
+	"github.com/ido-nvm/ido/internal/persist"
+)
+
+// HashMap is the §V-B fixed-size hash map: each bucket is a hand-over-hand
+// ordered list, "obviating the need for per-bucket locks" — operations on
+// different buckets never touch the same locks, and operations within a
+// bucket pipeline down the list. It reuses the List region IDs and resume
+// closures wholesale, since a list FASE's logged registers fully identify
+// the bucket being operated on.
+//
+// Layout: header [0]=nbuckets, [8+i*8]=bucket sentinel address.
+type HashMap struct {
+	env     *Env
+	hdr     uint64
+	buckets []*List
+}
+
+// NewHashMap allocates a map with n ordered-list buckets.
+func NewHashMap(env *Env, n int) (*HashMap, uint64, error) {
+	hdr, err := env.Reg.Alloc.Alloc(8 + n*8)
+	if err != nil {
+		return nil, 0, err
+	}
+	dev := env.Reg.Dev
+	dev.Store64(hdr, uint64(n))
+	m := &HashMap{env: env, hdr: hdr}
+	for i := 0; i < n; i++ {
+		lst, baddr, err := NewList(env)
+		if err != nil {
+			return nil, 0, err
+		}
+		m.buckets = append(m.buckets, lst)
+		dev.Store64(hdr+8+uint64(i)*8, baddr)
+	}
+	dev.PersistRange(hdr, uint64(8+n*8))
+	dev.Fence()
+	return m, hdr, nil
+}
+
+// AttachHashMap reopens a map at its header address.
+func AttachHashMap(env *Env, hdr uint64) *HashMap {
+	dev := env.Reg.Dev
+	n := int(dev.Load64(hdr))
+	m := &HashMap{env: env, hdr: hdr}
+	for i := 0; i < n; i++ {
+		m.buckets = append(m.buckets, AttachList(env, dev.Load64(hdr+8+uint64(i)*8)))
+	}
+	return m
+}
+
+func (m *HashMap) bucket(key uint64) *List {
+	return m.buckets[key%uint64(len(m.buckets))]
+}
+
+// Put inserts or updates key in its bucket.
+func (m *HashMap) Put(t persist.Thread, key, val uint64) { m.bucket(key).Put(t, key, val) }
+
+// Get looks key up in its bucket.
+func (m *HashMap) Get(t persist.Thread, key uint64) (uint64, bool) {
+	return m.bucket(key).Get(t, key)
+}
+
+// Buckets returns the bucket count.
+func (m *HashMap) Buckets() int { return len(m.buckets) }
+
+// Walk visits every (key, value) without synchronization (tests only).
+func (m *HashMap) Walk(f func(k, v uint64)) {
+	for _, b := range m.buckets {
+		b.Walk(f)
+	}
+}

@@ -1,0 +1,159 @@
+package ds
+
+import (
+	"github.com/ido-nvm/ido/internal/locks"
+	"github.com/ido-nvm/ido/internal/persist"
+)
+
+// Queue is the two-lock Michael–Scott queue (§V-B): enqueuers serialize
+// on the tail lock, dequeuers on the head lock, and the dummy node keeps
+// the two sides disjoint.
+//
+// Layout: header [0]=head lock holder, [8]=tail lock holder, [16]=head
+// (dummy), [24]=tail; node [0]=value, [8]=next.
+//
+// Register-slot plan: r0 = header, r1 = value, r2 = new node,
+// r3 = dequeued node, r4 = dequeued value.
+const (
+	ridEnqEntry = ridQueueBase + 1 // after tail lock: build node, link
+	ridEnqSwing = ridQueueBase + 2 // antidep cut: swing tail, release
+	ridDeqEntry = ridQueueBase + 4 // after head lock: read dummy/first
+	ridDeqSwing = ridQueueBase + 5 // antidep cut: advance head, release
+)
+
+// As in the stack, no boundary precedes the FASE's final release (the
+// final-unlock protocol makes that cut redundant).
+
+// Queue is a persistent FIFO with separate head and tail locks.
+type Queue struct {
+	env            *Env
+	hdr            uint64
+	headLk, tailLk *locks.Lock
+}
+
+// NewQueue allocates and persists a fresh queue (with its dummy node).
+func NewQueue(env *Env) (*Queue, uint64, error) {
+	hl, err := env.LM.Create()
+	if err != nil {
+		return nil, 0, err
+	}
+	tl, err := env.LM.Create()
+	if err != nil {
+		return nil, 0, err
+	}
+	hdr, err := env.Reg.Alloc.Alloc(32)
+	if err != nil {
+		return nil, 0, err
+	}
+	dummy, err := env.Reg.Alloc.Alloc(16)
+	if err != nil {
+		return nil, 0, err
+	}
+	dev := env.Reg.Dev
+	dev.Store64(dummy, 0)
+	dev.Store64(dummy+8, 0)
+	dev.Store64(hdr, hl.Holder())
+	dev.Store64(hdr+8, tl.Holder())
+	dev.Store64(hdr+16, dummy)
+	dev.Store64(hdr+24, dummy)
+	dev.PersistRange(dummy, 16)
+	dev.PersistRange(hdr, 32)
+	dev.Fence()
+	return &Queue{env: env, hdr: hdr, headLk: hl, tailLk: tl}, hdr, nil
+}
+
+// AttachQueue reopens a queue at a header address.
+func AttachQueue(env *Env, hdr uint64) *Queue {
+	dev := env.Reg.Dev
+	return &Queue{
+		env: env, hdr: hdr,
+		headLk: env.LM.ByHolder(dev.Load64(hdr)),
+		tailLk: env.LM.ByHolder(dev.Load64(hdr + 8)),
+	}
+}
+
+// Enqueue appends v as one FASE under the tail lock.
+func (q *Queue) Enqueue(t persist.Thread, v uint64) {
+	t.Lock(q.tailLk)
+	t.Boundary(ridEnqEntry, persist.RV(0, q.hdr), persist.RV(1, v))
+	enqEntry(q.env, t, q.hdr, v)
+}
+
+// enqEntry is region ridEnqEntry: allocate the node and link it behind
+// the current tail.
+func enqEntry(env *Env, t persist.Thread, hdr, v uint64) {
+	node := env.alloc(16)
+	t.Store64(node, v)
+	t.Store64(node+8, 0)
+	tail := t.Load64(hdr + 24)
+	t.Store64(tail+8, node)
+	t.Boundary(ridEnqSwing, persist.RV(2, node))
+	enqSwing(env, t, hdr, node)
+}
+
+// enqSwing is region ridEnqSwing: publish the new tail (cut severs the
+// antidependence on header word 24) and release.
+func enqSwing(env *Env, t persist.Thread, hdr, node uint64) {
+	t.Store64(hdr+24, node)
+	enqRel(env, t, hdr)
+}
+
+func enqRel(env *Env, t persist.Thread, hdr uint64) {
+	t.Unlock(env.LM.ByHolder(env.Reg.Dev.Load64(hdr + 8)))
+}
+
+// Dequeue removes the oldest value; ok is false when empty.
+func (q *Queue) Dequeue(t persist.Thread) (v uint64, ok bool) {
+	t.Lock(q.headLk)
+	t.Boundary(ridDeqEntry, persist.RV(0, q.hdr))
+	return deqEntry(q.env, t, q.hdr)
+}
+
+// deqEntry is region ridDeqEntry: read the dummy and its successor.
+func deqEntry(env *Env, t persist.Thread, hdr uint64) (uint64, bool) {
+	dummy := t.Load64(hdr + 16)
+	first := t.Load64(dummy + 8)
+	if first == 0 {
+		deqRel(env, t, hdr)
+		return 0, false
+	}
+	v := t.Load64(first)
+	t.Boundary(ridDeqSwing, persist.RV(3, first), persist.RV(4, v))
+	deqSwing(env, t, hdr, first)
+	return v, true
+}
+
+// deqSwing is region ridDeqSwing: the dequeued node becomes the new
+// dummy (cut severs the antidependence on header word 16), then release.
+func deqSwing(env *Env, t persist.Thread, hdr, first uint64) {
+	t.Store64(hdr+16, first)
+	deqRel(env, t, hdr)
+}
+
+func deqRel(env *Env, t persist.Thread, hdr uint64) {
+	t.Unlock(env.LM.ByHolder(env.Reg.Dev.Load64(hdr)))
+}
+
+// Walk visits values head-to-tail without synchronization (tests only).
+func (q *Queue) Walk(f func(v uint64)) {
+	dev := q.env.Reg.Dev
+	dummy := dev.Load64(q.hdr + 16)
+	for cur := dev.Load64(dummy + 8); cur != 0; cur = dev.Load64(cur + 8) {
+		f(dev.Load64(cur))
+	}
+}
+
+func registerQueue(rr *persist.ResumeRegistry, env *Env) {
+	rr.Register(ridEnqEntry, func(t persist.Thread, rf []uint64) {
+		enqEntry(env, t, rf[0], rf[1])
+	})
+	rr.Register(ridEnqSwing, func(t persist.Thread, rf []uint64) {
+		enqSwing(env, t, rf[0], rf[2])
+	})
+	rr.Register(ridDeqEntry, func(t persist.Thread, rf []uint64) {
+		deqEntry(env, t, rf[0])
+	})
+	rr.Register(ridDeqSwing, func(t persist.Thread, rf []uint64) {
+		deqSwing(env, t, rf[0], rf[3])
+	})
+}

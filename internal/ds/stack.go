@@ -1,0 +1,139 @@
+package ds
+
+import (
+	"github.com/ido-nvm/ido/internal/locks"
+	"github.com/ido-nvm/ido/internal/persist"
+)
+
+// Stack is the locking variation on the Treiber stack (§V-B).
+//
+// Layout: header [0]=lock holder, [8]=top; node [0]=value, [8]=next.
+//
+// Register-slot plan for stack FASEs (fixed slots, like physical
+// registers under §IV-A(c) live-range extension):
+//
+//	r0 = header address   r1 = pushed value   r2 = new node
+//	r3 = successor (pop)  r4 = popped value
+const (
+	ridPushEntry = ridStackBase + 1 // after lock: read top, build node
+	ridPushLink  = ridStackBase + 2 // antidep cut: publish top, release
+	ridPopEntry  = ridStackBase + 4 // after lock: read top and next
+	ridPopSwing  = ridStackBase + 5 // antidep cut: swing top, release
+)
+
+// No boundary precedes the FASE's final release: the final-unlock
+// protocol fences the region's data and clears recovery_pc before the
+// mutex is handed over, so resumption can only re-execute while the lock
+// is still privately held.
+
+// Stack is a persistent LIFO protected by one lock.
+type Stack struct {
+	env  *Env
+	hdr  uint64
+	lock *locks.Lock
+}
+
+// NewStack allocates and persists a fresh stack, returning it and the
+// header address to store in an application root.
+func NewStack(env *Env) (*Stack, uint64, error) {
+	l, err := env.LM.Create()
+	if err != nil {
+		return nil, 0, err
+	}
+	hdr, err := env.Reg.Alloc.Alloc(16)
+	if err != nil {
+		return nil, 0, err
+	}
+	dev := env.Reg.Dev
+	dev.Store64(hdr, l.Holder())
+	dev.Store64(hdr+8, 0)
+	dev.PersistRange(hdr, 16)
+	dev.Fence()
+	return &Stack{env: env, hdr: hdr, lock: l}, hdr, nil
+}
+
+// AttachStack reopens a stack at a header address (the recovery path).
+func AttachStack(env *Env, hdr uint64) *Stack {
+	return &Stack{env: env, hdr: hdr, lock: env.LM.ByHolder(env.Reg.Dev.Load64(hdr))}
+}
+
+// Push adds v on top of the stack as one FASE.
+func (s *Stack) Push(t persist.Thread, v uint64) {
+	t.Lock(s.lock)
+	t.Boundary(ridPushEntry, persist.RV(0, s.hdr), persist.RV(1, v))
+	pushEntry(s.env, t, s.hdr, v)
+}
+
+// pushEntry is region ridPushEntry: read top, allocate and fill the node.
+func pushEntry(env *Env, t persist.Thread, hdr, v uint64) {
+	top := t.Load64(hdr + 8)
+	node := env.alloc(16)
+	t.Store64(node, v)
+	t.Store64(node+8, top)
+	t.Boundary(ridPushLink, persist.RV(2, node))
+	pushLink(env, t, hdr, node)
+}
+
+// pushLink is region ridPushLink: publish the node (the cut above it
+// severs the antidependence on header word 8) and release.
+func pushLink(env *Env, t persist.Thread, hdr, node uint64) {
+	t.Store64(hdr+8, node)
+	stackRel(env, t, hdr)
+}
+
+// stackRel is the single-release region shared by push and pop.
+func stackRel(env *Env, t persist.Thread, hdr uint64) {
+	t.Unlock(env.LM.ByHolder(env.Reg.Dev.Load64(hdr)))
+}
+
+// Pop removes and returns the top value; ok is false when empty.
+func (s *Stack) Pop(t persist.Thread) (v uint64, ok bool) {
+	t.Lock(s.lock)
+	t.Boundary(ridPopEntry, persist.RV(0, s.hdr))
+	return popEntry(s.env, t, s.hdr)
+}
+
+// popEntry is region ridPopEntry: read top and its successor.
+func popEntry(env *Env, t persist.Thread, hdr uint64) (uint64, bool) {
+	top := t.Load64(hdr + 8)
+	if top == 0 {
+		stackRel(env, t, hdr)
+		return 0, false
+	}
+	v := t.Load64(top)
+	nxt := t.Load64(top + 8)
+	t.Boundary(ridPopSwing, persist.RV(3, nxt), persist.RV(4, v))
+	popSwing(env, t, hdr, nxt)
+	return v, true
+}
+
+// popSwing is region ridPopSwing: swing top to the successor (antidep cut
+// for header word 8) and release.
+func popSwing(env *Env, t persist.Thread, hdr, nxt uint64) {
+	t.Store64(hdr+8, nxt)
+	stackRel(env, t, hdr)
+}
+
+// Walk visits values top-down without synchronization (test/verification
+// use only).
+func (s *Stack) Walk(f func(v uint64)) {
+	dev := s.env.Reg.Dev
+	for cur := dev.Load64(s.hdr + 8); cur != 0; cur = dev.Load64(cur + 8) {
+		f(dev.Load64(cur))
+	}
+}
+
+func registerStack(rr *persist.ResumeRegistry, env *Env) {
+	rr.Register(ridPushEntry, func(t persist.Thread, rf []uint64) {
+		pushEntry(env, t, rf[0], rf[1])
+	})
+	rr.Register(ridPushLink, func(t persist.Thread, rf []uint64) {
+		pushLink(env, t, rf[0], rf[2])
+	})
+	rr.Register(ridPopEntry, func(t persist.Thread, rf []uint64) {
+		popEntry(env, t, rf[0])
+	})
+	rr.Register(ridPopSwing, func(t persist.Thread, rf []uint64) {
+		popSwing(env, t, rf[0], rf[3])
+	})
+}

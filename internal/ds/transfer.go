@@ -1,0 +1,102 @@
+package ds
+
+import (
+	"github.com/ido-nvm/ido/internal/persist"
+)
+
+// TransferTop atomically moves the top value from one stack to another —
+// a composed FASE spanning two persistent structures, the optimization
+// the paper's related-work section anticipates ("similar optimizations
+// could work in iDO logging", §VI-A): both locks join one FASE, so a
+// crash anywhere inside either completes the whole transfer on recovery
+// or leaves both stacks untouched. No per-structure write tracking is
+// needed beyond the ordinary region boundaries.
+//
+// Register-slot plan: r0 = source header, r1 = destination header,
+// r2 = moved value, r3 = source successor, r4 = new destination node.
+const (
+	ridXferEntry = ridStackBase + 8  // both locks held: read source top
+	ridXferMove  = ridStackBase + 9  // antidep cut: swing source, build node
+	ridXferLink  = ridStackBase + 10 // antidep cut: publish destination
+	ridXferRel   = ridStackBase + 11 // release both locks (store-free)
+)
+
+// TransferTop moves src's top to dst as one FASE; ok reports whether a
+// value was present. Locks are acquired in holder-address order so
+// concurrent transfers in both directions cannot deadlock.
+func TransferTop(env *Env, t persist.Thread, src, dst *Stack) (moved uint64, ok bool) {
+	a, b := src.lock, dst.lock
+	if a.Holder() > b.Holder() {
+		a, b = b, a
+	}
+	t.Lock(a)
+	t.Lock(b)
+	t.Boundary(ridXferEntry, persist.RV(0, src.hdr), persist.RV(1, dst.hdr))
+	return xferEntry(env, t, src.hdr, dst.hdr)
+}
+
+// xferEntry is region ridXferEntry: read the source top and its value.
+func xferEntry(env *Env, t persist.Thread, srcH, dstH uint64) (uint64, bool) {
+	top := t.Load64(srcH + 8)
+	if top == 0 {
+		t.Boundary(ridXferRel)
+		xferRel(env, t, srcH, dstH)
+		return 0, false
+	}
+	v := t.Load64(top)
+	nxt := t.Load64(top + 8)
+	t.Boundary(ridXferMove, persist.RV(2, v), persist.RV(3, nxt))
+	xferMove(env, t, srcH, dstH, v, nxt)
+	return v, true
+}
+
+// xferMove is region ridXferMove: swing the source top (the cut severed
+// its antidependence) and build the destination node, reading the
+// destination top.
+func xferMove(env *Env, t persist.Thread, srcH, dstH, v, nxt uint64) {
+	t.Store64(srcH+8, nxt)
+	node := env.alloc(16)
+	t.Store64(node, v)
+	t.Store64(node+8, t.Load64(dstH+8))
+	t.Boundary(ridXferLink, persist.RV(4, node))
+	xferLink(env, t, srcH, dstH, node)
+}
+
+// xferLink is region ridXferLink: publish the destination top (antidep
+// cut), then hand off to the store-free release region — the cut before
+// the first unlock is mandatory, because once either lock is handed over,
+// nothing from before it may re-execute.
+func xferLink(env *Env, t persist.Thread, srcH, dstH, node uint64) {
+	t.Store64(dstH+8, node)
+	t.Boundary(ridXferRel)
+	xferRel(env, t, srcH, dstH)
+}
+
+// xferRel is region ridXferRel: release both locks in reverse acquisition
+// order. The region is store-free and load-only on immutable holder
+// words, so re-executing it after a crash between the two unlocks is
+// harmless (the already-released lock no-ops).
+func xferRel(env *Env, t persist.Thread, srcH, dstH uint64) {
+	a := env.Reg.Dev.Load64(srcH)
+	b := env.Reg.Dev.Load64(dstH)
+	if a > b {
+		a, b = b, a
+	}
+	t.Unlock(env.lockAt(b))
+	t.Unlock(env.lockAt(a))
+}
+
+func registerTransfer(rr *persist.ResumeRegistry, env *Env) {
+	rr.Register(ridXferEntry, func(t persist.Thread, rf []uint64) {
+		xferEntry(env, t, rf[0], rf[1])
+	})
+	rr.Register(ridXferMove, func(t persist.Thread, rf []uint64) {
+		xferMove(env, t, rf[0], rf[1], rf[2], rf[3])
+	})
+	rr.Register(ridXferLink, func(t persist.Thread, rf []uint64) {
+		xferLink(env, t, rf[0], rf[1], rf[4])
+	})
+	rr.Register(ridXferRel, func(t persist.Thread, rf []uint64) {
+		xferRel(env, t, rf[0], rf[1])
+	})
+}

@@ -1,0 +1,107 @@
+// Package fase infers failure-atomic sections on the mini-IR (§IV-A(a)):
+// a FASE is a maximal region in which at least one lock is held (or a
+// programmer-delineated durable region is open). The inference computes
+// the lock/durable depth before every instruction and derives the
+// boundary points the iDO compiler must honor — immediately after each
+// lock acquire (and durable begin) and immediately before each lock
+// release — matching §III-B.
+package fase
+
+import (
+	"fmt"
+
+	"github.com/ido-nvm/ido/internal/ir"
+)
+
+// Info is the result of FASE inference for one function.
+type Info struct {
+	F *ir.Func
+	// DepthBefore[b][i] is lockDepth+durableDepth before instruction i of
+	// block b.
+	DepthBefore [][]int
+	// MandatoryCuts are the region-boundary points required by the FASE
+	// structure: each is a location such that a boundary must be placed
+	// immediately before the instruction at that location.
+	MandatoryCuts []ir.Loc
+}
+
+// Infer computes FASE structure. The function must pass ir.Verify (depth
+// consistency is assumed).
+func Infer(f *ir.Func) (*Info, error) {
+	info := &Info{F: f, DepthBefore: make([][]int, len(f.Blocks))}
+	depthIn := make([]int, len(f.Blocks))
+	seen := make([]bool, len(f.Blocks))
+	seen[0] = true
+	work := []int{0}
+	for len(work) > 0 {
+		bi := work[len(work)-1]
+		work = work[:len(work)-1]
+		b := f.Blocks[bi]
+		d := depthIn[bi]
+		info.DepthBefore[bi] = make([]int, len(b.Instrs))
+		for i := range b.Instrs {
+			info.DepthBefore[bi][i] = d
+			switch b.Instrs[i].Op {
+			case ir.OpLock, ir.OpBeginDur:
+				d++
+				// Boundary immediately after the acquire.
+				info.addCutAfter(f, bi, i)
+			case ir.OpUnlock, ir.OpEndDur:
+				if d == 0 {
+					return nil, fmt.Errorf("%s: %s.%d: release below depth 0", f.Name, b.Name, i)
+				}
+				// Boundary immediately before the release.
+				info.MandatoryCuts = append(info.MandatoryCuts, ir.Loc{Block: bi, Index: i})
+				d--
+			}
+		}
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				depthIn[s] = d
+				work = append(work, s)
+			} else if depthIn[s] != d {
+				return nil, fmt.Errorf("%s: block %s entered at depths %d and %d",
+					f.Name, f.Blocks[s].Name, depthIn[s], d)
+			}
+		}
+	}
+	return info, nil
+}
+
+// addCutAfter requests a boundary after instruction (bi, i): before the
+// next instruction in the block, or at the start of every successor when
+// the instruction ends its block.
+func (info *Info) addCutAfter(f *ir.Func, bi, i int) {
+	b := f.Blocks[bi]
+	if i+1 < len(b.Instrs) {
+		info.MandatoryCuts = append(info.MandatoryCuts, ir.Loc{Block: bi, Index: i + 1})
+		return
+	}
+	for _, s := range b.Succs {
+		info.MandatoryCuts = append(info.MandatoryCuts, ir.Loc{Block: s, Index: 0})
+	}
+}
+
+// InFASE reports whether the instruction at loc executes with at least
+// one lock held or a durable region open. Lock/BeginDur instructions
+// themselves report false: they belong to the code before the FASE's
+// first boundary (the benign robbed-lock window of §III-B).
+func (info *Info) InFASE(loc ir.Loc) bool {
+	return info.DepthBefore[loc.Block][loc.Index] > 0
+}
+
+// HasFASEs reports whether the function contains any FASE.
+func (info *Info) HasFASEs() bool {
+	for _, blk := range info.DepthBefore {
+		for _, d := range blk {
+			if d > 0 {
+				return true
+			}
+		}
+	}
+	// A lock as the very last instruction still opens a FASE, but such a
+	// function fails ir.Verify (return inside FASE), so depth alone is
+	// a faithful answer here.
+	return false
+}

@@ -1,0 +1,133 @@
+package fase
+
+import (
+	"testing"
+
+	"github.com/ido-nvm/ido/internal/ir"
+)
+
+func infer(t *testing.T, src string) (*ir.Func, *Info) {
+	t.Helper()
+	f, err := ir.ParseFunc(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := Infer(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, fi
+}
+
+func TestNestedLocks(t *testing.T) {
+	// Fig. 2(a): properly nested locks.
+	_, fi := infer(t, `
+func f 2 {
+entry:
+  lock r0
+  lock r1
+  store r0 0 1
+  unlock r1
+  store r0 8 2
+  unlock r0
+  ret
+}
+`)
+	depths := fi.DepthBefore[0]
+	want := []int{0, 1, 2, 2, 1, 1}
+	for i, w := range want {
+		if depths[i] != w {
+			t.Fatalf("depth[%d] = %d, want %d (%v)", i, depths[i], w, depths)
+		}
+	}
+	// Cuts: after each lock (2), before each unlock (2).
+	if len(fi.MandatoryCuts) != 4 {
+		t.Fatalf("mandatory cuts = %v", fi.MandatoryCuts)
+	}
+}
+
+func TestCrossLocks(t *testing.T) {
+	// Fig. 2(b): hand-over-hand. Depth never hits zero mid-FASE.
+	_, fi := infer(t, `
+func f 2 {
+entry:
+  lock r0
+  store r0 0 1
+  lock r1
+  unlock r0
+  store r1 0 2
+  unlock r1
+  ret
+}
+`)
+	for i := 1; i < 6; i++ {
+		if fi.DepthBefore[0][i] == 0 {
+			t.Fatalf("FASE depth hit 0 mid-FASE at %d", i)
+		}
+	}
+	if !fi.HasFASEs() {
+		t.Fatal("HasFASEs = false")
+	}
+}
+
+func TestDurableRegions(t *testing.T) {
+	_, fi := infer(t, `
+func f 1 {
+entry:
+  begin_durable
+  store r0 0 1
+  end_durable
+  ret
+}
+`)
+	if !fi.InFASE(ir.Loc{Block: 0, Index: 1}) {
+		t.Fatal("durable store not in FASE")
+	}
+	if fi.InFASE(ir.Loc{Block: 0, Index: 3}) {
+		t.Fatal("post-durable instruction in FASE")
+	}
+}
+
+func TestLockAtBlockEndCutsSuccessors(t *testing.T) {
+	_, fi := infer(t, `
+func f 2 {
+entry:
+  lock r0
+a:
+  br r1 b c
+b:
+  unlock r0
+  ret
+c:
+  unlock r0
+  ret
+}
+`)
+	// The lock ends its block: the post-acquire cut lands at the start
+	// of the successor block.
+	found := false
+	for _, c := range fi.MandatoryCuts {
+		if c.Block == 1 && c.Index == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no post-acquire cut at successor start: %v", fi.MandatoryCuts)
+	}
+}
+
+func TestNoFASEs(t *testing.T) {
+	_, fi := infer(t, `
+func f 2 {
+entry:
+  x = add r0 r1
+  ret x
+}
+`)
+	if fi.HasFASEs() || len(fi.MandatoryCuts) != 0 {
+		t.Fatal("phantom FASEs")
+	}
+}

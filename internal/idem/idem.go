@@ -1,0 +1,352 @@
+// Package idem forms idempotent regions within FASEs (§IV-A(b)),
+// following the cutting strategy of de Kruijf et al. (PLDI 2012) as used
+// by the iDO compiler: every memory antidependence — a load followed on
+// some intra-region path by a store that may alias it — must be separated
+// by a region boundary, so that re-executing any region from its entry
+// can never observe its own overwrites. The path analysis propagates
+// around back edges, so loop-carried antidependences are cut like any
+// other, while pure-read loops stay whole (resumption simply re-runs
+// them). FASE-structural cuts come from package fase, and control-flow
+// joins whose predecessors lie in different regions become cuts so each
+// region stays single-entry.
+//
+// Register antidependences need no cuts in this system: the iDO log keeps
+// one persistent slot per register, updated only at boundaries, so a
+// resumed region always restores its entry-time register file (§IV-A(c)'s
+// live-range extension achieves the same property for physical registers).
+package idem
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ido-nvm/ido/internal/alias"
+	"github.com/ido-nvm/ido/internal/dataflow"
+	"github.com/ido-nvm/ido/internal/fase"
+	"github.com/ido-nvm/ido/internal/ir"
+)
+
+// Result describes the region partition of one function.
+type Result struct {
+	F *ir.Func
+	// Cuts lists boundary points in deterministic order: a region begins
+	// immediately before the instruction at each cut location.
+	Cuts []ir.Loc
+	// RegionOf[b][i] is the region id of instruction i in block b, or -1
+	// for code outside any FASE.
+	RegionOf [][]int
+	// EntryOf maps a region id to its entry (cut) location.
+	EntryOf []ir.Loc
+	// CutRegion maps a cut location to its region id.
+	CutRegion map[ir.Loc]int
+}
+
+// NumRegions returns the number of regions formed.
+func (r *Result) NumRegions() int { return len(r.EntryOf) }
+
+func (r *Result) isCut(loc ir.Loc) bool {
+	_, ok := r.CutRegion[loc]
+	return ok
+}
+
+// Config tunes region formation.
+type Config struct {
+	// MaxStoresPerRegion, when positive, additionally cuts regions so no
+	// region contains more than this many persistent stores. Setting it
+	// to 1 degenerates iDO to JUSTDO-like per-store granularity — the
+	// ablation configuration of DESIGN.md.
+	MaxStoresPerRegion int
+}
+
+// Form computes the region partition. Loops are NOT unconditionally cut:
+// the violation analysis propagates around back edges, so loop-carried
+// antidependences still force cuts, while pure-read loops (hash-chain or
+// list searches) stay inside one region — which is what makes iDO's read
+// paths nearly instrumentation-free (§V-A). A region containing an uncut
+// loop merely re-executes the whole loop on resumption, which is correct
+// (and bounded by the FASE) if more expensive.
+func Form(f *ir.Func, aa *alias.Analysis, fi *fase.Info, cfg Config) (*Result, error) {
+	cuts := map[ir.Loc]bool{}
+	for _, c := range fi.MandatoryCuts {
+		cuts[c] = true
+	}
+
+	for pass := 0; ; pass++ {
+		if pass > len(f.Blocks)*64+256 {
+			return nil, fmt.Errorf("idem: %s: region formation did not converge", f.Name)
+		}
+		res, fix := assign(f, fi, cuts)
+		if fix != nil {
+			cuts[*fix] = true
+			continue
+		}
+		newCuts := findViolations(f, aa, fi, res, cfg)
+		progress := false
+		for _, c := range newCuts {
+			if !cuts[c] {
+				cuts[c] = true
+				progress = true
+			}
+		}
+		if !progress {
+			return res, nil
+		}
+	}
+}
+
+// assign numbers regions from the cut set. When two different regions
+// meet at a block entry that has no cut, it returns that location so the
+// caller can cut there; likewise for an in-FASE instruction that no
+// region entry reaches.
+func assign(f *ir.Func, fi *fase.Info, cuts map[ir.Loc]bool) (*Result, *ir.Loc) {
+	res := &Result{
+		F:         f,
+		RegionOf:  make([][]int, len(f.Blocks)),
+		CutRegion: map[ir.Loc]int{},
+	}
+	for bi, b := range f.Blocks {
+		res.RegionOf[bi] = make([]int, len(b.Instrs))
+		for i := range res.RegionOf[bi] {
+			res.RegionOf[bi][i] = -1
+		}
+	}
+	for c := range cuts {
+		res.Cuts = append(res.Cuts, c)
+	}
+	sort.Slice(res.Cuts, func(i, j int) bool { return res.Cuts[i].Less(res.Cuts[j]) })
+	for _, c := range res.Cuts {
+		res.CutRegion[c] = len(res.EntryOf)
+		res.EntryOf = append(res.EntryOf, c)
+	}
+
+	const unvisited = -2
+	regionOut := make([]int, len(f.Blocks))
+	for i := range regionOut {
+		regionOut[i] = unvisited
+	}
+	rpo := dataflow.RPO(f)
+	for iter := 0; iter <= len(f.Blocks)+1; iter++ {
+		changed := false
+		for _, bi := range rpo {
+			b := f.Blocks[bi]
+			cur := -1
+			first := true
+			conflict := false
+			for _, p := range b.Preds {
+				if regionOut[p] == unvisited {
+					continue
+				}
+				if first {
+					cur = regionOut[p]
+					first = false
+				} else if regionOut[p] != cur {
+					conflict = true
+				}
+			}
+			if conflict {
+				loc := ir.Loc{Block: bi, Index: 0}
+				if len(b.Instrs) > 0 && fi.InFASE(loc) && !cuts[loc] {
+					return nil, &loc
+				}
+				cur = -1
+			}
+			for i := range b.Instrs {
+				loc := ir.Loc{Block: bi, Index: i}
+				if r, ok := res.CutRegion[loc]; ok {
+					cur = r
+				}
+				if !fi.InFASE(loc) {
+					res.RegionOf[bi][i] = -1
+					cur = -1
+					continue
+				}
+				res.RegionOf[bi][i] = cur
+			}
+			if regionOut[bi] != cur {
+				regionOut[bi] = cur
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Validate: every reachable in-FASE instruction belongs to a region.
+	for _, bi := range rpo {
+		if regionOut[bi] == unvisited && bi != 0 {
+			continue // unreachable
+		}
+		for i := range f.Blocks[bi].Instrs {
+			loc := ir.Loc{Block: bi, Index: i}
+			if fi.InFASE(loc) && res.RegionOf[bi][i] == -1 && !cuts[loc] {
+				return nil, &loc
+			}
+		}
+	}
+	return res, nil
+}
+
+// loadRec is one load observed on an intra-region path, together with the
+// allocation sites whose addresses had escaped to memory before it ran
+// (the basicAA noalias-malloc refinement: an unknown-pointer load cannot
+// touch a fresh allocation that had not yet escaped).
+type loadRec struct {
+	loc ir.Loc
+	esc []int
+}
+
+// pathState tracks, along intra-region paths, the loads seen since the
+// region entry, the store count since the last cut, and the allocation
+// sites escaped so far.
+type pathState struct {
+	region  int
+	loads   []loadRec
+	stores  int
+	escaped []int
+}
+
+// findViolations returns cut locations for every store that may alias a
+// load reachable earlier in the same region, and for stores exceeding the
+// MaxStoresPerRegion budget.
+func findViolations(f *ir.Func, aa *alias.Analysis, fi *fase.Info, res *Result, cfg Config) []ir.Loc {
+	blockIn := make([]*pathState, len(f.Blocks))
+	violations := map[ir.Loc]bool{}
+	rpo := dataflow.RPO(f)
+
+	for iter := 0; iter <= len(f.Blocks)+1; iter++ {
+		changed := false
+		for _, bi := range rpo {
+			b := f.Blocks[bi]
+			cur := pathState{region: -3} // impossible region: forces reset
+			if blockIn[bi] != nil {
+				cur.region = blockIn[bi].region
+				cur.loads = append(cur.loads[:0], blockIn[bi].loads...)
+				cur.stores = blockIn[bi].stores
+				cur.escaped = append(cur.escaped[:0], blockIn[bi].escaped...)
+			}
+			for i := range b.Instrs {
+				loc := ir.Loc{Block: bi, Index: i}
+				r := res.RegionOf[bi][i]
+				if res.isCut(loc) || r != cur.region {
+					// Escape facts survive cuts (escaping is durable);
+					// antidependence tracking restarts per region.
+					esc := cur.escaped
+					cur = pathState{region: r, escaped: esc}
+				}
+				if r < 0 {
+					continue
+				}
+				switch b.Instrs[i].Op {
+				case ir.OpLoad:
+					cur.loads = append(cur.loads, loadRec{loc: loc, esc: cur.escaped})
+				case ir.OpStore:
+					sAddr := aa.AddrAt(loc)
+					for _, l := range cur.loads {
+						if alias.MayAliasEscape(aa.AddrAt(l.loc), sAddr, l.esc, cur.escaped) {
+							violations[loc] = true
+							break
+						}
+					}
+					cur.stores++
+					if cfg.MaxStoresPerRegion > 0 && cur.stores > cfg.MaxStoresPerRegion {
+						violations[loc] = true
+					}
+					if site, ok := aa.StoredSite(loc); ok && !siteIn(cur.escaped, site) {
+						cur.escaped = appendCopy(cur.escaped, site)
+					}
+				}
+			}
+			for _, s := range b.Succs {
+				sb := f.Blocks[s]
+				if len(sb.Instrs) == 0 {
+					continue
+				}
+				sLoc := ir.Loc{Block: s, Index: 0}
+				if res.isCut(sLoc) || cur.region < 0 || res.RegionOf[s][0] != cur.region {
+					continue // a new region (or non-region code) starts there
+				}
+				if blockIn[s] == nil {
+					cp := pathState{region: cur.region, stores: cur.stores}
+					cp.loads = append(cp.loads, cur.loads...)
+					cp.escaped = append(cp.escaped, cur.escaped...)
+					blockIn[s] = &cp
+					changed = true
+				} else if mergeState(blockIn[s], &cur) {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	var out []ir.Loc
+	for v := range violations {
+		if !res.isCut(v) {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+func mergeState(dst, src *pathState) bool {
+	changed := false
+	have := map[ir.Loc]int{}
+	for i, l := range dst.loads {
+		have[l.loc] = i
+	}
+	for _, l := range src.loads {
+		if i, ok := have[l.loc]; ok {
+			// Same load on two paths: escaped-before-load facts union
+			// (alias on SOME path means alias).
+			for _, site := range l.esc {
+				if !siteIn(dst.loads[i].esc, site) {
+					dst.loads[i].esc = appendCopy(dst.loads[i].esc, site)
+					changed = true
+				}
+			}
+			continue
+		}
+		dst.loads = append(dst.loads, l)
+		changed = true
+	}
+	if src.stores > dst.stores {
+		dst.stores = src.stores
+		changed = true
+	}
+	for _, site := range src.escaped {
+		if !siteIn(dst.escaped, site) {
+			dst.escaped = appendCopy(dst.escaped, site)
+			changed = true
+		}
+	}
+	return changed
+}
+
+func siteIn(s []int, id int) bool {
+	for _, x := range s {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// appendCopy appends without sharing backing arrays between path states.
+func appendCopy(s []int, id int) []int {
+	out := make([]int, len(s), len(s)+1)
+	copy(out, s)
+	return append(out, id)
+}
+
+// Check verifies the idempotence property of a finished partition: no
+// region may contain a load followed on an intra-region path by a
+// may-aliasing store. It returns the first violation found, or nil.
+func Check(f *ir.Func, aa *alias.Analysis, fi *fase.Info, res *Result) error {
+	if v := findViolations(f, aa, fi, res, Config{}); len(v) > 0 {
+		return fmt.Errorf("idem: %s: antidependence not cut at %v", f.Name, v[0])
+	}
+	return nil
+}

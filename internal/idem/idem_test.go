@@ -1,0 +1,242 @@
+package idem
+
+import (
+	"testing"
+
+	"github.com/ido-nvm/ido/internal/alias"
+	"github.com/ido-nvm/ido/internal/fase"
+	"github.com/ido-nvm/ido/internal/ir"
+)
+
+func form(t *testing.T, src string, cfg Config) (*ir.Func, *Result) {
+	t.Helper()
+	f, err := ir.ParseFunc(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := fase.Infer(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aa := alias.Analyze(f)
+	res, err := Form(f, aa, fi, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(f, aa, fi, res); err != nil {
+		t.Fatal(err)
+	}
+	return f, res
+}
+
+func TestSimpleAntidependence(t *testing.T) {
+	_, res := form(t, `
+func inc 1 {
+entry:
+  lock r0
+  v = load r0 0
+  w = add v 1
+  store r0 0 w
+  unlock r0
+  ret
+}
+`, Config{})
+	// Regions: post-acquire, antidep cut before the store, pre-release.
+	if res.NumRegions() != 3 {
+		t.Fatalf("regions = %d (%v)", res.NumRegions(), res.Cuts)
+	}
+	// The cut must sit exactly at the store.
+	if !res.isCut(ir.Loc{Block: 0, Index: 3}) {
+		t.Fatalf("no cut at the store: %v", res.Cuts)
+	}
+}
+
+func TestNoAntidependenceNoExtraCuts(t *testing.T) {
+	_, res := form(t, `
+func set 2 {
+entry:
+  lock r0
+  store r0 0 r1
+  store r0 8 r1
+  store r0 16 r1
+  unlock r0
+  ret
+}
+`, Config{})
+	// Store-only FASE: just the two mandatory cuts.
+	if res.NumRegions() != 2 {
+		t.Fatalf("regions = %d (%v)", res.NumRegions(), res.Cuts)
+	}
+}
+
+func TestFreshAllocationNeedsNoCut(t *testing.T) {
+	// Stores to a fresh allocation cannot antidepend on earlier loads —
+	// even loads through unknown pointers — until the address escapes.
+	_, res := form(t, `
+func push 2 {
+entry:
+  lock r0
+  top = load r0 8
+  x = load top 0
+  node = alloc 16
+  store node 0 r1
+  store node 8 top
+  store r0 8 node
+  unlock r0
+  ret
+}
+`, Config{})
+	// Cuts: post-acquire, pre-release, and ONE antidep cut at the
+	// publishing store (r0+8 was loaded); the node stores stay uncut.
+	if res.NumRegions() != 3 {
+		t.Fatalf("regions = %d (%v)", res.NumRegions(), res.Cuts)
+	}
+	if !res.isCut(ir.Loc{Block: 0, Index: 6}) {
+		t.Fatalf("no cut at the publish store: %v", res.Cuts)
+	}
+}
+
+func TestEscapedAllocationForcesCut(t *testing.T) {
+	// Once the allocation's address is stored, a later unknown-pointer
+	// load may reach it; a subsequent store to the allocation after such
+	// a load must be cut.
+	_, res := form(t, `
+func f 1 {
+entry:
+  lock r0
+  node = alloc 16
+  store r0 0 node
+  p = load r0 0
+  q = load p 8
+  store node 8 q
+  unlock r0
+  ret
+}
+`, Config{})
+	// The store to node at index 5 follows a load (q = load p 8) that
+	// may alias node (escaped at index 2): must be cut.
+	if !res.isCut(ir.Loc{Block: 0, Index: 5}) {
+		t.Fatalf("escaped-alloc antidep not cut: %v", res.Cuts)
+	}
+}
+
+func TestLoopCarriedAntidependence(t *testing.T) {
+	_, res := form(t, `
+func f 1 {
+entry:
+  lock r0
+  i = const 0
+  jmp loop
+loop:
+  v = load r0 0
+  w = add v i
+  store r0 0 w
+  i = add i 1
+  c = lt i 4
+  br c loop out
+out:
+  unlock r0
+  ret
+}
+`, Config{})
+	// The load-store pair on [r0+0] cycles through the back edge; the
+	// store must start a new region.
+	if !res.isCut(ir.Loc{Block: 1, Index: 2}) {
+		t.Fatalf("loop-carried antidep not cut: %v", res.Cuts)
+	}
+}
+
+func TestPureLoopUncut(t *testing.T) {
+	_, res := form(t, `
+func walk 1 {
+entry:
+  lock r0
+  cur = load r0 0
+  jmp loop
+loop:
+  c = ne cur 0
+  br c body done
+body:
+  cur = load cur 8
+  jmp loop
+done:
+  unlock r0
+  ret
+}
+`, Config{})
+	// Only the two mandatory cuts: a pure-read loop needs none.
+	if res.NumRegions() != 2 {
+		t.Fatalf("regions = %d (%v)", res.NumRegions(), res.Cuts)
+	}
+}
+
+func TestMaxStoresConfig(t *testing.T) {
+	src := `
+func f 1 {
+entry:
+  lock r0
+  store r0 0 1
+  store r0 8 2
+  store r0 16 3
+  unlock r0
+  ret
+}
+`
+	_, normal := form(t, src, Config{})
+	_, perStore := form(t, src, Config{MaxStoresPerRegion: 1})
+	if perStore.NumRegions() != normal.NumRegions()+2 {
+		t.Fatalf("per-store regions = %d, normal = %d",
+			perStore.NumRegions(), normal.NumRegions())
+	}
+}
+
+func TestJoinOfDifferentRegionsGetsCut(t *testing.T) {
+	// Two branches that end in different regions meet: the join must
+	// start a region of its own so regions stay single-entry.
+	_, res := form(t, `
+func f 2 {
+entry:
+  lock r0
+  br r1 a b
+a:
+  v = load r0 0
+  store r0 0 v
+  jmp join
+b:
+  jmp join
+join:
+  store r0 8 1
+  unlock r0
+  ret
+}
+`, Config{})
+	// Block 3 (join) predecessor regions differ (a ends in the antidep
+	// region, b in the entry region): join start must be a cut.
+	if !res.isCut(ir.Loc{Block: 3, Index: 0}) {
+		t.Fatalf("join not cut: %v", res.Cuts)
+	}
+}
+
+func TestRegionOfOutsideFASE(t *testing.T) {
+	f, res := form(t, `
+func f 1 {
+entry:
+  x = add r0 1
+  lock r0
+  store r0 0 x
+  unlock r0
+  y = add x 2
+  ret y
+}
+`, Config{})
+	if res.RegionOf[0][0] != -1 {
+		t.Fatal("pre-FASE instruction assigned a region")
+	}
+	if res.RegionOf[0][4] != -1 {
+		t.Fatal("post-FASE instruction assigned a region")
+	}
+	_ = f
+}

@@ -1,0 +1,222 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+const pushSrc = `
+func push 2 {
+entry:
+  lock r0
+  top = load r0 8
+  node = alloc 16
+  store node 0 r1
+  store node 8 top
+  store r0 8 node
+  unlock r0
+  ret
+}
+`
+
+func TestParsePush(t *testing.T) {
+	f, err := ParseFunc(pushSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "push" || f.NumParams != 2 {
+		t.Fatalf("header: %s/%d", f.Name, f.NumParams)
+	}
+	if len(f.Blocks) != 1 {
+		t.Fatalf("blocks = %d", len(f.Blocks))
+	}
+	if got := len(f.Entry().Instrs); got != 8 {
+		t.Fatalf("instrs = %d, want 8", got)
+	}
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseBranchesAndLoop(t *testing.T) {
+	src := `
+func count 1 {
+entry:
+  i = const 0
+  jmp loop
+loop:
+  c = lt i r0
+  br c body done
+body:
+  i = add i 1
+  jmp loop
+done:
+  ret i
+}
+`
+	f, err := ParseFunc(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Blocks) != 4 {
+		t.Fatalf("blocks = %d", len(f.Blocks))
+	}
+	loop := f.Blocks[1]
+	if len(loop.Preds) != 2 {
+		t.Fatalf("loop preds = %v", loop.Preds)
+	}
+	// Round trip through the printer.
+	f2, err := ParseFunc(f.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, f.String())
+	}
+	if len(f2.Blocks) != len(f.Blocks) {
+		t.Fatal("round trip changed block count")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"undefined label", "func f 0 {\nentry:\n  jmp nowhere\n}"},
+		{"undefined reg", "func f 0 {\nentry:\n  x = add y 1\n  ret\n}"},
+		{"bad op", "func f 0 {\nentry:\n  frobnicate r0\n}"},
+		{"missing close", "func f 0 {\nentry:\n  ret\n"},
+		{"dup label", "func f 0 {\na:\n  ret\na:\n  ret\n}"},
+		{"dup func", "func f 0 {\nentry:\n ret\n}\nfunc f 0 {\nentry:\n ret\n}"},
+		{"store imm base", "func f 0 {\nentry:\n  store 5 0 3\n  ret\n}"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: parse succeeded", c.name)
+		}
+	}
+}
+
+func TestVerifyCatchesUseBeforeDef(t *testing.T) {
+	src := `
+func f 1 {
+entry:
+  br r0 a b
+a:
+  x = const 1
+  jmp join
+b:
+  jmp join
+join:
+  y = add x 1
+  ret y
+}
+`
+	f, err := ParseFunc(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(f); err == nil || !strings.Contains(err.Error(), "used before defined") {
+		t.Fatalf("verify = %v, want use-before-def error", err)
+	}
+}
+
+func TestVerifyCatchesInconsistentLockDepth(t *testing.T) {
+	src := `
+func f 1 {
+entry:
+  br r0 a b
+a:
+  lock r0
+  jmp join
+b:
+  jmp join
+join:
+  unlock r0
+  ret
+}
+`
+	f, err := ParseFunc(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(f); err == nil {
+		t.Fatal("verify accepted inconsistent lock depth")
+	}
+}
+
+func TestVerifyCatchesReturnInsideFASE(t *testing.T) {
+	src := `
+func f 1 {
+entry:
+  lock r0
+  ret
+}
+`
+	f, err := ParseFunc(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(f); err == nil {
+		t.Fatal("verify accepted return inside FASE")
+	}
+}
+
+func TestFallthroughBlocks(t *testing.T) {
+	src := `
+func f 0 {
+a:
+  x = const 1
+b:
+  y = add x 1
+  ret y
+}
+`
+	f, err := ParseFunc(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Blocks[0].Succs) != 1 || f.Blocks[0].Succs[0] != 1 {
+		t.Fatalf("fallthrough succs = %v", f.Blocks[0].Succs)
+	}
+}
+
+func TestBoundaryParse(t *testing.T) {
+	src := `
+func f 1 {
+entry:
+  begin_durable
+  boundary 0x42 r0
+  store r0 0 7
+  end_durable
+  ret
+}
+`
+	f, err := ParseFunc(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := f.Entry().Instrs[1]
+	if in.Op != OpBoundary || in.Imm != 0x42 || len(in.Args) != 1 {
+		t.Fatalf("boundary parsed as %+v", in)
+	}
+}
+
+func TestHexAndComments(t *testing.T) {
+	src := `
+func f 0 {
+entry:
+  x = const 0xFF  // comment
+  # full line comment
+  ret x
+}
+`
+	f, err := ParseFunc(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Entry().Instrs[0].Imm != 255 {
+		t.Fatal("hex literal mis-parsed")
+	}
+}

@@ -1,0 +1,348 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a program in the textual IR syntax:
+//
+//	func push 2 {            // name, parameter count (params are r0, r1)
+//	entry:
+//	  lock r0
+//	  boundary 0x101
+//	  top = load r0 8        // top = mem[r0+8]
+//	  node = alloc 16
+//	  store node 0 r1        // mem[node+0] = r1
+//	  store node 8 top
+//	  store r0 8 node
+//	  boundary 0x102
+//	  unlock r0
+//	  ret
+//	}
+//
+// Identifiers name virtual registers; rN refers to register N directly
+// (parameters are r0..rN-1). Labels end with ':'. Comments run from "//"
+// or "#" to end of line. Numeric literals may be decimal or 0x-hex.
+func Parse(src string) (*Program, error) {
+	p := &parser{lines: strings.Split(src, "\n")}
+	prog := &Program{Funcs: map[string]*Func{}}
+	for p.pos < len(p.lines) {
+		line := p.next()
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] != "func" {
+			return nil, p.errf("expected 'func', got %q", line)
+		}
+		if len(fields) != 4 || fields[3] != "{" {
+			return nil, p.errf("bad func header %q (want: func name nparams {)", line)
+		}
+		nparams, err := strconv.Atoi(fields[2])
+		if err != nil || nparams < 0 {
+			return nil, p.errf("bad parameter count %q", fields[2])
+		}
+		f, err := p.parseFunc(fields[1], nparams)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := prog.Funcs[f.Name]; dup {
+			return nil, fmt.Errorf("duplicate function %q", f.Name)
+		}
+		prog.Funcs[f.Name] = f
+	}
+	return prog, nil
+}
+
+// ParseFunc parses a source containing exactly one function.
+func ParseFunc(src string) (*Func, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(prog.Funcs) != 1 {
+		return nil, fmt.Errorf("expected exactly one function, got %d", len(prog.Funcs))
+	}
+	for _, f := range prog.Funcs {
+		return f, nil
+	}
+	panic("unreachable")
+}
+
+type parser struct {
+	lines []string
+	pos   int
+}
+
+func (p *parser) next() string {
+	line := p.lines[p.pos]
+	p.pos++
+	if i := strings.Index(line, "//"); i >= 0 {
+		line = line[:i]
+	}
+	if i := strings.Index(line, "#"); i >= 0 {
+		line = line[:i]
+	}
+	return strings.TrimSpace(line)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+type pendingTarget struct {
+	block, idx, arg int
+	label           string
+}
+
+func (p *parser) parseFunc(name string, nparams int) (*Func, error) {
+	f := &Func{Name: name, NumParams: nparams, NumRegs: nparams,
+		RegNames: map[Reg]string{}}
+	regs := map[string]Reg{}
+	for i := 0; i < nparams; i++ {
+		regs[fmt.Sprintf("r%d", i)] = Reg(i)
+	}
+	labels := map[string]int{}
+	var fixups []pendingTarget
+	var cur *Block
+
+	getReg := func(tok string, define bool) (Reg, error) {
+		if r, ok := regs[tok]; ok {
+			return r, nil
+		}
+		if strings.HasPrefix(tok, "r") {
+			if n, err := strconv.Atoi(tok[1:]); err == nil {
+				for n >= f.NumRegs {
+					f.NumRegs++
+				}
+				r := Reg(n)
+				regs[tok] = r
+				return r, nil
+			}
+		}
+		if !define {
+			return 0, fmt.Errorf("use of undefined register %q", tok)
+		}
+		r := Reg(f.NumRegs)
+		f.NumRegs++
+		regs[tok] = r
+		f.RegNames[r] = tok
+		return r, nil
+	}
+	getVal := func(tok string) (Value, error) {
+		if n, err := strconv.ParseUint(tok, 0, 64); err == nil {
+			return Imm(n), nil
+		}
+		r, err := getReg(tok, false)
+		if err != nil {
+			return Value{}, err
+		}
+		return R(r), nil
+	}
+	getImm := func(tok string) (uint64, error) {
+		return strconv.ParseUint(tok, 0, 64)
+	}
+
+	for p.pos < len(p.lines) {
+		line := p.next()
+		if line == "" {
+			continue
+		}
+		if line == "}" {
+			for _, fx := range fixups {
+				t, ok := labels[fx.label]
+				if !ok {
+					return nil, fmt.Errorf("func %s: undefined label %q", name, fx.label)
+				}
+				f.Blocks[fx.block].Instrs[fx.idx].Targets[fx.arg] = t
+			}
+			if len(f.Blocks) == 0 {
+				return nil, fmt.Errorf("func %s: empty body", name)
+			}
+			f.BuildCFG()
+			return f, nil
+		}
+		if strings.HasSuffix(line, ":") {
+			lbl := strings.TrimSuffix(line, ":")
+			if _, dup := labels[lbl]; dup {
+				return nil, p.errf("duplicate label %q", lbl)
+			}
+			cur = &Block{Index: len(f.Blocks), Name: lbl}
+			labels[lbl] = cur.Index
+			f.Blocks = append(f.Blocks, cur)
+			continue
+		}
+		if cur == nil {
+			cur = &Block{Index: 0, Name: "entry"}
+			labels["entry"] = 0
+			f.Blocks = append(f.Blocks, cur)
+		}
+
+		var dest Reg = NoReg
+		rest := line
+		if i := strings.Index(line, "="); i >= 0 {
+			lhs := strings.TrimSpace(line[:i])
+			if len(strings.Fields(lhs)) == 1 {
+				r, err := getReg(lhs, true)
+				if err != nil {
+					return nil, p.errf("%v", err)
+				}
+				dest = r
+				rest = strings.TrimSpace(line[i+1:])
+			}
+		}
+		toks := strings.Fields(rest)
+		if len(toks) == 0 {
+			return nil, p.errf("empty instruction")
+		}
+		opName := toks[0]
+		args := toks[1:]
+		in := Instr{Dest: dest}
+
+		var op Op = -1
+		for o, n := range opNames {
+			if n == opName {
+				op = o
+				break
+			}
+		}
+		if op < 0 {
+			return nil, p.errf("unknown op %q", opName)
+		}
+		in.Op = op
+
+		wrongArgs := func(want string) error {
+			return p.errf("%s: want %s, got %d operands", opName, want, len(args))
+		}
+		switch op {
+		case OpConst:
+			if len(args) != 1 || dest == NoReg {
+				return nil, wrongArgs("dest = const imm")
+			}
+			imm, err := getImm(args[0])
+			if err != nil {
+				return nil, p.errf("bad immediate %q", args[0])
+			}
+			in.Imm = imm
+		case OpMov, OpAlloc, OpSAlloc:
+			if len(args) != 1 || dest == NoReg {
+				return nil, wrongArgs("dest = op val")
+			}
+			v, err := getVal(args[0])
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			in.Args = []Value{v}
+		case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpXor,
+			OpShl, OpShr, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+			if len(args) != 2 || dest == NoReg {
+				return nil, wrongArgs("dest = op a b")
+			}
+			a, err := getVal(args[0])
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			b, err := getVal(args[1])
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			in.Args = []Value{a, b}
+		case OpLoad:
+			if len(args) != 2 || dest == NoReg {
+				return nil, wrongArgs("dest = load base off")
+			}
+			base, err := getVal(args[0])
+			if err != nil || base.IsImm {
+				return nil, p.errf("load base must be a register")
+			}
+			off, err := getImm(args[1])
+			if err != nil {
+				return nil, p.errf("bad load offset %q", args[1])
+			}
+			in.Args = []Value{base}
+			in.Imm = off
+		case OpStore:
+			if len(args) != 3 {
+				return nil, wrongArgs("store base off val")
+			}
+			base, err := getVal(args[0])
+			if err != nil || base.IsImm {
+				return nil, p.errf("store base must be a register")
+			}
+			off, err := getImm(args[1])
+			if err != nil {
+				return nil, p.errf("bad store offset %q", args[1])
+			}
+			val, err := getVal(args[2])
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			in.Args = []Value{base, val}
+			in.Imm = off
+		case OpLock, OpUnlock, OpPrint:
+			if len(args) != 1 {
+				return nil, wrongArgs("op val")
+			}
+			v, err := getVal(args[0])
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			in.Args = []Value{v}
+		case OpBeginDur, OpEndDur:
+			if len(args) != 0 {
+				return nil, wrongArgs("no operands")
+			}
+		case OpNewLock:
+			if len(args) != 0 || dest == NoReg {
+				return nil, wrongArgs("dest = newlock")
+			}
+		case OpBr:
+			if len(args) != 3 {
+				return nil, wrongArgs("br cond then else")
+			}
+			c, err := getVal(args[0])
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			in.Args = []Value{c}
+			in.Targets = []int{-1, -1}
+			fixups = append(fixups,
+				pendingTarget{cur.Index, len(cur.Instrs), 0, args[1]},
+				pendingTarget{cur.Index, len(cur.Instrs), 1, args[2]})
+		case OpJmp:
+			if len(args) != 1 {
+				return nil, wrongArgs("jmp label")
+			}
+			in.Targets = []int{-1}
+			fixups = append(fixups, pendingTarget{cur.Index, len(cur.Instrs), 0, args[0]})
+		case OpRet:
+			for _, a := range args {
+				v, err := getVal(a)
+				if err != nil {
+					return nil, p.errf("%v", err)
+				}
+				in.Args = append(in.Args, v)
+			}
+		case OpBoundary:
+			if len(args) < 1 {
+				return nil, wrongArgs("boundary id [regs...]")
+			}
+			id, err := getImm(args[0])
+			if err != nil {
+				return nil, p.errf("bad region id %q", args[0])
+			}
+			in.Imm = id
+			for _, a := range args[1:] {
+				v, err := getVal(a)
+				if err != nil {
+					return nil, p.errf("%v", err)
+				}
+				in.Args = append(in.Args, v)
+			}
+		}
+		cur.Instrs = append(cur.Instrs, in)
+	}
+	return nil, fmt.Errorf("func %s: missing closing }", name)
+}

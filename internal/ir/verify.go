@@ -1,0 +1,151 @@
+package ir
+
+import "fmt"
+
+// Verify checks structural well-formedness of a function: branch targets
+// in range, no instructions after a terminator, every register defined on
+// every path before use, and consistent lock/durable depth at block entry
+// across all predecessors. It returns the first problem found.
+func Verify(f *Func) error {
+	n := len(f.Blocks)
+	if n == 0 {
+		return fmt.Errorf("%s: no blocks", f.Name)
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			for _, t := range in.Targets {
+				if t < 0 || t >= n {
+					return fmt.Errorf("%s: %s.%d: branch target %d out of range", f.Name, b.Name, i, t)
+				}
+			}
+			if in.Op.IsTerminator() && i != len(b.Instrs)-1 {
+				return fmt.Errorf("%s: %s.%d: %s is not last in block", f.Name, b.Name, i, in.Op)
+			}
+			if in.Dest != NoReg && int(in.Dest) >= f.NumRegs {
+				return fmt.Errorf("%s: %s.%d: dest r%d out of range", f.Name, b.Name, i, int(in.Dest))
+			}
+			for _, a := range in.Args {
+				if !a.IsImm && int(a.Reg) >= f.NumRegs {
+					return fmt.Errorf("%s: %s.%d: operand r%d out of range", f.Name, b.Name, i, int(a.Reg))
+				}
+			}
+		}
+	}
+	if err := verifyDefinedBeforeUse(f); err != nil {
+		return err
+	}
+	return verifyDepths(f)
+}
+
+// verifyDefinedBeforeUse runs a forward must-be-defined dataflow: entry
+// defines the parameters; at joins, only registers defined on all paths
+// remain defined.
+func verifyDefinedBeforeUse(f *Func) error {
+	n := len(f.Blocks)
+	defIn := make([]map[Reg]bool, n)
+	full := func() map[Reg]bool {
+		m := make(map[Reg]bool, f.NumRegs)
+		for r := 0; r < f.NumRegs; r++ {
+			m[Reg(r)] = true
+		}
+		return m
+	}
+	for i := range defIn {
+		defIn[i] = full() // top: everything defined (intersection semantics)
+	}
+	entry := make(map[Reg]bool, f.NumParams)
+	for r := 0; r < f.NumParams; r++ {
+		entry[Reg(r)] = true
+	}
+	defIn[0] = entry
+
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range f.Blocks {
+			cur := make(map[Reg]bool, len(defIn[b.Index]))
+			for r := range defIn[b.Index] {
+				cur[r] = true
+			}
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				for _, a := range in.Args {
+					if !a.IsImm && !cur[a.Reg] {
+						return fmt.Errorf("%s: %s.%d: r%d used before defined on some path",
+							f.Name, b.Name, i, int(a.Reg))
+					}
+				}
+				if in.Dest != NoReg {
+					cur[in.Dest] = true
+				}
+			}
+			for _, s := range b.Succs {
+				if s == 0 {
+					continue // entry's defIn is fixed to the parameters
+				}
+				// Intersect.
+				before := len(defIn[s])
+				for r := range defIn[s] {
+					if !cur[r] {
+						delete(defIn[s], r)
+					}
+				}
+				if len(defIn[s]) != before {
+					changed = true
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// verifyDepths ensures the lock depth and durable depth are the same at a
+// block's entry regardless of the path taken, so FASE inference is
+// well-defined (§IV-A assumes FASEs are confined to a single function).
+func verifyDepths(f *Func) error {
+	type depth struct{ lock, dur int }
+	in := make([]depth, len(f.Blocks))
+	seen := make([]bool, len(f.Blocks))
+	seen[0] = true
+	work := []int{0}
+	for len(work) > 0 {
+		bi := work[len(work)-1]
+		work = work[:len(work)-1]
+		d := in[bi]
+		for i, instr := range f.Blocks[bi].Instrs {
+			switch instr.Op {
+			case OpLock:
+				d.lock++
+			case OpUnlock:
+				d.lock--
+				if d.lock < 0 {
+					return fmt.Errorf("%s: %s.%d: unlock below depth 0", f.Name, f.Blocks[bi].Name, i)
+				}
+			case OpBeginDur:
+				d.dur++
+			case OpEndDur:
+				d.dur--
+				if d.dur < 0 {
+					return fmt.Errorf("%s: %s.%d: end_durable below depth 0", f.Name, f.Blocks[bi].Name, i)
+				}
+			case OpRet:
+				if d.lock != 0 || d.dur != 0 {
+					return fmt.Errorf("%s: %s.%d: return inside a FASE (lock=%d durable=%d)",
+						f.Name, f.Blocks[bi].Name, i, d.lock, d.dur)
+				}
+			}
+		}
+		for _, s := range f.Blocks[bi].Succs {
+			if !seen[s] {
+				seen[s] = true
+				in[s] = d
+				work = append(work, s)
+			} else if in[s] != d {
+				return fmt.Errorf("%s: block %s entered with inconsistent FASE depth (%v vs %v)",
+					f.Name, f.Blocks[s].Name, in[s], d)
+			}
+		}
+	}
+	return nil
+}

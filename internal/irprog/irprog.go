@@ -1,0 +1,550 @@
+// Package irprog contains the benchmark kernels of §V-B written in the
+// mini-IR: the locking Treiber-style stack, the two-lock Michael–Scott
+// queue, the hand-over-hand ordered list, the hash map built from ordered
+// lists, and simplified Memcached/Redis get/set paths. These are the
+// programs the iDO compiler instruments and the VM executes to produce
+// the Fig. 8 region statistics and the crash-recovery validation that the
+// paper obtains with Pin on native binaries.
+//
+// Memory layouts (all offsets in bytes):
+//
+//	stack header:  [0]=lock holder [8]=top
+//	stack node:    [0]=value       [8]=next
+//	queue header:  [0]=headLock [8]=tailLock [16]=head [24]=tail
+//	queue node:    [0]=value [8]=next
+//	list node:     [0]=key [8]=value [16]=next [24]=lock holder
+//	               (the list header is a sentinel node with key 0)
+//	hashmap:       [0]=nbuckets, [8+i*8]=bucket list header (sentinel)
+//	kv table:      [0]=lock holder [8]=nbuckets [16+i*8]=bucket head
+//	kv node:       [0]=key [8]=value [16]=next
+package irprog
+
+import (
+	"fmt"
+
+	"github.com/ido-nvm/ido/internal/compile"
+	"github.com/ido-nvm/ido/internal/ir"
+	"github.com/ido-nvm/ido/internal/locks"
+	"github.com/ido-nvm/ido/internal/region"
+)
+
+// Source is the complete IR program text.
+const Source = stackSrc + queueSrc + listSrc + mapSrc + kvSrc
+
+const stackSrc = `
+func stack_push 2 {
+entry:
+  lk = load r0 0
+  lock lk
+  top = load r0 8
+  node = alloc 16
+  store node 0 r1
+  store node 8 top
+  store r0 8 node
+  unlock lk
+  ret
+}
+
+func stack_pop 1 {
+entry:
+  lk = load r0 0
+  lock lk
+  top = load r0 8
+  c = ne top 0
+  br c take out
+take:
+  nxt = load top 8
+  store r0 8 nxt
+  jmp out
+out:
+  unlock lk
+  ret top
+}
+`
+
+const queueSrc = `
+func queue_enq 2 {
+entry:
+  tlk = load r0 8
+  lock tlk
+  node = alloc 16
+  store node 0 r1
+  store node 8 0
+  tail = load r0 24
+  store tail 8 node
+  store r0 24 node
+  unlock tlk
+  ret
+}
+
+func queue_deq 1 {
+entry:
+  hlk = load r0 0
+  lock hlk
+  dummy = load r0 16
+  first = load dummy 8
+  c = ne first 0
+  br c take empty
+take:
+  v = load first 0
+  store r0 16 first
+  unlock hlk
+  ret 1 v
+empty:
+  unlock hlk
+  ret 0 0
+}
+`
+
+const listSrc = `
+func list_insert 3 {
+entry:
+  plk = load r0 24
+  lock plk
+  prev = mov r0
+  cur = load prev 16
+  jmp scan
+scan:
+  c = eq cur 0
+  br c append check
+check:
+  clk = load cur 24
+  lock clk
+  k = load cur 0
+  g = ge k r1
+  br g found advance
+advance:
+  unlock plk
+  plk = mov clk
+  prev = mov cur
+  cur = load cur 16
+  jmp scan
+found:
+  e = eq k r1
+  br e update insert
+update:
+  store cur 8 r2
+  unlock clk
+  unlock plk
+  ret
+insert:
+  node = alloc 32
+  nlk = newlock
+  store node 0 r1
+  store node 8 r2
+  store node 16 cur
+  store node 24 nlk
+  store prev 16 node
+  unlock clk
+  unlock plk
+  ret
+append:
+  node = alloc 32
+  nlk = newlock
+  store node 0 r1
+  store node 8 r2
+  store node 16 0
+  store node 24 nlk
+  store prev 16 node
+  unlock plk
+  ret
+}
+
+func list_get 2 {
+entry:
+  plk = load r0 24
+  lock plk
+  prev = mov r0
+  cur = load prev 16
+  jmp scan
+scan:
+  c = eq cur 0
+  br c miss check
+check:
+  clk = load cur 24
+  lock clk
+  k = load cur 0
+  g = ge k r1
+  br g found advance
+advance:
+  unlock plk
+  plk = mov clk
+  prev = mov cur
+  cur = load cur 16
+  jmp scan
+found:
+  e = eq k r1
+  br e hit missboth
+hit:
+  v = load cur 8
+  unlock clk
+  unlock plk
+  ret 1 v
+missboth:
+  unlock clk
+  unlock plk
+  ret 0 0
+miss:
+  unlock plk
+  ret 0 0
+}
+`
+
+const mapSrc = `
+func map_put 3 {
+entry:
+  n = load r0 0
+  h = mod r1 n
+  o = mul h 8
+  ha = add r0 8
+  ba = add ha o
+  bucket = load ba 0
+  plk = load bucket 24
+  lock plk
+  prev = mov bucket
+  cur = load prev 16
+  jmp scan
+scan:
+  c = eq cur 0
+  br c append check
+check:
+  clk = load cur 24
+  lock clk
+  k = load cur 0
+  g = ge k r1
+  br g found advance
+advance:
+  unlock plk
+  plk = mov clk
+  prev = mov cur
+  cur = load cur 16
+  jmp scan
+found:
+  e = eq k r1
+  br e update insert
+update:
+  store cur 8 r2
+  unlock clk
+  unlock plk
+  ret
+insert:
+  node = alloc 32
+  nlk = newlock
+  store node 0 r1
+  store node 8 r2
+  store node 16 cur
+  store node 24 nlk
+  store prev 16 node
+  unlock clk
+  unlock plk
+  ret
+append:
+  node = alloc 32
+  nlk = newlock
+  store node 0 r1
+  store node 8 r2
+  store node 16 0
+  store node 24 nlk
+  store prev 16 node
+  unlock plk
+  ret
+}
+
+func map_get 2 {
+entry:
+  n = load r0 0
+  h = mod r1 n
+  o = mul h 8
+  ha = add r0 8
+  ba = add ha o
+  bucket = load ba 0
+  plk = load bucket 24
+  lock plk
+  prev = mov bucket
+  cur = load prev 16
+  jmp scan
+scan:
+  c = eq cur 0
+  br c miss check
+check:
+  clk = load cur 24
+  lock clk
+  k = load cur 0
+  g = ge k r1
+  br g found advance
+advance:
+  unlock plk
+  plk = mov clk
+  prev = mov cur
+  cur = load cur 16
+  jmp scan
+found:
+  e = eq k r1
+  br e hit missboth
+hit:
+  v = load cur 8
+  unlock clk
+  unlock plk
+  ret 1 v
+missboth:
+  unlock clk
+  unlock plk
+  ret 0 0
+miss:
+  unlock plk
+  ret 0 0
+}
+`
+
+const kvSrc = `
+func mc_set 3 {
+entry:
+  glk = load r0 0
+  lock glk
+  n = load r0 8
+  h = mod r1 n
+  o = mul h 8
+  ha = add r0 16
+  ba = add ha o
+  cur = load ba 0
+  jmp scan
+scan:
+  c = eq cur 0
+  br c insert check
+check:
+  k = load cur 0
+  e = eq k r1
+  br e update next
+next:
+  cur = load cur 16
+  jmp scan
+update:
+  store cur 8 r2
+  unlock glk
+  ret
+insert:
+  node = alloc 24
+  head = load ba 0
+  store node 0 r1
+  store node 8 r2
+  store node 16 head
+  store ba 0 node
+  unlock glk
+  ret
+}
+
+func mc_get 2 {
+entry:
+  glk = load r0 0
+  lock glk
+  n = load r0 8
+  h = mod r1 n
+  o = mul h 8
+  ha = add r0 16
+  ba = add ha o
+  cur = load ba 0
+  jmp scan
+scan:
+  c = eq cur 0
+  br c miss check
+check:
+  k = load cur 0
+  e = eq k r1
+  br e hit next
+next:
+  cur = load cur 16
+  jmp scan
+hit:
+  v = load cur 8
+  unlock glk
+  ret 1 v
+miss:
+  unlock glk
+  ret 0 0
+}
+
+func redis_set 3 {
+entry:
+  begin_durable
+  n = load r0 8
+  h = mod r1 n
+  o = mul h 8
+  ha = add r0 16
+  ba = add ha o
+  cur = load ba 0
+  jmp scan
+scan:
+  c = eq cur 0
+  br c insert check
+check:
+  k = load cur 0
+  e = eq k r1
+  br e update next
+next:
+  cur = load cur 16
+  jmp scan
+update:
+  store cur 8 r2
+  end_durable
+  ret
+insert:
+  node = alloc 24
+  head = load ba 0
+  store node 0 r1
+  store node 8 r2
+  store node 16 head
+  store ba 0 node
+  end_durable
+  ret
+}
+
+func redis_get 2 {
+entry:
+  n = load r0 8
+  h = mod r1 n
+  o = mul h 8
+  ha = add r0 16
+  ba = add ha o
+  cur = load ba 0
+  jmp scan
+scan:
+  c = eq cur 0
+  br c miss check
+check:
+  k = load cur 0
+  e = eq k r1
+  br e hit next
+next:
+  cur = load cur 16
+  jmp scan
+hit:
+  v = load cur 8
+  ret 1 v
+miss:
+  ret 0 0
+}
+`
+
+// Compile parses and compiles the whole kernel program.
+func Compile(cfg compile.Config) (*compile.Compiled, error) {
+	prog, err := ir.Parse(Source)
+	if err != nil {
+		return nil, fmt.Errorf("irprog: %w", err)
+	}
+	return compile.Program(prog, cfg)
+}
+
+// NewStack lays out a stack header in reg and returns its address.
+func NewStack(reg *region.Region, lm *locks.Manager) (uint64, error) {
+	l, err := lm.Create()
+	if err != nil {
+		return 0, err
+	}
+	hdr, err := reg.Alloc.Alloc(16)
+	if err != nil {
+		return 0, err
+	}
+	reg.Dev.Store64(hdr, l.Holder())
+	reg.Dev.Store64(hdr+8, 0)
+	reg.Dev.PersistRange(hdr, 16)
+	reg.Dev.Fence()
+	return hdr, nil
+}
+
+// NewQueue lays out a two-lock queue with its dummy node.
+func NewQueue(reg *region.Region, lm *locks.Manager) (uint64, error) {
+	hl, err := lm.Create()
+	if err != nil {
+		return 0, err
+	}
+	tl, err := lm.Create()
+	if err != nil {
+		return 0, err
+	}
+	hdr, err := reg.Alloc.Alloc(32)
+	if err != nil {
+		return 0, err
+	}
+	dummy, err := reg.Alloc.Alloc(16)
+	if err != nil {
+		return 0, err
+	}
+	dev := reg.Dev
+	dev.Store64(dummy, 0)
+	dev.Store64(dummy+8, 0)
+	dev.Store64(hdr, hl.Holder())
+	dev.Store64(hdr+8, tl.Holder())
+	dev.Store64(hdr+16, dummy)
+	dev.Store64(hdr+24, dummy)
+	dev.PersistRange(dummy, 16)
+	dev.PersistRange(hdr, 32)
+	dev.Fence()
+	return hdr, nil
+}
+
+// NewList lays out an ordered-list sentinel header node.
+func NewList(reg *region.Region, lm *locks.Manager) (uint64, error) {
+	l, err := lm.Create()
+	if err != nil {
+		return 0, err
+	}
+	hdr, err := reg.Alloc.Alloc(32)
+	if err != nil {
+		return 0, err
+	}
+	dev := reg.Dev
+	dev.Store64(hdr, 0)
+	dev.Store64(hdr+8, 0)
+	dev.Store64(hdr+16, 0)
+	dev.Store64(hdr+24, l.Holder())
+	dev.PersistRange(hdr, 32)
+	dev.Fence()
+	return hdr, nil
+}
+
+// NewMap lays out a hash map of n ordered-list buckets.
+func NewMap(reg *region.Region, lm *locks.Manager, n int) (uint64, error) {
+	hdr, err := reg.Alloc.Alloc(8 + n*8)
+	if err != nil {
+		return 0, err
+	}
+	dev := reg.Dev
+	dev.Store64(hdr, uint64(n))
+	for i := 0; i < n; i++ {
+		b, err := NewList(reg, lm)
+		if err != nil {
+			return 0, err
+		}
+		dev.Store64(hdr+8+uint64(i)*8, b)
+	}
+	dev.PersistRange(hdr, uint64(8+n*8))
+	dev.Fence()
+	return hdr, nil
+}
+
+// NewKVTable lays out a coarse-locked chained table (mc_*) with n
+// buckets; pass withLock=false for the redis_* variant (single-threaded,
+// durable regions).
+func NewKVTable(reg *region.Region, lm *locks.Manager, n int, withLock bool) (uint64, error) {
+	hdr, err := reg.Alloc.Alloc(16 + n*8)
+	if err != nil {
+		return 0, err
+	}
+	dev := reg.Dev
+	holder := uint64(0)
+	if withLock {
+		l, err := lm.Create()
+		if err != nil {
+			return 0, err
+		}
+		holder = l.Holder()
+	}
+	dev.Store64(hdr, holder)
+	dev.Store64(hdr+8, uint64(n))
+	for i := 0; i < n; i++ {
+		dev.Store64(hdr+16+uint64(i)*8, 0)
+	}
+	dev.PersistRange(hdr, uint64(16+n*8))
+	dev.Fence()
+	return hdr, nil
+}

@@ -1,0 +1,432 @@
+// Package memcache implements a Memcached-1.2.4-like key-value cache on
+// persistent memory, the Fig. 5 application of the iDO paper: a chained
+// hash table plus an LRU list, protected by one coarse cache lock (the
+// locking structure that made 1.2.4 notorious for scaling to only a few
+// threads, §V-A). Keys are 16 bytes (two words), values 8 bytes, matching
+// the paper's memaslap configuration.
+//
+// Every operation is one lock-inferred FASE, annotated with iDO region
+// boundaries exactly where the compiler's hitting-set pass would cut
+// (§IV-A): after the acquire, and at each memory antidependence —
+// publishing a chain head after reading it, publishing the LRU head after
+// reading it, bumping counters after reading them. The pure-read chain
+// scans carry no cuts at all (a resumed region simply re-runs its scan),
+// and no boundary precedes the FASE's final release: the final-unlock
+// protocol fences the region's data and clears recovery_pc before the
+// mutex is handed over, so resumption only ever re-executes while the
+// lock is still privately held.
+//
+// Like real memcached, every operation also maintains stats counters
+// (cmd_get/cmd_set/get_hits) and GET touches the item's access time.
+// These read-modify-writes are antidependences, but the hitting-set
+// partition folds ALL of them into existing cuts: the counters are read
+// in the entry region and written in the already-required exit region, so
+// iDO pays zero extra boundaries while per-store loggers pay a persist
+// fence for each — a large part of the paper's Fig. 5 gap.
+//
+// Get does not move items in the LRU list, mirroring memcached's
+// ITEM_UPDATE_INTERVAL batching of LRU reordering.
+//
+// Register-slot plan for cache FASEs:
+//
+//	r0 = table  r1..r2 = key words  r3 = value  r4 = item
+//	r5 = unchain position (address of the pointer to the found item)
+//	r6 = bucket head address  r7 = scratch (LRU head / count / cmd_get)
+//	r9 = cmd_set or get-hits counter  r10 = get hit flag
+package memcache
+
+import (
+	"github.com/ido-nvm/ido/internal/locks"
+	"github.com/ido-nvm/ido/internal/persist"
+	"github.com/ido-nvm/ido/internal/region"
+)
+
+// Table layout (bytes).
+const (
+	tLock    = 0  // lock holder
+	tBuckets = 8  // bucket count (power of two)
+	tLRUHead = 16 // most recently used
+	tLRUTail = 24 // least recently used
+	tCount   = 32
+	tCmdGet  = 40 // stats: GET operations served
+	tCmdSet  = 48 // stats: SET operations served
+	tHits    = 56 // stats: GET hits
+	tArray   = 64 // bucket pointers
+)
+
+// Item layout.
+const (
+	iK0    = 0
+	iK1    = 8
+	iVal   = 16
+	iHNext = 24 // hash-chain link
+	iLPrev = 32 // LRU neighbors (toward head)
+	iLNext = 40 // (toward tail)
+	iTime  = 48 // last-access logical time (memcached's it->time)
+	iSize  = 56
+)
+
+// Region IDs (0x25 block).
+const (
+	ridBase     = 0x25 << 16
+	ridSetEntry = ridBase + 1  // after lock: bucket, scan, found/miss work
+	ridPush2    = ridBase + 3  // publish LRU head + cmd_set, release
+	ridSetIns2  = ridBase + 4  // publish the chain head
+	ridSetIns3  = ridBase + 5  // bump the count, read the LRU head
+	ridGetEntry = ridBase + 7  // after lock: counters, bucket, scan
+	ridGetRel   = ridBase + 8  // retire GET stats, touch item, release
+	ridDelEntry = ridBase + 9  // after lock: bucket, scan
+	ridDelChain = ridBase + 11 // unchain + LRU unlink + read count
+	ridDelCnt   = ridBase + 12 // decrement the count, release
+	ridEvEntry  = ridBase + 13 // eviction: read the LRU tail, scan
+)
+
+// Env bundles region and lock-manager access for the cache and its
+// resume closures.
+type Env struct {
+	Reg *region.Region
+	LM  *locks.Manager
+}
+
+// Cache is the persistent memcached-like store.
+type Cache struct {
+	env  *Env
+	tbl  uint64
+	lock *locks.Lock
+}
+
+// New creates a cache with nbuckets chains (rounded up to a power of 2).
+// Size the table near the expected item count: memcached grows its hash
+// power to keep chains around one item.
+func New(env *Env, nbuckets int) (*Cache, uint64, error) {
+	n := 1
+	for n < nbuckets {
+		n *= 2
+	}
+	l, err := env.LM.Create()
+	if err != nil {
+		return nil, 0, err
+	}
+	tbl, err := env.Reg.Alloc.Alloc(tArray + n*8)
+	if err != nil {
+		return nil, 0, err
+	}
+	dev := env.Reg.Dev
+	dev.Store64(tbl+tLock, l.Holder())
+	dev.Store64(tbl+tBuckets, uint64(n))
+	dev.PersistRange(tbl, uint64(tArray+n*8))
+	dev.Fence()
+	return &Cache{env: env, tbl: tbl, lock: l}, tbl, nil
+}
+
+// Attach reopens a cache at its table address (the recovery path).
+func Attach(env *Env, tbl uint64) *Cache {
+	return &Cache{env: env, tbl: tbl, lock: env.LM.ByHolder(env.Reg.Dev.Load64(tbl + tLock))}
+}
+
+// hash mixes a 16-byte key into a bucket index.
+func hash(k0, k1, n uint64) uint64 {
+	h := k0*0x9E3779B97F4A7C15 ^ k1
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return h & (n - 1)
+}
+
+func bucketAddr(t persist.Thread, tbl, k0, k1 uint64) uint64 {
+	n := t.Load64(tbl + tBuckets)
+	return tbl + tArray + hash(k0, k1, n)*8
+}
+
+// Set inserts or updates a key as one FASE under the cache lock.
+func (c *Cache) Set(t persist.Thread, k0, k1, v uint64) {
+	t.Lock(c.lock)
+	t.Boundary(ridSetEntry,
+		persist.RV(0, c.tbl), persist.RV(1, k0), persist.RV(2, k1), persist.RV(3, v))
+	setEntry(c.env, t, c.tbl, k0, k1, v)
+}
+
+// setEntry is region ridSetEntry: read the cmd_set counter, compute the
+// bucket, scan the chain (pure reads: no cut needed), and perform the
+// found/miss work up to the next antidependence.
+func setEntry(env *Env, t persist.Thread, tbl, k0, k1, v uint64) {
+	cs := t.Load64(tbl + tCmdSet) // stats counter, written at FASE exit
+	ba := bucketAddr(t, tbl, k0, k1)
+	hb := t.Load64(ba) // chain head, observed once
+	setScanFrom(env, t, tbl, k0, k1, v, ba, ba, hb, hb, cs)
+}
+
+// setScanFrom walks the chain starting at *pp == cur, entirely within
+// the caller's region.
+func setScanFrom(env *Env, t persist.Thread, tbl, k0, k1, v, pp, ba, hb, cur, cs uint64) {
+	for {
+		if cur == 0 {
+			// Miss: build the item in this region; publishing the chain
+			// head is the next region (it antidepends on the scan's
+			// bucket-word load).
+			item, err := env.Reg.Alloc.Alloc(iSize)
+			if err != nil {
+				panic(err)
+			}
+			t.Store64(item+iK0, k0)
+			t.Store64(item+iK1, k1)
+			t.Store64(item+iVal, v)
+			t.Store64(item+iHNext, hb)
+			t.Boundary(ridSetIns2, persist.RV(4, item), persist.RV(6, ba), persist.RV(9, cs))
+			setInsert2(env, t, tbl, item, ba, cs)
+			return
+		}
+		if t.Load64(cur+iK0) == k0 && t.Load64(cur+iK1) == k1 {
+			// Found: overwrite the value, unlink from the LRU, and read
+			// the LRU head — publishing it is the next region.
+			t.Store64(cur+iVal, v)
+			lruUnlinkStores(t, tbl, cur)
+			h := t.Load64(tbl + tLRUHead)
+			t.Boundary(ridPush2, persist.RV(4, cur), persist.RV(7, h), persist.RV(9, cs))
+			lruPush2(env, t, tbl, cur, h, cs)
+			return
+		}
+		pp = cur + iHNext
+		cur = t.Load64(pp)
+	}
+}
+
+// lruUnlinkStores detaches item from the LRU list. It loads only the
+// item's own link words (never written here) and, in the single-element
+// case, the list head — which it may then overwrite; that re-execution
+// short-circuits to the same final state, so the region stays idempotent
+// (the conservative compiler would cut here; the effect is identical).
+func lruUnlinkStores(t persist.Thread, tbl, item uint64) {
+	p := t.Load64(item + iLPrev)
+	nx := t.Load64(item + iLNext)
+	inList := p != 0 || nx != 0 || t.Load64(tbl+tLRUHead) == item
+	if !inList {
+		return
+	}
+	if p == 0 {
+		t.Store64(tbl+tLRUHead, nx)
+	} else {
+		t.Store64(p+iLNext, nx)
+	}
+	if nx == 0 {
+		t.Store64(tbl+tLRUTail, p)
+	} else {
+		t.Store64(nx+iLPrev, p)
+	}
+}
+
+// lruPush2 is region ridPush2: wire the item to the front, publish the
+// LRU head read by the previous region, retire the cmd_set counter, and
+// release. Store-only: trivially idempotent.
+func lruPush2(env *Env, t persist.Thread, tbl, item, h, cs uint64) {
+	t.Store64(item+iLPrev, 0)
+	t.Store64(item+iLNext, h)
+	if h != 0 {
+		t.Store64(h+iLPrev, item)
+	} else {
+		t.Store64(tbl+tLRUTail, item)
+	}
+	t.Store64(tbl+tLRUHead, item)
+	t.Store64(tbl+tCmdSet, cs+1)
+	release(env, t, tbl)
+}
+
+// setInsert2 is region ridSetIns2: publish the chain head and read the
+// count (bumping it antidepends, so it is the next region).
+func setInsert2(env *Env, t persist.Thread, tbl, item, ba, cs uint64) {
+	t.Store64(ba, item)
+	cnt := t.Load64(tbl + tCount)
+	t.Boundary(ridSetIns3, persist.RV(7, cnt))
+	setInsert3(env, t, tbl, item, cnt, cs)
+}
+
+// setInsert3 is region ridSetIns3: bump the count and read the LRU head.
+func setInsert3(env *Env, t persist.Thread, tbl, item, cnt, cs uint64) {
+	t.Store64(tbl+tCount, cnt+1)
+	h := t.Load64(tbl + tLRUHead)
+	t.Boundary(ridPush2, persist.RV(7, h))
+	lruPush2(env, t, tbl, item, h, cs)
+}
+
+// release performs the FASE's final unlock. No dedicated boundary
+// precedes it: the final-unlock protocol fences the region's data and
+// clears recovery_pc before the mutex is handed over.
+func release(env *Env, t persist.Thread, tbl uint64) {
+	t.Unlock(env.LM.ByHolder(env.Reg.Dev.Load64(tbl + tLock)))
+}
+
+// Get looks a key up, maintaining cmd_get/get_hits and the hit item's
+// access time exactly as memcached does.
+func (c *Cache) Get(t persist.Thread, k0, k1 uint64) (v uint64, ok bool) {
+	t.Lock(c.lock)
+	t.Boundary(ridGetEntry,
+		persist.RV(0, c.tbl), persist.RV(1, k0), persist.RV(2, k1))
+	return getEntry(c.env, t, c.tbl, k0, k1)
+}
+
+func getEntry(env *Env, t persist.Thread, tbl, k0, k1 uint64) (uint64, bool) {
+	cg := t.Load64(tbl + tCmdGet)
+	hs := t.Load64(tbl + tHits)
+	ba := bucketAddr(t, tbl, k0, k1)
+	return getScanFrom(env, t, tbl, k0, k1, ba, t.Load64(ba), cg, hs)
+}
+
+func getScanFrom(env *Env, t persist.Thread, tbl, k0, k1, pp, cur, cg, hs uint64) (uint64, bool) {
+	for {
+		if cur == 0 {
+			t.Boundary(ridGetRel,
+				persist.RV(7, cg), persist.RV(9, hs), persist.RV(10, 0))
+			getRel(env, t, tbl, 0, cg, hs, 0)
+			return 0, false
+		}
+		if t.Load64(cur+iK0) == k0 && t.Load64(cur+iK1) == k1 {
+			v := t.Load64(cur + iVal)
+			t.Boundary(ridGetRel, persist.RV(4, cur),
+				persist.RV(7, cg), persist.RV(9, hs), persist.RV(10, 1))
+			getRel(env, t, tbl, cur, cg, hs, 1)
+			return v, true
+		}
+		pp = cur + iHNext
+		cur = t.Load64(pp)
+	}
+}
+
+// getRel is region ridGetRel: retire the GET stats counters, touch the
+// hit item's access time (memcached's it->time), and release. All the
+// read-modify-write halves land here, absorbed by one cut.
+func getRel(env *Env, t persist.Thread, tbl, item, cg, hs, hit uint64) {
+	t.Store64(tbl+tCmdGet, cg+1)
+	if hit != 0 {
+		t.Store64(tbl+tHits, hs+1)
+		t.Store64(item+iTime, cg)
+	}
+	release(env, t, tbl)
+}
+
+// Delete removes a key; it reports whether the key was present. The
+// item's memory is released after the FASE completes (a crash in between
+// leaks the block rather than risking a double free on re-execution).
+func (c *Cache) Delete(t persist.Thread, k0, k1 uint64) bool {
+	t.Lock(c.lock)
+	t.Boundary(ridDelEntry,
+		persist.RV(0, c.tbl), persist.RV(1, k0), persist.RV(2, k1))
+	item, found := delEntry(c.env, t, c.tbl, k0, k1)
+	if found && item != 0 {
+		c.env.Reg.Alloc.Free(item)
+	}
+	return found
+}
+
+func delEntry(env *Env, t persist.Thread, tbl, k0, k1 uint64) (uint64, bool) {
+	ba := bucketAddr(t, tbl, k0, k1)
+	return delScanFrom(env, t, tbl, k0, k1, ba, t.Load64(ba))
+}
+
+func delScanFrom(env *Env, t persist.Thread, tbl, k0, k1, pp, cur uint64) (uint64, bool) {
+	for {
+		if cur == 0 {
+			release(env, t, tbl)
+			return 0, false
+		}
+		if t.Load64(cur+iK0) == k0 && t.Load64(cur+iK1) == k1 {
+			t.Boundary(ridDelChain, persist.RV(4, cur), persist.RV(5, pp))
+			delChain(env, t, tbl, cur, pp)
+			return cur, true
+		}
+		pp = cur + iHNext
+		cur = t.Load64(pp)
+	}
+}
+
+// delChain is region ridDelChain: unchain the item (the cut severed the
+// scan's load of pp), unlink it from the LRU, and read the count.
+func delChain(env *Env, t persist.Thread, tbl, item, pp uint64) {
+	nx := t.Load64(item + iHNext)
+	t.Store64(pp, nx)
+	lruUnlinkStores(t, tbl, item)
+	cnt := t.Load64(tbl + tCount)
+	t.Boundary(ridDelCnt, persist.RV(7, cnt))
+	delCnt(env, t, tbl, cnt)
+}
+
+// delCnt is region ridDelCnt: decrement the count and release.
+func delCnt(env *Env, t persist.Thread, tbl, cnt uint64) {
+	if cnt > 0 {
+		t.Store64(tbl+tCount, cnt-1)
+	}
+	release(env, t, tbl)
+}
+
+// EvictOne removes the LRU tail item as one FASE; it reports whether a
+// victim existed. Used by callers that bound the cache size.
+func (c *Cache) EvictOne(t persist.Thread) bool {
+	t.Lock(c.lock)
+	t.Boundary(ridEvEntry, persist.RV(0, c.tbl))
+	return evEntry(c.env, t, c.tbl)
+}
+
+// evEntry is region ridEvEntry: read the tail victim, locate its chain,
+// scan to its position, then reuse the delete regions.
+func evEntry(env *Env, t persist.Thread, tbl uint64) bool {
+	victim := t.Load64(tbl + tLRUTail)
+	if victim == 0 {
+		release(env, t, tbl)
+		return false
+	}
+	k0 := t.Load64(victim + iK0)
+	k1 := t.Load64(victim + iK1)
+	ba := bucketAddr(t, tbl, k0, k1)
+	evScanFrom(env, t, tbl, victim, ba, t.Load64(ba))
+	return true
+}
+
+func evScanFrom(env *Env, t persist.Thread, tbl, victim, pp, cur uint64) {
+	for {
+		if cur == 0 || cur == victim {
+			t.Boundary(ridDelChain, persist.RV(4, victim), persist.RV(5, pp))
+			delChain(env, t, tbl, victim, pp)
+			return
+		}
+		pp = cur + iHNext
+		cur = t.Load64(pp)
+	}
+}
+
+// Count returns the item count (unsynchronized; tests and sizing only).
+func (c *Cache) Count() uint64 { return c.env.Reg.Dev.Load64(c.tbl + tCount) }
+
+// Register installs the cache's resume entries. The register slots carry
+// every address a resumed region needs, so one registration serves all
+// caches in the region.
+func Register(rr *persist.ResumeRegistry, env *Env) {
+	rr.Register(ridSetEntry, func(t persist.Thread, rf []uint64) {
+		setEntry(env, t, rf[0], rf[1], rf[2], rf[3])
+	})
+	rr.Register(ridPush2, func(t persist.Thread, rf []uint64) {
+		lruPush2(env, t, rf[0], rf[4], rf[7], rf[9])
+	})
+	rr.Register(ridSetIns2, func(t persist.Thread, rf []uint64) {
+		setInsert2(env, t, rf[0], rf[4], rf[6], rf[9])
+	})
+	rr.Register(ridSetIns3, func(t persist.Thread, rf []uint64) {
+		setInsert3(env, t, rf[0], rf[4], rf[7], rf[9])
+	})
+	rr.Register(ridGetEntry, func(t persist.Thread, rf []uint64) {
+		getEntry(env, t, rf[0], rf[1], rf[2])
+	})
+	rr.Register(ridGetRel, func(t persist.Thread, rf []uint64) {
+		getRel(env, t, rf[0], rf[4], rf[7], rf[9], rf[10])
+	})
+	rr.Register(ridDelEntry, func(t persist.Thread, rf []uint64) {
+		delEntry(env, t, rf[0], rf[1], rf[2])
+	})
+	rr.Register(ridDelChain, func(t persist.Thread, rf []uint64) {
+		delChain(env, t, rf[0], rf[4], rf[5])
+	})
+	rr.Register(ridDelCnt, func(t persist.Thread, rf []uint64) {
+		delCnt(env, t, rf[0], rf[7])
+	})
+	rr.Register(ridEvEntry, func(t persist.Thread, rf []uint64) {
+		evEntry(env, t, rf[0])
+	})
+}

@@ -1,0 +1,257 @@
+// Package redis implements a Redis-like single-threaded key-value store
+// on persistent memory, the Fig. 6 application of the iDO paper. Redis is
+// single threaded, so failure-atomic regions are programmer-delineated
+// (BeginDurable/EndDurable) rather than lock-inferred (§V-A). The store
+// is a chained dictionary; writes (SET, DEL) run inside durable FASEs
+// annotated with iDO region boundaries, while reads (GET) run outside any
+// FASE — the paper's explanation for iDO's shrinking overhead on larger
+// databases is precisely that these read paths are idempotent and nearly
+// instrumentation-free.
+//
+// Register-slot plan: r0 = table, r1 = key, r2 = value, r3 = entry,
+// r4 = scan position (address of the pointer to the current entry),
+// r5 = scratch (count), r7 = dirty counter.
+//
+// Like real Redis, every write bumps server.dirty. The counter is read in
+// the entry region and written in the final region of the FASE, so the
+// read-modify-write antidependence is absorbed by an existing cut.
+package redis
+
+import (
+	"github.com/ido-nvm/ido/internal/persist"
+	"github.com/ido-nvm/ido/internal/region"
+)
+
+// Table layout.
+const (
+	tBuckets = 0
+	tCount   = 8
+	tDirty   = 16 // Redis's server.dirty: writes since the last snapshot
+	tArray   = 64
+)
+
+// Entry layout.
+const (
+	eKey  = 0
+	eVal  = 8
+	eNext = 16
+	eSize = 24
+)
+
+// Region IDs (0x26 block).
+const (
+	ridBase     = 0x26 << 16
+	ridSetEntry = ridBase + 1
+	ridSetUpd   = ridBase + 3 // overwrite value, retire dirty counter, end
+	ridSetIns2  = ridBase + 5
+	ridSetIns3  = ridBase + 6
+	ridEnd      = ridBase + 7 // close the durable FASE
+	ridDelEntry = ridBase + 8
+	ridDelChain = ridBase + 10
+	ridDelCnt   = ridBase + 11
+)
+
+// Env gives the store and its resume closures region access.
+type Env struct {
+	Reg *region.Region
+}
+
+// DB is the persistent dictionary.
+type DB struct {
+	env *Env
+	tbl uint64
+}
+
+// New creates a store with nbuckets chains (rounded to a power of two).
+func New(env *Env, nbuckets int) (*DB, uint64, error) {
+	n := 1
+	for n < nbuckets {
+		n *= 2
+	}
+	tbl, err := env.Reg.Alloc.Alloc(tArray + n*8)
+	if err != nil {
+		return nil, 0, err
+	}
+	dev := env.Reg.Dev
+	dev.Store64(tbl+tBuckets, uint64(n))
+	dev.PersistRange(tbl, uint64(tArray+n*8))
+	dev.Fence()
+	return &DB{env: env, tbl: tbl}, tbl, nil
+}
+
+// Attach reopens a store at its table address.
+func Attach(env *Env, tbl uint64) *DB { return &DB{env: env, tbl: tbl} }
+
+func hash(k, n uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xFF51AFD7ED558CCD
+	k ^= k >> 33
+	return k & (n - 1)
+}
+
+func bucketAddr(t persist.Thread, tbl, key uint64) uint64 {
+	n := t.Load64(tbl + tBuckets)
+	return tbl + tArray + hash(key, n)*8
+}
+
+// Set inserts or updates a key inside a programmer-delineated FASE.
+func (d *DB) Set(t persist.Thread, key, val uint64) {
+	t.BeginDurable()
+	t.Boundary(ridSetEntry,
+		persist.RV(0, d.tbl), persist.RV(1, key), persist.RV(2, val))
+	setEntry(d.env, t, d.tbl, key, val)
+}
+
+// setEntry is region ridSetEntry: compute the bucket, run the first scan
+// iteration (later iterations are back-edge regions), and do the
+// found/miss work up to the next antidependence.
+func setEntry(env *Env, t persist.Thread, tbl, key, val uint64) {
+	dr := t.Load64(tbl + tDirty)
+	ba := bucketAddr(t, tbl, key)
+	hb := t.Load64(ba)
+	setScanFrom(env, t, tbl, key, val, ba, ba, hb, hb, dr)
+}
+
+// setScanFrom walks the chain; cur == *pp was loaded by the caller.
+func setScanFrom(env *Env, t persist.Thread, tbl, key, val, pp, ba, hb, cur, dr uint64) {
+	for {
+		if cur == 0 {
+			// Miss: build the entry here; publishing the bucket head is
+			// the next region (it antidepends on this region's load).
+			entry, err := env.Reg.Alloc.Alloc(eSize)
+			if err != nil {
+				panic(err)
+			}
+			t.Store64(entry+eKey, key)
+			t.Store64(entry+eVal, val)
+			t.Store64(entry+eNext, hb)
+			t.Boundary(ridSetIns2, persist.RV(3, entry), persist.RV(6, ba), persist.RV(7, dr))
+			setInsert2(env, t, tbl, entry, ba, dr)
+			return
+		}
+		if t.Load64(cur+eKey) == key {
+			t.Boundary(ridSetUpd, persist.RV(3, cur), persist.RV(7, dr))
+			setUpdate(env, t, tbl, cur, val, dr)
+			return
+		}
+		pp = cur + eNext
+		cur = t.Load64(pp)
+	}
+}
+
+// setUpdate is region ridSetUpd: the value overwrite and the dirty-
+// counter retirement share the FASE's final region.
+func setUpdate(env *Env, t persist.Thread, tbl, entry, val, dr uint64) {
+	t.Store64(entry+eVal, val)
+	t.Store64(tbl+tDirty, dr+1)
+	end(env, t)
+}
+
+func setInsert2(env *Env, t persist.Thread, tbl, entry, ba, dr uint64) {
+	t.Store64(ba, entry)
+	cnt := t.Load64(tbl + tCount)
+	t.Boundary(ridSetIns3, persist.RV(5, cnt))
+	setInsert3(env, t, tbl, cnt, dr)
+}
+
+func setInsert3(env *Env, t persist.Thread, tbl, cnt, dr uint64) {
+	t.Store64(tbl+tCount, cnt+1)
+	t.Store64(tbl+tDirty, dr+1)
+	end(env, t)
+}
+
+func end(env *Env, t persist.Thread) { t.EndDurable() }
+
+// Get reads a key outside any FASE (persistent reads are allowed outside
+// FASEs, §II-B).
+func (d *DB) Get(t persist.Thread, key uint64) (uint64, bool) {
+	ba := bucketAddr(t, d.tbl, key)
+	for cur := t.Load64(ba); cur != 0; cur = t.Load64(cur + eNext) {
+		if t.Load64(cur+eKey) == key {
+			return t.Load64(cur + eVal), true
+		}
+	}
+	return 0, false
+}
+
+// Del removes a key inside a durable FASE; it reports presence. The
+// entry's memory is released after the FASE completes.
+func (d *DB) Del(t persist.Thread, key uint64) bool {
+	t.BeginDurable()
+	t.Boundary(ridDelEntry, persist.RV(0, d.tbl), persist.RV(1, key))
+	entry, found := delEntry(d.env, t, d.tbl, key)
+	if found && entry != 0 {
+		d.env.Reg.Alloc.Free(entry)
+	}
+	return found
+}
+
+func delEntry(env *Env, t persist.Thread, tbl, key uint64) (uint64, bool) {
+	dr := t.Load64(tbl + tDirty)
+	ba := bucketAddr(t, tbl, key)
+	return delScanFrom(env, t, tbl, key, ba, t.Load64(ba), dr)
+}
+
+func delScanFrom(env *Env, t persist.Thread, tbl, key, pp, cur, dr uint64) (uint64, bool) {
+	for {
+		if cur == 0 {
+			t.Boundary(ridEnd)
+			end(env, t)
+			return 0, false
+		}
+		if t.Load64(cur+eKey) == key {
+			t.Boundary(ridDelChain, persist.RV(3, cur), persist.RV(4, pp), persist.RV(7, dr))
+			delChain(env, t, tbl, cur, pp, dr)
+			return cur, true
+		}
+		pp = cur + eNext
+		cur = t.Load64(pp)
+	}
+}
+
+func delChain(env *Env, t persist.Thread, tbl, entry, pp, dr uint64) {
+	t.Store64(pp, t.Load64(entry+eNext))
+	cnt := t.Load64(tbl + tCount)
+	t.Boundary(ridDelCnt, persist.RV(5, cnt))
+	delCnt(env, t, tbl, cnt, dr)
+}
+
+func delCnt(env *Env, t persist.Thread, tbl, cnt, dr uint64) {
+	if cnt > 0 {
+		t.Store64(tbl+tCount, cnt-1)
+	}
+	t.Store64(tbl+tDirty, dr+1)
+	end(env, t)
+}
+
+// Count returns the entry count (no synchronization: the store is
+// single-threaded by design).
+func (d *DB) Count() uint64 { return d.env.Reg.Dev.Load64(d.tbl + tCount) }
+
+// Register installs the store's resume entries.
+func Register(rr *persist.ResumeRegistry, env *Env) {
+	rr.Register(ridSetEntry, func(t persist.Thread, rf []uint64) {
+		setEntry(env, t, rf[0], rf[1], rf[2])
+	})
+	rr.Register(ridSetUpd, func(t persist.Thread, rf []uint64) {
+		setUpdate(env, t, rf[0], rf[3], rf[2], rf[7])
+	})
+	rr.Register(ridSetIns2, func(t persist.Thread, rf []uint64) {
+		setInsert2(env, t, rf[0], rf[3], rf[6], rf[7])
+	})
+	rr.Register(ridSetIns3, func(t persist.Thread, rf []uint64) {
+		setInsert3(env, t, rf[0], rf[5], rf[7])
+	})
+	rr.Register(ridEnd, func(t persist.Thread, rf []uint64) {
+		end(env, t)
+	})
+	rr.Register(ridDelEntry, func(t persist.Thread, rf []uint64) {
+		delEntry(env, t, rf[0], rf[1])
+	})
+	rr.Register(ridDelChain, func(t persist.Thread, rf []uint64) {
+		delChain(env, t, rf[0], rf[3], rf[4], rf[7])
+	})
+	rr.Register(ridDelCnt, func(t persist.Thread, rf []uint64) {
+		delCnt(env, t, rf[0], rf[5], rf[7])
+	})
+}

@@ -1,0 +1,215 @@
+// Package nvalloc implements an nv_malloc/nv_free style allocator over a
+// range of a simulated NVM device, in the spirit of the Atlas region
+// manager that iDO reuses (§IV-C). Block headers live in NVM and are
+// persisted eagerly, so a post-crash scan can always rebuild the volatile
+// free lists; the free lists themselves are transient.
+package nvalloc
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/ido-nvm/ido/internal/nvm"
+)
+
+const (
+	headerSize = 8 // one word: size<<1 | allocated
+	minBlock   = headerSize + 8
+	allocBit   = 1
+)
+
+// Allocator hands out word-aligned blocks from [start, end) on a device.
+// All methods are safe for concurrent use.
+type Allocator struct {
+	dev        *nvm.Device
+	start, end uint64
+
+	mu   sync.Mutex
+	free map[int][]uint64 // size class (log2 bucket) -> block addrs
+
+	allocated uint64
+	nAlloc    uint64
+	nFree     uint64
+}
+
+// New formats [start, end) of dev as a fresh heap: one big free block.
+// start and end must be 8-aligned with end-start >= minBlock.
+func New(dev *nvm.Device, start, end uint64) *Allocator {
+	if start%8 != 0 || end%8 != 0 || end-start < minBlock {
+		panic(fmt.Sprintf("nvalloc: bad arena [%#x,%#x)", start, end))
+	}
+	a := &Allocator{dev: dev, start: start, end: end, free: map[int][]uint64{}}
+	a.writeHeader(start, end-start, false)
+	dev.Fence()
+	a.pushFree(start, end-start)
+	return a
+}
+
+// Attach reconstructs an allocator over an existing heap after a crash by
+// scanning block headers, the recovery path of the region manager.
+func Attach(dev *nvm.Device, start, end uint64) (*Allocator, error) {
+	if start%8 != 0 || end%8 != 0 || end-start < minBlock {
+		return nil, fmt.Errorf("nvalloc: bad arena [%#x,%#x)", start, end)
+	}
+	a := &Allocator{dev: dev, start: start, end: end, free: map[int][]uint64{}}
+	for p := start; p < end; {
+		h := dev.Load64(p)
+		size := h >> 1
+		if size < minBlock || p+size > end || size%8 != 0 {
+			return nil, fmt.Errorf("nvalloc: corrupt header at %#x: %#x", p, h)
+		}
+		if h&allocBit == 0 {
+			a.pushFree(p, size)
+		} else {
+			a.allocated += size
+		}
+		p += size
+	}
+	return a, nil
+}
+
+func (a *Allocator) pushFree(addr, size uint64) {
+	c := sizeClassFloor(size)
+	a.free[c] = append(a.free[c], addr)
+}
+
+// sizeClassFloor buckets a free block by the largest request it can serve.
+func sizeClassFloor(size uint64) int {
+	c := 0
+	for s := uint64(minBlock); s*2 <= size; s <<= 1 {
+		c++
+	}
+	return c
+}
+
+func (a *Allocator) writeHeader(addr, size uint64, allocated bool) {
+	h := size << 1
+	if allocated {
+		h |= allocBit
+	}
+	a.dev.Store64(addr, h)
+	a.dev.CLWB(addr)
+}
+
+// Alloc returns the byte address of a zeroed block with at least n usable
+// bytes, or an error when the heap is exhausted. The returned address
+// points just past the block header.
+func (a *Allocator) Alloc(n int) (uint64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("nvalloc: invalid size %d", n)
+	}
+	need := uint64(headerSize) + uint64((n+7)&^7)
+	if need < minBlock {
+		need = minBlock
+	}
+	a.mu.Lock()
+	addr, size, ok := a.takeLocked(need)
+	if !ok {
+		a.mu.Unlock()
+		return 0, fmt.Errorf("nvalloc: out of memory (want %d bytes, %d allocated of %d)",
+			need, a.allocated, a.end-a.start)
+	}
+	// Split when the remainder can hold a block.
+	if size-need >= minBlock {
+		rest := addr + need
+		a.writeHeader(rest, size-need, false)
+		a.pushFree(rest, size-need)
+		size = need
+	}
+	a.writeHeader(addr, size, true)
+	a.dev.Fence()
+	a.allocated += size
+	a.nAlloc++
+	a.mu.Unlock()
+	user := addr + headerSize
+	a.dev.Memset64(user, 0, int(size-headerSize)/8)
+	return user, nil
+}
+
+func (a *Allocator) takeLocked(need uint64) (addr, size uint64, ok bool) {
+	// A block of size s lives in class sizeClassFloor(s); any block with
+	// s >= need therefore lives in class >= sizeClassFloor(need), so
+	// starting at the floor class visits every candidate, smallest
+	// classes (and exact fits) first.
+	for c := sizeClassFloor(need); c < 64; c++ {
+		list := a.free[c]
+		for i := len(list) - 1; i >= 0; i-- {
+			p := list[i]
+			s := a.dev.Load64(p) >> 1
+			if s >= need {
+				a.free[c] = append(list[:i], list[i+1:]...)
+				return p, s, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// Free returns the block whose user address is addr to the heap.
+func (a *Allocator) Free(addr uint64) {
+	blk := addr - headerSize
+	if blk < a.start || blk >= a.end {
+		panic(fmt.Sprintf("nvalloc: Free(%#x) outside arena", addr))
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	h := a.dev.Load64(blk)
+	if h&allocBit == 0 {
+		panic(fmt.Sprintf("nvalloc: double free at %#x", addr))
+	}
+	size := h >> 1
+	a.writeHeader(blk, size, false)
+	a.dev.Fence()
+	a.allocated -= size
+	a.nFree++
+	a.pushFree(blk, size)
+}
+
+// BlockSize reports the usable byte count of the block at user address addr.
+func (a *Allocator) BlockSize(addr uint64) int {
+	h := a.dev.Load64(addr - headerSize)
+	return int(h>>1) - headerSize
+}
+
+// Stats reports allocator counters.
+type Stats struct {
+	AllocatedBytes uint64
+	ArenaBytes     uint64
+	Allocs, Frees  uint64
+}
+
+// Stats returns a snapshot of allocation counters.
+func (a *Allocator) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Stats{
+		AllocatedBytes: a.allocated,
+		ArenaBytes:     a.end - a.start,
+		Allocs:         a.nAlloc,
+		Frees:          a.nFree,
+	}
+}
+
+// CheckInvariants walks the heap verifying header chaining; used by tests
+// and the recovery path. It returns an error describing the first
+// inconsistency found.
+func (a *Allocator) CheckInvariants() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var total uint64
+	for p := a.start; p < a.end; {
+		h := a.dev.Load64(p)
+		size := h >> 1
+		if size < minBlock || size%8 != 0 || p+size > a.end {
+			return fmt.Errorf("bad header at %#x: %#x", p, h)
+		}
+		if h&allocBit != 0 {
+			total += size
+		}
+		p += size
+	}
+	if total != a.allocated {
+		return fmt.Errorf("allocated bytes drifted: walked %d, counted %d", total, a.allocated)
+	}
+	return nil
+}

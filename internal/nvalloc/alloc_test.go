@@ -1,0 +1,202 @@
+package nvalloc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ido-nvm/ido/internal/nvm"
+)
+
+func newHeap(t testing.TB, size int) (*nvm.Device, *Allocator) {
+	t.Helper()
+	d := nvm.New(nvm.Config{Size: size})
+	return d, New(d, 0, uint64(size))
+}
+
+func TestAllocZeroedAndAligned(t *testing.T) {
+	d, a := newHeap(t, 1<<16)
+	p, err := a.Alloc(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p%8 != 0 {
+		t.Fatalf("unaligned block %#x", p)
+	}
+	for i := uint64(0); i < 24; i += 8 {
+		if d.Load64(p+i) != 0 {
+			t.Fatalf("block not zeroed at +%d", i)
+		}
+	}
+	if a.BlockSize(p) < 24 {
+		t.Fatalf("BlockSize = %d, want >= 24", a.BlockSize(p))
+	}
+}
+
+func TestAllocFreeReuse(t *testing.T) {
+	_, a := newHeap(t, 1<<12)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		p, err := a.Alloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[p] = true
+		a.Free(p)
+	}
+	if len(seen) > 4 {
+		t.Fatalf("free blocks not reused: %d distinct addrs", len(seen))
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	_, a := newHeap(t, 1<<10)
+	var held []uint64
+	for {
+		p, err := a.Alloc(64)
+		if err != nil {
+			break
+		}
+		held = append(held, p)
+	}
+	if len(held) == 0 {
+		t.Fatal("no allocations succeeded")
+	}
+	// After freeing, allocation works again.
+	for _, p := range held {
+		a.Free(p)
+	}
+	if _, err := a.Alloc(64); err != nil {
+		t.Fatalf("alloc after free failed: %v", err)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	_, a := newHeap(t, 1<<12)
+	p, _ := a.Alloc(16)
+	a.Free(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	a.Free(p)
+}
+
+func TestInvalidSize(t *testing.T) {
+	_, a := newHeap(t, 1<<12)
+	if _, err := a.Alloc(0); err == nil {
+		t.Fatal("Alloc(0) succeeded")
+	}
+	if _, err := a.Alloc(-5); err == nil {
+		t.Fatal("Alloc(-5) succeeded")
+	}
+}
+
+func TestAttachAfterCrashSeesPersistedBlocks(t *testing.T) {
+	d, a := newHeap(t, 1<<14)
+	p1, _ := a.Alloc(40)
+	p2, _ := a.Alloc(40)
+	a.Free(p1)
+	// Headers are persisted eagerly, so a discard crash keeps them.
+	d.Crash(nvm.CrashDiscard, nil)
+	a2, err := Attach(d, 0, 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// p2's block must still be allocated; allocating must not return it.
+	for i := 0; i < 50; i++ {
+		p, err := a2.Alloc(40)
+		if err != nil {
+			break
+		}
+		if p == p2 {
+			t.Fatal("recovered allocator handed out a live block")
+		}
+	}
+}
+
+func TestAttachRejectsCorruptHeap(t *testing.T) {
+	d, a := newHeap(t, 1<<12)
+	if _, err := a.Alloc(16); err != nil {
+		t.Fatal(err)
+	}
+	d.Store64(0, 3) // nonsense header: size 1, allocated
+	d.CLWB(0)
+	d.Fence()
+	if _, err := Attach(d, 0, 1<<12); err == nil {
+		t.Fatal("Attach accepted a corrupt heap")
+	}
+}
+
+func TestStats(t *testing.T) {
+	_, a := newHeap(t, 1<<12)
+	p, _ := a.Alloc(16)
+	s := a.Stats()
+	if s.Allocs != 1 || s.Frees != 0 || s.AllocatedBytes == 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	a.Free(p)
+	s = a.Stats()
+	if s.Frees != 1 || s.AllocatedBytes != 0 {
+		t.Fatalf("stats after free = %+v", s)
+	}
+}
+
+func TestRandomAllocFreeInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		d := nvm.New(nvm.Config{Size: 1 << 14})
+		a := New(d, 0, 1<<14)
+		r := rand.New(rand.NewSource(seed))
+		var live []uint64
+		for op := 0; op < 300; op++ {
+			if len(live) > 0 && r.Intn(2) == 0 {
+				i := r.Intn(len(live))
+				a.Free(live[i])
+				live = append(live[:i], live[i+1:]...)
+			} else {
+				p, err := a.Alloc(8 + r.Intn(200))
+				if err == nil {
+					live = append(live, p)
+				}
+			}
+			if op%50 == 0 {
+				if err := a.CheckInvariants(); err != nil {
+					return false
+				}
+			}
+		}
+		return a.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisjointBlocksProperty(t *testing.T) {
+	// Allocated blocks never overlap.
+	d := nvm.New(nvm.Config{Size: 1 << 15})
+	a := New(d, 0, 1<<15)
+	type blk struct {
+		p uint64
+		n int
+	}
+	var live []blk
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		n := 8 + r.Intn(128)
+		p, err := a.Alloc(n)
+		if err != nil {
+			break
+		}
+		for _, b := range live {
+			if p < b.p+uint64(b.n) && b.p < p+uint64(n) {
+				t.Fatalf("overlap: [%#x,+%d) vs [%#x,+%d)", p, n, b.p, b.n)
+			}
+		}
+		live = append(live, blk{p, n})
+	}
+}

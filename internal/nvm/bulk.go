@@ -1,0 +1,110 @@
+package nvm
+
+// Bulk word transfers. These observe and update the cache exactly like
+// per-word Load64/Store64 but take the shard lock once per line, which is
+// what lets page-granularity systems (NVThreads) copy 4 KB pages without
+// paying 512 lock round trips.
+
+// ReadWords fills dst with consecutive words starting at 8-aligned addr.
+func (d *Device) ReadWords(addr uint64, dst []uint64) {
+	if len(dst) == 0 {
+		return
+	}
+	d.checkAddr(addr)
+	d.checkAddr(addr + uint64(len(dst)-1)*WordSize)
+	d.loads.Add(uint64(len(dst)))
+	i := 0
+	for i < len(dst) {
+		a := addr + uint64(i)*WordSize
+		base := a &^ (LineSize - 1)
+		wi := int((a % LineSize) / WordSize)
+		n := wordsPerLine - wi
+		if n > len(dst)-i {
+			n = len(dst) - i
+		}
+		s := d.shard(base)
+		s.mu.Lock()
+		ln := s.lines[base]
+		for k := 0; k < n; k++ {
+			if ln != nil && ln.valid&(1<<uint(wi+k)) != 0 {
+				dst[i+k] = ln.words[wi+k]
+			} else {
+				dst[i+k] = d.words[a/WordSize+uint64(k)]
+			}
+		}
+		s.mu.Unlock()
+		i += n
+	}
+}
+
+// WriteWords stores consecutive words starting at 8-aligned addr into the
+// volatile cache (dirty, unflushed), like a sequence of Store64 calls.
+func (d *Device) WriteWords(addr uint64, src []uint64) {
+	if len(src) == 0 {
+		return
+	}
+	d.checkAddr(addr)
+	d.checkAddr(addr + uint64(len(src)-1)*WordSize)
+	d.stores.Add(uint64(len(src)))
+	i := 0
+	for i < len(src) {
+		a := addr + uint64(i)*WordSize
+		base := a &^ (LineSize - 1)
+		wi := int((a % LineSize) / WordSize)
+		n := wordsPerLine - wi
+		if n > len(src)-i {
+			n = len(src) - i
+		}
+		s := d.shard(base)
+		s.mu.Lock()
+		ln := s.lines[base]
+		if ln == nil {
+			ln = &cacheLine{}
+			s.lines[base] = ln
+		}
+		for k := 0; k < n; k++ {
+			ln.words[wi+k] = src[i+k]
+			ln.valid |= 1 << uint(wi+k)
+			ln.dirty |= 1 << uint(wi+k)
+		}
+		s.mu.Unlock()
+		i += n
+	}
+}
+
+// WriteWordsNT stores consecutive words directly into the persistence
+// domain (non-temporal), invalidating any cached copies. One latency
+// charge covers each line rather than each word, modeling streaming
+// stores. A Fence is still required to order against later writes.
+func (d *Device) WriteWordsNT(addr uint64, src []uint64) {
+	if len(src) == 0 {
+		return
+	}
+	d.checkAddr(addr)
+	d.checkAddr(addr + uint64(len(src)-1)*WordSize)
+	d.ntstores.Add(uint64(len(src)))
+	extra := int(d.extraNS.Load())
+	i := 0
+	for i < len(src) {
+		a := addr + uint64(i)*WordSize
+		base := a &^ (LineSize - 1)
+		wi := int((a % LineSize) / WordSize)
+		n := wordsPerLine - wi
+		if n > len(src)-i {
+			n = len(src) - i
+		}
+		s := d.shard(base)
+		s.mu.Lock()
+		ln := s.lines[base]
+		for k := 0; k < n; k++ {
+			d.words[a/WordSize+uint64(k)] = src[i+k]
+			if ln != nil {
+				ln.valid &^= 1 << uint(wi+k)
+				ln.dirty &^= 1 << uint(wi+k)
+			}
+		}
+		s.mu.Unlock()
+		spin(d.cfg.NTStoreNS + extra)
+		i += n
+	}
+}

@@ -1,0 +1,396 @@
+// Package nvm simulates a byte-addressable nonvolatile memory device that
+// sits behind a volatile CPU cache, following the system model of the iDO
+// paper (MICRO 2018, §II-A): ordinary loads and stores hit a volatile cache
+// whose lines are written back to the persistence domain in arbitrary order;
+// programs enforce ordering with explicit write-back (CLWB) and persist
+// fence (Fence) operations; writes are atomic at 8-byte granularity.
+//
+// A crash (Crash) discards all volatile state. Depending on the crash mode,
+// dirty cache words may be lost, fully written back, or adversarially
+// written back word-by-word at random — the strongest failure adversary
+// consistent with 8-byte write atomicity.
+//
+// The device also implements the paper's NVM-latency sensitivity knob
+// (§V-E): a configurable extra delay charged after each write-back and
+// after each non-temporal store, emulated with a calibrated spin loop just
+// as Mnemosyne and Atlas emulate it with nop loops.
+package nvm
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// LineSize is the cache line size in bytes.
+const LineSize = 64
+
+// WordSize is the atomic write granularity in bytes (§II-A).
+const WordSize = 8
+
+const wordsPerLine = LineSize / WordSize
+
+// Config parameterizes a simulated device.
+type Config struct {
+	// Size is the device capacity in bytes. It is rounded up to a whole
+	// number of cache lines. Must be > 0.
+	Size int
+
+	// Shards is the number of independently locked cache shards. Zero
+	// selects a default sized for high thread counts.
+	Shards int
+
+	// FlushNS is the base cost, in nanoseconds, of one cache-line
+	// write-back (clwb/clflush reaching the memory controller).
+	FlushNS int
+
+	// FenceNS is the base cost of one persist fence (sfence waiting for
+	// outstanding write-backs).
+	FenceNS int
+
+	// NTStoreNS is the base cost of one non-temporal store.
+	NTStoreNS int
+
+	// ExtraNS is the additional NVM write latency charged after each
+	// write-back and each non-temporal store. This is the knob swept in
+	// the paper's Fig. 9 (20–2000 ns).
+	ExtraNS int
+
+	// EvictionRate, if nonzero, makes roughly one in EvictionRate stores
+	// spontaneously write back a random dirty line, modeling capacity
+	// evictions that persist data the program never flushed. Used by
+	// correctness tests; leave zero for benchmarks.
+	EvictionRate int
+}
+
+// CrashMode selects what happens to dirty (unflushed) cache words when the
+// device crashes.
+type CrashMode int
+
+const (
+	// CrashDiscard drops every dirty word: nothing unflushed survives.
+	CrashDiscard CrashMode = iota
+	// CrashRandom independently persists or drops each dirty word with
+	// probability 1/2 — arbitrary-order write-back at 8-byte atomicity.
+	CrashRandom
+	// CrashPersistAll writes every dirty word back before dying, as if
+	// the whole cache were flushed by a residual-energy mechanism.
+	CrashPersistAll
+)
+
+func (m CrashMode) String() string {
+	switch m {
+	case CrashDiscard:
+		return "discard"
+	case CrashRandom:
+		return "random"
+	case CrashPersistAll:
+		return "persist-all"
+	default:
+		return fmt.Sprintf("CrashMode(%d)", int(m))
+	}
+}
+
+// Stats reports cumulative event counts for a device.
+type Stats struct {
+	Loads     uint64 // Load64 calls
+	Stores    uint64 // Store64 calls
+	NTStores  uint64 // StoreNT calls
+	Flushes   uint64 // CLWB calls
+	Fences    uint64 // Fence calls
+	Evictions uint64 // spontaneous write-backs
+	Crashes   uint64 // Crash calls
+}
+
+type cacheLine struct {
+	words [wordsPerLine]uint64
+	// dirty and valid are per-word bitmasks: bit i covers words[i].
+	dirty uint8
+	valid uint8
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	lines map[uint64]*cacheLine // keyed by line base address
+	_     [24]byte              // pad to reduce false sharing between shards
+}
+
+// Device is a simulated NVM DIMM plus the volatile cache in front of it.
+// All exported methods are safe for concurrent use.
+type Device struct {
+	cfg    Config
+	words  []uint64 // the persistence domain
+	shards []cacheShard
+	nshard uint64
+
+	loads     atomic.Uint64
+	stores    atomic.Uint64
+	ntstores  atomic.Uint64
+	flushes   atomic.Uint64
+	fences    atomic.Uint64
+	evictions atomic.Uint64
+	crashes   atomic.Uint64
+
+	extraNS atomic.Int64 // runtime-adjustable copy of cfg.ExtraNS
+
+	evictMu  sync.Mutex
+	evictRNG *rand.Rand
+}
+
+// New creates a device. It panics if cfg.Size <= 0.
+func New(cfg Config) *Device {
+	if cfg.Size <= 0 {
+		panic("nvm: Config.Size must be positive")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 128
+	}
+	lines := (cfg.Size + LineSize - 1) / LineSize
+	d := &Device{
+		cfg:      cfg,
+		words:    make([]uint64, lines*wordsPerLine),
+		shards:   make([]cacheShard, cfg.Shards),
+		nshard:   uint64(cfg.Shards),
+		evictRNG: rand.New(rand.NewSource(0x1D0)),
+	}
+	for i := range d.shards {
+		d.shards[i].lines = make(map[uint64]*cacheLine)
+	}
+	d.extraNS.Store(int64(cfg.ExtraNS))
+	return d
+}
+
+// Size returns the device capacity in bytes.
+func (d *Device) Size() int { return len(d.words) * WordSize }
+
+// SetExtraLatency changes the added NVM write latency (ns) at run time.
+// Used by the Fig. 9 sensitivity sweep.
+func (d *Device) SetExtraLatency(ns int) { d.extraNS.Store(int64(ns)) }
+
+// ExtraLatency returns the current added NVM write latency in ns.
+func (d *Device) ExtraLatency() int { return int(d.extraNS.Load()) }
+
+func (d *Device) checkAddr(addr uint64) {
+	if addr%WordSize != 0 {
+		panic(fmt.Sprintf("nvm: misaligned address %#x", addr))
+	}
+	if addr >= uint64(len(d.words))*WordSize {
+		panic(fmt.Sprintf("nvm: address %#x out of range (size %#x)", addr, d.Size()))
+	}
+}
+
+func (d *Device) shard(lineBase uint64) *cacheShard {
+	// Mix the line index so that adjacent lines land in different shards.
+	h := lineBase / LineSize
+	h ^= h >> 7
+	h *= 0x9E3779B97F4A7C15
+	return &d.shards[(h>>32)%d.nshard]
+}
+
+// Store64 writes an 8-byte word into the volatile cache.
+func (d *Device) Store64(addr, val uint64) {
+	tickCrash()
+	d.checkAddr(addr)
+	d.stores.Add(1)
+	base := addr &^ (LineSize - 1)
+	wi := (addr % LineSize) / WordSize
+	s := d.shard(base)
+	s.mu.Lock()
+	ln := s.lines[base]
+	if ln == nil {
+		ln = &cacheLine{}
+		s.lines[base] = ln
+	}
+	ln.words[wi] = val
+	ln.valid |= 1 << wi
+	ln.dirty |= 1 << wi
+	s.mu.Unlock()
+	if r := d.cfg.EvictionRate; r > 0 {
+		d.maybeEvict(r)
+	}
+}
+
+// Load64 reads an 8-byte word, observing the cache first.
+func (d *Device) Load64(addr uint64) uint64 {
+	tickCrash()
+	d.checkAddr(addr)
+	d.loads.Add(1)
+	base := addr &^ (LineSize - 1)
+	wi := (addr % LineSize) / WordSize
+	s := d.shard(base)
+	s.mu.Lock()
+	if ln := s.lines[base]; ln != nil && ln.valid&(1<<wi) != 0 {
+		v := ln.words[wi]
+		s.mu.Unlock()
+		return v
+	}
+	v := d.words[addr/WordSize]
+	s.mu.Unlock()
+	return v
+}
+
+// StoreNT performs a non-temporal store: the word goes straight to the
+// persistence domain, bypassing (and invalidating in) the cache. Ordering
+// with respect to later stores still requires a Fence.
+func (d *Device) StoreNT(addr, val uint64) {
+	tickCrash()
+	d.checkAddr(addr)
+	d.ntstores.Add(1)
+	base := addr &^ (LineSize - 1)
+	wi := (addr % LineSize) / WordSize
+	s := d.shard(base)
+	s.mu.Lock()
+	d.words[addr/WordSize] = val
+	if ln := s.lines[base]; ln != nil {
+		ln.valid &^= 1 << wi
+		ln.dirty &^= 1 << wi
+	}
+	s.mu.Unlock()
+	spin(d.cfg.NTStoreNS + int(d.extraNS.Load()))
+}
+
+// CLWB writes back the dirty words of the cache line containing addr to
+// the persistence domain, leaving the line cached clean.
+func (d *Device) CLWB(addr uint64) {
+	tickCrash()
+	d.checkAddr(addr)
+	d.flushes.Add(1)
+	base := addr &^ (LineSize - 1)
+	s := d.shard(base)
+	s.mu.Lock()
+	if ln := s.lines[base]; ln != nil && ln.dirty != 0 {
+		d.writeBackLocked(base, ln)
+	}
+	s.mu.Unlock()
+	spin(d.cfg.FlushNS + int(d.extraNS.Load()))
+}
+
+// PersistRange issues CLWB for every line overlapping [addr, addr+n).
+// The caller must still Fence to order the write-backs.
+func (d *Device) PersistRange(addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	first := addr &^ (LineSize - 1)
+	last := (addr + n - 1) &^ (LineSize - 1)
+	for base := first; ; base += LineSize {
+		d.CLWB(base)
+		if base == last {
+			break
+		}
+	}
+}
+
+// Fence is a persist fence: all preceding write-backs are guaranteed
+// durable once it returns.
+func (d *Device) Fence() {
+	tickCrash()
+	d.fences.Add(1)
+	spin(d.cfg.FenceNS)
+}
+
+// writeBackLocked copies dirty words to the persistence domain. The
+// shard lock must be held.
+func (d *Device) writeBackLocked(base uint64, ln *cacheLine) {
+	wbase := base / WordSize
+	for i := 0; i < wordsPerLine; i++ {
+		if ln.dirty&(1<<i) != 0 {
+			d.words[wbase+uint64(i)] = ln.words[i]
+		}
+	}
+	ln.dirty = 0
+}
+
+// maybeEvict spontaneously writes back one random dirty line with
+// probability 1/rate, modeling capacity evictions.
+func (d *Device) maybeEvict(rate int) {
+	d.evictMu.Lock()
+	if d.evictRNG.Intn(rate) != 0 {
+		d.evictMu.Unlock()
+		return
+	}
+	si := d.evictRNG.Intn(len(d.shards))
+	d.evictMu.Unlock()
+	s := &d.shards[si]
+	s.mu.Lock()
+	for base, ln := range s.lines {
+		if ln.dirty != 0 {
+			d.writeBackLocked(base, ln)
+			d.evictions.Add(1)
+			break
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Crash destroys all volatile state. Dirty words are handled per mode;
+// rng drives CrashRandom and may be nil for the deterministic modes.
+// After Crash the device contains only what had (or happened to have)
+// reached the persistence domain, exactly like a machine losing power.
+func (d *Device) Crash(mode CrashMode, rng *rand.Rand) {
+	d.crashes.Add(1)
+	if mode == CrashRandom && rng == nil {
+		panic("nvm: CrashRandom requires a *rand.Rand")
+	}
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.Lock()
+		for base, ln := range s.lines {
+			switch mode {
+			case CrashPersistAll:
+				d.writeBackLocked(base, ln)
+			case CrashRandom:
+				wbase := base / WordSize
+				for w := 0; w < wordsPerLine; w++ {
+					if ln.dirty&(1<<w) != 0 && rng.Intn(2) == 0 {
+						d.words[wbase+uint64(w)] = ln.words[w]
+					}
+				}
+			case CrashDiscard:
+				// dirty words are simply lost
+			}
+		}
+		s.lines = make(map[uint64]*cacheLine)
+		s.mu.Unlock()
+	}
+}
+
+// DrainCache writes back every dirty line (a global flush). Used by
+// region snapshotting, not by the runtimes.
+func (d *Device) DrainCache() {
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.Lock()
+		for base, ln := range s.lines {
+			if ln.dirty != 0 {
+				d.writeBackLocked(base, ln)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Stats returns a snapshot of cumulative event counts.
+func (d *Device) Stats() Stats {
+	return Stats{
+		Loads:     d.loads.Load(),
+		Stores:    d.stores.Load(),
+		NTStores:  d.ntstores.Load(),
+		Flushes:   d.flushes.Load(),
+		Fences:    d.fences.Load(),
+		Evictions: d.evictions.Load(),
+		Crashes:   d.crashes.Load(),
+	}
+}
+
+// ResetStats zeroes the event counters.
+func (d *Device) ResetStats() {
+	d.loads.Store(0)
+	d.stores.Store(0)
+	d.ntstores.Store(0)
+	d.flushes.Store(0)
+	d.fences.Store(0)
+	d.evictions.Store(0)
+	d.crashes.Store(0)
+}

@@ -1,0 +1,68 @@
+package nvm
+
+import "sync/atomic"
+
+// Crash injection for native (non-VM) code: the device counts memory
+// events and, when an armed budget is exhausted, panics with CrashSignal
+// in whichever goroutine issued the event — and in every other goroutine
+// at its next device access. This is the simulation's SIGKILL: all
+// threads die, volatile state is abandoned, and the test then calls
+// Crash() to settle the persistence domain and reattaches.
+
+// CrashSignal is the panic payload of an injected crash. Harness code
+// recovers it and treats the goroutine as dead.
+type CrashSignal struct{}
+
+var (
+	injectArmed  atomic.Bool
+	injectFired  atomic.Bool
+	injectBudget atomic.Int64
+)
+
+// ArmCrash arms global crash injection with a budget of n device events;
+// a negative n disarms and clears the fired state. Injection state is
+// process-global (a crash kills every device user), which mirrors power
+// failure and keeps the hot paths to a single atomic load.
+func ArmCrash(n int64) {
+	if n < 0 {
+		injectArmed.Store(false)
+		injectFired.Store(false)
+		return
+	}
+	injectFired.Store(false)
+	injectBudget.Store(n)
+	injectArmed.Store(true)
+}
+
+// CrashArmed reports whether injection is armed.
+func CrashArmed() bool { return injectArmed.Load() }
+
+// TriggerCrash fires the injected crash immediately (injection must be
+// armed). Use this for timed kills: arm with a huge budget BEFORE
+// launching workers — so lock waiters take the crash-aware spin path —
+// then trigger at the kill time. Every goroutine dies at its next device
+// access or lock-spin check.
+func TriggerCrash() {
+	if !injectArmed.Load() {
+		panic("nvm: TriggerCrash while disarmed")
+	}
+	injectFired.Store(true)
+}
+
+// CrashFired reports whether the injected crash has gone off.
+func CrashFired() bool { return injectFired.Load() }
+
+// tickCrash consumes one event and panics when the budget is spent.
+func tickCrash() {
+	if !injectArmed.Load() {
+		return
+	}
+	if injectFired.Load() || injectBudget.Add(-1) < 0 {
+		injectFired.Store(true)
+		panic(CrashSignal{})
+	}
+}
+
+// TickCrash exposes the event hook for components that model work
+// without touching the device (e.g., lock spin loops).
+func TickCrash() { tickCrash() }

@@ -1,0 +1,59 @@
+package nvm
+
+import (
+	"sync"
+	"time"
+)
+
+// The latency model charges NVM costs by spinning, like the nop loops
+// Mnemosyne and Atlas use for their sensitivity experiments (§V-E).
+// Calibration measures how many loop iterations one nanosecond costs on
+// this machine; it runs once, lazily.
+
+var (
+	calOnce    sync.Once
+	loopsPerNS float64
+)
+
+//go:noinline
+func spinLoop(n int) uint64 {
+	var acc uint64
+	for i := 0; i < n; i++ {
+		acc += uint64(i) ^ (acc << 1)
+	}
+	return acc
+}
+
+var spinSink uint64
+
+func calibrate() {
+	const probe = 1 << 22
+	best := time.Duration(1<<62 - 1)
+	for trial := 0; trial < 3; trial++ {
+		start := time.Now()
+		spinSink += spinLoop(probe)
+		if el := time.Since(start); el < best {
+			best = el
+		}
+	}
+	if best <= 0 {
+		best = time.Nanosecond
+	}
+	loopsPerNS = float64(probe) / float64(best.Nanoseconds())
+	if loopsPerNS <= 0 {
+		loopsPerNS = 1
+	}
+}
+
+// spin busy-waits for approximately ns nanoseconds. spin(0) is free.
+func spin(ns int) {
+	if ns <= 0 {
+		return
+	}
+	calOnce.Do(calibrate)
+	spinSink += spinLoop(int(loopsPerNS * float64(ns)))
+}
+
+// SpinWait exposes the calibrated spin for other packages that model
+// fixed-cost hardware events (e.g., the VM's instruction costs).
+func SpinWait(ns int) { spin(ns) }

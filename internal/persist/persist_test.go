@@ -1,0 +1,79 @@
+package persist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResumeRegistry(t *testing.T) {
+	rr := NewResumeRegistry()
+	called := false
+	rr.Register(5, func(Thread, []uint64) { called = true })
+	fn, ok := rr.Lookup(5)
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	fn(nil, nil)
+	if !called {
+		t.Fatal("closure not invoked")
+	}
+	if _, ok := rr.Lookup(6); ok {
+		t.Fatal("phantom entry")
+	}
+	if rr.Len() != 1 {
+		t.Fatalf("len = %d", rr.Len())
+	}
+}
+
+func TestRegistryRejectsZeroAndDuplicates(t *testing.T) {
+	rr := NewResumeRegistry()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("region 0 accepted")
+			}
+		}()
+		rr.Register(0, func(Thread, []uint64) {})
+	}()
+	rr.Register(1, func(Thread, []uint64) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate accepted")
+		}
+	}()
+	rr.Register(1, func(Thread, []uint64) {})
+}
+
+func TestRuntimeStatsAdd(t *testing.T) {
+	f := func(a, b RuntimeStats) bool {
+		sum := a
+		sum.Add(&b)
+		if sum.FASEs != a.FASEs+b.FASEs || sum.Stores != a.Stores+b.Stores ||
+			sum.Regions != a.Regions+b.Regions || sum.Aborts != a.Aborts+b.Aborts ||
+			sum.LoggedEntries != a.LoggedEntries+b.LoggedEntries ||
+			sum.LoggedBytes != a.LoggedBytes+b.LoggedBytes {
+			return false
+		}
+		for i := range sum.StoresPerRegion {
+			if sum.StoresPerRegion[i] != a.StoresPerRegion[i]+b.StoresPerRegion[i] {
+				return false
+			}
+		}
+		for i := range sum.OutputsPerRegion {
+			if sum.OutputsPerRegion[i] != a.OutputsPerRegion[i]+b.OutputsPerRegion[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRV(t *testing.T) {
+	rv := RV(3, 42)
+	if rv.Reg != 3 || rv.Val != 42 {
+		t.Fatalf("RV = %+v", rv)
+	}
+}

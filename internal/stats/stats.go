@@ -1,0 +1,193 @@
+// Package stats provides the aggregation and formatting used by the
+// benchmark harness: throughput accounting, cumulative distributions for
+// the Fig. 8 histograms, and fixed-width table rendering that mirrors the
+// rows and series the paper reports.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Throughput converts an operation count and duration to Mops/s, the
+// paper's throughput unit.
+func Throughput(ops uint64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(ops) / d.Seconds() / 1e6
+}
+
+// CDF converts a histogram (bucket i = count of samples with value i;
+// the last bucket aggregates the tail) into a cumulative distribution in
+// [0, 1].
+func CDF(hist []uint64) []float64 {
+	var total uint64
+	for _, c := range hist {
+		total += c
+	}
+	out := make([]float64, len(hist))
+	if total == 0 {
+		return out
+	}
+	var run uint64
+	for i, c := range hist {
+		run += c
+		out[i] = float64(run) / float64(total)
+	}
+	return out
+}
+
+// Percentile returns the smallest bucket index at which the CDF reaches
+// p (0 < p <= 1).
+func Percentile(hist []uint64, p float64) int {
+	cdf := CDF(hist)
+	for i, v := range cdf {
+		if v >= p {
+			return i
+		}
+	}
+	return len(hist) - 1
+}
+
+// Mean returns the histogram's mean bucket value.
+func Mean(hist []uint64) float64 {
+	var total, weighted uint64
+	for i, c := range hist {
+		total += c
+		weighted += uint64(i) * c
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(weighted) / float64(total)
+}
+
+// Table renders aligned rows. The first row is the header.
+type Table struct {
+	rows [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// AddF appends a row formatting each value with the given verb.
+func (t *Table) AddF(label string, verb string, vals ...float64) {
+	row := []string{label}
+	for _, v := range vals {
+		row = append(row, fmt.Sprintf(verb, v))
+	}
+	t.AddRow(row...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	if len(t.rows) == 0 {
+		return ""
+	}
+	widths := map[int]int{}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Series is a named sequence of (x, y) points, one line of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure collects the series of one paper figure.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// Add appends a point to the named series, creating it on first use.
+func (f *Figure) Add(name string, x, y float64) {
+	for _, s := range f.Series {
+		if s.Name == name {
+			s.X = append(s.X, x)
+			s.Y = append(s.Y, y)
+			return
+		}
+	}
+	f.Series = append(f.Series, &Series{Name: name, X: []float64{x}, Y: []float64{y}})
+}
+
+// Get returns the y value of the named series at x, and whether it exists.
+func (f *Figure) Get(name string, x float64) (float64, bool) {
+	for _, s := range f.Series {
+		if s.Name != name {
+			continue
+		}
+		for i, xv := range s.X {
+			if xv == x {
+				return s.Y[i], true
+			}
+		}
+	}
+	return 0, false
+}
+
+// String renders the figure as a table: one column per distinct x, one
+// row per series.
+func (f *Figure) String() string {
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	var t Table
+	head := []string{f.Title + " (" + f.YLabel + ")"}
+	for _, x := range sorted {
+		head = append(head, trimFloat(x))
+	}
+	t.AddRow(head...)
+	for _, s := range f.Series {
+		row := []string{s.Name}
+		for _, x := range sorted {
+			if y, ok := f.Get(s.Name, x); ok {
+				row = append(row, fmt.Sprintf("%.3f", y))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+func trimFloat(x float64) string {
+	if x == float64(int64(x)) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}

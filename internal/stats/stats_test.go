@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(2_000_000, time.Second); math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("Throughput = %f", got)
+	}
+	if Throughput(100, 0) != 0 {
+		t.Fatal("zero duration should yield 0")
+	}
+}
+
+func TestCDFProperties(t *testing.T) {
+	f := func(raw []uint16) bool {
+		hist := make([]uint64, len(raw))
+		var total uint64
+		for i, v := range raw {
+			hist[i] = uint64(v)
+			total += uint64(v)
+		}
+		cdf := CDF(hist)
+		if len(cdf) != len(hist) {
+			return false
+		}
+		prev := 0.0
+		for _, v := range cdf {
+			if v < prev-1e-12 || v > 1+1e-12 {
+				return false
+			}
+			prev = v
+		}
+		if total > 0 && math.Abs(cdf[len(cdf)-1]-1.0) > 1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	cdf := CDF([]uint64{0, 0, 0})
+	for _, v := range cdf {
+		if v != 0 {
+			t.Fatal("empty histogram CDF nonzero")
+		}
+	}
+}
+
+func TestPercentileAndMean(t *testing.T) {
+	hist := []uint64{10, 0, 0, 90} // 10 at 0, 90 at 3
+	if p := Percentile(hist, 0.05); p != 0 {
+		t.Fatalf("p5 = %d", p)
+	}
+	if p := Percentile(hist, 0.5); p != 3 {
+		t.Fatalf("p50 = %d", p)
+	}
+	if m := Mean(hist); math.Abs(m-2.7) > 1e-9 {
+		t.Fatalf("mean = %f", m)
+	}
+	if Mean([]uint64{0}) != 0 {
+		t.Fatal("empty mean")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	var tb Table
+	tb.AddRow("name", "value")
+	tb.AddRow("longer-name", "x")
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "longer-name") {
+		t.Fatalf("row: %q", lines[1])
+	}
+	// Columns align: "value" starts at the same offset as "x".
+	if strings.Index(lines[0], "value") != strings.Index(lines[1], "x") {
+		t.Fatal("columns misaligned")
+	}
+	if (&Table{}).String() != "" {
+		t.Fatal("empty table should render empty")
+	}
+}
+
+func TestFigureSeriesAndLookup(t *testing.T) {
+	f := &Figure{Title: "T", YLabel: "y"}
+	f.Add("a", 1, 10)
+	f.Add("a", 2, 20)
+	f.Add("b", 1, 5)
+	if v, ok := f.Get("a", 2); !ok || v != 20 {
+		t.Fatalf("Get = %f,%v", v, ok)
+	}
+	if _, ok := f.Get("a", 3); ok {
+		t.Fatal("missing point found")
+	}
+	if _, ok := f.Get("c", 1); ok {
+		t.Fatal("missing series found")
+	}
+	out := f.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "20.000") {
+		t.Fatalf("render:\n%s", out)
+	}
+	// b has no point at x=2: rendered as '-'.
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing point not dashed:\n%s", out)
+	}
+}
+
+func TestAddF(t *testing.T) {
+	var tb Table
+	tb.AddF("row", "%.1f", 1.25, 2.5)
+	if !strings.Contains(tb.String(), "1.2") {
+		t.Fatalf("AddF: %q", tb.String())
+	}
+}

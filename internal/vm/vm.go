@@ -1,0 +1,773 @@
+// Package vm interprets compiled mini-IR programs against simulated NVM,
+// providing what the paper gets from native execution on real hardware:
+// the ability to crash at any instruction boundary and to resume — jump to
+// a logged program counter with a restored register file — during
+// recovery.
+//
+// Three runtime modes are implemented:
+//
+//   - ModeOrigin: no instrumentation (crash vulnerable);
+//   - ModeIDO: the iDO protocol — OpBoundary instructions log the region's
+//     input registers into fixed per-register NVM slots and advance the
+//     persistent recovery_pc with two fences; stores inside FASEs are
+//     tracked and written back at the next boundary; locks use indirect
+//     holders with a single fence (§III);
+//   - ModeJUSTDO: JUSTDO logging — every mutation of program state inside
+//     a FASE (user stores and register definitions, since JUSTDO forbids
+//     register caching) writes a ⟨pc, addr, value⟩ record that is fenced
+//     durable before the mutation, costing two fences per mutation, plus
+//     two fences per lock operation.
+//
+// Per-thread logs live in NVM; recovery walks the log list, re-acquires
+// locks through the indirect holders, restores the register file, jumps
+// to the logged location, and executes forward to the end of the FASE.
+package vm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/ido-nvm/ido/internal/compile"
+	"github.com/ido-nvm/ido/internal/ir"
+	"github.com/ido-nvm/ido/internal/locks"
+	"github.com/ido-nvm/ido/internal/nvm"
+	"github.com/ido-nvm/ido/internal/persist"
+	"github.com/ido-nvm/ido/internal/region"
+)
+
+// Mode selects the persistence runtime the VM applies.
+type Mode int
+
+// VM runtime modes.
+const (
+	ModeOrigin Mode = iota
+	ModeIDO
+	ModeJUSTDO
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeOrigin:
+		return "origin"
+	case ModeIDO:
+		return "ido"
+	case ModeJUSTDO:
+		return "justdo"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// MaxRegs bounds virtual registers per function (slot array size).
+const MaxRegs = 120
+
+// Per-thread VM log layout (64-aligned, byte offsets).
+const (
+	lNext    = 0
+	lThread  = 8
+	lPC      = 16 // iDO: region ID; JUSTDO: encoded instruction pc. 0 = idle
+	lBits    = 24 // lock_array live bitmask
+	lSP      = 32 // logged stack pointer
+	lFrame   = 40 // stack frame base
+	lJDAddr  = 48 // JUSTDO: logged store target
+	lJDVal   = 56 // JUSTDO: logged store value
+	lIntent  = 64 // JUSTDO: lock intention slot
+	lSlots   = 128
+	lLocks   = lSlots + MaxRegs*8
+	numLk    = 16
+	lStage   = lLocks + numLk*8 // two ping-pong boundary records
+	stageCap = 32
+	logSize  = lStage + 2*stageCap*16
+)
+
+// stageAt returns the base of boundary-record buffer buf (0 or 1).
+func stageAt(log uint64, buf int) uint64 { return log + lStage + uint64(buf)*stageCap*16 }
+
+// vmPack packs an iDO region ID, its boundary-record pair count, and the
+// active record buffer so one atomic pc write publishes all three
+// (compile keeps region IDs < 2^48). Records ping-pong between two
+// buffers so the record the current pc points at is never mutated.
+func vmPack(regionID uint64, n, buf int) uint64 {
+	return regionID | uint64(n)<<48 | uint64(buf)<<56
+}
+
+func vmUnpack(pc uint64) (regionID uint64, n, buf int) {
+	return pc & (1<<48 - 1), int(pc >> 48 & 0xFF), int(pc >> 56 & 1)
+}
+
+// encodePC packs an instruction location (JUSTDO pc). Bit 62 marks
+// validity so location (0,0,0) is distinguishable from "idle".
+func encodePC(fn, block, idx int) uint64 {
+	return 1<<62 | uint64(fn)<<40 | uint64(block)<<20 | uint64(idx)
+}
+
+func decodePC(pc uint64) (fn, block, idx int) {
+	return int(pc >> 40 & 0x3FFFFF), int(pc >> 20 & 0xFFFFF), int(pc & 0xFFFFF)
+}
+
+// errCrash unwinds execution when the crash budget hits zero.
+type errCrash struct{}
+
+// ErrCrashed is returned by Call and Resume when the injected crash fired.
+var ErrCrashed = fmt.Errorf("vm: injected crash")
+
+// Machine executes one compiled program on one region.
+type Machine struct {
+	Reg  *region.Region
+	LM   *locks.Manager
+	Prog *compile.Compiled
+	Mode Mode
+
+	funcNames []string
+	funcIdx   map[string]int
+
+	crashArmed  atomic.Bool
+	crashed     atomic.Bool
+	crashBudget atomic.Int64
+
+	mu      sync.Mutex
+	threads []*Thread
+	nextID  int
+
+	stats persist.RuntimeStats
+
+	// Trace collects OpPrint output for the demo tools.
+	TraceMu sync.Mutex
+	Trace   []uint64
+}
+
+// New creates a machine. The program must come from compile.Program so
+// region IDs resolve.
+func New(reg *region.Region, lm *locks.Manager, prog *compile.Compiled, mode Mode) *Machine {
+	m := &Machine{Reg: reg, LM: lm, Prog: prog, Mode: mode, funcIdx: map[string]int{}}
+	for name := range prog.Funcs {
+		m.funcNames = append(m.funcNames, name)
+	}
+	// Deterministic function numbering.
+	for i := 0; i < len(m.funcNames); i++ {
+		for j := i + 1; j < len(m.funcNames); j++ {
+			if m.funcNames[j] < m.funcNames[i] {
+				m.funcNames[i], m.funcNames[j] = m.funcNames[j], m.funcNames[i]
+			}
+		}
+	}
+	for i, n := range m.funcNames {
+		m.funcIdx[n] = i
+	}
+	m.crashBudget.Store(-1)
+	return m
+}
+
+// SetCrashBudget arms crash injection: execution aborts with ErrCrashed
+// after n more VM events (instructions and persistence protocol phases)
+// across ALL threads — once the budget is spent the whole machine is
+// "powered off" and every thread dies at its next event, including
+// threads blocked on locks. Negative disables injection.
+func (m *Machine) SetCrashBudget(n int64) {
+	if n < 0 {
+		m.crashArmed.Store(false)
+		m.crashed.Store(false)
+		return
+	}
+	m.crashed.Store(false)
+	m.crashBudget.Store(n)
+	m.crashArmed.Store(true)
+}
+
+// tick consumes one crash-budget event.
+func (m *Machine) tick() {
+	if !m.crashArmed.Load() {
+		return
+	}
+	if m.crashed.Load() || m.crashBudget.Add(-1) < 0 {
+		m.crashed.Store(true)
+		panic(errCrash{})
+	}
+}
+
+// Stats returns aggregated execution statistics (call while quiescent).
+func (m *Machine) Stats() persist.RuntimeStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := m.stats
+	for _, t := range m.threads {
+		out.Add(&t.stats)
+	}
+	return out
+}
+
+// Thread is one VM execution context with its persistent log and NVM
+// stack frame.
+type Thread struct {
+	m   *Machine
+	id  int
+	log uint64
+
+	frame, sp uint64
+	rf        [MaxRegs]uint64
+
+	lockDepth  int
+	durDepth   int
+	slots      [numLk]uint64
+	bits       uint64
+	recovering bool
+
+	dirty          []uint64
+	dirtySlots     []uint64         // JUSTDO: slot lines written outside FASEs
+	staged         []persist.RegVal // iDO: current boundary record
+	curBuf         int              // iDO: active record buffer
+	storesInRegion int
+	inRegion       bool
+
+	stats persist.RuntimeStats
+}
+
+const frameSize = 4096
+
+// NewThread registers an execution context, allocating its NVM log and
+// stack frame and linking the log into the persistent list.
+func (m *Machine) NewThread() (*Thread, error) {
+	raw, err := m.Reg.Alloc.Alloc(logSize + nvm.LineSize)
+	if err != nil {
+		return nil, fmt.Errorf("vm: allocating log: %w", err)
+	}
+	log := (raw + nvm.LineSize - 1) &^ (nvm.LineSize - 1)
+	frame, err := m.Reg.Alloc.Alloc(frameSize)
+	if err != nil {
+		return nil, fmt.Errorf("vm: allocating stack frame: %w", err)
+	}
+	dev := m.Reg.Dev
+	m.mu.Lock()
+	id := m.nextID
+	m.nextID++
+	dev.Store64(log+lThread, uint64(id))
+	dev.Store64(log+lPC, 0)
+	dev.Store64(log+lBits, 0)
+	dev.Store64(log+lFrame, frame)
+	dev.Store64(log+lNext, m.Reg.Root(region.RootIDOHead))
+	dev.PersistRange(log, logSize)
+	dev.Fence()
+	m.Reg.SetRoot(region.RootIDOHead, log)
+	t := &Thread{m: m, id: id, log: log, frame: frame, sp: frame}
+	m.threads = append(m.threads, t)
+	m.mu.Unlock()
+	return t, nil
+}
+
+// Call executes fn with the given arguments. It returns the values of a
+// ret instruction, or ErrCrashed if the injected crash fired mid-run.
+func (t *Thread) Call(fn string, args ...uint64) (rets []uint64, err error) {
+	cf, ok := t.m.Prog.Funcs[fn]
+	if !ok {
+		return nil, fmt.Errorf("vm: no function %q", fn)
+	}
+	f := cf.F
+	if f.NumRegs > MaxRegs {
+		return nil, fmt.Errorf("vm: %s uses %d registers (max %d)", fn, f.NumRegs, MaxRegs)
+	}
+	if len(args) != f.NumParams {
+		return nil, fmt.Errorf("vm: %s wants %d args, got %d", fn, f.NumParams, len(args))
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, is := r.(errCrash); is {
+				err = ErrCrashed
+				return
+			}
+			panic(r)
+		}
+	}()
+	for i, a := range args {
+		t.rf[i] = a
+	}
+	t.sp = t.frame
+	rets = t.run(f, 0, 0, -1)
+	return rets, nil
+}
+
+// run interprets f starting at (block, idx). If stopAtDepth >= 0,
+// execution stops once the FASE depth drops to stopAtDepth (the recovery
+// path: "execute to the end of the current FASE"). Returns ret values.
+func (t *Thread) run(f *ir.Func, block, idx, stopAtDepth int) []uint64 {
+	dev := t.m.Reg.Dev
+	fnIdx := t.m.funcIdx[f.Name]
+	val := func(v ir.Value) uint64 {
+		if v.IsImm {
+			return v.Imm
+		}
+		return t.rf[v.Reg]
+	}
+	for {
+		b := f.Blocks[block]
+		if idx >= len(b.Instrs) {
+			// Fall through.
+			if len(b.Succs) != 1 {
+				panic(fmt.Sprintf("vm: %s: block %s ends without terminator", f.Name, b.Name))
+			}
+			block, idx = b.Succs[0], 0
+			continue
+		}
+		in := &b.Instrs[idx]
+		t.m.tick()
+		switch in.Op {
+		case ir.OpConst:
+			t.def(f, fnIdx, block, idx, in.Dest, in.Imm)
+		case ir.OpMov:
+			t.def(f, fnIdx, block, idx, in.Dest, val(in.Args[0]))
+		case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpMod, ir.OpAnd,
+			ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr, ir.OpEq, ir.OpNe,
+			ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe:
+			t.def(f, fnIdx, block, idx, in.Dest, arith(in.Op, val(in.Args[0]), val(in.Args[1])))
+		case ir.OpLoad:
+			t.def(f, fnIdx, block, idx, in.Dest, dev.Load64(t.rf[in.Args[0].Reg]+in.Imm))
+		case ir.OpStore:
+			t.store(fnIdx, block, idx, t.rf[in.Args[0].Reg]+in.Imm, val(in.Args[1]))
+		case ir.OpAlloc:
+			p, err := t.m.Reg.Alloc.Alloc(int(val(in.Args[0])))
+			if err != nil {
+				panic(fmt.Sprintf("vm: %s: %v", f.Name, err))
+			}
+			t.def(f, fnIdx, block, idx, in.Dest, p)
+		case ir.OpNewLock:
+			l, err := t.m.LM.Create()
+			if err != nil {
+				panic(fmt.Sprintf("vm: %s: %v", f.Name, err))
+			}
+			t.def(f, fnIdx, block, idx, in.Dest, l.Holder())
+		case ir.OpSAlloc:
+			n := (val(in.Args[0]) + 7) &^ 7
+			if t.sp+n > t.frame+frameSize {
+				panic(fmt.Sprintf("vm: %s: stack overflow", f.Name))
+			}
+			p := t.sp
+			t.setSP(fnIdx, block, idx, t.sp+n)
+			t.def(f, fnIdx, block, idx, in.Dest, p)
+		case ir.OpLock:
+			t.lock(t.m.LM.ByHolder(val(in.Args[0])))
+		case ir.OpUnlock:
+			t.unlock(t.m.LM.ByHolder(val(in.Args[0])))
+			if t.depth() == stopAtDepth {
+				return nil
+			}
+		case ir.OpBeginDur:
+			if t.m.Mode == ModeJUSTDO && !t.inFASE() {
+				for _, line := range t.dirtySlots {
+					dev.CLWB(line)
+				}
+				t.dirtySlots = t.dirtySlots[:0]
+				dev.Fence()
+			}
+			t.durDepth++
+		case ir.OpEndDur:
+			t.endDurable()
+			if t.depth() == stopAtDepth {
+				return nil
+			}
+		case ir.OpBoundary:
+			t.boundary(in)
+		case ir.OpPrint:
+			t.m.TraceMu.Lock()
+			t.m.Trace = append(t.m.Trace, val(in.Args[0]))
+			t.m.TraceMu.Unlock()
+		case ir.OpBr:
+			if val(in.Args[0]) != 0 {
+				block, idx = in.Targets[0], 0
+			} else {
+				block, idx = in.Targets[1], 0
+			}
+			continue
+		case ir.OpJmp:
+			block, idx = in.Targets[0], 0
+			continue
+		case ir.OpRet:
+			out := make([]uint64, len(in.Args))
+			for i, a := range in.Args {
+				out[i] = val(a)
+			}
+			return out
+		default:
+			panic(fmt.Sprintf("vm: unhandled op %v", in.Op))
+		}
+		idx++
+	}
+}
+
+func arith(op ir.Op, a, b uint64) uint64 {
+	switch op {
+	case ir.OpAdd:
+		return a + b
+	case ir.OpSub:
+		return a - b
+	case ir.OpMul:
+		return a * b
+	case ir.OpDiv:
+		if b == 0 {
+			panic("vm: division by zero")
+		}
+		return a / b
+	case ir.OpMod:
+		if b == 0 {
+			panic("vm: division by zero")
+		}
+		return a % b
+	case ir.OpAnd:
+		return a & b
+	case ir.OpOr:
+		return a | b
+	case ir.OpXor:
+		return a ^ b
+	case ir.OpShl:
+		return a << (b & 63)
+	case ir.OpShr:
+		return a >> (b & 63)
+	case ir.OpEq:
+		return b2i(a == b)
+	case ir.OpNe:
+		return b2i(a != b)
+	case ir.OpLt:
+		return b2i(a < b)
+	case ir.OpLe:
+		return b2i(a <= b)
+	case ir.OpGt:
+		return b2i(a > b)
+	case ir.OpGe:
+		return b2i(a >= b)
+	}
+	panic("vm: not arithmetic")
+}
+
+func b2i(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (t *Thread) depth() int { return t.lockDepth + t.durDepth }
+
+func (t *Thread) inFASE() bool { return t.depth() > 0 }
+
+// def assigns a register. Under JUSTDO inside a FASE, the definition is
+// itself a logged, fenced store to the register's NVM slot — the paper's
+// "no caching of values in registers" discipline. Outside a FASE the
+// slot is still written through (unfenced); the FASE-entry lock operation
+// flushes the accumulated dirty slots inside its existing intention
+// fence, so everything a FASE reads from pre-FASE registers is already
+// in NVM when execution enters the FASE.
+func (t *Thread) def(f *ir.Func, fnIdx, block, idx int, r ir.Reg, v uint64) {
+	t.rf[r] = v
+	if t.m.Mode == ModeJUSTDO {
+		slot := t.log + lSlots + uint64(r)*8
+		if t.inFASE() {
+			t.justdoLoggedStore(encodePC(fnIdx, block, idx), slot, v)
+		} else {
+			t.m.Reg.Dev.Store64(slot, v)
+			t.trackSlot(slot)
+		}
+	}
+	_ = f
+}
+
+func (t *Thread) trackSlot(slot uint64) {
+	line := slot &^ (nvm.LineSize - 1)
+	for _, l := range t.dirtySlots {
+		if l == line {
+			return
+		}
+	}
+	t.dirtySlots = append(t.dirtySlots, line)
+}
+
+func (t *Thread) setSP(fnIdx, block, idx int, sp uint64) {
+	t.sp = sp
+	if t.m.Mode == ModeJUSTDO {
+		if t.inFASE() {
+			t.justdoLoggedStore(encodePC(fnIdx, block, idx), t.log+lSP, sp)
+		} else {
+			t.m.Reg.Dev.Store64(t.log+lSP, sp)
+			t.trackSlot(t.log + lSP)
+		}
+	}
+}
+
+// store writes persistent data under the active mode's discipline.
+func (t *Thread) store(fnIdx, block, idx int, addr, v uint64) {
+	dev := t.m.Reg.Dev
+	switch {
+	case t.m.Mode == ModeJUSTDO && t.inFASE():
+		t.justdoLoggedStore(encodePC(fnIdx, block, idx), addr, v)
+	case t.m.Mode == ModeIDO && t.inFASE():
+		dev.Store64(addr, v)
+		line := addr &^ (nvm.LineSize - 1)
+		found := false
+		for _, l := range t.dirty {
+			if l == line {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.dirty = append(t.dirty, line)
+		}
+		t.storesInRegion++
+		t.stats.Stores++
+	default:
+		dev.Store64(addr, v)
+		if t.inFASE() {
+			t.stats.Stores++
+		}
+	}
+}
+
+// justdoLoggedStore implements JUSTDO's per-mutation protocol: persist
+// ⟨pc, addr, value⟩, fence, perform the mutation, fence.
+func (t *Thread) justdoLoggedStore(pc, addr, v uint64) {
+	dev := t.m.Reg.Dev
+	dev.Store64(t.log+lPC, pc)
+	dev.Store64(t.log+lJDAddr, addr)
+	dev.Store64(t.log+lJDVal, v)
+	dev.CLWB(t.log + lPC) // pc/addr/val share the first log line
+	dev.Fence()
+	t.m.tick()
+	dev.Store64(addr, v)
+	dev.CLWB(addr)
+	dev.Fence()
+	t.stats.Stores++
+	t.stats.LoggedEntries++
+	t.stats.LoggedBytes += 24
+	t.stats.Regions++
+	t.stats.StoresPerRegion[1]++
+}
+
+// boundary implements the iDO three-step protocol for an OpBoundary.
+// Like the native runtime, the new pairs go into a staged record that is
+// published atomically with recovery_pc and folded into the fixed
+// per-register slots by the NEXT boundary, so a crash between the two
+// fences can never clobber a live-in of the still-current region.
+// (The stack pointer is staged alongside; restoring a slightly-later sp
+// merely wastes frame space, since a resumed region re-allocates its
+// stack slots afresh.)
+func (t *Thread) boundary(in *ir.Instr) {
+	if t.m.Mode != ModeIDO {
+		return
+	}
+	if len(in.Args) > stageCap {
+		panic(fmt.Sprintf("vm: boundary %#x logs %d registers (max %d)", in.Imm, len(in.Args), stageCap))
+	}
+	dev := t.m.Reg.Dev
+	// Close the ending region's statistics.
+	if t.inRegion {
+		b := t.storesInRegion
+		if b >= persist.HistStores {
+			b = persist.HistStores - 1
+		}
+		t.stats.StoresPerRegion[b]++
+		t.stats.Regions++
+	}
+	// Step 1a: fold the previous record into the fixed slots.
+	for _, s := range t.staged {
+		sa := t.log + lSlots + uint64(s.Reg)*8
+		dev.Store64(sa, s.Val)
+		dev.CLWB(sa)
+	}
+	t.staged = t.staged[:0]
+	// Step 1b: write this boundary's record into the inactive buffer
+	// (persist coalescing: pairs pack two to a line), the stack pointer,
+	// and the ending region's dirty data lines; fence.
+	buf := 1 - t.curBuf
+	sb := stageAt(t.log, buf)
+	for i, a := range in.Args {
+		dev.Store64(sb+uint64(i)*16, uint64(a.Reg))
+		dev.Store64(sb+uint64(i)*16+8, t.rf[a.Reg])
+		t.staged = append(t.staged, persist.RegVal{Reg: int(a.Reg), Val: t.rf[a.Reg]})
+	}
+	if len(in.Args) > 0 {
+		dev.PersistRange(sb, uint64(len(in.Args))*16)
+	}
+	// A single sp word suffices: within a FASE the stack pointer only
+	// grows, and resuming with a slightly-later sp merely wastes frame.
+	dev.Store64(t.log+lSP, t.sp)
+	dev.CLWB(t.log + lSP)
+	for _, line := range t.dirty {
+		dev.CLWB(line)
+	}
+	t.dirty = t.dirty[:0]
+	dev.Fence()
+	t.m.tick()
+	// Step 2: publish recovery_pc packed with record size and buffer.
+	dev.Store64(t.log+lPC, vmPack(in.Imm, len(in.Args), buf))
+	dev.CLWB(t.log + lPC)
+	dev.Fence()
+	t.curBuf = buf
+	t.stats.LoggedEntries++
+	t.stats.LoggedBytes += uint64(len(in.Args))*8 + 8
+	n := len(in.Args)
+	if n >= persist.HistOutputs {
+		n = persist.HistOutputs - 1
+	}
+	t.stats.OutputsPerRegion[n]++
+	t.storesInRegion = 0
+	t.inRegion = true
+}
+
+// acquire takes the mutex; with crash injection armed it spins so a
+// machine-wide crash also kills threads waiting on locks.
+func (t *Thread) acquire(l *locks.Lock) {
+	if !t.m.crashArmed.Load() {
+		l.Acquire()
+		return
+	}
+	for !l.TryAcquire() {
+		if t.m.crashed.Load() {
+			panic(errCrash{})
+		}
+		runtime.Gosched()
+	}
+}
+
+func (t *Thread) slotOf(holder uint64) int {
+	for i := 0; i < numLk; i++ {
+		if t.slots[i] == holder {
+			return i
+		}
+	}
+	return -1
+}
+
+// lock implements the per-mode acquire protocol.
+func (t *Thread) lock(l *locks.Lock) {
+	if t.slotOf(l.Holder()) >= 0 {
+		if !t.recovering {
+			panic("vm: recursive lock outside recovery")
+		}
+		return
+	}
+	dev := t.m.Reg.Dev
+	if t.m.Mode == ModeJUSTDO {
+		dev.Store64(t.log+lIntent, l.Holder())
+		dev.CLWB(t.log + lIntent)
+		for _, line := range t.dirtySlots {
+			dev.CLWB(line)
+		}
+		t.dirtySlots = t.dirtySlots[:0]
+		dev.Fence()
+		t.m.tick()
+	}
+	t.acquire(l)
+	slot := t.slotOf(0)
+	if slot < 0 {
+		panic("vm: lock array overflow")
+	}
+	t.slots[slot] = l.Holder()
+	t.bits |= 1 << uint(slot)
+	if t.m.Mode != ModeOrigin {
+		sa := t.log + lLocks + uint64(slot)*8
+		dev.Store64(sa, l.Holder())
+		dev.Store64(t.log+lBits, t.bits)
+		if t.m.Mode == ModeJUSTDO {
+			dev.Store64(t.log+lIntent, 0)
+		}
+		dev.CLWB(sa)
+		dev.CLWB(t.log + lBits)
+		dev.Fence()
+	}
+	t.lockDepth++
+}
+
+// unlock implements the per-mode release protocol, with the same
+// crash-ordering rules as the native runtime: at the FASE's final release
+// the data is fenced durable and recovery_pc cleared before the slot is
+// dropped and the mutex released.
+func (t *Thread) unlock(l *locks.Lock) {
+	slot := t.slotOf(l.Holder())
+	if slot < 0 {
+		if t.recovering {
+			return
+		}
+		panic("vm: unlocking a lock not held")
+	}
+	dev := t.m.Reg.Dev
+	last := t.lockDepth == 1 && t.durDepth == 0
+	if t.m.Mode == ModeJUSTDO {
+		dev.Store64(t.log+lIntent, l.Holder())
+		dev.CLWB(t.log + lIntent)
+		dev.Fence()
+		t.m.tick()
+	}
+	if last && t.m.Mode != ModeOrigin {
+		if t.m.Mode == ModeIDO {
+			if t.inRegion {
+				b := t.storesInRegion
+				if b >= persist.HistStores {
+					b = persist.HistStores - 1
+				}
+				t.stats.StoresPerRegion[b]++
+				t.stats.Regions++
+				t.inRegion = false
+				t.storesInRegion = 0
+			}
+			for _, line := range t.dirty {
+				dev.CLWB(line)
+			}
+			t.dirty = t.dirty[:0]
+			dev.Fence()
+			t.m.tick()
+		}
+		dev.Store64(t.log+lPC, 0)
+		dev.CLWB(t.log + lPC)
+		dev.Fence()
+	}
+	t.slots[slot] = 0
+	t.bits &^= 1 << uint(slot)
+	if t.m.Mode != ModeOrigin {
+		sa := t.log + lLocks + uint64(slot)*8
+		dev.Store64(sa, 0)
+		dev.Store64(t.log+lBits, t.bits)
+		if t.m.Mode == ModeJUSTDO {
+			dev.Store64(t.log+lIntent, 0)
+		}
+		dev.CLWB(sa)
+		dev.CLWB(t.log + lBits)
+		dev.Fence()
+	}
+	t.lockDepth--
+	if last {
+		t.stats.FASEs++
+	}
+	l.Release()
+}
+
+func (t *Thread) endDurable() {
+	if t.durDepth == 0 {
+		panic("vm: end_durable below depth 0")
+	}
+	dev := t.m.Reg.Dev
+	last := t.durDepth == 1 && t.lockDepth == 0
+	if last && t.m.Mode != ModeOrigin {
+		if t.m.Mode == ModeIDO {
+			if t.inRegion {
+				b := t.storesInRegion
+				if b >= persist.HistStores {
+					b = persist.HistStores - 1
+				}
+				t.stats.StoresPerRegion[b]++
+				t.stats.Regions++
+				t.inRegion = false
+				t.storesInRegion = 0
+			}
+			for _, line := range t.dirty {
+				dev.CLWB(line)
+			}
+			t.dirty = t.dirty[:0]
+			dev.Fence()
+			t.m.tick()
+		}
+		dev.Store64(t.log+lPC, 0)
+		dev.CLWB(t.log + lPC)
+		dev.Fence()
+		t.stats.FASEs++
+	}
+	t.durDepth--
+}

@@ -1,0 +1,143 @@
+// Package workload generates the request streams of §V: memaslap-style
+// uniform key workloads with configurable insert/search mixes for the
+// Memcached experiments (Fig. 5), the lru_test-style 80/20 get/put
+// power-law workload over fixed key ranges for Redis (Fig. 6), and the
+// random operation mixes of the data-structure microbenchmarks (Fig. 7).
+// Generators are deterministic per (seed, thread) so runs are repeatable
+// and threads never contend on a shared RNG, matching the paper's
+// thread-local generators.
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// OpKind classifies a generated request.
+type OpKind int
+
+// Request kinds.
+const (
+	OpInsert OpKind = iota // set / put / push / enqueue
+	OpSearch               // get / lookup / pop / dequeue
+)
+
+// Op is one generated request.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+	Val  uint64
+}
+
+// Generator produces a deterministic request stream.
+type Generator struct {
+	rng       *rand.Rand
+	insertPct int
+	keys      *keyDist
+	seq       uint64
+}
+
+type keyDist struct {
+	rangeSize uint64
+	zipf      *rand.Zipf
+}
+
+// NewUniform builds a memaslap-style generator: uniformly distributed
+// keys in [1, rangeSize], insertPct percent inserts (50 for the paper's
+// insertion-intensive mix, 10 for search-intensive).
+func NewUniform(seed int64, rangeSize uint64, insertPct int) *Generator {
+	rng := rand.New(rand.NewSource(seed))
+	return &Generator{rng: rng, insertPct: insertPct, keys: &keyDist{rangeSize: rangeSize}}
+}
+
+// NewPowerLaw builds an lru_test-style generator: zipfian keys over
+// [1, rangeSize] with the given insert percentage (20 for the paper's
+// 80% get / 20% put mix).
+func NewPowerLaw(seed int64, rangeSize uint64, insertPct int) *Generator {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.01, 1, rangeSize-1)
+	return &Generator{rng: rng, insertPct: insertPct, keys: &keyDist{rangeSize: rangeSize, zipf: z}}
+}
+
+// Next returns the next request.
+func (g *Generator) Next() Op {
+	g.seq++
+	var key uint64
+	if g.keys.zipf != nil {
+		key = g.keys.zipf.Uint64() + 1
+	} else {
+		key = uint64(g.rng.Int63n(int64(g.keys.rangeSize))) + 1
+	}
+	kind := OpSearch
+	if g.rng.Intn(100) < g.insertPct {
+		kind = OpInsert
+	}
+	return Op{Kind: kind, Key: key, Val: g.seq}
+}
+
+// Key16 expands a numeric key into the paper's 16-byte key encoding.
+func Key16(key uint64) []byte {
+	var b [16]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(key >> (8 * i))
+		b[8+i] = byte(0xA5 ^ b[i])
+	}
+	return b[:]
+}
+
+// Val8 expands a numeric value into the paper's 8-byte value encoding.
+func Val8(v uint64) []byte {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return b[:]
+}
+
+// ZipfSkewCheck measures the fraction of draws hitting the hottest 1% of
+// the key space — used by tests to confirm the distribution is actually
+// skewed.
+func ZipfSkewCheck(seed int64, rangeSize uint64, draws int) float64 {
+	g := NewPowerLaw(seed, rangeSize, 0)
+	hot := rangeSize / 100
+	if hot == 0 {
+		hot = 1
+	}
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if g.Next().Key <= hot {
+			hits++
+		}
+	}
+	return float64(hits) / float64(draws)
+}
+
+// Sweep describes a thread-count sweep like the paper's x axes.
+func Sweep(max int) []int {
+	out := []int{1}
+	for n := 2; n <= max; n *= 2 {
+		out = append(out, n)
+	}
+	if out[len(out)-1] != max && max > 1 {
+		out = append(out, max)
+	}
+	return out
+}
+
+// LatencyPoints returns the Fig. 9 NVM-latency sweep in nanoseconds.
+func LatencyPoints() []int { return []int{0, 20, 50, 100, 200, 500, 1000, 2000} }
+
+// GeoMean computes the geometric mean of positive values (0 for empty).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}

@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformDeterministicPerSeed(t *testing.T) {
+	a := NewUniform(7, 1000, 50)
+	b := NewUniform(7, 1000, 50)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewUniform(8, 1000, 50)
+	same := true
+	a2 := NewUniform(7, 1000, 50)
+	for i := 0; i < 20; i++ {
+		if a2.Next() != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestUniformKeyRangeAndMix(t *testing.T) {
+	g := NewUniform(1, 500, 30)
+	inserts := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		if op.Key < 1 || op.Key > 500 {
+			t.Fatalf("key %d out of range", op.Key)
+		}
+		if op.Kind == OpInsert {
+			inserts++
+		}
+	}
+	frac := float64(inserts) / n
+	if math.Abs(frac-0.30) > 0.02 {
+		t.Fatalf("insert fraction = %.3f, want ~0.30", frac)
+	}
+}
+
+func TestPowerLawIsSkewed(t *testing.T) {
+	frac := ZipfSkewCheck(3, 100_000, 50_000)
+	// The hottest 1% of keys must draw far more than 1% of accesses.
+	if frac < 0.10 {
+		t.Fatalf("hot-1%% fraction = %.3f; distribution not skewed", frac)
+	}
+	// And a uniform generator must not be skewed.
+	g := NewUniform(3, 100_000, 0)
+	hot := 0
+	for i := 0; i < 50_000; i++ {
+		if g.Next().Key <= 1000 {
+			hot++
+		}
+	}
+	if f := float64(hot) / 50_000; f > 0.05 {
+		t.Fatalf("uniform hot fraction = %.3f", f)
+	}
+}
+
+func TestKeyEncodings(t *testing.T) {
+	f := func(k uint64) bool {
+		b := Key16(k)
+		if len(b) != 16 {
+			return false
+		}
+		// Decodable: first 8 bytes are little-endian k.
+		var got uint64
+		for i := 7; i >= 0; i-- {
+			got = got<<8 | uint64(b[i])
+		}
+		v := Val8(k)
+		var gv uint64
+		for i := 7; i >= 0; i-- {
+			gv = gv<<8 | uint64(v[i])
+		}
+		return got == k && gv == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	if got := Sweep(16); len(got) != 5 || got[0] != 1 || got[4] != 16 {
+		t.Fatalf("Sweep(16) = %v", got)
+	}
+	if got := Sweep(12); got[len(got)-1] != 12 {
+		t.Fatalf("Sweep(12) = %v", got)
+	}
+	if got := Sweep(1); len(got) != 1 {
+		t.Fatalf("Sweep(1) = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Fatalf("GeoMean = %f", g)
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{1, 0}) != 0 {
+		t.Fatal("GeoMean degenerate cases")
+	}
+}
+
+func TestLatencyPointsMatchPaperRange(t *testing.T) {
+	pts := LatencyPoints()
+	if pts[0] != 0 || pts[len(pts)-1] != 2000 {
+		t.Fatalf("latency sweep = %v", pts)
+	}
+}
