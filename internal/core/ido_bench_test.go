@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/ido-nvm/ido/internal/locks"
+	"github.com/ido-nvm/ido/internal/nvm"
+	"github.com/ido-nvm/ido/internal/region"
+)
+
+// benchWorld builds a runtime and one registered thread over a device
+// large enough for wide regions.
+func benchWorld(b *testing.B, bytes int) (*region.Region, *Thread) {
+	b.Helper()
+	reg := region.Create(bytes, nvm.Config{})
+	lm := locks.NewManager(reg)
+	rt := New(DefaultConfig())
+	if err := rt.Attach(reg, lm); err != nil {
+		b.Fatal(err)
+	}
+	pt, err := rt.NewThread()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return reg, pt.(*Thread)
+}
+
+// BenchmarkRegionTrackStores measures per-store cost of dirty-line
+// tracking for regions that touch many distinct lines. The seed
+// implementation scanned the whole dirty list on every store (O(n) per
+// store, O(n²) per region), which is what this regression benchmark
+// pins down: ns/op here is per store inside one region of the given
+// width, and must stay flat as the width grows.
+func BenchmarkRegionTrackStores(b *testing.B) {
+	for _, width := range []int{8, 256, 10000} {
+		b.Run(fmt.Sprintf("lines=%d", width), func(b *testing.B) {
+			reg, t := benchWorld(b, 1<<24)
+			base, err := reg.Alloc.Alloc(width * nvm.LineSize)
+			if err != nil {
+				b.Fatal(err)
+			}
+			base = (base + nvm.LineSize - 1) &^ (nvm.LineSize - 1)
+			t.BeginDurable()
+			t.Boundary(0x1001)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// one store per distinct line, cycling over the region's
+				// working set so the dirty set holds `width` lines
+				off := uint64(i%width) * nvm.LineSize
+				t.Store64(base+off, uint64(i))
+			}
+			b.StopTimer()
+			t.EndDurable()
+		})
+	}
+}
+
+// BenchmarkRegionBoundary measures a full small-region boundary (two
+// fences, a handful of dirty lines) — the steady-state iDO hot path.
+func BenchmarkRegionBoundary(b *testing.B) {
+	reg, t := benchWorld(b, 1<<22)
+	base, err := reg.Alloc.Alloc(64 * nvm.LineSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base = (base + nvm.LineSize - 1) &^ (nvm.LineSize - 1)
+	t.BeginDurable()
+	t.Boundary(0x2001)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := uint64(i%32) * nvm.LineSize
+		t.Store64(base+off, uint64(i))
+		t.Store64(base+off+8, uint64(i)+1)
+		t.Boundary(0x2002)
+	}
+	b.StopTimer()
+	t.EndDurable()
+}
