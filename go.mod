@@ -1,3 +1,3 @@
 module github.com/ido-nvm/ido
 
-go 1.22
+go 1.23

@@ -1,38 +1,40 @@
 package nvm
 
 // Bulk word transfers. These observe and update the cache exactly like
-// per-word Load64/Store64 but take the shard lock once per line, which is
-// what lets page-granularity systems (NVThreads) copy 4 KB pages without
-// paying 512 lock round trips.
+// per-word Load64/Store64 but charge the per-call overhead (counter
+// stripe, line lock) once per line, which is what lets page-granularity
+// systems (NVThreads) copy 4 KB pages without paying 512 lock round
+// trips, and lets runtimes write back a whole region's dirty set in one
+// call (FlushLines).
 
 // ReadWords fills dst with consecutive words starting at 8-aligned addr.
+// Like Load64 it is lock-free: each word independently observes the
+// cached or the persistent copy.
 func (d *Device) ReadWords(addr uint64, dst []uint64) {
 	if len(dst) == 0 {
 		return
 	}
 	d.checkAddr(addr)
 	d.checkAddr(addr + uint64(len(dst)-1)*WordSize)
-	d.loads.Add(uint64(len(dst)))
+	d.count(statLoads, uint64(len(dst)))
 	i := 0
 	for i < len(dst) {
 		a := addr + uint64(i)*WordSize
-		base := a &^ (LineSize - 1)
-		wi := int((a % LineSize) / WordSize)
-		n := wordsPerLine - wi
+		li := a >> lineShift
+		wi := a >> wordShift & (wordsPerLine - 1)
+		n := int(wordsPerLine - wi)
 		if n > len(dst)-i {
 			n = len(dst) - i
 		}
-		s := d.shard(base)
-		s.mu.Lock()
-		ln := s.lines[base]
+		valid := d.state[li].Load() >> validShift & laneMask
+		w := a >> wordShift
 		for k := 0; k < n; k++ {
-			if ln != nil && ln.valid&(1<<uint(wi+k)) != 0 {
-				dst[i+k] = ln.words[wi+k]
+			if valid&(1<<(wi+uint64(k))) != 0 {
+				dst[i+k] = loadWord(&d.cached[w+uint64(k)])
 			} else {
-				dst[i+k] = d.words[a/WordSize+uint64(k)]
+				dst[i+k] = loadWord(&d.words[w+uint64(k)])
 			}
 		}
-		s.mu.Unlock()
 		i += n
 	}
 }
@@ -45,29 +47,24 @@ func (d *Device) WriteWords(addr uint64, src []uint64) {
 	}
 	d.checkAddr(addr)
 	d.checkAddr(addr + uint64(len(src)-1)*WordSize)
-	d.stores.Add(uint64(len(src)))
+	d.count(statStores, uint64(len(src)))
 	i := 0
 	for i < len(src) {
 		a := addr + uint64(i)*WordSize
-		base := a &^ (LineSize - 1)
-		wi := int((a % LineSize) / WordSize)
-		n := wordsPerLine - wi
+		li := a >> lineShift
+		wi := a >> wordShift & (wordsPerLine - 1)
+		n := int(wordsPerLine - wi)
 		if n > len(src)-i {
 			n = len(src) - i
 		}
-		s := d.shard(base)
-		s.mu.Lock()
-		ln := s.lines[base]
-		if ln == nil {
-			ln = &cacheLine{}
-			s.lines[base] = ln
-		}
+		var mask uint64
+		w := a >> wordShift
+		st := d.lockLine(li)
 		for k := 0; k < n; k++ {
-			ln.words[wi+k] = src[i+k]
-			ln.valid |= 1 << uint(wi+k)
-			ln.dirty |= 1 << uint(wi+k)
+			storeWord(&d.cached[w+uint64(k)], src[i+k])
+			mask |= 1 << (wi + uint64(k))
 		}
-		s.mu.Unlock()
+		d.unlockLine(li, st|mask<<validShift|mask<<dirtyShift)
 		i += n
 	}
 }
@@ -82,29 +79,49 @@ func (d *Device) WriteWordsNT(addr uint64, src []uint64) {
 	}
 	d.checkAddr(addr)
 	d.checkAddr(addr + uint64(len(src)-1)*WordSize)
-	d.ntstores.Add(uint64(len(src)))
+	d.count(statNTStores, uint64(len(src)))
 	extra := int(d.extraNS.Load())
 	i := 0
 	for i < len(src) {
 		a := addr + uint64(i)*WordSize
-		base := a &^ (LineSize - 1)
-		wi := int((a % LineSize) / WordSize)
-		n := wordsPerLine - wi
+		li := a >> lineShift
+		wi := a >> wordShift & (wordsPerLine - 1)
+		n := int(wordsPerLine - wi)
 		if n > len(src)-i {
 			n = len(src) - i
 		}
-		s := d.shard(base)
-		s.mu.Lock()
-		ln := s.lines[base]
+		var mask uint64
+		w := a >> wordShift
+		st := d.lockLine(li)
 		for k := 0; k < n; k++ {
-			d.words[a/WordSize+uint64(k)] = src[i+k]
-			if ln != nil {
-				ln.valid &^= 1 << uint(wi+k)
-				ln.dirty &^= 1 << uint(wi+k)
-			}
+			storeWord(&d.words[w+uint64(k)], src[i+k])
+			mask |= 1 << (wi + uint64(k))
 		}
-		s.mu.Unlock()
+		d.unlockLine(li, st&^(mask<<validShift|mask<<dirtyShift))
 		spin(d.cfg.NTStoreNS + extra)
 		i += n
+	}
+}
+
+// FlushLines issues a CLWB for each line base address in lines: same
+// event counts, crash-injection ticks, and latency charges as calling
+// CLWB once per entry, with the per-call overhead paid once. Runtimes use
+// it to write back a region's whole dirty set at a boundary (§III-A
+// step 1).
+func (d *Device) FlushLines(lines []uint64) {
+	if len(lines) == 0 {
+		return
+	}
+	cost := d.cfg.FlushNS + int(d.extraNS.Load())
+	for _, base := range lines {
+		tickCrash()
+		d.checkAddr(base)
+		d.count(statFlushes, 1)
+		li := base >> lineShift
+		if d.state[li].Load()&(laneMask<<dirtyShift) != 0 {
+			st := d.lockLine(li)
+			d.unlockLine(li, d.writeBack(li, st))
+		}
+		spin(cost)
 	}
 }

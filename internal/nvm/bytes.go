@@ -64,15 +64,16 @@ func (d *Device) Memset64(addr, val uint64, count int) {
 // contents are deliberately excluded.
 func (d *Device) SnapshotPersistent() []byte {
 	out := make([]byte, len(d.words)*WordSize)
-	// Lock shard-by-shard so in-flight write-backs are not torn.
-	for i := range d.shards {
-		d.shards[i].mu.Lock()
-	}
-	for i, w := range d.words {
-		binary.LittleEndian.PutUint64(out[i*WordSize:], w)
-	}
-	for i := range d.shards {
-		d.shards[i].mu.Unlock()
+	// Hold each line's lock while copying it so an in-flight write-back
+	// is never observed torn within a line.
+	for li := range d.state {
+		st := d.lockLine(uint64(li))
+		wbase := uint64(li) * (LineSize / WordSize)
+		for wi := uint64(0); wi < LineSize/WordSize; wi++ {
+			w := loadWord(&d.words[wbase+wi])
+			binary.LittleEndian.PutUint64(out[(wbase+wi)*WordSize:], w)
+		}
+		d.unlockLine(uint64(li), st)
 	}
 	return out
 }
@@ -84,13 +85,14 @@ func (d *Device) RestorePersistent(img []byte) {
 	if len(img) != d.Size() {
 		panic("nvm: snapshot size mismatch")
 	}
-	for i := range d.shards {
-		s := &d.shards[i]
-		s.mu.Lock()
-		s.lines = make(map[uint64]*cacheLine)
-		s.mu.Unlock()
-	}
-	for i := range d.words {
-		d.words[i] = binary.LittleEndian.Uint64(img[i*WordSize:])
+	for li := range d.state {
+		st := d.lockLine(uint64(li))
+		_ = st
+		wbase := uint64(li) * (LineSize / WordSize)
+		for wi := uint64(0); wi < LineSize/WordSize; wi++ {
+			v := binary.LittleEndian.Uint64(img[(wbase+wi)*WordSize:])
+			storeWord(&d.words[wbase+wi], v)
+		}
+		d.unlockLine(uint64(li), 0) // cached copies die with the old image
 	}
 }

@@ -14,13 +14,30 @@
 // (§V-E): a configurable extra delay charged after each write-back and
 // after each non-temporal store, emulated with a calibrated spin loop just
 // as Mnemosyne and Atlas emulate it with nop loops.
+//
+// # Hot-path architecture
+//
+// The cache is a flat line table preallocated at New: three arrays indexed
+// directly by word or line number — words (the persistence domain), cached
+// (the volatile copies), and one state word per line packing the line's
+// valid bitmask, dirty bitmask, and a spinlock bit. There are no maps, no
+// allocation after New, and no locks shared between lines, so simulated
+// memory traffic from different threads only meets where real cache lines
+// would (see README.md in this directory for the locking discipline and
+// the argument that crash semantics are unchanged).
+//
+// Loads are lock-free: one atomic read of the line state picks the cached
+// or the persistent copy. Stores take only their own line's lock bit.
+// Event counters are striped across padded per-goroutine-ish slots and
+// summed lazily by Stats.
 package nvm
 
 import (
 	"fmt"
 	"math/rand"
-	"sync"
+	"runtime"
 	"sync/atomic"
+	"unsafe"
 )
 
 // LineSize is the cache line size in bytes.
@@ -29,7 +46,21 @@ const LineSize = 64
 // WordSize is the atomic write granularity in bytes (§II-A).
 const WordSize = 8
 
-const wordsPerLine = LineSize / WordSize
+const (
+	wordsPerLine = LineSize / WordSize
+	lineShift    = 6 // log2(LineSize)
+	wordShift    = 3 // log2(WordSize)
+)
+
+// Per-line state word layout. Bits 0–7 are the valid mask (word i of the
+// line has a cached copy), bits 8–15 the dirty mask (cached copy not yet
+// written back), bit 16 the line spinlock. dirty ⊆ valid always holds.
+const (
+	validShift = 0
+	dirtyShift = 8
+	laneMask   = 0xFF
+	lineLock   = 1 << 16
+)
 
 // Config parameterizes a simulated device.
 type Config struct {
@@ -37,8 +68,9 @@ type Config struct {
 	// number of cache lines. Must be > 0.
 	Size int
 
-	// Shards is the number of independently locked cache shards. Zero
-	// selects a default sized for high thread counts.
+	// Shards is obsolete: the cache is a flat per-line-locked table and
+	// no longer shards. The field is retained so old configurations keep
+	// compiling; its value is ignored.
 	Shards int
 
 	// FlushNS is the base cost, in nanoseconds, of one cache-line
@@ -103,39 +135,52 @@ type Stats struct {
 	Crashes   uint64 // Crash calls
 }
 
-type cacheLine struct {
-	words [wordsPerLine]uint64
-	// dirty and valid are per-word bitmasks: bit i covers words[i].
-	dirty uint8
-	valid uint8
+// Counter indices within a statStripe.
+const (
+	statLoads = iota
+	statStores
+	statNTStores
+	statFlushes
+	statFences
+	statEvictions
+	statCrashes
+	statEvents
+)
+
+// statStripe is one padded slot of the sharded event counters: seven
+// counters plus padding so two stripes never share a cache line.
+type statStripe struct {
+	n [statEvents]uint64
+	_ [64 - statEvents*8%64]byte
 }
 
-type cacheShard struct {
-	mu    sync.Mutex
-	lines map[uint64]*cacheLine // keyed by line base address
-	_     [24]byte              // pad to reduce false sharing between shards
+// nStripes is the number of counter/RNG stripes. Power of two.
+const nStripes = 64
+
+// evictStripe is one padded lock-free eviction-sampling RNG (xorshift64).
+type evictStripe struct {
+	x uint64
+	_ [56]byte
 }
 
 // Device is a simulated NVM DIMM plus the volatile cache in front of it.
 // All exported methods are safe for concurrent use.
 type Device struct {
-	cfg    Config
-	words  []uint64 // the persistence domain
-	shards []cacheShard
-	nshard uint64
+	cfg   Config
+	limit uint64 // capacity in bytes
 
-	loads     atomic.Uint64
-	stores    atomic.Uint64
-	ntstores  atomic.Uint64
-	flushes   atomic.Uint64
-	fences    atomic.Uint64
-	evictions atomic.Uint64
-	crashes   atomic.Uint64
+	// The flat line table: words is the persistence domain, cached the
+	// volatile copies, state one lock/valid/dirty word per line. words
+	// and cached are indexed by word number (addr/8), state by line
+	// number (addr/64). All three are fully allocated at New.
+	words  []uint64
+	cached []uint64
+	state  []atomic.Uint64
+
+	stripes [nStripes]statStripe
+	evict   [nStripes]evictStripe
 
 	extraNS atomic.Int64 // runtime-adjustable copy of cfg.ExtraNS
-
-	evictMu  sync.Mutex
-	evictRNG *rand.Rand
 }
 
 // New creates a device. It panics if cfg.Size <= 0.
@@ -143,26 +188,32 @@ func New(cfg Config) *Device {
 	if cfg.Size <= 0 {
 		panic("nvm: Config.Size must be positive")
 	}
-	if cfg.Shards <= 0 {
-		cfg.Shards = 128
-	}
 	lines := (cfg.Size + LineSize - 1) / LineSize
 	d := &Device{
-		cfg:      cfg,
-		words:    make([]uint64, lines*wordsPerLine),
-		shards:   make([]cacheShard, cfg.Shards),
-		nshard:   uint64(cfg.Shards),
-		evictRNG: rand.New(rand.NewSource(0x1D0)),
+		cfg:    cfg,
+		limit:  uint64(lines) * LineSize,
+		words:  make([]uint64, lines*wordsPerLine),
+		cached: make([]uint64, lines*wordsPerLine),
+		state:  make([]atomic.Uint64, lines),
 	}
-	for i := range d.shards {
-		d.shards[i].lines = make(map[uint64]*cacheLine)
+	seed := uint64(0x1D0)
+	for i := range d.evict {
+		seed += 0x9E3779B97F4A7C15
+		z := seed
+		z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+		z = (z ^ z>>27) * 0x94D049BB133111EB
+		z ^= z >> 31
+		if z == 0 {
+			z = 1 // xorshift state must be nonzero
+		}
+		d.evict[i].x = z
 	}
 	d.extraNS.Store(int64(cfg.ExtraNS))
 	return d
 }
 
 // Size returns the device capacity in bytes.
-func (d *Device) Size() int { return len(d.words) * WordSize }
+func (d *Device) Size() int { return int(d.limit) }
 
 // SetExtraLatency changes the added NVM write latency (ns) at run time.
 // Used by the Fig. 9 sensitivity sweep.
@@ -171,63 +222,98 @@ func (d *Device) SetExtraLatency(ns int) { d.extraNS.Store(int64(ns)) }
 // ExtraLatency returns the current added NVM write latency in ns.
 func (d *Device) ExtraLatency() int { return int(d.extraNS.Load()) }
 
+// checkAddr validates alignment and bounds with a single combined branch;
+// the panics live in a cold, noinline function so the check inlines into
+// every hot path.
 func (d *Device) checkAddr(addr uint64) {
-	if addr%WordSize != 0 {
-		panic(fmt.Sprintf("nvm: misaligned address %#x", addr))
-	}
-	if addr >= uint64(len(d.words))*WordSize {
-		panic(fmt.Sprintf("nvm: address %#x out of range (size %#x)", addr, d.Size()))
+	if addr&(WordSize-1) != 0 || addr >= d.limit {
+		d.addrFault(addr)
 	}
 }
 
-func (d *Device) shard(lineBase uint64) *cacheShard {
-	// Mix the line index so that adjacent lines land in different shards.
-	h := lineBase / LineSize
-	h ^= h >> 7
-	h *= 0x9E3779B97F4A7C15
-	return &d.shards[(h>>32)%d.nshard]
+//go:noinline
+func (d *Device) addrFault(addr uint64) {
+	if addr%WordSize != 0 {
+		panic(fmt.Sprintf("nvm: misaligned address %#x", addr))
+	}
+	panic(fmt.Sprintf("nvm: address %#x out of range (size %#x)", addr, d.Size()))
+}
+
+// count adds n to one event counter on this goroutine's stripe. The
+// stripe index is derived from the caller's stack pointer, which is
+// stable enough to keep goroutines on distinct stripes without any
+// registration. Totals are exact for single-threaded histories; see
+// wordops.go for the concurrent-counting contract.
+func (d *Device) count(ev int, n uint64) {
+	var probe byte
+	h := uint64(uintptr(unsafe.Pointer(&probe))) * 0x9E3779B97F4A7C15
+	addCounter(&d.stripes[h>>58].n[ev], n)
+}
+
+// lockLine acquires line li's spinlock via fetch-OR test-and-set and
+// returns the observed state (lock bit set). Only the lock holder may
+// mutate the line's cached words or its valid/dirty masks, so the holder
+// releases by storing the complete new state word. The loop is
+// crash-aware: waiters die once an injected crash has fired, mirroring
+// the lock-spin behavior documented in inject.go.
+func (d *Device) lockLine(li uint64) uint64 {
+	s := &d.state[li]
+	for i := 0; ; i++ {
+		if st := s.Or(lineLock); st&lineLock == 0 {
+			return st | lineLock
+		}
+		// Spin on plain loads until the lock looks free; on a
+		// single-P schedule the holder needs the processor to make
+		// progress, so yield periodically.
+		for s.Load()&lineLock != 0 {
+			i++
+			if i&63 == 0 {
+				if injectArmed.Load() && injectFired.Load() {
+					panic(CrashSignal{})
+				}
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
+// unlockLine publishes st (computed by the holder, lock bit clear) as the
+// line's new state.
+func (d *Device) unlockLine(li, st uint64) {
+	d.state[li].Store(st &^ lineLock)
 }
 
 // Store64 writes an 8-byte word into the volatile cache.
 func (d *Device) Store64(addr, val uint64) {
 	tickCrash()
 	d.checkAddr(addr)
-	d.stores.Add(1)
-	base := addr &^ (LineSize - 1)
-	wi := (addr % LineSize) / WordSize
-	s := d.shard(base)
-	s.mu.Lock()
-	ln := s.lines[base]
-	if ln == nil {
-		ln = &cacheLine{}
-		s.lines[base] = ln
-	}
-	ln.words[wi] = val
-	ln.valid |= 1 << wi
-	ln.dirty |= 1 << wi
-	s.mu.Unlock()
+	d.count(statStores, 1)
+	w := addr >> wordShift
+	li := addr >> lineShift
+	wi := w & (wordsPerLine - 1)
+	st := d.lockLine(li)
+	storeWord(&d.cached[w], val)
+	d.unlockLine(li, st|1<<(validShift+wi)|1<<(dirtyShift+wi))
 	if r := d.cfg.EvictionRate; r > 0 {
-		d.maybeEvict(r)
+		d.maybeEvict(li, r)
 	}
 }
 
-// Load64 reads an 8-byte word, observing the cache first.
+// Load64 reads an 8-byte word, observing the cache first. The read is
+// lock-free: one atomic read of the line state selects the cached or the
+// persistent copy, and a load racing a store to the same word returns
+// either the old or the new value — exactly the guarantee 8-byte-atomic
+// hardware gives two unsynchronized threads.
 func (d *Device) Load64(addr uint64) uint64 {
 	tickCrash()
 	d.checkAddr(addr)
-	d.loads.Add(1)
-	base := addr &^ (LineSize - 1)
-	wi := (addr % LineSize) / WordSize
-	s := d.shard(base)
-	s.mu.Lock()
-	if ln := s.lines[base]; ln != nil && ln.valid&(1<<wi) != 0 {
-		v := ln.words[wi]
-		s.mu.Unlock()
-		return v
+	d.count(statLoads, 1)
+	w := addr >> wordShift
+	wi := w & (wordsPerLine - 1)
+	if d.state[addr>>lineShift].Load()&(1<<(validShift+wi)) != 0 {
+		return loadWord(&d.cached[w])
 	}
-	v := d.words[addr/WordSize]
-	s.mu.Unlock()
-	return v
+	return loadWord(&d.words[w])
 }
 
 // StoreNT performs a non-temporal store: the word goes straight to the
@@ -236,18 +322,29 @@ func (d *Device) Load64(addr uint64) uint64 {
 func (d *Device) StoreNT(addr, val uint64) {
 	tickCrash()
 	d.checkAddr(addr)
-	d.ntstores.Add(1)
-	base := addr &^ (LineSize - 1)
-	wi := (addr % LineSize) / WordSize
-	s := d.shard(base)
-	s.mu.Lock()
-	d.words[addr/WordSize] = val
-	if ln := s.lines[base]; ln != nil {
-		ln.valid &^= 1 << wi
-		ln.dirty &^= 1 << wi
-	}
-	s.mu.Unlock()
+	d.count(statNTStores, 1)
+	w := addr >> wordShift
+	li := addr >> lineShift
+	wi := w & (wordsPerLine - 1)
+	st := d.lockLine(li)
+	storeWord(&d.words[w], val)
+	d.unlockLine(li, st&^(1<<(validShift+wi)|1<<(dirtyShift+wi)))
 	spin(d.cfg.NTStoreNS + int(d.extraNS.Load()))
+}
+
+// writeBack copies line li's dirty cached words into the persistence
+// domain and returns the state with the dirty mask cleared. The line lock
+// must be held; st is the held state.
+func (d *Device) writeBack(li, st uint64) uint64 {
+	dirty := st >> dirtyShift & laneMask
+	wbase := li * wordsPerLine
+	for wi := uint64(0); dirty != 0; wi++ {
+		if dirty&(1<<wi) != 0 {
+			storeWord(&d.words[wbase+wi], loadWord(&d.cached[wbase+wi]))
+			dirty &^= 1 << wi
+		}
+	}
+	return st &^ (laneMask << dirtyShift)
 }
 
 // CLWB writes back the dirty words of the cache line containing addr to
@@ -255,14 +352,13 @@ func (d *Device) StoreNT(addr, val uint64) {
 func (d *Device) CLWB(addr uint64) {
 	tickCrash()
 	d.checkAddr(addr)
-	d.flushes.Add(1)
-	base := addr &^ (LineSize - 1)
-	s := d.shard(base)
-	s.mu.Lock()
-	if ln := s.lines[base]; ln != nil && ln.dirty != 0 {
-		d.writeBackLocked(base, ln)
+	d.count(statFlushes, 1)
+	li := addr >> lineShift
+	// Peek before locking: flushing an already-clean line is a no-op.
+	if d.state[li].Load()&(laneMask<<dirtyShift) != 0 {
+		st := d.lockLine(li)
+		d.unlockLine(li, d.writeBack(li, st))
 	}
-	s.mu.Unlock()
 	spin(d.cfg.FlushNS + int(d.extraNS.Load()))
 }
 
@@ -286,42 +382,49 @@ func (d *Device) PersistRange(addr, n uint64) {
 // durable once it returns.
 func (d *Device) Fence() {
 	tickCrash()
-	d.fences.Add(1)
+	d.count(statFences, 1)
 	spin(d.cfg.FenceNS)
 }
 
-// writeBackLocked copies dirty words to the persistence domain. The
-// shard lock must be held.
-func (d *Device) writeBackLocked(base uint64, ln *cacheLine) {
-	wbase := base / WordSize
-	for i := 0; i < wordsPerLine; i++ {
-		if ln.dirty&(1<<i) != 0 {
-			d.words[wbase+uint64(i)] = ln.words[i]
-		}
-	}
-	ln.dirty = 0
-}
-
-// maybeEvict spontaneously writes back one random dirty line with
-// probability 1/rate, modeling capacity evictions.
-func (d *Device) maybeEvict(rate int) {
-	d.evictMu.Lock()
-	if d.evictRNG.Intn(rate) != 0 {
-		d.evictMu.Unlock()
+// maybeEvict spontaneously writes back one pseudo-random dirty line with
+// probability 1/rate, modeling capacity evictions. Sampling is lock-free:
+// each stripe owns a padded xorshift64 state seeded at New, so the store
+// path takes no global lock and the sequence is deterministic for a
+// single-threaded history.
+func (d *Device) maybeEvict(li uint64, rate int) {
+	e := &d.evict[li*0x9E3779B97F4A7C15>>58]
+	x := loadWord(&e.x)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	storeWord(&e.x, x)
+	if x%uint64(rate) != 0 {
 		return
 	}
-	si := d.evictRNG.Intn(len(d.shards))
-	d.evictMu.Unlock()
-	s := &d.shards[si]
-	s.mu.Lock()
-	for base, ln := range s.lines {
-		if ln.dirty != 0 {
-			d.writeBackLocked(base, ln)
-			d.evictions.Add(1)
-			break
+	// Probe a bounded window of lines from a pseudo-random start for a
+	// dirty victim. The dirty peek is lock-free; only a hit locks.
+	nl := uint64(len(d.state))
+	start := (x >> 17) % nl
+	probes := nl
+	if probes > 256 {
+		probes = 256
+	}
+	for i, lj := uint64(0), start; i < probes; i++ {
+		if d.state[lj].Load()&(laneMask<<dirtyShift) != 0 {
+			st := d.lockLine(lj)
+			if st&(laneMask<<dirtyShift) != 0 {
+				d.unlockLine(lj, d.writeBack(lj, st))
+				d.count(statEvictions, 1)
+			} else {
+				d.unlockLine(lj, st)
+			}
+			return
+		}
+		lj++
+		if lj == nl {
+			lj = 0
 		}
 	}
-	s.mu.Unlock()
 }
 
 // Crash destroys all volatile state. Dirty words are handled per mode;
@@ -329,68 +432,68 @@ func (d *Device) maybeEvict(rate int) {
 // After Crash the device contains only what had (or happened to have)
 // reached the persistence domain, exactly like a machine losing power.
 func (d *Device) Crash(mode CrashMode, rng *rand.Rand) {
-	d.crashes.Add(1)
+	d.count(statCrashes, 1)
 	if mode == CrashRandom && rng == nil {
 		panic("nvm: CrashRandom requires a *rand.Rand")
 	}
-	for i := range d.shards {
-		s := &d.shards[i]
-		s.mu.Lock()
-		for base, ln := range s.lines {
+	for li := range d.state {
+		st := d.lockLine(uint64(li))
+		if dirty := st >> dirtyShift & laneMask; dirty != 0 {
+			wbase := uint64(li) * wordsPerLine
 			switch mode {
 			case CrashPersistAll:
-				d.writeBackLocked(base, ln)
+				d.writeBack(uint64(li), st)
 			case CrashRandom:
-				wbase := base / WordSize
-				for w := 0; w < wordsPerLine; w++ {
-					if ln.dirty&(1<<w) != 0 && rng.Intn(2) == 0 {
-						d.words[wbase+uint64(w)] = ln.words[w]
+				for wi := uint64(0); wi < wordsPerLine; wi++ {
+					if dirty&(1<<wi) != 0 && rng.Intn(2) == 0 {
+						storeWord(&d.words[wbase+wi], loadWord(&d.cached[wbase+wi]))
 					}
 				}
 			case CrashDiscard:
 				// dirty words are simply lost
 			}
 		}
-		s.lines = make(map[uint64]*cacheLine)
-		s.mu.Unlock()
+		d.unlockLine(uint64(li), 0) // the whole line's cache state dies
 	}
 }
 
 // DrainCache writes back every dirty line (a global flush). Used by
 // region snapshotting, not by the runtimes.
 func (d *Device) DrainCache() {
-	for i := range d.shards {
-		s := &d.shards[i]
-		s.mu.Lock()
-		for base, ln := range s.lines {
-			if ln.dirty != 0 {
-				d.writeBackLocked(base, ln)
-			}
+	for li := range d.state {
+		if d.state[li].Load()&(laneMask<<dirtyShift) == 0 {
+			continue
 		}
-		s.mu.Unlock()
+		st := d.lockLine(uint64(li))
+		d.unlockLine(uint64(li), d.writeBack(uint64(li), st))
 	}
 }
 
-// Stats returns a snapshot of cumulative event counts.
+// Stats returns a snapshot of cumulative event counts, summed over the
+// counter stripes.
 func (d *Device) Stats() Stats {
+	var n [statEvents]uint64
+	for i := range d.stripes {
+		for ev := 0; ev < statEvents; ev++ {
+			n[ev] += readCounter(&d.stripes[i].n[ev])
+		}
+	}
 	return Stats{
-		Loads:     d.loads.Load(),
-		Stores:    d.stores.Load(),
-		NTStores:  d.ntstores.Load(),
-		Flushes:   d.flushes.Load(),
-		Fences:    d.fences.Load(),
-		Evictions: d.evictions.Load(),
-		Crashes:   d.crashes.Load(),
+		Loads:     n[statLoads],
+		Stores:    n[statStores],
+		NTStores:  n[statNTStores],
+		Flushes:   n[statFlushes],
+		Fences:    n[statFences],
+		Evictions: n[statEvictions],
+		Crashes:   n[statCrashes],
 	}
 }
 
 // ResetStats zeroes the event counters.
 func (d *Device) ResetStats() {
-	d.loads.Store(0)
-	d.stores.Store(0)
-	d.ntstores.Store(0)
-	d.flushes.Store(0)
-	d.fences.Store(0)
-	d.evictions.Store(0)
-	d.crashes.Store(0)
+	for i := range d.stripes {
+		for ev := 0; ev < statEvents; ev++ {
+			resetCounter(&d.stripes[i].n[ev])
+		}
+	}
 }

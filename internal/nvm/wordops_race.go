@@ -1,0 +1,17 @@
+//go:build race
+
+package nvm
+
+import "sync/atomic"
+
+// Race-build twins of the wordops.go accessors: every data-word and
+// counter access goes through sync/atomic so the race detector can verify
+// that the per-line lock discipline is the only synchronization the
+// device needs. See wordops.go for the full contract.
+
+func loadWord(p *uint64) uint64     { return atomic.LoadUint64(p) }
+func storeWord(p *uint64, v uint64) { atomic.StoreUint64(p, v) }
+
+func addCounter(p *uint64, n uint64) { atomic.AddUint64(p, n) }
+func readCounter(p *uint64) uint64   { return atomic.LoadUint64(p) }
+func resetCounter(p *uint64)         { atomic.StoreUint64(p, 0) }
