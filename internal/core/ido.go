@@ -183,7 +183,7 @@ type Thread struct {
 	bits         uint64           // volatile mirror of logLockBits
 	recovering   bool             // set on recovery threads
 
-	dirty          []uint64         // heap lines dirtied in the current region
+	dirty          lineSet          // heap lines dirtied in the current region
 	staged         []persist.RegVal // pairs in the current boundary record
 	curBuf         int              // active boundary-record buffer
 	storesInRegion int
@@ -203,13 +203,7 @@ func (t *Thread) Exec(op func()) { op() }
 func (t *Thread) inFASE() bool { return t.lockDepth > 0 || t.durableDepth > 0 }
 
 func (t *Thread) trackLine(addr uint64) {
-	line := addr &^ (nvm.LineSize - 1)
-	for _, l := range t.dirty {
-		if l == line {
-			return
-		}
-	}
-	t.dirty = append(t.dirty, line)
+	t.dirty.add(addr &^ (nvm.LineSize - 1))
 }
 
 // Store64 performs a persistent store. Inside a FASE the dirtied line is
@@ -244,13 +238,12 @@ func (t *Thread) closeRegion() {
 	t.storesInRegion = 0
 }
 
-// flushDirty writes back every line the current region dirtied.
+// flushDirty writes back every line the current region dirtied in one
+// bulk call (§III-A step 1; same write-back, fence, and crash-injection
+// event counts as per-line CLWB).
 func (t *Thread) flushDirty() {
-	dev := t.rt.reg.Dev
-	for _, line := range t.dirty {
-		dev.CLWB(line)
-	}
-	t.dirty = t.dirty[:0]
+	t.rt.reg.Dev.FlushLines(t.dirty.lines())
+	t.dirty.reset()
 }
 
 // Boundary ends the current idempotent region and opens the one

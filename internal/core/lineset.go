@@ -1,0 +1,93 @@
+package core
+
+// lineSet tracks the distinct cache lines a region dirties, preserving
+// insertion order for the boundary write-back. Most regions touch a
+// handful of lines (Fig. 8: the vast majority of dynamic regions perform
+// ≤2 stores), so membership starts as a linear scan of a short list; a
+// region that keeps dirtying new lines upgrades to an open-addressed hash
+// table, keeping per-store tracking O(1) instead of the O(dirty) scan
+// that made wide regions quadratic.
+
+// lineSetSmall is the list length beyond which the set engages the hash
+// table. Scanning up to this many entries is cheaper than hashing.
+const lineSetSmall = 16
+
+type lineSet struct {
+	list []uint64 // every tracked line, insertion order
+	tab  []uint64 // open-addressed table, entries are line|1; nil while small
+	mask uint64   // len(tab)-1
+}
+
+// lineHash mixes a 64-aligned line address into a table slot.
+func lineHash(line uint64) uint64 {
+	return (line >> 6) * 0x9E3779B97F4A7C15
+}
+
+// add inserts line (a LineSize-aligned address) if not already present.
+func (s *lineSet) add(line uint64) {
+	if s.tab == nil {
+		for _, l := range s.list {
+			if l == line {
+				return
+			}
+		}
+		s.list = append(s.list, line)
+		if len(s.list) > lineSetSmall {
+			s.grow()
+		}
+		return
+	}
+	e := line | 1 // tagged so the zero slot means empty even for line 0
+	i := lineHash(line) & s.mask
+	for {
+		switch s.tab[i] {
+		case 0:
+			s.tab[i] = e
+			s.list = append(s.list, line)
+			if uint64(len(s.list))*4 > (s.mask+1)*3 {
+				s.grow()
+			}
+			return
+		case e:
+			return
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// grow (re)builds the table at double capacity (or engages it at the
+// initial size) and rehashes the list.
+func (s *lineSet) grow() {
+	n := uint64(64)
+	if s.tab != nil {
+		n = (s.mask + 1) * 2
+	}
+	s.tab = make([]uint64, n)
+	s.mask = n - 1
+	for _, line := range s.list {
+		i := lineHash(line) & s.mask
+		for s.tab[i] != 0 {
+			i = (i + 1) & s.mask
+		}
+		s.tab[i] = line | 1
+	}
+}
+
+// lines returns the tracked lines in insertion order. The slice aliases
+// internal storage and is invalidated by reset.
+func (s *lineSet) lines() []uint64 { return s.list }
+
+// reset empties the set, keeping the list's capacity. A modest table is
+// cleared in place; an unusually wide region's table is dropped so one
+// huge region does not tax every later boundary.
+func (s *lineSet) reset() {
+	s.list = s.list[:0]
+	if s.tab == nil {
+		return
+	}
+	if len(s.tab) <= 1024 {
+		clear(s.tab)
+	} else {
+		s.tab, s.mask = nil, 0
+	}
+}
