@@ -7,7 +7,7 @@
 //	idobench -exp fig5 -quick         # one experiment, smoke-scale
 //	idobench -exp fig7 -duration 1s -threads 1,2,4,8,16
 //
-// Experiments: fig5, fig6, fig7, fig8, table1, fig9, ablations, all.
+// Experiments: fig5, fig6, fig7, fig8, table1, fig9, ablations, vm, all.
 // See DESIGN.md for the experiment index and EXPERIMENTS.md for
 // paper-versus-measured notes.
 package main
@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|table1|fig9|ablations|all")
+	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|table1|fig9|ablations|vm|all")
 	quick := flag.Bool("quick", false, "smoke-scale parameters")
 	duration := flag.Duration("duration", 0, "override measurement interval per point")
 	threads := flag.String("threads", "", "override thread sweep, e.g. 1,2,4,8")
@@ -69,6 +69,8 @@ func main() {
 		_, err = bench.RunFig9(o)
 	case "ablations":
 		_, err = bench.RunAblations(o)
+	case "vm":
+		_, err = bench.RunVM(o)
 	default:
 		fatalf("unknown experiment %q", *exp)
 	}

@@ -116,7 +116,10 @@ func (rt *Runtime) NewThread() (persist.Thread, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Deferred unlock: the device calls below panic with nvm.CrashSignal
+	// under armed injection, and the mutex must not survive the unwind.
 	rt.mu.Lock()
+	defer rt.mu.Unlock()
 	id := rt.nextID
 	rt.nextID++
 	dev.Store64(rec+trID, uint64(id))
@@ -127,7 +130,6 @@ func (rt *Runtime) NewThread() (persist.Thread, error) {
 	rt.reg.SetRoot(region.RootAtlasHead, rec)
 	t := &thread{rt: rt, id: id, rec: rec, firstChunk: chunk, curChunk: chunk}
 	rt.threads = append(rt.threads, t)
-	rt.mu.Unlock()
 	return t, nil
 }
 

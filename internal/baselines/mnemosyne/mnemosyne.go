@@ -83,7 +83,10 @@ func (rt *Runtime) NewThread() (persist.Thread, error) {
 	}
 	log := (raw + nvm.LineSize - 1) &^ (nvm.LineSize - 1)
 	dev := rt.reg.Dev
+	// Deferred unlock: the device calls below panic with nvm.CrashSignal
+	// under armed injection, and the mutex must not survive the unwind.
 	rt.mu.Lock()
+	defer rt.mu.Unlock()
 	dev.Store64(log+logState, 0)
 	dev.Store64(log+logCount, 0)
 	dev.Store64(log+logNext, rt.reg.Root(region.RootMnemosyneHead))
@@ -96,7 +99,6 @@ func (rt *Runtime) NewThread() (persist.Thread, error) {
 	}
 	rt.nextID++
 	rt.threads = append(rt.threads, t)
-	rt.mu.Unlock()
 	return t, nil
 }
 

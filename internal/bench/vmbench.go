@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/ido-nvm/ido/internal/compile"
+	"github.com/ido-nvm/ido/internal/ir"
+	"github.com/ido-nvm/ido/internal/irprog"
+	"github.com/ido-nvm/ido/internal/locks"
+	"github.com/ido-nvm/ido/internal/region"
+	"github.com/ido-nvm/ido/internal/stats"
+	"github.com/ido-nvm/ido/internal/vm"
+)
+
+// VMResult is one workload/mode/engine point of the VM dispatch
+// experiment.
+type VMResult struct {
+	Workload string
+	Mode     vm.Mode
+	Legacy   bool
+	CallsPS  float64
+}
+
+// vmSpinSrc is a pure register loop: no loads, stores, or locks, so every
+// cycle is dispatch (operand decode, PC packing, crash-budget tick). This
+// is the workload where engine overhead is the whole cost.
+const vmSpinSrc = `
+func spin 1 {
+entry:
+  i = const 0
+  acc = const 0
+  jmp loop
+loop:
+  acc = add acc i
+  acc = xor acc 11
+  i = add i 1
+  c = lt i r0
+  br c loop done
+done:
+  ret acc
+}
+`
+
+// RunVM compares the threaded-code engine against the legacy tree-walker
+// per mode on two workloads: "spin" (interpreter-bound, isolates pure
+// dispatch cost) and "stack" (irprog push/pop, where FASE protocol and
+// device events dilute dispatch). Both engines execute the identical
+// instruction stream and emit the identical device events, so the ratio
+// is engine overhead only.
+func RunVM(o Options) ([]VMResult, error) {
+	spinIR, err := ir.Parse(vmSpinSrc)
+	if err != nil {
+		return nil, err
+	}
+	spinProg, err := compile.Program(spinIR, compile.Config{})
+	if err != nil {
+		return nil, err
+	}
+	stackProg, err := irprog.Compile(compile.Config{})
+	if err != nil {
+		return nil, err
+	}
+	modes := []vm.Mode{vm.ModeOrigin, vm.ModeIDO, vm.ModeJUSTDO}
+	var out []VMResult
+	for _, wl := range []string{"spin", "stack"} {
+		for _, mode := range modes {
+			for _, legacy := range []bool{false, true} {
+				var cps float64
+				var err error
+				if wl == "spin" {
+					cps, err = runVMSpinPoint(o, spinProg, mode, legacy)
+				} else {
+					cps, err = runVMStackPoint(o, stackProg, mode, legacy)
+				}
+				if err != nil {
+					return nil, fmt.Errorf("vm %s %v legacy=%v: %w", wl, mode, legacy, err)
+				}
+				out = append(out, VMResult{Workload: wl, Mode: mode, Legacy: legacy, CallsPS: cps})
+			}
+		}
+	}
+	printVM(o, out)
+	return out, nil
+}
+
+func newVMWorld(prog *compile.Compiled, mode vm.Mode, legacy bool) (*vm.Machine, *region.Region, *locks.Manager) {
+	reg := region.Create(1<<24, nvmConfig(1<<24, 0))
+	lm := locks.NewManager(reg)
+	m := vm.New(reg, lm, prog, mode)
+	m.Legacy = legacy
+	m.SetCrashBudget(1 << 62)
+	return m, reg, lm
+}
+
+// runVMSpinPoint counts spin(256) calls per second: ~1286 dispatched
+// instructions per call, zero device events.
+func runVMSpinPoint(o Options, prog *compile.Compiled, mode vm.Mode, legacy bool) (float64, error) {
+	m, _, _ := newVMWorld(prog, mode, legacy)
+	th, err := m.NewThread()
+	if err != nil {
+		return 0, err
+	}
+	const iters = 256
+	for i := 0; i < 8; i++ {
+		if _, err := th.Call("spin", iters); err != nil {
+			return 0, err
+		}
+	}
+	var calls uint64
+	start := time.Now()
+	deadline := start.Add(o.Duration)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 16; i++ {
+			if _, err := th.Call("spin", iters); err != nil {
+				return 0, err
+			}
+		}
+		calls += 16
+	}
+	return float64(calls) / time.Since(start).Seconds(), nil
+}
+
+func runVMStackPoint(o Options, prog *compile.Compiled, mode vm.Mode, legacy bool) (float64, error) {
+	m, reg, lm := newVMWorld(prog, mode, legacy)
+	stk, err := irprog.NewStack(reg, lm)
+	if err != nil {
+		return 0, err
+	}
+	th, err := m.NewThread()
+	if err != nil {
+		return 0, err
+	}
+	// Warm up, then run push/pop pairs (stack depth stays bounded) until
+	// the deadline, counting completed calls.
+	for i := uint64(0); i < 64; i++ {
+		if _, err := th.Call("stack_push", stk, i); err != nil {
+			return 0, err
+		}
+		if _, err := th.Call("stack_pop", stk); err != nil {
+			return 0, err
+		}
+	}
+	var calls uint64
+	start := time.Now()
+	deadline := start.Add(o.Duration)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 32; i++ {
+			if _, err := th.Call("stack_push", stk, uint64(i)); err != nil {
+				return 0, err
+			}
+			if _, err := th.Call("stack_pop", stk); err != nil {
+				return 0, err
+			}
+		}
+		calls += 64
+	}
+	return float64(calls) / time.Since(start).Seconds(), nil
+}
+
+func printVM(o Options, results []VMResult) {
+	out := o.out()
+	fprintf(out, "VM dispatch: threaded-code engine vs legacy tree-walker (calls/s)\n")
+	var tb stats.Table
+	tb.AddRow("workload", "mode", "decoded", "legacy", "speedup")
+	type key struct {
+		wl   string
+		mode vm.Mode
+	}
+	byKey := map[key][2]float64{}
+	for _, r := range results {
+		k := key{r.Workload, r.Mode}
+		e := byKey[k]
+		if r.Legacy {
+			e[1] = r.CallsPS
+		} else {
+			e[0] = r.CallsPS
+		}
+		byKey[k] = e
+	}
+	for _, wl := range []string{"spin", "stack"} {
+		for _, mode := range []vm.Mode{vm.ModeOrigin, vm.ModeIDO, vm.ModeJUSTDO} {
+			e := byKey[key{wl, mode}]
+			ratio := 0.0
+			if e[1] > 0 {
+				ratio = e[0] / e[1]
+			}
+			tb.AddRow(wl, mode.String(),
+				fmt.Sprintf("%10.0f", e[0]), fmt.Sprintf("%10.0f", e[1]),
+				fmt.Sprintf("%.2fx", ratio))
+		}
+	}
+	fprintf(out, "%s\n", tb.String())
+}

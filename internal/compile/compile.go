@@ -50,6 +50,12 @@ type CompiledFunc struct {
 	ByID map[uint64]int
 	// HasFASEs reports whether any instrumentation was necessary.
 	HasFASEs bool
+	// Index is the program-wide function number (sorted name order) and
+	// Code the pre-decoded threaded-code form, both set by Program. A
+	// CompiledFunc built directly through Func has Index -1 and no Code;
+	// the VM decodes it on load.
+	Index int
+	Code  *DecodedFunc
 }
 
 // Func compiles a single function; idBase makes its region IDs globally
@@ -70,7 +76,7 @@ func Func(f *ir.Func, idBase uint64, cfg Config) (*CompiledFunc, error) {
 		return nil, fmt.Errorf("compile: %w", err)
 	}
 	if !fi.HasFASEs() {
-		return &CompiledFunc{F: f, Orig: f, ByID: map[uint64]int{}}, nil
+		return &CompiledFunc{F: f, Orig: f, ByID: map[uint64]int{}, Index: -1}, nil
 	}
 	aa := alias.Analyze(f)
 	res, err := idem.Form(f, aa, fi, cfg.Idem)
@@ -167,7 +173,7 @@ func Func(f *ir.Func, idBase uint64, cfg Config) (*CompiledFunc, error) {
 		NumRegs:   f.NumRegs,
 		RegNames:  f.RegNames,
 	}
-	cf := &CompiledFunc{F: out, Orig: f, ByID: map[uint64]int{}, HasFASEs: true}
+	cf := &CompiledFunc{F: out, Orig: f, ByID: map[uint64]int{}, HasFASEs: true, Index: -1}
 	cutsInBlock := map[int][]ir.Loc{}
 	for _, c := range res.Cuts {
 		cutsInBlock[c.Block] = append(cutsInBlock[c.Block], c)
@@ -237,6 +243,10 @@ func Program(prog *ir.Program, cfg Config) (*Compiled, error) {
 		}
 		if len(cf.Regions) > 4095 {
 			return nil, fmt.Errorf("%s: %d regions exceed the per-function ID budget", n, len(cf.Regions))
+		}
+		cf.Index = i
+		if cf.Code, err = DecodeFunc(cf.F, i); err != nil {
+			return nil, fmt.Errorf("%s: %w", n, err)
 		}
 		out.Funcs[n] = cf
 		for _, r := range cf.Regions {

@@ -1,0 +1,242 @@
+// Pre-decoding: the final compile pass flattens an instrumented ir.Func
+// into one linear instruction array that internal/vm executes as
+// threaded code. The tree-walking costs the decoder removes:
+//
+//   - block/index bookkeeping: jump targets become flat-stream offsets
+//     and fall-through edges vanish (blocks are laid out in order, so a
+//     block without a terminator simply continues into the next);
+//   - operand classification: each operand is pre-tagged immediate or
+//     register, so the interpreter reads a field instead of calling a
+//     closure and branching on ir.Value.IsImm;
+//   - recovery-pc packing: every instruction carries its pre-packed
+//     JUSTDO recovery pc (PackPC), hoisting the per-definition encode
+//     out of the execution loop.
+//
+// Decoding is one-to-one: instruction k of the stream is instruction k
+// of the blocks in layout order, so the VM's crash-budget tick count,
+// device event counts, and recovery pcs are provably identical to the
+// tree-walking interpreter's — the stream changes how instructions are
+// fetched, never which instructions execute.
+package compile
+
+import (
+	"fmt"
+
+	"github.com/ido-nvm/ido/internal/ir"
+)
+
+// DOp is the dispatch index of a decoded instruction. The values are
+// dense so the interpreter's switch compiles to a jump table.
+type DOp uint8
+
+// Decoded opcodes. DConst..DGe mirror ir.OpConst..ir.OpGe in order.
+const (
+	DConst DOp = iota
+	DMov
+	DAdd
+	DSub
+	DMul
+	DDiv
+	DMod
+	DAnd
+	DOr
+	DXor
+	DShl
+	DShr
+	DEq
+	DNe
+	DLt
+	DLe
+	DGt
+	DGe
+	DLoad
+	DStore
+	DBr
+	DJmp
+	DRet
+	DAlloc
+	DSAlloc
+	DNewLock
+	DLock
+	DUnlock
+	DBeginDur
+	DEndDur
+	DBoundary
+	DPrint
+)
+
+// DInstr is one pre-decoded instruction. A and B hold either an
+// immediate value (AImm/BImm set) or a register index; T0/T1 are
+// resolved flat-stream jump targets; PC is the instruction's pre-packed
+// JUSTDO recovery pc.
+type DInstr struct {
+	Op   DOp
+	AImm bool
+	BImm bool
+	Dest int32 // destination register, -1 when none
+
+	T0, T1 int32 // flat jump targets (br: then/else; jmp: T0)
+
+	A, B uint64 // operands: immediate value or register index
+	Imm  uint64 // const value, load/store offset, boundary region ID
+	PC   uint64 // PackPC(fn, block, idx) of this instruction
+
+	Regs []ir.Reg   // boundary: registers to (re)log
+	Vals []ir.Value // ret: result operands
+}
+
+// DecodedFunc is the flat executable form of one function.
+type DecodedFunc struct {
+	Name      string
+	FnIdx     int // the program-wide function index packed into PCs
+	NumParams int
+	NumRegs   int
+	Code      []DInstr
+
+	blockStart []int32
+}
+
+// FlatIndex maps an (block, index) instruction location to its offset in
+// Code. Decoding emits exactly one DInstr per ir instruction with blocks
+// laid out in order, so the mapping is blockStart[block]+index; an index
+// one past a fall-through block's last instruction lands on the next
+// block's first instruction, which is where execution continues.
+func (d *DecodedFunc) FlatIndex(block, idx int) int {
+	return int(d.blockStart[block]) + idx
+}
+
+// JUSTDO recovery-pc packing: fn(22 bits) | block(20) | idx(20), with
+// bit 62 marking validity so location (0,0,0) is distinguishable from
+// the idle pc 0. The packed word is what the VM's JUSTDO mode persists
+// before every logged mutation.
+const (
+	pcValid    = 1 << 62
+	pcFnBits   = 22
+	pcLocBits  = 20
+	maxPCFn    = 1<<pcFnBits - 1
+	maxPCBlock = 1<<pcLocBits - 1
+	maxPCIdx   = 1<<pcLocBits - 1
+)
+
+// PackPC packs an instruction location into a JUSTDO recovery pc word.
+func PackPC(fn, block, idx int) uint64 {
+	return pcValid | uint64(fn)<<40 | uint64(block)<<20 | uint64(idx)
+}
+
+// UnpackPC inverts PackPC.
+func UnpackPC(pc uint64) (fn, block, idx int) {
+	return int(pc >> 40 & maxPCFn), int(pc >> 20 & maxPCBlock), int(pc & maxPCIdx)
+}
+
+var dopOf = map[ir.Op]DOp{
+	ir.OpLoad: DLoad, ir.OpStore: DStore, ir.OpBr: DBr, ir.OpJmp: DJmp,
+	ir.OpRet: DRet, ir.OpAlloc: DAlloc, ir.OpSAlloc: DSAlloc,
+	ir.OpNewLock: DNewLock, ir.OpLock: DLock, ir.OpUnlock: DUnlock,
+	ir.OpBeginDur: DBeginDur, ir.OpEndDur: DEndDur,
+	ir.OpBoundary: DBoundary, ir.OpPrint: DPrint,
+}
+
+// DecodeFunc flattens f into threaded code, resolving jump targets and
+// pre-classifying operands. fnIdx is the program-wide function number
+// packed into recovery pcs (the VM assigns the same numbers to the same
+// sorted function-name order).
+func DecodeFunc(f *ir.Func, fnIdx int) (*DecodedFunc, error) {
+	if fnIdx < 0 || fnIdx > maxPCFn {
+		return nil, fmt.Errorf("decode: %s: function index %d exceeds %d bits", f.Name, fnIdx, pcFnBits)
+	}
+	if len(f.Blocks) > maxPCBlock {
+		return nil, fmt.Errorf("decode: %s: %d blocks exceed the pc field", f.Name, len(f.Blocks))
+	}
+	d := &DecodedFunc{
+		Name: f.Name, FnIdx: fnIdx,
+		NumParams: f.NumParams, NumRegs: f.NumRegs,
+		blockStart: make([]int32, len(f.Blocks)),
+	}
+	n := 0
+	for bi, b := range f.Blocks {
+		d.blockStart[bi] = int32(n)
+		n += len(b.Instrs)
+		if len(b.Instrs) > maxPCIdx {
+			return nil, fmt.Errorf("decode: %s: block %s exceeds the pc index field", f.Name, b.Name)
+		}
+		if len(b.Instrs) == 0 || !b.Instrs[len(b.Instrs)-1].Op.IsTerminator() {
+			// Fall-through block: layout order must carry execution into
+			// the next block, since no instruction is emitted for the edge.
+			if len(b.Succs) != 1 || b.Succs[0] != bi+1 {
+				return nil, fmt.Errorf("decode: %s: block %s falls through to a non-adjacent block", f.Name, b.Name)
+			}
+		}
+	}
+	d.Code = make([]DInstr, 0, n)
+	for bi, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			di := DInstr{Dest: int32(in.Dest), Imm: in.Imm, PC: PackPC(fnIdx, bi, i), T0: -1, T1: -1}
+			setA := func(v ir.Value) {
+				if v.IsImm {
+					di.AImm, di.A = true, v.Imm
+				} else {
+					di.A = uint64(v.Reg)
+				}
+			}
+			setB := func(v ir.Value) {
+				if v.IsImm {
+					di.BImm, di.B = true, v.Imm
+				} else {
+					di.B = uint64(v.Reg)
+				}
+			}
+			switch {
+			case in.Op == ir.OpConst:
+				di.Op = DConst
+			case in.Op == ir.OpMov:
+				di.Op = DMov
+				setA(in.Args[0])
+			case in.Op.IsArith(): // binary: OpAdd..OpGe
+				di.Op = DConst + DOp(in.Op-ir.OpConst) // same relative order
+				setA(in.Args[0])
+				setB(in.Args[1])
+			default:
+				op, ok := dopOf[in.Op]
+				if !ok {
+					return nil, fmt.Errorf("decode: %s: unhandled op %v at %s.%d", f.Name, in.Op, b.Name, i)
+				}
+				di.Op = op
+				switch op {
+				case DLoad:
+					if in.Args[0].IsImm {
+						return nil, fmt.Errorf("decode: %s: load base must be a register at %s.%d", f.Name, b.Name, i)
+					}
+					di.A = uint64(in.Args[0].Reg)
+				case DStore:
+					if in.Args[0].IsImm {
+						return nil, fmt.Errorf("decode: %s: store base must be a register at %s.%d", f.Name, b.Name, i)
+					}
+					di.A = uint64(in.Args[0].Reg)
+					setB(in.Args[1])
+				case DAlloc, DSAlloc, DLock, DUnlock, DPrint:
+					setA(in.Args[0])
+				case DBr:
+					setA(in.Args[0])
+					di.T0 = d.blockStart[in.Targets[0]]
+					di.T1 = d.blockStart[in.Targets[1]]
+				case DJmp:
+					di.T0 = d.blockStart[in.Targets[0]]
+				case DRet:
+					di.Vals = append([]ir.Value(nil), in.Args...)
+				case DBoundary:
+					regs := make([]ir.Reg, len(in.Args))
+					for j, a := range in.Args {
+						if a.IsImm {
+							return nil, fmt.Errorf("decode: %s: boundary logs an immediate at %s.%d", f.Name, b.Name, i)
+						}
+						regs[j] = a.Reg
+					}
+					di.Regs = regs
+				}
+			}
+			d.Code = append(d.Code, di)
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,145 @@
+package compile
+
+import (
+	"testing"
+
+	"github.com/ido-nvm/ido/internal/ir"
+)
+
+// A function exercising every decoded shape: immediates and registers in
+// both operand positions, load/store offsets, branches across blocks, a
+// fall-through edge, and a multi-value ret.
+const decodeSrc = `
+func shapes 2 {
+entry:
+  a = const 7
+  b = add a 3
+  c = add 3 a
+  v = load r0 8
+  store r0 16 v
+  store r0 24 5
+  cond = lt b r1
+  br cond then else
+then:
+  d = mov b
+  jmp join
+else:
+  d = mov 0
+  jmp join
+join:
+  e = add d 1
+fall:
+  ret e d
+}
+`
+
+func TestDecodeFunc(t *testing.T) {
+	f, err := ir.ParseFunc(decodeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DecodeFunc(f, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One DInstr per ir instruction, blocks in order, no fall-through op.
+	want := 0
+	for _, b := range f.Blocks {
+		want += len(b.Instrs)
+	}
+	if len(d.Code) != want {
+		t.Fatalf("decoded %d instructions, want %d", len(d.Code), want)
+	}
+	flat := 0
+	for bi, b := range f.Blocks {
+		for i := range b.Instrs {
+			if got := d.FlatIndex(bi, i); got != flat {
+				t.Fatalf("FlatIndex(%d,%d) = %d, want %d", bi, i, got, flat)
+			}
+			if d.Code[flat].PC != PackPC(3, bi, i) {
+				t.Fatalf("instr %d: PC %#x, want PackPC(3,%d,%d)", flat, d.Code[flat].PC, bi, i)
+			}
+			flat++
+		}
+	}
+
+	// Operand classification: add a 3 has reg A / imm B; add 3 a the
+	// reverse; store r0 24 5 has an immediate value operand.
+	code := d.Code
+	if in := code[1]; in.Op != DAdd || in.AImm || !in.BImm || in.B != 3 {
+		t.Fatalf("add a 3 decoded %+v", in)
+	}
+	if in := code[2]; in.Op != DAdd || !in.AImm || in.A != 3 || in.BImm {
+		t.Fatalf("add 3 a decoded %+v", in)
+	}
+	if in := code[3]; in.Op != DLoad || in.A != 0 || in.Imm != 8 {
+		t.Fatalf("load decoded %+v", in)
+	}
+	if in := code[5]; in.Op != DStore || !in.BImm || in.B != 5 || in.Imm != 24 {
+		t.Fatalf("store imm decoded %+v", in)
+	}
+
+	// Branch targets resolve to the flat start of the target block.
+	br := code[7]
+	if br.Op != DBr || int(br.T0) != d.FlatIndex(1, 0) || int(br.T1) != d.FlatIndex(2, 0) {
+		t.Fatalf("br decoded %+v", br)
+	}
+	// join falls through into fall: the decoded stream is simply adjacent.
+	joinEnd := d.FlatIndex(3, 1)
+	if ret := code[joinEnd]; ret.Op != DRet || len(ret.Vals) != 2 {
+		t.Fatalf("instr after fall-through = %+v, want 2-value ret", code[joinEnd])
+	}
+}
+
+func TestDecodePCRoundTrip(t *testing.T) {
+	for _, c := range [][3]int{{0, 0, 0}, {3, 7, 11}, {maxPCFn, maxPCBlock, maxPCIdx}} {
+		pc := PackPC(c[0], c[1], c[2])
+		if pc&pcValid == 0 {
+			t.Fatalf("PackPC%v missing validity bit", c)
+		}
+		fn, blk, idx := UnpackPC(pc)
+		if fn != c[0] || blk != c[1] || idx != c[2] {
+			t.Fatalf("UnpackPC(PackPC%v) = (%d,%d,%d)", c, fn, blk, idx)
+		}
+	}
+}
+
+func TestDecodeRejectsBadFnIdx(t *testing.T) {
+	f, err := ir.ParseFunc("func f 0 {\nentry:\n  ret\n}\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeFunc(f, maxPCFn+1); err == nil {
+		t.Fatal("DecodeFunc accepted an out-of-range function index")
+	}
+}
+
+// TestProgramAttachesCode checks Program pre-decodes every function with
+// the index the VM will assign (sorted name order).
+func TestProgramAttachesCode(t *testing.T) {
+	prog, err := ir.Parse(`
+func b 0 {
+entry:
+  ret
+}
+
+func a 0 {
+entry:
+  ret
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Program(prog, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Funcs["a"].Code == nil || c.Funcs["a"].Index != 0 || c.Funcs["a"].Code.FnIdx != 0 {
+		t.Fatalf("a: Index=%d Code=%v", c.Funcs["a"].Index, c.Funcs["a"].Code)
+	}
+	if c.Funcs["b"].Code == nil || c.Funcs["b"].Index != 1 || c.Funcs["b"].Code.FnIdx != 1 {
+		t.Fatalf("b: Index=%d Code=%v", c.Funcs["b"].Index, c.Funcs["b"].Code)
+	}
+}

@@ -38,6 +38,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 	"time"
 
@@ -159,15 +160,18 @@ func (rt *Runtime) NewThread() (persist.Thread, error) {
 	dev.Store64(addr+logPC, 0)
 	dev.Store64(addr+logLockBits, 0)
 
+	// Deferred unlock: the device calls below panic with nvm.CrashSignal
+	// under armed injection, and the mutex must not survive the unwind.
 	rt.mu.Lock()
+	defer rt.mu.Unlock()
 	head := rt.reg.Root(region.RootIDOHead)
 	dev.Store64(addr+logNext, head)
 	dev.PersistRange(addr, uint64(rt.logSize))
 	dev.Fence()
 	rt.reg.SetRoot(region.RootIDOHead, addr) // fenced internally
 	t := &Thread{rt: rt, id: id, log: addr}
+	t.initAddrTables()
 	rt.threads = append(rt.threads, t)
-	rt.mu.Unlock()
 	return t, nil
 }
 
@@ -189,7 +193,29 @@ type Thread struct {
 	storesInRegion int
 	inRegion       bool
 
+	// Precomputed NVM addresses for the boundary hot path: the fixed
+	// intRF slot per register, and the pair base per stage-record slot in
+	// each ping-pong buffer. Both are fully determined by the log address
+	// and the configured stride, so Boundary writes through a table
+	// lookup instead of re-deriving the stride math per output.
+	rfAddr   [persist.MaxOutputs]uint64
+	pairAddr [2][persist.MaxOutputs]uint64
+
 	stats persist.RuntimeStats
+}
+
+// initAddrTables fills the per-slot address tables once the log address
+// is known (thread registration and recovery both construct Threads).
+func (t *Thread) initAddrTables() {
+	for r := 0; r < persist.MaxOutputs; r++ {
+		t.rfAddr[r] = t.log + rfBase + uint64(r)*t.rt.rfStride
+	}
+	for buf := 0; buf < 2; buf++ {
+		sb := t.log + t.rt.stageBase(buf)
+		for i := 0; i < persist.MaxOutputs; i++ {
+			t.pairAddr[buf][i] = sb + uint64(i)*16
+		}
+	}
 }
 
 var _ persist.Thread = (*Thread)(nil)
@@ -265,7 +291,7 @@ func (t *Thread) Boundary(regionID uint64, outputs ...persist.RegVal) {
 	// Step 1a: fold the previous boundary record into the fixed intRF
 	// slots (their lines are flushed below, under this boundary's fence).
 	for _, o := range t.staged {
-		sa := t.log + rfBase + uint64(o.Reg)*t.rt.rfStride
+		sa := t.rfAddr[o.Reg]
 		dev.Store64(sa, o.Val)
 		t.trackLine(sa)
 	}
@@ -273,22 +299,23 @@ func (t *Thread) Boundary(regionID uint64, outputs ...persist.RegVal) {
 	// with persist coalescing the pairs pack two to a cache line, so up
 	// to eight registers cost a handful of contiguous write-backs
 	// (§IV-B) — plus any heap lines the ending region dirtied; fence.
+	// Pair addresses come from the precomputed per-slot table.
 	buf := 1 - t.curBuf
-	sb := t.log + t.rt.stageBase(buf)
 	for i, o := range outputs {
 		if o.Reg < 0 || o.Reg >= persist.MaxOutputs {
 			panic(fmt.Sprintf("ido: register slot %d out of range", o.Reg))
 		}
-		dev.Store64(sb+uint64(i)*16, uint64(o.Reg))
-		dev.Store64(sb+uint64(i)*16+8, o.Val)
+		pa := t.pairAddr[buf][i]
+		dev.Store64(pa, uint64(o.Reg))
+		dev.Store64(pa+8, o.Val)
 	}
 	if n := len(outputs); n > 0 {
 		if t.rt.cfg.Coalesce {
-			dev.PersistRange(sb, uint64(n)*16)
+			dev.PersistRange(t.pairAddr[buf][0], uint64(n)*16)
 		} else {
 			for i := 0; i < n; i++ {
-				dev.CLWB(sb + uint64(i)*16)
-				dev.CLWB(sb + uint64(i)*16 + 8)
+				dev.CLWB(t.pairAddr[buf][i])
+				dev.CLWB(t.pairAddr[buf][i] + 8)
 			}
 		}
 	}
@@ -311,11 +338,22 @@ func (t *Thread) Boundary(regionID uint64, outputs ...persist.RegVal) {
 	// Step 3 is the caller executing the region's code.
 }
 
+// slotOf probes only the slots the bits mask marks live (slots[i] != 0
+// exactly when bit i is set), instead of scanning all numSlots entries.
 func (t *Thread) slotOf(holder uint64) int {
-	for i := 0; i < numSlots; i++ {
+	for m := t.bits; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
 		if t.slots[i] == holder {
 			return i
 		}
+	}
+	return -1
+}
+
+// freeSlot returns the lowest empty lock_array slot, or -1 when full.
+func (t *Thread) freeSlot() int {
+	if i := bits.TrailingZeros64(^t.bits); i < numSlots {
+		return i
 	}
 	return -1
 }
@@ -332,7 +370,7 @@ func (t *Thread) Lock(l *locks.Lock) {
 		return // resumption re-executing an already-held acquire
 	}
 	l.Acquire()
-	slot := t.slotOf(0)
+	slot := t.freeSlot()
 	if slot < 0 {
 		panic("ido: lock_array overflow (more than 16 locks held)")
 	}
@@ -451,6 +489,7 @@ func (rt *Runtime) Recover(rr *persist.ResumeRegistry) (persist.RecoveryStats, e
 		bits := dev.Load64(p + logLockBits)
 
 		t := &Thread{rt: rt, id: int(dev.Load64(p + logThreadID)), log: p, recovering: true}
+		t.initAddrTables()
 		rt.mu.Lock()
 		rt.threads = append(rt.threads, t)
 		if t.id >= rt.nextID {

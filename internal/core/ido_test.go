@@ -518,3 +518,90 @@ func TestStatsHistograms(t *testing.T) {
 		t.Fatalf("outputs histogram = %v", s.OutputsPerRegion[:4])
 	}
 }
+
+// TestSlotProbe drives the bit-guided lock_array probe through fill,
+// out-of-order release, and reuse: slotOf must find every held holder,
+// freeSlot must always hand out the lowest empty index, and the
+// slots/bits mirrors must stay consistent throughout.
+func TestSlotProbe(t *testing.T) {
+	reg := region.Create(1<<20, nvm.Config{})
+	lm := locks.NewManager(reg)
+	rt := New(DefaultConfig())
+	if err := rt.Attach(reg, lm); err != nil {
+		t.Fatal(err)
+	}
+	pt, err := rt.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := pt.(*Thread)
+
+	var ls []*locks.Lock
+	for i := 0; i < numSlots; i++ {
+		l, err := lm.Create()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls = append(ls, l)
+	}
+
+	check := func() {
+		t.Helper()
+		for i := 0; i < numSlots; i++ {
+			live := th.bits&(1<<uint(i)) != 0
+			if live != (th.slots[i] != 0) {
+				t.Fatalf("slot %d: bits=%v slots=%#x disagree", i, live, th.slots[i])
+			}
+			if th.slots[i] != 0 && th.slotOf(th.slots[i]) != i {
+				t.Fatalf("slotOf(%#x) = %d, want %d", th.slots[i], th.slotOf(th.slots[i]), i)
+			}
+		}
+	}
+
+	// Fill all 16 slots.
+	for i, l := range ls {
+		if got := th.freeSlot(); got != i {
+			t.Fatalf("freeSlot before lock %d = %d", i, got)
+		}
+		th.Lock(l)
+		check()
+	}
+	if th.freeSlot() != -1 {
+		t.Fatal("freeSlot on a full array should be -1")
+	}
+	for _, l := range ls {
+		if th.slotOf(l.Holder()) < 0 {
+			t.Fatalf("held lock %#x not found", l.Holder())
+		}
+	}
+	if th.slotOf(0xdeadbeef) != -1 {
+		t.Fatal("slotOf of an unheld holder should be -1")
+	}
+
+	// Release the even slots; freeSlot must reuse the lowest hole.
+	for i := 0; i < numSlots; i += 2 {
+		th.Unlock(ls[i])
+		check()
+	}
+	if got := th.freeSlot(); got != 0 {
+		t.Fatalf("freeSlot after releasing slot 0 = %d", got)
+	}
+	th.Lock(ls[0])
+	check()
+	if th.slotOf(ls[0].Holder()) != 0 {
+		t.Fatal("relock should land in slot 0")
+	}
+	if got := th.freeSlot(); got != 2 {
+		t.Fatalf("next freeSlot = %d, want 2", got)
+	}
+
+	// Drain completely.
+	th.Unlock(ls[0])
+	for i := 1; i < numSlots; i += 2 {
+		th.Unlock(ls[i])
+		check()
+	}
+	if th.bits != 0 {
+		t.Fatalf("bits = %#x after releasing everything", th.bits)
+	}
+}

@@ -30,6 +30,27 @@ func Verify(f *Func) error {
 					return fmt.Errorf("%s: %s.%d: operand r%d out of range", f.Name, b.Name, i, int(a.Reg))
 				}
 			}
+			// The parser enforces register bases; programs built in code
+			// must satisfy the same invariant — the pre-decoded execution
+			// stream stores the base as a bare register index.
+			switch in.Op {
+			case OpLoad:
+				if len(in.Args) != 1 || in.Args[0].IsImm {
+					return fmt.Errorf("%s: %s.%d: load base must be a register", f.Name, b.Name, i)
+				}
+			case OpStore:
+				if len(in.Args) != 2 || in.Args[0].IsImm {
+					return fmt.Errorf("%s: %s.%d: store base must be a register", f.Name, b.Name, i)
+				}
+			case OpBr:
+				if len(in.Targets) != 2 || len(in.Args) != 1 {
+					return fmt.Errorf("%s: %s.%d: br needs one condition and two targets", f.Name, b.Name, i)
+				}
+			case OpJmp:
+				if len(in.Targets) != 1 {
+					return fmt.Errorf("%s: %s.%d: jmp needs one target", f.Name, b.Name, i)
+				}
+			}
 		}
 	}
 	if err := verifyDefinedBeforeUse(f); err != nil {

@@ -102,11 +102,28 @@ func (a *Allocator) Alloc(n int) (uint64, error) {
 	if need < minBlock {
 		need = minBlock
 	}
+	addr, size, err := a.allocBlock(need)
+	if err != nil {
+		return 0, err
+	}
+	user := addr + headerSize
+	a.dev.Memset64(user, 0, int(size-headerSize)/8)
+	return user, nil
+}
+
+// allocBlock carves an allocated block of at least need bytes under the
+// heap lock. The unlock must be deferred: the device accesses inside the
+// critical section panic with nvm.CrashSignal when an armed injection
+// budget fires, and the mutex cannot stay held across that unwind —
+// other threads wait in a plain sync.Mutex, which a crash cannot
+// interrupt, so a leaked lock turns an injected crash into a deadlock.
+func (a *Allocator) allocBlock(need uint64) (addr, size uint64, err error) {
 	a.mu.Lock()
-	addr, size, ok := a.takeLocked(need)
+	defer a.mu.Unlock()
+	var ok bool
+	addr, size, ok = a.takeLocked(need)
 	if !ok {
-		a.mu.Unlock()
-		return 0, fmt.Errorf("nvalloc: out of memory (want %d bytes, %d allocated of %d)",
+		return 0, 0, fmt.Errorf("nvalloc: out of memory (want %d bytes, %d allocated of %d)",
 			need, a.allocated, a.end-a.start)
 	}
 	// Split when the remainder can hold a block.
@@ -120,10 +137,7 @@ func (a *Allocator) Alloc(n int) (uint64, error) {
 	a.dev.Fence()
 	a.allocated += size
 	a.nAlloc++
-	a.mu.Unlock()
-	user := addr + headerSize
-	a.dev.Memset64(user, 0, int(size-headerSize)/8)
-	return user, nil
+	return addr, size, nil
 }
 
 func (a *Allocator) takeLocked(need uint64) (addr, size uint64, ok bool) {

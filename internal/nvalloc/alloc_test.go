@@ -200,3 +200,44 @@ func TestDisjointBlocksProperty(t *testing.T) {
 		live = append(live, blk{p, n})
 	}
 }
+
+// TestAllocCrashReleasesLock sweeps the injection budget so CrashSignal
+// fires at every device event inside Alloc, including the ones under the
+// heap lock, and asserts the mutex is never leaked by the unwind. A
+// leaked lock turns an injected crash into a process-wide deadlock (the
+// table1 harness hit exactly that: one worker killed mid-Alloc, the
+// rest asleep in Lock).
+func TestAllocCrashReleasesLock(t *testing.T) {
+	defer nvm.ArmCrash(-1)
+	crashed := 0
+	for budget := int64(1); budget < 64; budget++ {
+		_, a := newHeap(t, 1<<16)
+		if _, err := a.Alloc(24); err != nil { // populate free lists
+			t.Fatal(err)
+		}
+		nvm.ArmCrash(budget)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(nvm.CrashSignal); !ok {
+						panic(r)
+					}
+					crashed++
+				}
+			}()
+			for i := 0; i < 8; i++ {
+				if _, err := a.Alloc(24 + i*8); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}()
+		nvm.ArmCrash(-1)
+		if !a.mu.TryLock() {
+			t.Fatalf("budget %d: heap lock leaked by crash unwind", budget)
+		}
+		a.mu.Unlock()
+	}
+	if crashed == 0 {
+		t.Fatal("sweep never fired a crash inside Alloc")
+	}
+}

@@ -248,3 +248,110 @@ func TestFuzzCrashRecoveryMatchesPrefix(t *testing.T) {
 		}
 	}
 }
+
+// TestFuzzDecodedVsLegacy is the engine differential over random
+// programs: the threaded-code engine and the legacy tree-walker must
+// produce identical slot states, device event counts, and consumed
+// crash ticks — and when a random budget fires, they must crash at the
+// same point and recover to the same state.
+func TestFuzzDecodedVsLegacy(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		prng := rand.New(rand.NewSource(int64(3000 + trial)))
+		src := genProgram(prng)
+		p, err := ir.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := compile.Program(p, compile.Config{})
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v\n%s", trial, err, src)
+		}
+		for _, mode := range []Mode{ModeOrigin, ModeIDO, ModeJUSTDO} {
+			run := func(legacy bool) ([fuzzSlots]uint64, nvm.Stats, int64) {
+				m, reg, tbl := fuzzWorld(t, prog, mode, int64(trial))
+				m.Legacy = legacy
+				m.SetCrashBudget(equivBudget)
+				th, err := m.NewThread()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < 3; i++ {
+					if _, err := th.Call("f", tbl); err != nil {
+						t.Fatalf("trial %d mode %v: %v\n%s", trial, mode, err, src)
+					}
+				}
+				return slotsOf(reg, tbl), reg.Dev.Stats(), consumedTicks(m, equivBudget)
+			}
+			ds, dd, dt := run(false)
+			ls, ld, lt := run(true)
+			if ds != ls {
+				t.Fatalf("trial %d mode %v: slot states diverge\n%s\ndecoded: %v\nlegacy:  %v", trial, mode, src, ds, ls)
+			}
+			if dd != ld {
+				t.Fatalf("trial %d mode %v: device stats diverge\n%s\ndecoded: %+v\nlegacy:  %+v", trial, mode, src, dd, ld)
+			}
+			if dt != lt {
+				t.Fatalf("trial %d mode %v: ticks diverge: decoded %d, legacy %d\n%s", trial, mode, dt, lt, src)
+			}
+		}
+	}
+}
+
+// TestFuzzDecodedCrashRecoverDifferential crashes both engines at the
+// same random budget and recovers each with its own engine; the
+// post-recovery slot states must be identical word for word (a stronger
+// claim than matching a reference prefix: resumption itself must follow
+// the same path through the flat stream as through the block tree).
+func TestFuzzDecodedCrashRecoverDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		prng := rand.New(rand.NewSource(int64(4000 + trial)))
+		src := genProgram(prng)
+		p, err := ir.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := compile.Program(p, compile.Config{})
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v\n%s", trial, err, src)
+		}
+		budget := int64(rng.Intn(300))
+		run := func(legacy bool) (bool, [fuzzSlots]uint64, int) {
+			m, reg, tbl := fuzzWorld(t, prog, ModeIDO, int64(trial))
+			m.Legacy = legacy
+			th, err := m.NewThread()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 2; i++ {
+				if _, err := th.Call("f", tbl); err != nil {
+					t.Fatal(err)
+				}
+			}
+			m.SetCrashBudget(budget)
+			_, callErr := th.Call("f", tbl)
+			m.SetCrashBudget(-1)
+			reg2, err := reg.Crash(nvm.CrashDiscard, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m2 := New(reg2, locks.NewManager(reg2), prog, ModeIDO)
+			m2.Legacy = legacy
+			st, err := m2.Recover()
+			if err != nil {
+				t.Fatalf("trial %d: recover: %v\n%s", trial, err, src)
+			}
+			return callErr != nil, slotsOf(reg2, reg2.Root(1)), st.Resumed
+		}
+		dCrashed, dState, dRes := run(false)
+		lCrashed, lState, lRes := run(true)
+		if dCrashed != lCrashed || dRes != lRes {
+			t.Fatalf("trial %d budget %d: crash/resume behavior diverges (decoded crashed=%v resumed=%d, legacy crashed=%v resumed=%d)\n%s",
+				trial, budget, dCrashed, dRes, lCrashed, lRes, src)
+		}
+		if dState != lState {
+			t.Fatalf("trial %d budget %d: recovered states diverge\n%s\ndecoded: %v\nlegacy:  %v",
+				trial, budget, src, dState, lState)
+		}
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"time"
 
+	"github.com/ido-nvm/ido/internal/compile"
+	"github.com/ido-nvm/ido/internal/ir"
 	"github.com/ido-nvm/ido/internal/persist"
 	"github.com/ido-nvm/ido/internal/region"
 )
@@ -146,7 +148,7 @@ func (m *Machine) resume(t *Thread, pc uint64) error {
 		t.curBuf = buf
 		t.sp = dev.Load64(t.log + lSP)
 		t.inRegion = true
-		t.run(f, target.Entry.Block, target.Entry.Index, 0)
+		t.runFrom(target.Func, f, target.Entry.Block, target.Entry.Index)
 		return nil
 	case ModeJUSTDO:
 		// Re-perform the logged store, then continue at the next
@@ -156,11 +158,12 @@ func (m *Machine) resume(t *Thread, pc uint64) error {
 		dev.Store64(addr, val)
 		dev.CLWB(addr)
 		dev.Fence()
-		fnIdx, blk, idx := decodePC(pc)
+		fnIdx, blk, idx := compile.UnpackPC(pc)
 		if fnIdx >= len(m.funcNames) {
 			return fmt.Errorf("vm: JUSTDO pc %#x names function %d of %d", pc, fnIdx, len(m.funcNames))
 		}
-		f := m.Prog.Funcs[m.funcNames[fnIdx]].F
+		name := m.funcNames[fnIdx]
+		f := m.Prog.Funcs[name].F
 		for r := 0; r < f.NumRegs; r++ {
 			t.rf[r] = dev.Load64(t.log + lSlots + uint64(r)*8)
 		}
@@ -168,8 +171,22 @@ func (m *Machine) resume(t *Thread, pc uint64) error {
 		if blk >= len(f.Blocks) || idx >= len(f.Blocks[blk].Instrs) {
 			return fmt.Errorf("vm: JUSTDO pc %#x out of range in %s", pc, f.Name)
 		}
-		t.run(f, blk, idx+1, 0)
+		// idx+1 may point one past a fall-through block's last
+		// instruction; both engines continue into the next block
+		// (FlatIndex lands on its first decoded instruction).
+		t.runFrom(name, f, blk, idx+1)
 		return nil
 	}
 	return fmt.Errorf("vm: mode %v cannot resume", m.Mode)
+}
+
+// runFrom resumes execution at (block, idx) on the engine the machine is
+// configured for, stopping when the interrupted FASE closes (depth 0).
+func (t *Thread) runFrom(name string, f *ir.Func, block, idx int) {
+	if t.m.Legacy {
+		t.runLegacy(f, block, idx, 0)
+		return
+	}
+	d := t.m.code[name]
+	t.exec(d, d.FlatIndex(block, idx), 0)
 }

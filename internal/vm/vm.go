@@ -1,8 +1,17 @@
-// Package vm interprets compiled mini-IR programs against simulated NVM,
+// Package vm executes compiled mini-IR programs against simulated NVM,
 // providing what the paper gets from native execution on real hardware:
 // the ability to crash at any instruction boundary and to resume — jump to
 // a logged program counter with a restored register file — during
 // recovery.
+//
+// Execution is threaded code: compile pre-decodes each function into one
+// flat instruction array (resolved jump offsets, pre-classified operands,
+// pre-packed recovery pcs — see internal/compile/decode.go), and the
+// engine in exec() walks it with a single dense-switch dispatch. The
+// original tree-walking interpreter survives in legacy.go, selected by
+// Machine.Legacy, as the differential oracle: both engines execute the
+// same instructions in the same order, so their device event counts and
+// crash-injection points are identical (asserted by equiv_test.go).
 //
 // Three runtime modes are implemented:
 //
@@ -25,7 +34,9 @@ package vm
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -97,16 +108,6 @@ func vmUnpack(pc uint64) (regionID uint64, n, buf int) {
 	return pc & (1<<48 - 1), int(pc >> 48 & 0xFF), int(pc >> 56 & 1)
 }
 
-// encodePC packs an instruction location (JUSTDO pc). Bit 62 marks
-// validity so location (0,0,0) is distinguishable from "idle".
-func encodePC(fn, block, idx int) uint64 {
-	return 1<<62 | uint64(fn)<<40 | uint64(block)<<20 | uint64(idx)
-}
-
-func decodePC(pc uint64) (fn, block, idx int) {
-	return int(pc >> 40 & 0x3FFFFF), int(pc >> 20 & 0xFFFFF), int(pc & 0xFFFFF)
-}
-
 // errCrash unwinds execution when the crash budget hits zero.
 type errCrash struct{}
 
@@ -119,42 +120,55 @@ type Machine struct {
 	LM   *locks.Manager
 	Prog *compile.Compiled
 	Mode Mode
+	// Legacy selects the retained tree-walking interpreter instead of
+	// the threaded-code engine. Both execute the same instruction
+	// sequence with identical device events; legacy exists as the
+	// differential-testing oracle and is not optimized.
+	Legacy bool
 
 	funcNames []string
 	funcIdx   map[string]int
+	code      map[string]*compile.DecodedFunc
 
 	crashArmed  atomic.Bool
 	crashed     atomic.Bool
 	crashBudget atomic.Int64
+	crashGen    atomic.Uint64 // bumped by SetCrashBudget to invalidate per-thread allotments
 
 	mu      sync.Mutex
 	threads []*Thread
 	nextID  int
 
 	stats persist.RuntimeStats
-
-	// Trace collects OpPrint output for the demo tools.
-	TraceMu sync.Mutex
-	Trace   []uint64
 }
 
 // New creates a machine. The program must come from compile.Program so
-// region IDs resolve.
+// region IDs resolve. Functions are numbered in sorted name order — the
+// same order compile.Program uses — so the pre-decoded code it attached
+// can be used as-is; a program assembled by hand (or through compile.Func
+// directly) is decoded here.
 func New(reg *region.Region, lm *locks.Manager, prog *compile.Compiled, mode Mode) *Machine {
-	m := &Machine{Reg: reg, LM: lm, Prog: prog, Mode: mode, funcIdx: map[string]int{}}
+	m := &Machine{
+		Reg: reg, LM: lm, Prog: prog, Mode: mode,
+		funcIdx: map[string]int{},
+		code:    map[string]*compile.DecodedFunc{},
+	}
 	for name := range prog.Funcs {
 		m.funcNames = append(m.funcNames, name)
 	}
-	// Deterministic function numbering.
-	for i := 0; i < len(m.funcNames); i++ {
-		for j := i + 1; j < len(m.funcNames); j++ {
-			if m.funcNames[j] < m.funcNames[i] {
-				m.funcNames[i], m.funcNames[j] = m.funcNames[j], m.funcNames[i]
-			}
-		}
-	}
+	sort.Strings(m.funcNames)
 	for i, n := range m.funcNames {
 		m.funcIdx[n] = i
+		cf := prog.Funcs[n]
+		if cf.Code != nil && cf.Code.FnIdx == i {
+			m.code[n] = cf.Code
+			continue
+		}
+		d, err := compile.DecodeFunc(cf.F, i)
+		if err != nil {
+			panic(fmt.Sprintf("vm: %v", err))
+		}
+		m.code[n] = d
 	}
 	m.crashBudget.Store(-1)
 	return m
@@ -165,7 +179,12 @@ func New(reg *region.Region, lm *locks.Manager, prog *compile.Compiled, mode Mod
 // across ALL threads — once the budget is spent the whole machine is
 // "powered off" and every thread dies at its next event, including
 // threads blocked on locks. Negative disables injection.
+//
+// Threads draw down the shared budget in batches of tickBatch events
+// (see Thread.tick); bumping crashGen here discards every outstanding
+// per-thread allotment so a fresh budget is exact from its first event.
 func (m *Machine) SetCrashBudget(n int64) {
+	m.crashGen.Add(1)
 	if n < 0 {
 		m.crashArmed.Store(false)
 		m.crashed.Store(false)
@@ -176,15 +195,45 @@ func (m *Machine) SetCrashBudget(n int64) {
 	m.crashArmed.Store(true)
 }
 
-// tick consumes one crash-budget event.
-func (m *Machine) tick() {
-	if !m.crashArmed.Load() {
+// tickBatch is the crash-budget refill granularity: a thread reserves up
+// to this many events from the shared budget in one atomic operation.
+// The total number of events before the crash fires is unchanged — with
+// one thread the crash lands on exactly the same event as a per-event
+// counter would — but a thread that stops running (or the power-off
+// itself) can strand up to tickBatch-1 reserved events per other thread.
+const tickBatch = 32
+
+// tick consumes one crash-budget event. With injection disarmed this is
+// a single atomic load; armed, it spends the thread-local allotment and
+// refills from the shared budget every tickBatch events.
+func (t *Thread) tick() {
+	if !t.m.crashArmed.Load() {
 		return
 	}
-	if m.crashed.Load() || m.crashBudget.Add(-1) < 0 {
+	t.tickSlow()
+}
+
+func (t *Thread) tickSlow() {
+	m := t.m
+	if m.crashed.Load() {
+		panic(errCrash{})
+	}
+	if g := m.crashGen.Load(); g != t.tickGen {
+		t.tickGen, t.ticks = g, 0
+	}
+	if t.ticks > 0 {
+		t.ticks--
+		return
+	}
+	got := m.crashBudget.Add(-tickBatch) + tickBatch // budget before this refill
+	if got > tickBatch {
+		got = tickBatch
+	}
+	if got <= 0 {
 		m.crashed.Store(true)
 		panic(errCrash{})
 	}
+	t.ticks = got - 1 // this event consumes one of the reserved batch
 }
 
 // Stats returns aggregated execution statistics (call while quiescent).
@@ -194,6 +243,20 @@ func (m *Machine) Stats() persist.RuntimeStats {
 	out := m.stats
 	for _, t := range m.threads {
 		out.Add(&t.stats)
+	}
+	return out
+}
+
+// Trace returns the collected OpPrint output: threads in registration
+// order, program order within each thread. Each thread appends to its
+// own buffer during execution — there is no global trace lock — so like
+// Stats this merge is meaningful only while the machine is quiescent.
+func (m *Machine) Trace() []uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []uint64
+	for _, t := range m.threads {
+		out = append(out, t.trace...)
 	}
 	return out
 }
@@ -214,12 +277,17 @@ type Thread struct {
 	bits       uint64
 	recovering bool
 
+	ticks   int64  // remaining crash-budget allotment
+	tickGen uint64 // crashGen the allotment belongs to
+
 	dirty          []uint64
 	dirtySlots     []uint64         // JUSTDO: slot lines written outside FASEs
 	staged         []persist.RegVal // iDO: current boundary record
 	curBuf         int              // iDO: active record buffer
 	storesInRegion int
 	inRegion       bool
+
+	trace []uint64 // OpPrint output, merged by Machine.Trace
 
 	stats persist.RuntimeStats
 }
@@ -259,16 +327,15 @@ func (m *Machine) NewThread() (*Thread, error) {
 // Call executes fn with the given arguments. It returns the values of a
 // ret instruction, or ErrCrashed if the injected crash fired mid-run.
 func (t *Thread) Call(fn string, args ...uint64) (rets []uint64, err error) {
-	cf, ok := t.m.Prog.Funcs[fn]
+	d, ok := t.m.code[fn]
 	if !ok {
 		return nil, fmt.Errorf("vm: no function %q", fn)
 	}
-	f := cf.F
-	if f.NumRegs > MaxRegs {
-		return nil, fmt.Errorf("vm: %s uses %d registers (max %d)", fn, f.NumRegs, MaxRegs)
+	if d.NumRegs > MaxRegs {
+		return nil, fmt.Errorf("vm: %s uses %d registers (max %d)", fn, d.NumRegs, MaxRegs)
 	}
-	if len(args) != f.NumParams {
-		return nil, fmt.Errorf("vm: %s wants %d args, got %d", fn, f.NumParams, len(args))
+	if len(args) != d.NumParams {
+		return nil, fmt.Errorf("vm: %s wants %d args, got %d", fn, d.NumParams, len(args))
 	}
 	defer func() {
 		if r := recover(); r != nil {
@@ -283,159 +350,158 @@ func (t *Thread) Call(fn string, args ...uint64) (rets []uint64, err error) {
 		t.rf[i] = a
 	}
 	t.sp = t.frame
-	rets = t.run(f, 0, 0, -1)
+	if t.m.Legacy {
+		rets = t.runLegacy(t.m.Prog.Funcs[fn].F, 0, 0, -1)
+	} else {
+		rets = t.exec(d, 0, -1)
+	}
 	return rets, nil
 }
 
-// run interprets f starting at (block, idx). If stopAtDepth >= 0,
-// execution stops once the FASE depth drops to stopAtDepth (the recovery
-// path: "execute to the end of the current FASE"). Returns ret values.
-func (t *Thread) run(f *ir.Func, block, idx, stopAtDepth int) []uint64 {
-	dev := t.m.Reg.Dev
-	fnIdx := t.m.funcIdx[f.Name]
-	val := func(v ir.Value) uint64 {
-		if v.IsImm {
-			return v.Imm
-		}
-		return t.rf[v.Reg]
+// valA and valB read a pre-classified operand: the decoded field is the
+// value itself for immediates, a register index otherwise.
+func (t *Thread) valA(in *compile.DInstr) uint64 {
+	if in.AImm {
+		return in.A
 	}
+	return t.rf[in.A]
+}
+
+func (t *Thread) valB(in *compile.DInstr) uint64 {
+	if in.BImm {
+		return in.B
+	}
+	return t.rf[in.B]
+}
+
+// exec runs the threaded-code stream from flat offset pc. If stopAtDepth
+// >= 0, execution stops once the FASE depth drops to stopAtDepth (the
+// recovery path: "execute to the end of the current FASE"). Returns ret
+// values.
+//
+// Event equivalence with the legacy interpreter: one DInstr per ir
+// instruction, one tick before each handler, and the handlers call the
+// same protocol helpers — fall-through edges, which execute no
+// instruction in either engine, are the only control transfers that
+// differ in mechanism (stream adjacency here, Succs[0] there).
+func (t *Thread) exec(d *compile.DecodedFunc, pc int, stopAtDepth int) []uint64 {
+	dev := t.m.Reg.Dev
+	code := d.Code
 	for {
-		b := f.Blocks[block]
-		if idx >= len(b.Instrs) {
-			// Fall through.
-			if len(b.Succs) != 1 {
-				panic(fmt.Sprintf("vm: %s: block %s ends without terminator", f.Name, b.Name))
-			}
-			block, idx = b.Succs[0], 0
-			continue
-		}
-		in := &b.Instrs[idx]
-		t.m.tick()
+		in := &code[pc]
+		t.tick()
 		switch in.Op {
-		case ir.OpConst:
-			t.def(f, fnIdx, block, idx, in.Dest, in.Imm)
-		case ir.OpMov:
-			t.def(f, fnIdx, block, idx, in.Dest, val(in.Args[0]))
-		case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpMod, ir.OpAnd,
-			ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr, ir.OpEq, ir.OpNe,
-			ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe:
-			t.def(f, fnIdx, block, idx, in.Dest, arith(in.Op, val(in.Args[0]), val(in.Args[1])))
-		case ir.OpLoad:
-			t.def(f, fnIdx, block, idx, in.Dest, dev.Load64(t.rf[in.Args[0].Reg]+in.Imm))
-		case ir.OpStore:
-			t.store(fnIdx, block, idx, t.rf[in.Args[0].Reg]+in.Imm, val(in.Args[1]))
-		case ir.OpAlloc:
-			p, err := t.m.Reg.Alloc.Alloc(int(val(in.Args[0])))
-			if err != nil {
-				panic(fmt.Sprintf("vm: %s: %v", f.Name, err))
+		case compile.DConst:
+			t.def(in.PC, ir.Reg(in.Dest), in.Imm)
+		case compile.DMov:
+			t.def(in.PC, ir.Reg(in.Dest), t.valA(in))
+		case compile.DAdd:
+			t.def(in.PC, ir.Reg(in.Dest), t.valA(in)+t.valB(in))
+		case compile.DSub:
+			t.def(in.PC, ir.Reg(in.Dest), t.valA(in)-t.valB(in))
+		case compile.DMul:
+			t.def(in.PC, ir.Reg(in.Dest), t.valA(in)*t.valB(in))
+		case compile.DDiv:
+			b := t.valB(in)
+			if b == 0 {
+				panic("vm: division by zero")
 			}
-			t.def(f, fnIdx, block, idx, in.Dest, p)
-		case ir.OpNewLock:
-			l, err := t.m.LM.Create()
-			if err != nil {
-				panic(fmt.Sprintf("vm: %s: %v", f.Name, err))
+			t.def(in.PC, ir.Reg(in.Dest), t.valA(in)/b)
+		case compile.DMod:
+			b := t.valB(in)
+			if b == 0 {
+				panic("vm: division by zero")
 			}
-			t.def(f, fnIdx, block, idx, in.Dest, l.Holder())
-		case ir.OpSAlloc:
-			n := (val(in.Args[0]) + 7) &^ 7
+			t.def(in.PC, ir.Reg(in.Dest), t.valA(in)%b)
+		case compile.DAnd:
+			t.def(in.PC, ir.Reg(in.Dest), t.valA(in)&t.valB(in))
+		case compile.DOr:
+			t.def(in.PC, ir.Reg(in.Dest), t.valA(in)|t.valB(in))
+		case compile.DXor:
+			t.def(in.PC, ir.Reg(in.Dest), t.valA(in)^t.valB(in))
+		case compile.DShl:
+			t.def(in.PC, ir.Reg(in.Dest), t.valA(in)<<(t.valB(in)&63))
+		case compile.DShr:
+			t.def(in.PC, ir.Reg(in.Dest), t.valA(in)>>(t.valB(in)&63))
+		case compile.DEq:
+			t.def(in.PC, ir.Reg(in.Dest), b2i(t.valA(in) == t.valB(in)))
+		case compile.DNe:
+			t.def(in.PC, ir.Reg(in.Dest), b2i(t.valA(in) != t.valB(in)))
+		case compile.DLt:
+			t.def(in.PC, ir.Reg(in.Dest), b2i(t.valA(in) < t.valB(in)))
+		case compile.DLe:
+			t.def(in.PC, ir.Reg(in.Dest), b2i(t.valA(in) <= t.valB(in)))
+		case compile.DGt:
+			t.def(in.PC, ir.Reg(in.Dest), b2i(t.valA(in) > t.valB(in)))
+		case compile.DGe:
+			t.def(in.PC, ir.Reg(in.Dest), b2i(t.valA(in) >= t.valB(in)))
+		case compile.DLoad:
+			t.def(in.PC, ir.Reg(in.Dest), dev.Load64(t.rf[in.A]+in.Imm))
+		case compile.DStore:
+			t.store(in.PC, t.rf[in.A]+in.Imm, t.valB(in))
+		case compile.DBr:
+			if t.valA(in) != 0 {
+				pc = int(in.T0)
+			} else {
+				pc = int(in.T1)
+			}
+			continue
+		case compile.DJmp:
+			pc = int(in.T0)
+			continue
+		case compile.DRet:
+			out := make([]uint64, len(in.Vals))
+			for i, a := range in.Vals {
+				if a.IsImm {
+					out[i] = a.Imm
+				} else {
+					out[i] = t.rf[a.Reg]
+				}
+			}
+			return out
+		case compile.DAlloc:
+			p, err := t.m.Reg.Alloc.Alloc(int(t.valA(in)))
+			if err != nil {
+				panic(fmt.Sprintf("vm: %s: %v", d.Name, err))
+			}
+			t.def(in.PC, ir.Reg(in.Dest), p)
+		case compile.DSAlloc:
+			n := (t.valA(in) + 7) &^ 7
 			if t.sp+n > t.frame+frameSize {
-				panic(fmt.Sprintf("vm: %s: stack overflow", f.Name))
+				panic(fmt.Sprintf("vm: %s: stack overflow", d.Name))
 			}
 			p := t.sp
-			t.setSP(fnIdx, block, idx, t.sp+n)
-			t.def(f, fnIdx, block, idx, in.Dest, p)
-		case ir.OpLock:
-			t.lock(t.m.LM.ByHolder(val(in.Args[0])))
-		case ir.OpUnlock:
-			t.unlock(t.m.LM.ByHolder(val(in.Args[0])))
+			t.setSP(in.PC, t.sp+n)
+			t.def(in.PC, ir.Reg(in.Dest), p)
+		case compile.DNewLock:
+			l, err := t.m.LM.Create()
+			if err != nil {
+				panic(fmt.Sprintf("vm: %s: %v", d.Name, err))
+			}
+			t.def(in.PC, ir.Reg(in.Dest), l.Holder())
+		case compile.DLock:
+			t.lock(t.m.LM.ByHolder(t.valA(in)))
+		case compile.DUnlock:
+			t.unlock(t.m.LM.ByHolder(t.valA(in)))
 			if t.depth() == stopAtDepth {
 				return nil
 			}
-		case ir.OpBeginDur:
-			if t.m.Mode == ModeJUSTDO && !t.inFASE() {
-				for _, line := range t.dirtySlots {
-					dev.CLWB(line)
-				}
-				t.dirtySlots = t.dirtySlots[:0]
-				dev.Fence()
-			}
-			t.durDepth++
-		case ir.OpEndDur:
+		case compile.DBeginDur:
+			t.beginDurable()
+		case compile.DEndDur:
 			t.endDurable()
 			if t.depth() == stopAtDepth {
 				return nil
 			}
-		case ir.OpBoundary:
-			t.boundary(in)
-		case ir.OpPrint:
-			t.m.TraceMu.Lock()
-			t.m.Trace = append(t.m.Trace, val(in.Args[0]))
-			t.m.TraceMu.Unlock()
-		case ir.OpBr:
-			if val(in.Args[0]) != 0 {
-				block, idx = in.Targets[0], 0
-			} else {
-				block, idx = in.Targets[1], 0
-			}
-			continue
-		case ir.OpJmp:
-			block, idx = in.Targets[0], 0
-			continue
-		case ir.OpRet:
-			out := make([]uint64, len(in.Args))
-			for i, a := range in.Args {
-				out[i] = val(a)
-			}
-			return out
+		case compile.DBoundary:
+			t.boundary(in.Imm, in.Regs)
+		case compile.DPrint:
+			t.trace = append(t.trace, t.valA(in))
 		default:
-			panic(fmt.Sprintf("vm: unhandled op %v", in.Op))
+			panic(fmt.Sprintf("vm: unhandled decoded op %d", in.Op))
 		}
-		idx++
+		pc++
 	}
-}
-
-func arith(op ir.Op, a, b uint64) uint64 {
-	switch op {
-	case ir.OpAdd:
-		return a + b
-	case ir.OpSub:
-		return a - b
-	case ir.OpMul:
-		return a * b
-	case ir.OpDiv:
-		if b == 0 {
-			panic("vm: division by zero")
-		}
-		return a / b
-	case ir.OpMod:
-		if b == 0 {
-			panic("vm: division by zero")
-		}
-		return a % b
-	case ir.OpAnd:
-		return a & b
-	case ir.OpOr:
-		return a | b
-	case ir.OpXor:
-		return a ^ b
-	case ir.OpShl:
-		return a << (b & 63)
-	case ir.OpShr:
-		return a >> (b & 63)
-	case ir.OpEq:
-		return b2i(a == b)
-	case ir.OpNe:
-		return b2i(a != b)
-	case ir.OpLt:
-		return b2i(a < b)
-	case ir.OpLe:
-		return b2i(a <= b)
-	case ir.OpGt:
-		return b2i(a > b)
-	case ir.OpGe:
-		return b2i(a >= b)
-	}
-	panic("vm: not arithmetic")
 }
 
 func b2i(b bool) uint64 {
@@ -456,18 +522,21 @@ func (t *Thread) inFASE() bool { return t.depth() > 0 }
 // flushes the accumulated dirty slots inside its existing intention
 // fence, so everything a FASE reads from pre-FASE registers is already
 // in NVM when execution enters the FASE.
-func (t *Thread) def(f *ir.Func, fnIdx, block, idx int, r ir.Reg, v uint64) {
+func (t *Thread) def(pc uint64, r ir.Reg, v uint64) {
 	t.rf[r] = v
 	if t.m.Mode == ModeJUSTDO {
-		slot := t.log + lSlots + uint64(r)*8
-		if t.inFASE() {
-			t.justdoLoggedStore(encodePC(fnIdx, block, idx), slot, v)
-		} else {
-			t.m.Reg.Dev.Store64(slot, v)
-			t.trackSlot(slot)
-		}
+		t.defSlot(pc, r, v)
 	}
-	_ = f
+}
+
+func (t *Thread) defSlot(pc uint64, r ir.Reg, v uint64) {
+	slot := t.log + lSlots + uint64(r)*8
+	if t.inFASE() {
+		t.justdoLoggedStore(pc, slot, v)
+	} else {
+		t.m.Reg.Dev.Store64(slot, v)
+		t.trackSlot(slot)
+	}
 }
 
 func (t *Thread) trackSlot(slot uint64) {
@@ -480,11 +549,11 @@ func (t *Thread) trackSlot(slot uint64) {
 	t.dirtySlots = append(t.dirtySlots, line)
 }
 
-func (t *Thread) setSP(fnIdx, block, idx int, sp uint64) {
+func (t *Thread) setSP(pc uint64, sp uint64) {
 	t.sp = sp
 	if t.m.Mode == ModeJUSTDO {
 		if t.inFASE() {
-			t.justdoLoggedStore(encodePC(fnIdx, block, idx), t.log+lSP, sp)
+			t.justdoLoggedStore(pc, t.log+lSP, sp)
 		} else {
 			t.m.Reg.Dev.Store64(t.log+lSP, sp)
 			t.trackSlot(t.log + lSP)
@@ -493,11 +562,11 @@ func (t *Thread) setSP(fnIdx, block, idx int, sp uint64) {
 }
 
 // store writes persistent data under the active mode's discipline.
-func (t *Thread) store(fnIdx, block, idx int, addr, v uint64) {
+func (t *Thread) store(pc uint64, addr, v uint64) {
 	dev := t.m.Reg.Dev
 	switch {
 	case t.m.Mode == ModeJUSTDO && t.inFASE():
-		t.justdoLoggedStore(encodePC(fnIdx, block, idx), addr, v)
+		t.justdoLoggedStore(pc, addr, v)
 	case t.m.Mode == ModeIDO && t.inFASE():
 		dev.Store64(addr, v)
 		line := addr &^ (nvm.LineSize - 1)
@@ -530,7 +599,7 @@ func (t *Thread) justdoLoggedStore(pc, addr, v uint64) {
 	dev.Store64(t.log+lJDVal, v)
 	dev.CLWB(t.log + lPC) // pc/addr/val share the first log line
 	dev.Fence()
-	t.m.tick()
+	t.tick()
 	dev.Store64(addr, v)
 	dev.CLWB(addr)
 	dev.Fence()
@@ -541,6 +610,22 @@ func (t *Thread) justdoLoggedStore(pc, addr, v uint64) {
 	t.stats.StoresPerRegion[1]++
 }
 
+// beginDurable enters a durable section. JUSTDO's FASE entry must find
+// every pre-FASE register slot already persistent, so the accumulated
+// dirty slot lines are flushed here (the lock path does the same inside
+// its intention fence).
+func (t *Thread) beginDurable() {
+	if t.m.Mode == ModeJUSTDO && !t.inFASE() {
+		dev := t.m.Reg.Dev
+		for _, line := range t.dirtySlots {
+			dev.CLWB(line)
+		}
+		t.dirtySlots = t.dirtySlots[:0]
+		dev.Fence()
+	}
+	t.durDepth++
+}
+
 // boundary implements the iDO three-step protocol for an OpBoundary.
 // Like the native runtime, the new pairs go into a staged record that is
 // published atomically with recovery_pc and folded into the fixed
@@ -549,12 +634,12 @@ func (t *Thread) justdoLoggedStore(pc, addr, v uint64) {
 // (The stack pointer is staged alongside; restoring a slightly-later sp
 // merely wastes frame space, since a resumed region re-allocates its
 // stack slots afresh.)
-func (t *Thread) boundary(in *ir.Instr) {
+func (t *Thread) boundary(id uint64, regs []ir.Reg) {
 	if t.m.Mode != ModeIDO {
 		return
 	}
-	if len(in.Args) > stageCap {
-		panic(fmt.Sprintf("vm: boundary %#x logs %d registers (max %d)", in.Imm, len(in.Args), stageCap))
+	if len(regs) > stageCap {
+		panic(fmt.Sprintf("vm: boundary %#x logs %d registers (max %d)", id, len(regs), stageCap))
 	}
 	dev := t.m.Reg.Dev
 	// Close the ending region's statistics.
@@ -578,13 +663,15 @@ func (t *Thread) boundary(in *ir.Instr) {
 	// and the ending region's dirty data lines; fence.
 	buf := 1 - t.curBuf
 	sb := stageAt(t.log, buf)
-	for i, a := range in.Args {
-		dev.Store64(sb+uint64(i)*16, uint64(a.Reg))
-		dev.Store64(sb+uint64(i)*16+8, t.rf[a.Reg])
-		t.staged = append(t.staged, persist.RegVal{Reg: int(a.Reg), Val: t.rf[a.Reg]})
+	pa := sb
+	for _, r := range regs {
+		dev.Store64(pa, uint64(r))
+		dev.Store64(pa+8, t.rf[r])
+		t.staged = append(t.staged, persist.RegVal{Reg: int(r), Val: t.rf[r]})
+		pa += 16
 	}
-	if len(in.Args) > 0 {
-		dev.PersistRange(sb, uint64(len(in.Args))*16)
+	if len(regs) > 0 {
+		dev.PersistRange(sb, uint64(len(regs))*16)
 	}
 	// A single sp word suffices: within a FASE the stack pointer only
 	// grows, and resuming with a slightly-later sp merely wastes frame.
@@ -595,15 +682,15 @@ func (t *Thread) boundary(in *ir.Instr) {
 	}
 	t.dirty = t.dirty[:0]
 	dev.Fence()
-	t.m.tick()
+	t.tick()
 	// Step 2: publish recovery_pc packed with record size and buffer.
-	dev.Store64(t.log+lPC, vmPack(in.Imm, len(in.Args), buf))
+	dev.Store64(t.log+lPC, vmPack(id, len(regs), buf))
 	dev.CLWB(t.log + lPC)
 	dev.Fence()
 	t.curBuf = buf
 	t.stats.LoggedEntries++
-	t.stats.LoggedBytes += uint64(len(in.Args))*8 + 8
-	n := len(in.Args)
+	t.stats.LoggedBytes += uint64(len(regs))*8 + 8
+	n := len(regs)
 	if n >= persist.HistOutputs {
 		n = persist.HistOutputs - 1
 	}
@@ -627,11 +714,22 @@ func (t *Thread) acquire(l *locks.Lock) {
 	}
 }
 
+// slotOf probes only the live holder slots, guided by the bits mask
+// (slots[i] != 0 exactly when bit i is set).
 func (t *Thread) slotOf(holder uint64) int {
-	for i := 0; i < numLk; i++ {
+	for m := t.bits; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
 		if t.slots[i] == holder {
 			return i
 		}
+	}
+	return -1
+}
+
+// freeSlot returns the lowest empty holder slot, or -1 when full.
+func (t *Thread) freeSlot() int {
+	if i := bits.TrailingZeros64(^t.bits); i < numLk {
+		return i
 	}
 	return -1
 }
@@ -653,10 +751,10 @@ func (t *Thread) lock(l *locks.Lock) {
 		}
 		t.dirtySlots = t.dirtySlots[:0]
 		dev.Fence()
-		t.m.tick()
+		t.tick()
 	}
 	t.acquire(l)
-	slot := t.slotOf(0)
+	slot := t.freeSlot()
 	if slot < 0 {
 		panic("vm: lock array overflow")
 	}
@@ -694,7 +792,7 @@ func (t *Thread) unlock(l *locks.Lock) {
 		dev.Store64(t.log+lIntent, l.Holder())
 		dev.CLWB(t.log + lIntent)
 		dev.Fence()
-		t.m.tick()
+		t.tick()
 	}
 	if last && t.m.Mode != ModeOrigin {
 		if t.m.Mode == ModeIDO {
@@ -713,7 +811,7 @@ func (t *Thread) unlock(l *locks.Lock) {
 			}
 			t.dirty = t.dirty[:0]
 			dev.Fence()
-			t.m.tick()
+			t.tick()
 		}
 		dev.Store64(t.log+lPC, 0)
 		dev.CLWB(t.log + lPC)
@@ -762,7 +860,7 @@ func (t *Thread) endDurable() {
 			}
 			t.dirty = t.dirty[:0]
 			dev.Fence()
-			t.m.tick()
+			t.tick()
 		}
 		dev.Store64(t.log+lPC, 0)
 		dev.CLWB(t.log + lPC)

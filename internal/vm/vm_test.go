@@ -479,8 +479,8 @@ entry:
 	if rets[0] != 15 {
 		t.Fatalf("ret = %d", rets[0])
 	}
-	if len(m.Trace) != 1 || m.Trace[0] != 15 {
-		t.Fatalf("trace = %v", m.Trace)
+	if tr := m.Trace(); len(tr) != 1 || tr[0] != 15 {
+		t.Fatalf("trace = %v", tr)
 	}
 	// Repeated calls reset the frame: no stack creep.
 	for i := 0; i < 300; i++ {
