@@ -7,9 +7,13 @@
 //	idobench -exp fig5 -quick         # one experiment, smoke-scale
 //	idobench -exp fig7 -duration 1s -threads 1,2,4,8,16
 //
-// Experiments: fig5, fig6, fig7, fig8, table1, fig9, ablations, vm, all.
-// See DESIGN.md for the experiment index and EXPERIMENTS.md for
+// Experiments: fig5, fig6, fig7, fig8, table1, fig9, ablations, vm, obs,
+// all. See DESIGN.md for the experiment index and EXPERIMENTS.md for
 // paper-versus-measured notes.
+//
+// -traceout FILE attaches a persist-event tracer to every device the run
+// creates and writes a Chrome trace_event JSON file (load it at
+// chrome://tracing or https://ui.perfetto.dev) when the run finishes.
 package main
 
 import (
@@ -21,13 +25,15 @@ import (
 	"time"
 
 	"github.com/ido-nvm/ido/internal/bench"
+	"github.com/ido-nvm/ido/internal/obs"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|table1|fig9|ablations|vm|all")
+	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|table1|fig9|ablations|vm|obs|all")
 	quick := flag.Bool("quick", false, "smoke-scale parameters")
 	duration := flag.Duration("duration", 0, "override measurement interval per point")
 	threads := flag.String("threads", "", "override thread sweep, e.g. 1,2,4,8")
+	traceout := flag.String("traceout", "", "write a Chrome trace_event JSON file of all persist events")
 	flag.Parse()
 
 	o := bench.DefaultOptions()
@@ -48,6 +54,9 @@ func main() {
 			sweep = append(sweep, n)
 		}
 		o.Threads = sweep
+	}
+	if *traceout != "" {
+		o.Tracer = obs.New(obs.DefaultConfig())
 	}
 
 	start := time.Now()
@@ -71,11 +80,20 @@ func main() {
 		_, err = bench.RunAblations(o)
 	case "vm":
 		_, err = bench.RunVM(o)
+	case "obs":
+		_, err = bench.RunObs(o)
 	default:
 		fatalf("unknown experiment %q", *exp)
 	}
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if o.Tracer != nil {
+		n, err := o.Tracer.ExportChromeFile(*traceout)
+		if err != nil {
+			fatalf("writing trace: %v", err)
+		}
+		fmt.Printf("trace: %s (%d events, %d dropped)\n", *traceout, n, o.Tracer.Dropped())
 	}
 	fmt.Printf("done in %s\n", time.Since(start).Round(time.Millisecond))
 }

@@ -17,6 +17,7 @@ import (
 	"github.com/ido-nvm/ido/internal/core"
 	"github.com/ido-nvm/ido/internal/locks"
 	"github.com/ido-nvm/ido/internal/nvm"
+	"github.com/ido-nvm/ido/internal/obs"
 	"github.com/ido-nvm/ido/internal/persist"
 	"github.com/ido-nvm/ido/internal/region"
 )
@@ -60,6 +61,15 @@ func main() {
 				fmt.Printf(" holder@%#x", h)
 			}
 			fmt.Println()
+		}
+		// Audit preview: what a recovery pass would record for this log.
+		if e.RegionID != 0 {
+			fmt.Printf("    recovery would: %s at region %#x, re-acquiring %d lock(s), restoring %d staged register(s)\n",
+				obs.AuditResumed, e.RegionID, len(e.Locks), len(e.Staged))
+		} else if len(e.Locks) > 0 {
+			fmt.Printf("    recovery would: %s stale lock slots\n", obs.AuditScrubbed)
+		} else {
+			fmt.Printf("    recovery would: %s\n", obs.AuditIdle)
 		}
 	}
 }

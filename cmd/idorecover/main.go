@@ -8,6 +8,11 @@
 //
 //	idorecover                       # random crash point, random adversary
 //	idorecover -budget 500 -mode discard -image /tmp/heap.img
+//	idorecover -traceout /tmp/rec.json   # Chrome trace of recovery's persist events
+//
+// After recovery it prints the audit report: which thread logs were found,
+// what action recovery took on each (idle, scrubbed, resumed), the locks
+// re-acquired, the recovery_pc resumed at, and the words restored.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"github.com/ido-nvm/ido/internal/irprog"
 	"github.com/ido-nvm/ido/internal/locks"
 	"github.com/ido-nvm/ido/internal/nvm"
+	"github.com/ido-nvm/ido/internal/obs"
 	"github.com/ido-nvm/ido/internal/region"
 	"github.com/ido-nvm/ido/internal/vm"
 )
@@ -30,6 +36,7 @@ func main() {
 	image := flag.String("image", "", "save the post-crash image to this file and reopen it")
 	seed := flag.Int64("seed", 1, "workload seed")
 	ops := flag.Int("ops", 200, "operations before the crash window")
+	traceout := flag.String("traceout", "", "write a Chrome trace_event JSON file of recovery's persist events")
 	flag.Parse()
 
 	var mode nvm.CrashMode
@@ -104,6 +111,11 @@ func main() {
 		}
 	}
 
+	var tr *obs.Tracer
+	if *traceout != "" {
+		tr = obs.New(obs.DefaultConfig())
+		reg.Dev.SetTracer(tr)
+	}
 	lm2 := locks.NewManager(reg)
 	m2 := vm.New(reg, lm2, prog, vm.ModeIDO)
 	st, err := m2.Recover()
@@ -112,6 +124,16 @@ func main() {
 	}
 	fmt.Printf("recovery: %d thread logs examined, %d FASEs resumed in %s\n",
 		st.Threads, st.Resumed, st.Elapsed)
+	if st.Audit != nil {
+		fmt.Print(st.Audit)
+	}
+	if tr != nil {
+		n, err := tr.ExportChromeFile(*traceout)
+		if err != nil {
+			fatalf("writing trace: %v", err)
+		}
+		fmt.Printf("trace: %s (%d events)\n", *traceout, n)
+	}
 
 	// Verify: every completed put survives, the map is well formed.
 	mp2 := reg.Root(1)

@@ -27,6 +27,7 @@ import (
 
 	"github.com/ido-nvm/ido/internal/locks"
 	"github.com/ido-nvm/ido/internal/nvm"
+	"github.com/ido-nvm/ido/internal/obs"
 	"github.com/ido-nvm/ido/internal/persist"
 	"github.com/ido-nvm/ido/internal/region"
 )
@@ -129,6 +130,7 @@ func (rt *Runtime) NewThread() (persist.Thread, error) {
 	dev.Fence()
 	rt.reg.SetRoot(region.RootAtlasHead, rec)
 	t := &thread{rt: rt, id: id, rec: rec, firstChunk: chunk, curChunk: chunk}
+	t.rc = dev.Tracer().ThreadRing(fmt.Sprintf("atlas/t%d", id))
 	rt.threads = append(rt.threads, t)
 	return t, nil
 }
@@ -160,6 +162,10 @@ type thread struct {
 	depth   int
 	lamport uint64
 	dirty   []uint64 // data lines to write back at FASE end
+
+	rc           *obs.Ring // event ring; nil when tracing is off
+	faseT0       int64     // tracer clock at FASE entry
+	faseLogBytes uint64    // log payload written during the current FASE
 
 	stats persist.RuntimeStats
 }
@@ -200,6 +206,8 @@ func (t *thread) append(kind, addr, val, aux uint64) {
 	dev.Fence()
 	t.stats.LoggedEntries++
 	t.stats.LoggedBytes += entrySize
+	t.faseLogBytes += entrySize
+	t.rc.Emit(obs.KLogAppend, entrySize, kind)
 }
 
 func (t *thread) trackLine(addr uint64) {
@@ -216,6 +224,10 @@ func (t *thread) trackLine(addr uint64) {
 // happens-before edge recovery needs.
 func (t *thread) Lock(l *locks.Lock) {
 	l.Acquire()
+	if t.rc != nil && t.depth == 0 {
+		t.faseT0 = t.rc.Clock()
+		t.faseLogBytes = 0
+	}
 	v := t.rt.lockClock(l.Holder())
 	if v+1 > t.lamport {
 		t.lamport = v + 1
@@ -223,6 +235,7 @@ func (t *thread) Lock(l *locks.Lock) {
 		t.lamport++
 	}
 	t.append(kAcquire, l.Holder(), v, 0)
+	t.rc.Emit(obs.KLockAcq, l.Holder(), 0)
 	t.depth++
 }
 
@@ -246,9 +259,14 @@ func (t *thread) Unlock(l *locks.Lock) {
 			t.prune()
 		}
 		t.stats.FASEs++
+		if t.rc != nil {
+			t.rc.Span(obs.KFASE, t.faseLogBytes, 0, t.faseT0)
+			t.rc.Observe(obs.HLogBytesPerFASE, t.faseLogBytes)
+		}
 	} else {
 		t.append(kRelease, l.Holder(), t.lamport, 0)
 	}
+	t.rc.Emit(obs.KLockRel, l.Holder(), 0)
 	t.depth--
 	l.Release()
 }
@@ -268,6 +286,10 @@ func (t *thread) prune() {
 }
 
 func (t *thread) BeginDurable() {
+	if t.rc != nil && t.depth == 0 {
+		t.faseT0 = t.rc.Clock()
+		t.faseLogBytes = 0
+	}
 	t.lamport++
 	t.append(kAcquire, 0, t.lamport, 0)
 	t.depth++
@@ -288,6 +310,10 @@ func (t *thread) EndDurable() {
 			t.prune()
 		}
 		t.stats.FASEs++
+		if t.rc != nil {
+			t.rc.Span(obs.KFASE, t.faseLogBytes, 0, t.faseT0)
+			t.rc.Observe(obs.HLogBytesPerFASE, t.faseLogBytes)
+		}
 	} else {
 		t.lamport++
 		t.append(kRelease, 0, t.lamport, 0)
@@ -351,14 +377,20 @@ func (rt *Runtime) Recover(*persist.ResumeRegistry) (persist.RecoveryStats, erro
 	start := time.Now()
 	dev := rt.reg.Dev
 	var stats persist.RecoveryStats
+	stats.Audit = &obs.RecoveryAudit{Runtime: rt.Name()}
+	rc := dev.Tracer().ThreadRing("atlas/recover")
+	scanT0 := rc.Clock()
 
 	// 1. Scan all logs.
 	var fases []*fase
 	releaseIndex := map[[2]uint64]*fase{} // (holder, clock) -> releasing FASE
 	var logsToReset [][]uint64            // chunks per thread, for truncation
+	auditIdx := map[int]int{} // tid -> index into stats.Audit.Threads
 	for rec := rt.reg.Root(region.RootAtlasHead); rec != 0; rec = dev.Load64(rec + trNext) {
 		stats.Threads++
 		tid := int(dev.Load64(rec + trID))
+		auditIdx[tid] = len(stats.Audit.Threads)
+		stats.Audit.Add(obs.ThreadAudit{ThreadID: tid, LogAddr: rec, Action: obs.AuditIdle})
 		var cur *fase
 		depth := 0
 		idx := 0
@@ -425,6 +457,7 @@ func (rt *Runtime) Recover(*persist.ResumeRegistry) (persist.RecoveryStats, erro
 		}
 		logsToReset = append(logsToReset, chunks)
 	}
+	rc.Span(obs.KRecovery, obs.PhaseScan, stats.LogEntries, scanT0)
 
 	// 2. Seed the rollback set with incomplete FASEs; propagate along
 	// release->acquire edges (a FASE that acquired a lock at clock v
@@ -465,6 +498,7 @@ func (rt *Runtime) Recover(*persist.ResumeRegistry) (persist.RecoveryStats, erro
 
 	// 3. Apply undo records of the rollback set in reverse happens-before
 	// order (descending lamport, then descending per-thread index).
+	rbT0 := rc.Clock()
 	var undo []logEntry
 	for f := range rollback {
 		for _, e := range f.entries {
@@ -473,6 +507,9 @@ func (rt *Runtime) Recover(*persist.ResumeRegistry) (persist.RecoveryStats, erro
 			}
 		}
 		stats.RolledBack++
+		if i, ok := auditIdx[f.thread]; ok {
+			stats.Audit.Threads[i].Action = obs.AuditRolledBack
+		}
 	}
 	sort.Slice(undo, func(i, j int) bool {
 		if undo[i].aux != undo[j].aux {
@@ -486,10 +523,15 @@ func (rt *Runtime) Recover(*persist.ResumeRegistry) (persist.RecoveryStats, erro
 	for _, e := range undo {
 		dev.Store64(e.addr, e.val)
 		dev.CLWB(e.addr)
+		if i, ok := auditIdx[e.thread]; ok {
+			stats.Audit.Threads[i].WordsRestored++
+		}
 	}
 	dev.Fence()
+	rc.Span(obs.KRecovery, obs.PhaseRollback, uint64(len(undo)), rbT0)
 
 	// 4. Truncate every log.
+	trT0 := rc.Clock()
 	for _, chunks := range logsToReset {
 		for _, c := range chunks {
 			dev.Store64(c+8, 0)
@@ -497,6 +539,7 @@ func (rt *Runtime) Recover(*persist.ResumeRegistry) (persist.RecoveryStats, erro
 		}
 	}
 	dev.Fence()
+	rc.Span(obs.KRecovery, obs.PhaseTruncate, uint64(len(logsToReset)), trT0)
 
 	stats.Elapsed = time.Since(start)
 	return stats, nil

@@ -21,6 +21,7 @@ import (
 
 	"github.com/ido-nvm/ido/internal/locks"
 	"github.com/ido-nvm/ido/internal/nvm"
+	"github.com/ido-nvm/ido/internal/obs"
 	"github.com/ido-nvm/ido/internal/persist"
 	"github.com/ido-nvm/ido/internal/region"
 )
@@ -70,6 +71,7 @@ func (rt *Runtime) NewThread() (persist.Thread, error) {
 	rt.reg.Dev.Fence()
 	rt.mu.Lock()
 	t := &thread{rt: rt, id: rt.nextID, log: log}
+	t.rc = rt.reg.Dev.Tracer().ThreadRing(fmt.Sprintf("justdo/t%d", t.id))
 	rt.nextID++
 	rt.threads = append(rt.threads, t)
 	rt.mu.Unlock()
@@ -101,6 +103,11 @@ type thread struct {
 	depth int
 	owned int
 	site  uint64 // per-thread store-site counter standing in for the pc
+
+	rc           *obs.Ring // event ring; nil when tracing is off
+	faseT0       int64     // tracer clock at FASE entry
+	faseLogBytes uint64    // log payload written during the current FASE
+
 	stats persist.RuntimeStats
 }
 
@@ -111,6 +118,10 @@ func (t *thread) Exec(op func()) { op() }
 // acquire, take the lock, then persist ownership.
 func (t *thread) Lock(l *locks.Lock) {
 	dev := t.rt.reg.Dev
+	if t.rc != nil && t.depth == 0 {
+		t.faseT0 = t.rc.Clock()
+		t.faseLogBytes = 0
+	}
 	dev.Store64(t.log+logIntention, l.Holder())
 	dev.CLWB(t.log + logIntention)
 	dev.Fence() // fence 1: intention
@@ -120,6 +131,7 @@ func (t *thread) Lock(l *locks.Lock) {
 	dev.Store64(t.log+logIntention, 0)
 	dev.PersistRange(t.log, logOwnBase+uint64(t.owned+1)*8)
 	dev.Fence() // fence 2: ownership
+	t.rc.Emit(obs.KLockAcq, l.Holder(), 0)
 	t.owned++
 	t.depth++
 }
@@ -149,17 +161,28 @@ func (t *thread) Unlock(l *locks.Lock) {
 	dev.PersistRange(t.log, logOwnBase+uint64(t.owned)*8)
 	dev.Fence() // fence 2: ownership dropped
 	t.owned--
+	t.rc.Emit(obs.KLockRel, l.Holder(), 0)
 	if t.depth == 1 {
 		t.stats.FASEs++
 		dev.Store64(t.log+logPC, 0)
 		dev.CLWB(t.log + logPC)
 		dev.Fence()
+		if t.rc != nil {
+			t.rc.Span(obs.KFASE, t.faseLogBytes, 0, t.faseT0)
+			t.rc.Observe(obs.HLogBytesPerFASE, t.faseLogBytes)
+		}
 	}
 	t.depth--
 	l.Release()
 }
 
-func (t *thread) BeginDurable() { t.depth++ }
+func (t *thread) BeginDurable() {
+	if t.rc != nil && t.depth == 0 {
+		t.faseT0 = t.rc.Clock()
+		t.faseLogBytes = 0
+	}
+	t.depth++
+}
 
 func (t *thread) EndDurable() {
 	if t.depth == 1 {
@@ -168,6 +191,10 @@ func (t *thread) EndDurable() {
 		dev.Store64(t.log+logPC, 0)
 		dev.CLWB(t.log + logPC)
 		dev.Fence()
+		if t.rc != nil {
+			t.rc.Span(obs.KFASE, t.faseLogBytes, 0, t.faseT0)
+			t.rc.Observe(obs.HLogBytesPerFASE, t.faseLogBytes)
+		}
 	}
 	t.depth--
 }
@@ -198,6 +225,8 @@ func (t *thread) loggedStore(addr, val uint64) {
 	dev.Fence() // store durable before the next log entry
 	t.stats.LoggedEntries++
 	t.stats.LoggedBytes += 24
+	t.faseLogBytes += 24
+	t.rc.Emit(obs.KLogAppend, 24, t.site)
 	// Under JUSTDO every inter-store span is a one-store "region".
 	t.stats.StoresPerRegion[1]++
 	t.stats.Regions++

@@ -24,6 +24,7 @@ import (
 
 	"github.com/ido-nvm/ido/internal/locks"
 	"github.com/ido-nvm/ido/internal/nvm"
+	"github.com/ido-nvm/ido/internal/obs"
 	"github.com/ido-nvm/ido/internal/persist"
 	"github.com/ido-nvm/ido/internal/region"
 )
@@ -97,6 +98,7 @@ func (rt *Runtime) NewThread() (persist.Thread, error) {
 		rt: rt, id: rt.nextID, log: log,
 		writes: make(map[uint64]uint64),
 	}
+	t.rc = dev.Tracer().ThreadRing(fmt.Sprintf("mnemosyne/t%d", t.id))
 	rt.nextID++
 	rt.threads = append(rt.threads, t)
 	return t, nil
@@ -120,9 +122,15 @@ func (rt *Runtime) Recover(*persist.ResumeRegistry) (persist.RecoveryStats, erro
 	start := time.Now()
 	dev := rt.reg.Dev
 	var stats persist.RecoveryStats
+	stats.Audit = &obs.RecoveryAudit{Runtime: rt.Name()}
+	rc := dev.Tracer().ThreadRing("mnemosyne/recover")
+	scanT0 := rc.Clock()
 	for log := rt.reg.Root(region.RootMnemosyneHead); log != 0; log = dev.Load64(log + logNext) {
+		// The log carries no thread id; number audits by scan position.
+		audit := obs.ThreadAudit{ThreadID: stats.Threads, LogAddr: log, Action: obs.AuditIdle}
 		stats.Threads++
 		if dev.Load64(log+logState) != 1 {
+			stats.Audit.Add(audit)
 			continue
 		}
 		n := int(dev.Load64(log + logCount))
@@ -141,7 +149,11 @@ func (rt *Runtime) Recover(*persist.ResumeRegistry) (persist.RecoveryStats, erro
 		dev.StoreNT(log+logState, 0)
 		dev.Fence()
 		stats.RolledBack++ // replayed, in REDO terms
+		audit.Action = obs.AuditReplayed
+		audit.WordsRestored = n
+		stats.Audit.Add(audit)
 	}
+	rc.Span(obs.KRecovery, obs.PhaseScan, stats.LogEntries, scanT0)
 	stats.Elapsed = time.Since(start)
 	return stats, nil
 }
@@ -161,6 +173,9 @@ type thread struct {
 	reads      []readRec
 	writes     map[uint64]uint64
 	writeOrder []uint64
+
+	rc     *obs.Ring // event ring; nil when tracing is off
+	faseT0 int64     // tracer clock at transaction entry
 
 	stats persist.RuntimeStats
 }
@@ -202,6 +217,9 @@ func (t *thread) resetTx() {
 }
 
 func (t *thread) beginTx() {
+	if t.rc != nil {
+		t.faseT0 = t.rc.Clock()
+	}
 	t.rv = t.rt.clock.Load()
 	t.resetTx()
 }
@@ -284,6 +302,10 @@ func (t *thread) commit() {
 		// Read-only: every read was validated against rv at load time.
 		t.resetTx()
 		t.stats.FASEs++
+		if t.rc != nil {
+			t.rc.Span(obs.KFASE, 0, 0, t.faseT0)
+			t.rc.Observe(obs.HLogBytesPerFASE, 0)
+		}
 		return
 	}
 	if len(t.writeOrder) > maxWrite {
@@ -354,6 +376,14 @@ func (t *thread) commit() {
 	t.stats.FASEs++
 	t.stats.LoggedEntries += uint64(len(t.writeOrder))
 	t.stats.LoggedBytes += uint64(len(t.writeOrder)) * 16
+	if t.rc != nil {
+		logBytes := uint64(len(t.writeOrder)) * 16
+		for range t.writeOrder {
+			t.rc.Emit(obs.KLogAppend, 16, wv)
+		}
+		t.rc.Span(obs.KFASE, logBytes, 0, t.faseT0)
+		t.rc.Observe(obs.HLogBytesPerFASE, logBytes)
+	}
 
 	// Release stripes at the new version.
 	for _, s := range lockedStripes {

@@ -16,6 +16,7 @@ import (
 
 	"github.com/ido-nvm/ido/internal/locks"
 	"github.com/ido-nvm/ido/internal/nvm"
+	"github.com/ido-nvm/ido/internal/obs"
 	"github.com/ido-nvm/ido/internal/persist"
 	"github.com/ido-nvm/ido/internal/region"
 )
@@ -68,6 +69,7 @@ func (rt *Runtime) NewThread() (persist.Thread, error) {
 	dev.Fence()
 	rt.reg.SetRoot(region.RootNVMLHead, log)
 	t := &thread{rt: rt, id: rt.nextID, log: log}
+	t.rc = dev.Tracer().ThreadRing(fmt.Sprintf("nvml/t%d", t.id))
 	rt.nextID++
 	rt.threads = append(rt.threads, t)
 	return t, nil
@@ -92,10 +94,16 @@ func (rt *Runtime) Recover(*persist.ResumeRegistry) (persist.RecoveryStats, erro
 	start := time.Now()
 	dev := rt.reg.Dev
 	var stats persist.RecoveryStats
+	stats.Audit = &obs.RecoveryAudit{Runtime: rt.Name()}
+	rc := dev.Tracer().ThreadRing("nvml/recover")
+	scanT0 := rc.Clock()
 	for log := rt.reg.Root(region.RootNVMLHead); log != 0; log = dev.Load64(log + logNext) {
+		// The log carries no thread id; number audits by scan position.
+		audit := obs.ThreadAudit{ThreadID: stats.Threads, LogAddr: log, Action: obs.AuditIdle}
 		stats.Threads++
 		n := int(dev.Load64(log + logCount))
 		if n == 0 {
+			stats.Audit.Add(audit)
 			continue
 		}
 		if n > maxUndo {
@@ -114,7 +122,11 @@ func (rt *Runtime) Recover(*persist.ResumeRegistry) (persist.RecoveryStats, erro
 		dev.CLWB(log + logCount)
 		dev.Fence()
 		stats.RolledBack++
+		audit.Action = obs.AuditRolledBack
+		audit.WordsRestored = n
+		stats.Audit.Add(audit)
 	}
+	rc.Span(obs.KRecovery, obs.PhaseScan, stats.LogEntries, scanT0)
 	stats.Elapsed = time.Since(start)
 	return stats, nil
 }
@@ -128,6 +140,10 @@ type thread struct {
 	used  int
 	dirty []uint64
 
+	rc           *obs.Ring // event ring; nil when tracing is off
+	faseT0       int64     // tracer clock at FASE entry
+	faseLogBytes uint64    // undo payload written during the current FASE
+
 	stats persist.RuntimeStats
 }
 
@@ -138,6 +154,11 @@ func (t *thread) Exec(op func()) { op() }
 // lock still opens a FASE so lock-based callers get undo protection.
 func (t *thread) Lock(l *locks.Lock) {
 	l.Acquire()
+	if t.rc != nil && t.depth == 0 {
+		t.faseT0 = t.rc.Clock()
+		t.faseLogBytes = 0
+	}
+	t.rc.Emit(obs.KLockAcq, l.Holder(), 0)
 	t.depth++
 }
 
@@ -145,11 +166,18 @@ func (t *thread) Unlock(l *locks.Lock) {
 	if t.depth == 1 {
 		t.commit()
 	}
+	t.rc.Emit(obs.KLockRel, l.Holder(), 0)
 	t.depth--
 	l.Release()
 }
 
-func (t *thread) BeginDurable() { t.depth++ }
+func (t *thread) BeginDurable() {
+	if t.rc != nil && t.depth == 0 {
+		t.faseT0 = t.rc.Clock()
+		t.faseLogBytes = 0
+	}
+	t.depth++
+}
 
 func (t *thread) EndDurable() {
 	if t.depth == 1 {
@@ -183,6 +211,8 @@ func (t *thread) Store64(addr, val uint64) {
 	t.stats.Stores++
 	t.stats.LoggedEntries++
 	t.stats.LoggedBytes += 16
+	t.faseLogBytes += 16
+	t.rc.Emit(obs.KLogAppend, 16, addr)
 }
 
 func (t *thread) trackLine(addr uint64) {
@@ -213,6 +243,10 @@ func (t *thread) commit() {
 	dev.Fence()
 	t.used = 0
 	t.stats.FASEs++
+	if t.rc != nil {
+		t.rc.Span(obs.KFASE, t.faseLogBytes, 0, t.faseT0)
+		t.rc.Observe(obs.HLogBytesPerFASE, t.faseLogBytes)
+	}
 }
 
 var (

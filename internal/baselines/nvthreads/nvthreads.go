@@ -24,6 +24,7 @@ import (
 
 	"github.com/ido-nvm/ido/internal/locks"
 	"github.com/ido-nvm/ido/internal/nvm"
+	"github.com/ido-nvm/ido/internal/obs"
 	"github.com/ido-nvm/ido/internal/persist"
 	"github.com/ido-nvm/ido/internal/region"
 )
@@ -83,6 +84,7 @@ func (rt *Runtime) NewThread() (persist.Thread, error) {
 	dev.Fence()
 	rt.reg.SetRoot(region.RootNVThreadsHead, log)
 	t := &thread{rt: rt, id: rt.nextID, log: log, pages: make(map[uint64][]uint64)}
+	t.rc = dev.Tracer().ThreadRing(fmt.Sprintf("nvthreads/t%d", t.id))
 	rt.nextID++
 	rt.threads = append(rt.threads, t)
 	return t, nil
@@ -105,10 +107,16 @@ func (rt *Runtime) Recover(*persist.ResumeRegistry) (persist.RecoveryStats, erro
 	start := time.Now()
 	dev := rt.reg.Dev
 	var stats persist.RecoveryStats
+	stats.Audit = &obs.RecoveryAudit{Runtime: rt.Name()}
+	rc := dev.Tracer().ThreadRing("nvthreads/recover")
+	scanT0 := rc.Clock()
 	buf := make([]uint64, pageWords)
 	for log := rt.reg.Root(region.RootNVThreadsHead); log != 0; log = dev.Load64(log + logNext) {
+		// The log carries no thread id; number audits by scan position.
+		audit := obs.ThreadAudit{ThreadID: stats.Threads, LogAddr: log, Action: obs.AuditIdle}
 		stats.Threads++
 		if dev.Load64(log+logState) != 1 {
+			stats.Audit.Add(audit)
 			continue
 		}
 		n := int(dev.Load64(log + logCount))
@@ -127,7 +135,11 @@ func (rt *Runtime) Recover(*persist.ResumeRegistry) (persist.RecoveryStats, erro
 		dev.StoreNT(log+logState, 0)
 		dev.Fence()
 		stats.RolledBack++
+		audit.Action = obs.AuditReplayed
+		audit.WordsRestored = n * pageWords
+		stats.Audit.Add(audit)
 	}
+	rc.Span(obs.KRecovery, obs.PhaseScan, stats.LogEntries, scanT0)
 	stats.Elapsed = time.Since(start)
 	return stats, nil
 }
@@ -141,6 +153,9 @@ type thread struct {
 	pages     map[uint64][]uint64 // page base -> private copy
 	pageOrder []uint64
 
+	rc     *obs.Ring // event ring; nil when tracing is off
+	faseT0 int64     // tracer clock at FASE entry
+
 	stats persist.RuntimeStats
 }
 
@@ -149,26 +164,45 @@ func (t *thread) Exec(op func()) { op() }
 
 func (t *thread) Lock(l *locks.Lock) {
 	l.Acquire()
+	if t.rc != nil && t.depth == 0 {
+		t.faseT0 = t.rc.Clock()
+	}
+	t.rc.Emit(obs.KLockAcq, l.Holder(), 0)
 	t.depth++
 }
 
 func (t *thread) Unlock(l *locks.Lock) {
 	if t.depth == 1 {
-		t.commit()
-		t.stats.FASEs++
+		t.endFASE()
 	}
+	t.rc.Emit(obs.KLockRel, l.Holder(), 0)
 	t.depth--
 	l.Release()
 }
 
-func (t *thread) BeginDurable() { t.depth++ }
+func (t *thread) BeginDurable() {
+	if t.rc != nil && t.depth == 0 {
+		t.faseT0 = t.rc.Clock()
+	}
+	t.depth++
+}
 
 func (t *thread) EndDurable() {
 	if t.depth == 1 {
-		t.commit()
-		t.stats.FASEs++
+		t.endFASE()
 	}
 	t.depth--
+}
+
+// endFASE commits the buffered pages and records the FASE's trace events.
+func (t *thread) endFASE() {
+	logBytes := uint64(len(t.pageOrder)) * PageSize
+	t.commit()
+	t.stats.FASEs++
+	if t.rc != nil {
+		t.rc.Span(obs.KFASE, logBytes, 0, t.faseT0)
+		t.rc.Observe(obs.HLogBytesPerFASE, logBytes)
+	}
 }
 
 func (t *thread) pageFor(addr uint64, create bool) ([]uint64, uint64) {
@@ -224,6 +258,7 @@ func (t *thread) commit() {
 		dev.WriteWordsNT(slot+8, t.pages[base])
 		t.stats.LoggedEntries++
 		t.stats.LoggedBytes += PageSize
+		t.rc.Emit(obs.KLogAppend, PageSize, base)
 	}
 	dev.StoreNT(t.log+logCount, uint64(len(t.pageOrder)))
 	dev.Fence()

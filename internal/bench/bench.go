@@ -26,6 +26,7 @@ import (
 	"github.com/ido-nvm/ido/internal/core"
 	"github.com/ido-nvm/ido/internal/locks"
 	"github.com/ido-nvm/ido/internal/nvm"
+	"github.com/ido-nvm/ido/internal/obs"
 	"github.com/ido-nvm/ido/internal/persist"
 	"github.com/ido-nvm/ido/internal/region"
 )
@@ -42,6 +43,9 @@ type Options struct {
 	Out io.Writer
 	// Quick shrinks every parameter for smoke tests.
 	Quick bool
+	// Tracer, when non-nil, is attached to every device the run creates,
+	// so persist events from all data points land in one trace.
+	Tracer *obs.Tracer
 }
 
 // DefaultOptions mirrors the paper's setup, scaled to a simulator: the
@@ -110,8 +114,10 @@ type world struct {
 	rt  persist.Runtime
 }
 
-func newWorld(mk func() persist.Runtime, bytes, extraNS int) (*world, error) {
-	reg := region.Create(bytes, nvmConfig(bytes, extraNS))
+func newWorld(mk func() persist.Runtime, bytes, extraNS int, tr *obs.Tracer) (*world, error) {
+	cfg := nvmConfig(bytes, extraNS)
+	cfg.Tracer = tr // attach at birth so trace counts equal device stats
+	reg := region.Create(bytes, cfg)
 	lm := locks.NewManager(reg)
 	rt := mk()
 	if err := rt.Attach(reg, lm); err != nil {

@@ -85,7 +85,7 @@ func TestFig7ShapesQuick(t *testing.T) {
 	// mechanism instead: per-op persist events (fences + write-backs)
 	// under iDO must be below JUSTDO's.
 	events := func(name string) float64 {
-		w, err := newWorld(mkSpec(name).mk, o.DeviceBytes, 0)
+		w, err := newWorld(mkSpec(name).mk, o.DeviceBytes, 0, o.Tracer)
 		if err != nil {
 			t.Fatal(err)
 		}

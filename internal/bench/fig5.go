@@ -51,7 +51,7 @@ func RunFig5(o Options) ([]*stats.Figure, error) {
 }
 
 func runMemcachedPoint(o Options, sp spec, nThreads, insertPct int, keyRange uint64, buckets int) (uint64, error) {
-	w, err := newWorld(sp.mk, o.DeviceBytes, 0)
+	w, err := newWorld(sp.mk, o.DeviceBytes, 0, o.Tracer)
 	if err != nil {
 		return 0, err
 	}

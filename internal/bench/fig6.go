@@ -40,7 +40,7 @@ func RunFig6(o Options) (*stats.Figure, error) {
 func runRedisPoint(o Options, sp spec, keyRange uint64, extraNS int) (uint64, error) {
 	// Warm with zero added latency; the Fig. 9 knob applies to the
 	// measured interval only.
-	w, err := newWorld(sp.mk, o.DeviceBytes, 0)
+	w, err := newWorld(sp.mk, o.DeviceBytes, 0, o.Tracer)
 	if err != nil {
 		return 0, err
 	}

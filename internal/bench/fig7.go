@@ -54,7 +54,7 @@ const (
 )
 
 func runMicroPoint(o Options, sp spec, structure string, nThreads int) (uint64, error) {
-	w, err := newWorld(sp.mk, o.DeviceBytes, 0)
+	w, err := newWorld(sp.mk, o.DeviceBytes, 0, o.Tracer)
 	if err != nil {
 		return 0, err
 	}

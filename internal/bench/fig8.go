@@ -42,7 +42,9 @@ func RunFig8(o Options) ([]Fig8Result, error) {
 	}
 	var out []Fig8Result
 	for _, name := range Fig8Benchmarks {
-		reg := region.Create(1<<26, nvmConfig(1<<26, 0))
+		cfg := nvmConfig(1<<26, 0)
+		cfg.Tracer = o.Tracer
+		reg := region.Create(1<<26, cfg)
 		lm := locks.NewManager(reg)
 		m := vm.New(reg, lm, prog, vm.ModeIDO)
 		if err := runFig8Workload(m, reg, lm, name, iters); err != nil {

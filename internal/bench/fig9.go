@@ -65,7 +65,7 @@ func RunFig9(o Options) ([]*stats.Figure, error) {
 func runMemcachedPointLat(o Options, sp spec, nThreads int, keyRange uint64, buckets, extraNS int) (uint64, error) {
 	// Same workload as Fig. 5's insertion-intensive mix with the latency
 	// knob turned on after the warm-up.
-	w, err := newWorld(sp.mk, o.DeviceBytes, 0)
+	w, err := newWorld(sp.mk, o.DeviceBytes, 0, o.Tracer)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/ido-nvm/ido/internal/compile"
+	"github.com/ido-nvm/ido/internal/ds"
+	"github.com/ido-nvm/ido/internal/irprog"
+	"github.com/ido-nvm/ido/internal/nvm"
+	"github.com/ido-nvm/ido/internal/obs"
+	"github.com/ido-nvm/ido/internal/stats"
+	"github.com/ido-nvm/ido/internal/vm"
+)
+
+// ObsRuntimes are the systems whose persist-event profiles the obs
+// experiment reports (every native runtime plus the two VM modes).
+var ObsRuntimes = []string{"origin", "ido", "justdo", "atlas", "mnemosyne", "nvthreads", "nvml"}
+
+// obsKinds are the event kinds worth a column in the summary table.
+var obsKinds = []obs.Kind{
+	obs.KFlush, obs.KFence, obs.KNTStore, obs.KLogAppend,
+	obs.KBoundary, obs.KRegion, obs.KFASE, obs.KLockAcq,
+}
+
+// ObsResult is one runtime's traced-run profile: exact per-kind event
+// counts, ring drops, and the metric-histogram summaries.
+type ObsResult struct {
+	Runtime string
+	Counts  map[string]uint64
+	Dropped uint64
+	Hists   map[string]obs.Summary
+}
+
+// RunObs runs a fixed stack workload under every runtime with tracing
+// enabled and reports each runtime's persist-event profile. It also
+// enforces the tracer's core invariant — the traced flush/fence/nt-store/
+// evict counts must exactly equal the device's counters — and fails the
+// experiment on any divergence.
+func RunObs(o Options) ([]ObsResult, error) {
+	iters := 4000
+	if o.Quick {
+		iters = 400
+	}
+	var out []ObsResult
+	for _, sp := range specs(ObsRuntimes...) {
+		tr := obs.New(obs.DefaultConfig())
+		w, err := newWorld(sp.mk, o.DeviceBytes, 0, tr)
+		if err != nil {
+			return nil, fmt.Errorf("obs %s: %w", sp.name, err)
+		}
+		env := &ds.Env{Reg: w.reg, LM: w.lm}
+		s, _, err := ds.NewStack(env)
+		if err != nil {
+			return nil, fmt.Errorf("obs %s: %w", sp.name, err)
+		}
+		th, err := w.rt.NewThread()
+		if err != nil {
+			return nil, fmt.Errorf("obs %s: %w", sp.name, err)
+		}
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < iters; i++ {
+			if rng.Intn(2) == 0 {
+				th.Exec(func() { s.Push(th, rng.Uint64()|1) })
+			} else {
+				th.Exec(func() { s.Pop(th) })
+			}
+		}
+		if err := checkTraceMatchesDevice(sp.name, tr, w.reg.Dev.Stats()); err != nil {
+			return nil, err
+		}
+		out = append(out, summarize(sp.name, tr))
+	}
+	vmOut, err := runObsVM(o, iters)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, vmOut...)
+	printObs(o, out)
+	return out, nil
+}
+
+// runObsVM profiles the VM engines on the irprog stack kernel.
+func runObsVM(o Options, iters int) ([]ObsResult, error) {
+	prog, err := irprog.Compile(compile.Config{})
+	if err != nil {
+		return nil, err
+	}
+	var out []ObsResult
+	for _, mode := range []vm.Mode{vm.ModeIDO, vm.ModeJUSTDO} {
+		tr := obs.New(obs.DefaultConfig())
+		m, reg, lm := newVMWorld(prog, mode, false, tr)
+		stk, err := irprog.NewStack(reg, lm)
+		if err != nil {
+			return nil, err
+		}
+		th, err := m.NewThread()
+		if err != nil {
+			return nil, err
+		}
+		name := "vm-" + mode.String()
+		for i := 0; i < iters; i++ {
+			if i%2 == 0 {
+				_, err = th.Call("stack_push", stk, uint64(i+1))
+			} else {
+				_, err = th.Call("stack_pop", stk)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("obs %s: %w", name, err)
+			}
+		}
+		if err := checkTraceMatchesDevice(name, tr, reg.Dev.Stats()); err != nil {
+			return nil, err
+		}
+		out = append(out, summarize(name, tr))
+	}
+	return out, nil
+}
+
+// checkTraceMatchesDevice enforces the 1:1 pairing of device stat counts
+// and trace events (the property the conformance tests assert).
+func checkTraceMatchesDevice(name string, tr *obs.Tracer, ds nvm.Stats) error {
+	for _, c := range []struct {
+		kind obs.Kind
+		want uint64
+	}{
+		{obs.KFlush, ds.Flushes},
+		{obs.KFence, ds.Fences},
+		{obs.KNTStore, ds.NTStores},
+		{obs.KEvict, ds.Evictions},
+	} {
+		if got := tr.Count(c.kind); got != c.want {
+			return fmt.Errorf("obs %s: traced %s count %d != device count %d",
+				name, c.kind, got, c.want)
+		}
+	}
+	return nil
+}
+
+func summarize(name string, tr *obs.Tracer) ObsResult {
+	r := ObsResult{
+		Runtime: name,
+		Counts:  map[string]uint64{},
+		Dropped: tr.Dropped(),
+		Hists:   map[string]obs.Summary{},
+	}
+	for k := obs.Kind(0); int(k) < obs.NumKinds; k++ {
+		r.Counts[k.String()] = tr.Count(k)
+	}
+	for h := obs.HistKind(0); int(h) < obs.NumHists; h++ {
+		r.Hists[h.String()] = tr.Hist(h)
+	}
+	return r
+}
+
+func printObs(o Options, results []ObsResult) {
+	out := o.out()
+	fprintf(out, "Obs: persist-event counts per runtime (stack workload; traced == device counters)\n")
+	var tb stats.Table
+	hdr := []string{"runtime"}
+	for _, k := range obsKinds {
+		hdr = append(hdr, k.String())
+	}
+	hdr = append(hdr, "dropped")
+	tb.AddRow(hdr...)
+	for _, r := range results {
+		row := []string{r.Runtime}
+		for _, k := range obsKinds {
+			row = append(row, fmt.Sprintf("%d", r.Counts[k.String()]))
+		}
+		row = append(row, fmt.Sprintf("%d", r.Dropped))
+		tb.AddRow(row...)
+	}
+	fprintf(out, "%s\n", tb.String())
+
+	fprintf(out, "Obs: metric histograms per runtime (mean/p50/p99)\n")
+	var tb2 stats.Table
+	tb2.AddRow("runtime", "flush-ns", "fence-ns", "log-bytes/fase", "outputs/region", "stores/region")
+	cell := func(s obs.Summary) string {
+		if s.Count == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.0f/%d/%d", s.Mean, s.P50, s.P99)
+	}
+	for _, r := range results {
+		tb2.AddRow(r.Runtime,
+			cell(r.Hists[obs.HFlushNS.String()]),
+			cell(r.Hists[obs.HFenceNS.String()]),
+			cell(r.Hists[obs.HLogBytesPerFASE.String()]),
+			cell(r.Hists[obs.HOutputsPerRegion.String()]),
+			cell(r.Hists[obs.HRegionStores.String()]))
+	}
+	fprintf(out, "%s\n", tb2.String())
+}

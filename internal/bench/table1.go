@@ -80,7 +80,7 @@ func RunTable1(o Options) ([]Table1Result, error) {
 // recoveryTime runs the workload, kills it, and times recovery.
 func recoveryTime(o Options, rtName, structure string, threads int, kill time.Duration) (int64, error) {
 	sp := mkSpec(rtName)
-	w, err := newWorld(sp.mk, o.DeviceBytes, 0)
+	w, err := newWorld(sp.mk, o.DeviceBytes, 0, o.Tracer)
 	if err != nil {
 		return 0, err
 	}

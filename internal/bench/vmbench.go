@@ -8,6 +8,7 @@ import (
 	"github.com/ido-nvm/ido/internal/ir"
 	"github.com/ido-nvm/ido/internal/irprog"
 	"github.com/ido-nvm/ido/internal/locks"
+	"github.com/ido-nvm/ido/internal/obs"
 	"github.com/ido-nvm/ido/internal/region"
 	"github.com/ido-nvm/ido/internal/stats"
 	"github.com/ido-nvm/ido/internal/vm"
@@ -84,8 +85,10 @@ func RunVM(o Options) ([]VMResult, error) {
 	return out, nil
 }
 
-func newVMWorld(prog *compile.Compiled, mode vm.Mode, legacy bool) (*vm.Machine, *region.Region, *locks.Manager) {
-	reg := region.Create(1<<24, nvmConfig(1<<24, 0))
+func newVMWorld(prog *compile.Compiled, mode vm.Mode, legacy bool, tr *obs.Tracer) (*vm.Machine, *region.Region, *locks.Manager) {
+	cfg := nvmConfig(1<<24, 0)
+	cfg.Tracer = tr // attach at birth so trace counts equal device stats
+	reg := region.Create(1<<24, cfg)
 	lm := locks.NewManager(reg)
 	m := vm.New(reg, lm, prog, mode)
 	m.Legacy = legacy
@@ -96,7 +99,7 @@ func newVMWorld(prog *compile.Compiled, mode vm.Mode, legacy bool) (*vm.Machine,
 // runVMSpinPoint counts spin(256) calls per second: ~1286 dispatched
 // instructions per call, zero device events.
 func runVMSpinPoint(o Options, prog *compile.Compiled, mode vm.Mode, legacy bool) (float64, error) {
-	m, _, _ := newVMWorld(prog, mode, legacy)
+	m, _, _ := newVMWorld(prog, mode, legacy, o.Tracer)
 	th, err := m.NewThread()
 	if err != nil {
 		return 0, err
@@ -122,7 +125,7 @@ func runVMSpinPoint(o Options, prog *compile.Compiled, mode vm.Mode, legacy bool
 }
 
 func runVMStackPoint(o Options, prog *compile.Compiled, mode vm.Mode, legacy bool) (float64, error) {
-	m, reg, lm := newVMWorld(prog, mode, legacy)
+	m, reg, lm := newVMWorld(prog, mode, legacy, o.Tracer)
 	stk, err := irprog.NewStack(reg, lm)
 	if err != nil {
 		return 0, err

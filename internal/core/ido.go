@@ -42,8 +42,10 @@ import (
 	"sync"
 	"time"
 
+	"github.com/ido-nvm/ido/internal/lineset"
 	"github.com/ido-nvm/ido/internal/locks"
 	"github.com/ido-nvm/ido/internal/nvm"
+	"github.com/ido-nvm/ido/internal/obs"
 	"github.com/ido-nvm/ido/internal/persist"
 	"github.com/ido-nvm/ido/internal/region"
 )
@@ -170,6 +172,7 @@ func (rt *Runtime) NewThread() (persist.Thread, error) {
 	dev.Fence()
 	rt.reg.SetRoot(region.RootIDOHead, addr) // fenced internally
 	t := &Thread{rt: rt, id: id, log: addr}
+	t.rc = dev.Tracer().ThreadRing(fmt.Sprintf("ido/t%d", id))
 	t.initAddrTables()
 	rt.threads = append(rt.threads, t)
 	return t, nil
@@ -187,11 +190,19 @@ type Thread struct {
 	bits         uint64           // volatile mirror of logLockBits
 	recovering   bool             // set on recovery threads
 
-	dirty          lineSet          // heap lines dirtied in the current region
+	dirty          lineset.Set      // heap lines dirtied in the current region
 	staged         []persist.RegVal // pairs in the current boundary record
 	curBuf         int              // active boundary-record buffer
 	storesInRegion int
 	inRegion       bool
+
+	// rc is this thread's event ring; nil when tracing is off (every
+	// method on a nil *obs.Ring is a one-compare no-op).
+	rc           *obs.Ring
+	curRegion    uint64 // region ID of the open region, for trace labels
+	regionT0     int64  // tracer clock at the open of the current region
+	faseT0       int64  // tracer clock at FASE entry
+	faseLogBytes uint64 // log payload written during the current FASE
 
 	// Precomputed NVM addresses for the boundary hot path: the fixed
 	// intRF slot per register, and the pair base per stage-record slot in
@@ -229,7 +240,7 @@ func (t *Thread) Exec(op func()) { op() }
 func (t *Thread) inFASE() bool { return t.lockDepth > 0 || t.durableDepth > 0 }
 
 func (t *Thread) trackLine(addr uint64) {
-	t.dirty.add(addr &^ (nvm.LineSize - 1))
+	t.dirty.Add(addr &^ (nvm.LineSize - 1))
 }
 
 // Store64 performs a persistent store. Inside a FASE the dirtied line is
@@ -260,6 +271,12 @@ func (t *Thread) closeRegion() {
 	}
 	t.stats.StoresPerRegion[b]++
 	t.stats.Regions++
+	if t.rc != nil {
+		now := t.rc.Clock()
+		t.rc.Span(obs.KRegion, t.curRegion, uint64(t.storesInRegion), t.regionT0)
+		t.rc.Observe(obs.HRegionNS, uint64(now-t.regionT0))
+		t.rc.Observe(obs.HRegionStores, uint64(t.storesInRegion))
+	}
 	t.inRegion = false
 	t.storesInRegion = 0
 }
@@ -268,8 +285,8 @@ func (t *Thread) closeRegion() {
 // bulk call (§III-A step 1; same write-back, fence, and crash-injection
 // event counts as per-line CLWB).
 func (t *Thread) flushDirty() {
-	t.rt.reg.Dev.FlushLines(t.dirty.lines())
-	t.dirty.reset()
+	t.rt.reg.Dev.FlushLines(t.dirty.Lines())
+	t.dirty.Reset()
 }
 
 // Boundary ends the current idempotent region and opens the one
@@ -332,8 +349,16 @@ func (t *Thread) Boundary(regionID uint64, outputs ...persist.RegVal) {
 	t.staged = append(t.staged[:0], outputs...)
 
 	t.stats.LoggedEntries++
-	t.stats.LoggedBytes += uint64(len(outputs))*8 + 8
+	logBytes := uint64(len(outputs))*8 + 8
+	t.stats.LoggedBytes += logBytes
+	t.faseLogBytes += logBytes
 	t.stats.OutputsPerRegion[len(outputs)]++
+	if t.rc != nil {
+		t.rc.Emit(obs.KBoundary, regionID, uint64(len(outputs)))
+		t.rc.Observe(obs.HOutputsPerRegion, uint64(len(outputs)))
+		t.regionT0 = t.rc.Clock()
+	}
+	t.curRegion = regionID
 	t.inRegion = true
 	// Step 3 is the caller executing the region's code.
 }
@@ -383,6 +408,13 @@ func (t *Thread) Lock(l *locks.Lock) {
 	dev.CLWB(slotAddr)
 	dev.CLWB(t.log + logLockBits)
 	dev.Fence() // the single fence
+	if t.rc != nil {
+		if t.lockDepth == 0 && t.durableDepth == 0 {
+			t.faseT0 = t.rc.Clock()
+			t.faseLogBytes = 0
+		}
+		t.rc.Emit(obs.KLockAcq, l.Holder(), 0)
+	}
 	t.lockDepth++
 }
 
@@ -412,6 +444,10 @@ func (t *Thread) Unlock(l *locks.Lock) {
 		dev.CLWB(t.log + logPC)
 		dev.Fence()
 		t.stats.FASEs++
+		if t.rc != nil {
+			t.rc.Span(obs.KFASE, t.faseLogBytes, 0, t.faseT0)
+			t.rc.Observe(obs.HLogBytesPerFASE, t.faseLogBytes)
+		}
 	}
 	t.slots[slot] = 0
 	t.bits &^= 1 << uint(slot)
@@ -423,6 +459,7 @@ func (t *Thread) Unlock(l *locks.Lock) {
 	if !last {
 		dev.Fence() // the single fence; the final release already fenced
 	}
+	t.rc.Emit(obs.KLockRel, l.Holder(), 0)
 	t.lockDepth--
 	l.Release()
 }
@@ -430,7 +467,13 @@ func (t *Thread) Unlock(l *locks.Lock) {
 // BeginDurable opens a programmer-delineated FASE (§II-B). The caller
 // must issue a Boundary immediately after, exactly as the compiler
 // inserts one after each lock acquire.
-func (t *Thread) BeginDurable() { t.durableDepth++ }
+func (t *Thread) BeginDurable() {
+	if t.rc != nil && t.durableDepth == 0 && t.lockDepth == 0 {
+		t.faseT0 = t.rc.Clock()
+		t.faseLogBytes = 0
+	}
+	t.durableDepth++
+}
 
 // EndDurable closes a programmer-delineated FASE, persisting its effects
 // and clearing recovery_pc.
@@ -448,6 +491,10 @@ func (t *Thread) EndDurable() {
 		dev.CLWB(t.log + logPC)
 		dev.Fence()
 		t.stats.FASEs++
+		if t.rc != nil {
+			t.rc.Span(obs.KFASE, t.faseLogBytes, 0, t.faseT0)
+			t.rc.Observe(obs.HLogBytesPerFASE, t.faseLogBytes)
+		}
 	}
 	t.durableDepth--
 }
@@ -474,6 +521,9 @@ func (rt *Runtime) Recover(rr *persist.ResumeRegistry) (persist.RecoveryStats, e
 	start := time.Now()
 	dev := rt.reg.Dev
 	var stats persist.RecoveryStats
+	stats.Audit = &obs.RecoveryAudit{Runtime: rt.Name()}
+	rc := dev.Tracer().ThreadRing("ido/recover")
+	scanT0 := rc.Clock()
 
 	type pending struct {
 		t        *Thread
@@ -485,11 +535,14 @@ func (rt *Runtime) Recover(rr *persist.ResumeRegistry) (persist.RecoveryStats, e
 	for p := rt.reg.Root(region.RootIDOHead); p != 0; p = dev.Load64(p + logNext) {
 		stats.Threads++
 		stats.LogEntries++
-		regionID, n, buf := pcUnpack(dev.Load64(p + logPC))
+		pcWord := dev.Load64(p + logPC)
+		regionID, n, buf := pcUnpack(pcWord)
 		bits := dev.Load64(p + logLockBits)
 
 		t := &Thread{rt: rt, id: int(dev.Load64(p + logThreadID)), log: p, recovering: true}
+		t.rc = dev.Tracer().ThreadRing(fmt.Sprintf("ido/t%d-rec", t.id))
 		t.initAddrTables()
+		audit := obs.ThreadAudit{ThreadID: t.id, LogAddr: p, Action: obs.AuditIdle, RecoveryPC: pcWord}
 		rt.mu.Lock()
 		rt.threads = append(rt.threads, t)
 		if t.id >= rt.nextID {
@@ -507,7 +560,9 @@ func (rt *Runtime) Recover(rr *persist.ResumeRegistry) (persist.RecoveryStats, e
 				dev.PersistRange(p+rt.laBase(), numSlots*8)
 				dev.CLWB(p + logLockBits)
 				dev.Fence()
+				audit.Action = obs.AuditScrubbed
 			}
+			stats.Audit.Add(audit)
 			continue
 		}
 
@@ -521,6 +576,7 @@ func (rt *Runtime) Recover(rr *persist.ResumeRegistry) (persist.RecoveryStats, e
 				}
 				t.slots[i] = h
 				t.bits |= 1 << uint(i)
+				audit.Locks = append(audit.Locks, h)
 				held++
 			}
 		}
@@ -547,8 +603,13 @@ func (rt *Runtime) Recover(rr *persist.ResumeRegistry) (persist.RecoveryStats, e
 			t.durableDepth = 1 // a programmer-delineated FASE was active
 		}
 		t.inRegion = true
+		audit.Action = obs.AuditResumed
+		audit.RegionID = regionID
+		audit.WordsRestored = persist.MaxOutputs + n // intRF + staged overlay
+		stats.Audit.Add(audit)
 		work = append(work, pending{t: t, regionID: regionID, rf: rf})
 	}
+	rc.Span(obs.KRecovery, obs.PhaseScan, stats.LogEntries, scanT0)
 
 	// Recovery threads acquire their locks, barrier (§III-C step 3), then
 	// resume. Each lock was held by at most one crashed thread, so the
@@ -557,12 +618,14 @@ func (rt *Runtime) Recover(rr *persist.ResumeRegistry) (persist.RecoveryStats, e
 	barrier.Add(len(work))
 	done.Add(len(work))
 	errs := make([]error, len(work))
+	resumeT0 := rc.Clock()
 	for i, w := range work {
 		go func(i int, w pending) {
 			defer done.Done()
 			for s := 0; s < numSlots; s++ {
 				if w.t.slots[s] != 0 {
 					rt.lm.ByHolder(w.t.slots[s]).Acquire()
+					w.t.rc.Emit(obs.KLockAcq, w.t.slots[s], 0)
 				}
 			}
 			barrier.Done()
@@ -582,6 +645,7 @@ func (rt *Runtime) Recover(rr *persist.ResumeRegistry) (persist.RecoveryStats, e
 			return stats, err
 		}
 	}
+	rc.Span(obs.KRecovery, obs.PhaseResume, uint64(len(work)), resumeT0)
 	stats.Resumed = len(work)
 	stats.Elapsed = time.Since(start)
 	return stats, nil

@@ -1,0 +1,136 @@
+package lineset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSetSmall(t *testing.T) {
+	var s Set
+	s.Add(64)
+	s.Add(128)
+	s.Add(64)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	got := s.Lines()
+	if got[0] != 64 || got[1] != 128 {
+		t.Fatalf("Lines = %v, want [64 128]", got)
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", s.Len())
+	}
+	s.Add(192)
+	if s.Len() != 1 || s.Lines()[0] != 192 {
+		t.Fatalf("post-reset Lines = %v", s.Lines())
+	}
+}
+
+func TestSetLargeAndEpochReuse(t *testing.T) {
+	var s Set
+	const n = 5000
+	// Three generations through the same set: stale epochs must never
+	// leak earlier generations' membership.
+	for gen := uint64(0); gen < 3; gen++ {
+		base := gen * 1 << 20
+		for i := uint64(0); i < n; i++ {
+			line := base + i*64
+			s.Add(line)
+			s.Add(line) // duplicate insert must be a no-op
+		}
+		if s.Len() != n {
+			t.Fatalf("gen %d: Len = %d, want %d", gen, s.Len(), n)
+		}
+		seen := map[uint64]bool{}
+		for _, l := range s.Lines() {
+			if seen[l] {
+				t.Fatalf("gen %d: duplicate line %#x", gen, l)
+			}
+			seen[l] = true
+			if l < base || l >= base+n*64 {
+				t.Fatalf("gen %d: stale line %#x leaked across Reset", gen, l)
+			}
+		}
+		s.Reset()
+	}
+}
+
+func TestSetInsertionOrderAcrossGrowth(t *testing.T) {
+	var s Set
+	var want []uint64
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		line := uint64(rng.Intn(400)) * 64
+		dup := false
+		for _, w := range want {
+			if w == line {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			want = append(want, line)
+		}
+		s.Add(line)
+	}
+	got := s.Lines()
+	if len(got) != len(want) {
+		t.Fatalf("Len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Lines[%d] = %#x, want %#x (insertion order broken)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSetZeroLine(t *testing.T) {
+	// Line 0 is a valid address; the epoch stamp (not a tag bit) must
+	// keep it distinguishable from an empty slot even in the table.
+	var s Set
+	for i := uint64(0); i < 100; i++ {
+		s.Add(i * 64)
+	}
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", s.Len())
+	}
+	s.Add(0)
+	if s.Len() != 100 {
+		t.Fatalf("re-adding line 0 grew the set to %d", s.Len())
+	}
+	s.Reset()
+	s.Add(0)
+	if s.Len() != 1 || s.Lines()[0] != 0 {
+		t.Fatalf("line 0 lost after Reset: %v", s.Lines())
+	}
+}
+
+// BenchmarkSetAddWide measures per-Add cost on a region dirtying many
+// distinct lines — the hashmap-rehash shape that was quadratic with a
+// linear dirty list.
+func BenchmarkSetAddWide(b *testing.B) {
+	var s Set
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(uint64(i%65536) * 64)
+		if i%65536 == 65535 {
+			s.Reset()
+		}
+	}
+}
+
+// BenchmarkSetResetWide measures Reset after a wide region: epoch
+// stamping makes it O(1) regardless of table size.
+func BenchmarkSetResetWide(b *testing.B) {
+	var s Set
+	for i := uint64(0); i < 1<<14; i++ {
+		s.Add(i * 64)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		s.Add(uint64(i) * 64) // keep the set non-degenerate
+	}
+}

@@ -1,5 +1,7 @@
 package nvm
 
+import "github.com/ido-nvm/ido/internal/obs"
+
 // Bulk word transfers. These observe and update the cache exactly like
 // per-word Load64/Store64 but charge the per-call overhead (counter
 // stripe, line lock) once per line, which is what lets page-granularity
@@ -80,6 +82,7 @@ func (d *Device) WriteWordsNT(addr uint64, src []uint64) {
 	d.checkAddr(addr)
 	d.checkAddr(addr + uint64(len(src)-1)*WordSize)
 	d.count(statNTStores, uint64(len(src)))
+	tr := d.trc.Load()
 	extra := int(d.extraNS.Load())
 	i := 0
 	for i < len(src) {
@@ -99,6 +102,12 @@ func (d *Device) WriteWordsNT(addr uint64, src []uint64) {
 		}
 		d.unlockLine(li, st&^(mask<<validShift|mask<<dirtyShift))
 		spin(d.cfg.NTStoreNS + extra)
+		if tr != nil {
+			// One event per word, matching the per-word stat count.
+			for k := 0; k < n; k++ {
+				tr.DevEmit(obs.KNTStore, a+uint64(k)*WordSize, 0)
+			}
+		}
 		i += n
 	}
 }
@@ -113,15 +122,20 @@ func (d *Device) FlushLines(lines []uint64) {
 		return
 	}
 	cost := d.cfg.FlushNS + int(d.extraNS.Load())
+	tr := d.trc.Load()
 	for _, base := range lines {
 		tickCrash()
 		d.checkAddr(base)
 		d.count(statFlushes, 1)
+		t0 := tr.Clock()
 		li := base >> lineShift
 		if d.state[li].Load()&(laneMask<<dirtyShift) != 0 {
 			st := d.lockLine(li)
 			d.unlockLine(li, d.writeBack(li, st))
 		}
 		spin(cost)
+		if tr != nil {
+			tr.DevSpan(obs.KFlush, base, 0, t0)
+		}
 	}
 }

@@ -38,6 +38,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"unsafe"
+
+	"github.com/ido-nvm/ido/internal/obs"
 )
 
 // LineSize is the cache line size in bytes.
@@ -94,6 +96,13 @@ type Config struct {
 	// evictions that persist data the program never flushed. Used by
 	// correctness tests; leave zero for benchmarks.
 	EvictionRate int
+
+	// Tracer, if non-nil, is attached before the device services its
+	// first operation, so every persistence event — including region
+	// formatting — is traced and trace counts equal Stats exactly.
+	// SetTracer can attach or swap one later, but operations performed
+	// in the meantime are counted yet untraced.
+	Tracer *obs.Tracer
 }
 
 // CrashMode selects what happens to dirty (unflushed) cache words when the
@@ -181,7 +190,24 @@ type Device struct {
 	evict   [nStripes]evictStripe
 
 	extraNS atomic.Int64 // runtime-adjustable copy of cfg.ExtraNS
+
+	// trc is the attached persist-event tracer, nil when tracing is off.
+	// Each persistence operation (write-back, fence, NT store, eviction,
+	// crash) emits exactly one obs event alongside its stat count, so a
+	// trace's per-kind event counts always equal Stats deltas. Loads and
+	// stores are deliberately not traced: they are the simulation's
+	// hottest path and the paper's argument is about persist events.
+	trc atomic.Pointer[obs.Tracer]
 }
+
+// SetTracer attaches (or, with nil, detaches) a persist-event tracer.
+// Attach while the device is quiescent; the hot paths read the pointer
+// with a single atomic load.
+func (d *Device) SetTracer(tr *obs.Tracer) { d.trc.Store(tr) }
+
+// Tracer returns the attached tracer, or nil. Runtimes use this to hang
+// their own per-thread event rings off the same timeline.
+func (d *Device) Tracer() *obs.Tracer { return d.trc.Load() }
 
 // New creates a device. It panics if cfg.Size <= 0.
 func New(cfg Config) *Device {
@@ -209,6 +235,7 @@ func New(cfg Config) *Device {
 		d.evict[i].x = z
 	}
 	d.extraNS.Store(int64(cfg.ExtraNS))
+	d.trc.Store(cfg.Tracer)
 	return d
 }
 
@@ -323,6 +350,8 @@ func (d *Device) StoreNT(addr, val uint64) {
 	tickCrash()
 	d.checkAddr(addr)
 	d.count(statNTStores, 1)
+	tr := d.trc.Load()
+	t0 := tr.Clock()
 	w := addr >> wordShift
 	li := addr >> lineShift
 	wi := w & (wordsPerLine - 1)
@@ -330,6 +359,9 @@ func (d *Device) StoreNT(addr, val uint64) {
 	storeWord(&d.words[w], val)
 	d.unlockLine(li, st&^(1<<(validShift+wi)|1<<(dirtyShift+wi)))
 	spin(d.cfg.NTStoreNS + int(d.extraNS.Load()))
+	if tr != nil {
+		tr.DevSpan(obs.KNTStore, addr, 0, t0)
+	}
 }
 
 // writeBack copies line li's dirty cached words into the persistence
@@ -353,6 +385,8 @@ func (d *Device) CLWB(addr uint64) {
 	tickCrash()
 	d.checkAddr(addr)
 	d.count(statFlushes, 1)
+	tr := d.trc.Load()
+	t0 := tr.Clock()
 	li := addr >> lineShift
 	// Peek before locking: flushing an already-clean line is a no-op.
 	if d.state[li].Load()&(laneMask<<dirtyShift) != 0 {
@@ -360,6 +394,9 @@ func (d *Device) CLWB(addr uint64) {
 		d.unlockLine(li, d.writeBack(li, st))
 	}
 	spin(d.cfg.FlushNS + int(d.extraNS.Load()))
+	if tr != nil {
+		tr.DevSpan(obs.KFlush, addr, 0, t0)
+	}
 }
 
 // PersistRange issues CLWB for every line overlapping [addr, addr+n).
@@ -383,7 +420,12 @@ func (d *Device) PersistRange(addr, n uint64) {
 func (d *Device) Fence() {
 	tickCrash()
 	d.count(statFences, 1)
+	tr := d.trc.Load()
+	t0 := tr.Clock()
 	spin(d.cfg.FenceNS)
+	if tr != nil {
+		tr.DevSpan(obs.KFence, 0, 0, t0)
+	}
 }
 
 // maybeEvict spontaneously writes back one pseudo-random dirty line with
@@ -415,6 +457,9 @@ func (d *Device) maybeEvict(li uint64, rate int) {
 			if st&(laneMask<<dirtyShift) != 0 {
 				d.unlockLine(lj, d.writeBack(lj, st))
 				d.count(statEvictions, 1)
+				if tr := d.trc.Load(); tr != nil {
+					tr.DevEmit(obs.KEvict, lj<<lineShift, 0)
+				}
 			} else {
 				d.unlockLine(lj, st)
 			}
@@ -433,6 +478,9 @@ func (d *Device) maybeEvict(li uint64, rate int) {
 // reached the persistence domain, exactly like a machine losing power.
 func (d *Device) Crash(mode CrashMode, rng *rand.Rand) {
 	d.count(statCrashes, 1)
+	if tr := d.trc.Load(); tr != nil {
+		tr.DevEmit(obs.KCrash, uint64(mode), 0)
+	}
 	if mode == CrashRandom && rng == nil {
 		panic("nvm: CrashRandom requires a *rand.Rand")
 	}

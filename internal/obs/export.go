@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Chrome trace_event export: the merged timeline serializes as the JSON
+// Object Format understood by chrome://tracing and Perfetto. Span events
+// (nonzero Dur) become complete events (ph "X"); the rest become
+// thread-scoped instants (ph "i"). Timestamps are microseconds in Chrome's
+// format; sub-microsecond precision survives as fractional ts.
+
+// WriteChromeTrace writes the merged timeline to w. Producers must be
+// quiescent. The metadata block records the per-kind counts and the drop
+// counter so a consumer can tell whether the event list is complete.
+func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	events := tr.Events()
+
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"dropped\":\"%d\"", tr.Dropped())
+	for k := Kind(0); k < nKinds; k++ {
+		if n := tr.Count(k); n > 0 {
+			fmt.Fprintf(bw, ",\"count_%s\":\"%d\"", k, n)
+		}
+	}
+	fmt.Fprintf(bw, "},\"traceEvents\":[")
+
+	first := true
+	comma := func() {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+	}
+
+	// Thread-name metadata rows, one per ring that recorded anything.
+	tr.mu.Lock()
+	rings := append([]*Ring(nil), tr.rings...)
+	tr.mu.Unlock()
+	for _, r := range rings {
+		if r.next.Load() == 0 {
+			continue
+		}
+		comma()
+		name, _ := json.Marshal(r.label)
+		fmt.Fprintf(bw, "\n{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":%s}}", r.tid, name)
+	}
+
+	for i := range events {
+		e := &events[i]
+		comma()
+		ts := float64(e.TS) / 1e3
+		if e.Dur > 0 {
+			fmt.Fprintf(bw, "\n{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"name\":%q,\"args\":{\"a\":\"%#x\",\"b\":\"%#x\"}}",
+				e.Tid, ts, float64(e.Dur)/1e3, e.Kind.String(), e.A, e.B)
+		} else {
+			fmt.Fprintf(bw, "\n{\"ph\":\"i\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"s\":\"t\",\"name\":%q,\"args\":{\"a\":\"%#x\",\"b\":\"%#x\"}}",
+				e.Tid, ts, e.Kind.String(), e.A, e.B)
+		}
+	}
+	fmt.Fprintf(bw, "\n]}\n")
+	return bw.Flush()
+}
+
+// chromeTrace mirrors the exported JSON shape for verification.
+type chromeTrace struct {
+	TraceEvents []struct {
+		Ph   string  `json:"ph"`
+		Name string  `json:"name"`
+		Tid  int32   `json:"tid"`
+		TS   float64 `json:"ts"`
+	} `json:"traceEvents"`
+	OtherData map[string]string `json:"otherData"`
+}
+
+// ExportChromeFile writes the trace to path, then reads it back and
+// verifies that it parses as trace_event JSON (the CI smoke contract).
+// It returns the number of non-metadata events exported.
+func (tr *Tracer) ExportChromeFile(path string) (int, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	return VerifyChromeFile(path)
+}
+
+// VerifyChromeFile parses a trace_event JSON file and returns its
+// non-metadata event count.
+func VerifyChromeFile(path string) (int, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var ct chromeTrace
+	if err := json.Unmarshal(raw, &ct); err != nil {
+		return 0, fmt.Errorf("obs: %s is not valid trace JSON: %w", path, err)
+	}
+	n := 0
+	for _, e := range ct.TraceEvents {
+		if e.Ph != "M" {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// CountInFile returns how many events named kind a trace file holds —
+// the hook the acceptance test uses to compare exported flush/fence
+// counts against nvm.Stats.
+func CountInFile(path string, kind Kind) (int, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var ct chromeTrace
+	if err := json.Unmarshal(raw, &ct); err != nil {
+		return 0, err
+	}
+	want := kind.String()
+	n := 0
+	for _, e := range ct.TraceEvents {
+		if e.Ph != "M" && e.Name == want {
+			n++
+		}
+	}
+	return n, nil
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/ido-nvm/ido/internal/locks"
+	"github.com/ido-nvm/ido/internal/obs"
 	"github.com/ido-nvm/ido/internal/region"
 )
 
@@ -131,6 +132,12 @@ type RecoveryStats struct {
 	RolledBack int           // FASEs undone by log replay
 	LogEntries uint64        // log entries scanned
 	Elapsed    time.Duration // wall time of the pass
+
+	// Audit is the per-thread audit trail of what this pass did — which
+	// locks were re-acquired, which region was resumed at which
+	// recovery_pc, how many words were restored. Runtimes populate it
+	// unconditionally (it is cheap); cmd/idorecover prints it.
+	Audit *obs.RecoveryAudit
 }
 
 // HistStores is the bucket count for the stores-per-region histogram:

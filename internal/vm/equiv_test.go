@@ -141,7 +141,8 @@ func runIrprogConformance(t *testing.T, mode Mode, legacy bool) observed {
 		if err != nil {
 			t.Fatalf("%s(%v): %v", fn, args, err)
 		}
-		rets = append(rets, r)
+		// Call's result aliases the thread's scratch buffer; copy to keep.
+		rets = append(rets, append([]uint64(nil), r...))
 	}
 	for i := uint64(0); i < 24; i++ {
 		call("stack_push", stk, i*3+1)
@@ -235,7 +236,7 @@ func runTraceConformance(t *testing.T, mode Mode, legacy bool) observed {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rets = append(rets, r)
+		rets = append(rets, append([]uint64(nil), r...))
 	}
 	return observe(m, reg, rets)
 }

@@ -7,6 +7,7 @@ import (
 
 	"github.com/ido-nvm/ido/internal/compile"
 	"github.com/ido-nvm/ido/internal/ir"
+	"github.com/ido-nvm/ido/internal/obs"
 	"github.com/ido-nvm/ido/internal/persist"
 	"github.com/ido-nvm/ido/internal/region"
 )
@@ -28,13 +29,17 @@ func (m *Machine) Recover() (persist.RecoveryStats, error) {
 	start := time.Now()
 	dev := m.Reg.Dev
 	var stats persist.RecoveryStats
+	stats.Audit = &obs.RecoveryAudit{Runtime: "vm-" + m.Mode.String()}
 	if m.Mode == ModeOrigin {
 		return stats, nil
 	}
+	rc := dev.Tracer().ThreadRing("vm-" + m.Mode.String() + "/recover")
+	scanT0 := rc.Clock()
 
 	type pending struct {
 		t  *Thread
 		pc uint64
+		ai int // index into stats.Audit.Threads
 	}
 	var work []pending
 
@@ -47,12 +52,14 @@ func (m *Machine) Recover() (persist.RecoveryStats, error) {
 			m: m, id: int(dev.Load64(p + lThread)), log: p,
 			frame: dev.Load64(p + lFrame), recovering: true,
 		}
+		t.rc = dev.Tracer().ThreadRing(fmt.Sprintf("vm-%s/t%d-rec", m.Mode, t.id))
 		m.mu.Lock()
 		m.threads = append(m.threads, t)
 		if t.id >= m.nextID {
 			m.nextID = t.id + 1
 		}
 		m.mu.Unlock()
+		audit := obs.ThreadAudit{ThreadID: t.id, LogAddr: p, Action: obs.AuditIdle, RecoveryPC: pc}
 
 		if pc == 0 {
 			if bits != 0 {
@@ -64,7 +71,9 @@ func (m *Machine) Recover() (persist.RecoveryStats, error) {
 				dev.PersistRange(p+lLocks, numLk*8)
 				dev.CLWB(p + lBits)
 				dev.Fence()
+				audit.Action = obs.AuditScrubbed
 			}
+			stats.Audit.Add(audit)
 			continue
 		}
 
@@ -77,6 +86,7 @@ func (m *Machine) Recover() (persist.RecoveryStats, error) {
 				}
 				t.slots[i] = h
 				t.bits |= 1 << uint(i)
+				audit.Locks = append(audit.Locks, h)
 				held++
 			}
 		}
@@ -84,19 +94,29 @@ func (m *Machine) Recover() (persist.RecoveryStats, error) {
 		if held == 0 {
 			t.durDepth = 1
 		}
-		work = append(work, pending{t: t, pc: pc})
+		audit.Action = obs.AuditResumed
+		if m.Mode == ModeIDO {
+			audit.RegionID, _, _ = vmUnpack(pc)
+		} else {
+			audit.Action = obs.AuditReplayed
+		}
+		stats.Audit.Add(audit)
+		work = append(work, pending{t: t, pc: pc, ai: len(stats.Audit.Threads) - 1})
 	}
+	rc.Span(obs.KRecovery, obs.PhaseScan, stats.LogEntries, scanT0)
 
 	var barrier, done sync.WaitGroup
 	barrier.Add(len(work))
 	done.Add(len(work))
 	errs := make([]error, len(work))
+	resumeT0 := rc.Clock()
 	for i, w := range work {
 		go func(i int, w pending) {
 			defer done.Done()
 			for s := 0; s < numLk; s++ {
 				if w.t.slots[s] != 0 {
 					m.LM.ByHolder(w.t.slots[s]).Acquire()
+					w.t.rc.Emit(obs.KLockAcq, w.t.slots[s], 0)
 				}
 			}
 			barrier.Done()
@@ -106,7 +126,7 @@ func (m *Machine) Recover() (persist.RecoveryStats, error) {
 					errs[i] = fmt.Errorf("vm: resume at pc %#x panicked: %v", w.pc, r)
 				}
 			}()
-			errs[i] = m.resume(w.t, w.pc)
+			errs[i] = m.resume(w.t, w.pc, &stats.Audit.Threads[w.ai])
 		}(i, w)
 	}
 	done.Wait()
@@ -115,14 +135,15 @@ func (m *Machine) Recover() (persist.RecoveryStats, error) {
 			return stats, err
 		}
 	}
+	rc.Span(obs.KRecovery, obs.PhaseResume, uint64(len(work)), resumeT0)
 	stats.Resumed = len(work)
 	stats.Elapsed = time.Since(start)
 	return stats, nil
 }
 
 // resume restores thread state from its log and executes forward to the
-// end of the interrupted FASE.
-func (m *Machine) resume(t *Thread, pc uint64) error {
+// end of the interrupted FASE, recording what it restored into audit.
+func (m *Machine) resume(t *Thread, pc uint64, audit *obs.ThreadAudit) error {
 	dev := m.Reg.Dev
 	switch m.Mode {
 	case ModeIDO:
@@ -148,6 +169,7 @@ func (m *Machine) resume(t *Thread, pc uint64) error {
 		t.curBuf = buf
 		t.sp = dev.Load64(t.log + lSP)
 		t.inRegion = true
+		audit.WordsRestored = f.NumRegs + n // register slots + staged overlay
 		t.runFrom(target.Func, f, target.Entry.Block, target.Entry.Index)
 		return nil
 	case ModeJUSTDO:
@@ -168,6 +190,7 @@ func (m *Machine) resume(t *Thread, pc uint64) error {
 			t.rf[r] = dev.Load64(t.log + lSlots + uint64(r)*8)
 		}
 		t.sp = dev.Load64(t.log + lSP)
+		audit.WordsRestored = f.NumRegs + 1 // register slots + replayed store
 		if blk >= len(f.Blocks) || idx >= len(f.Blocks[blk].Instrs) {
 			return fmt.Errorf("vm: JUSTDO pc %#x out of range in %s", pc, f.Name)
 		}

@@ -42,8 +42,10 @@ import (
 
 	"github.com/ido-nvm/ido/internal/compile"
 	"github.com/ido-nvm/ido/internal/ir"
+	"github.com/ido-nvm/ido/internal/lineset"
 	"github.com/ido-nvm/ido/internal/locks"
 	"github.com/ido-nvm/ido/internal/nvm"
+	"github.com/ido-nvm/ido/internal/obs"
 	"github.com/ido-nvm/ido/internal/persist"
 	"github.com/ido-nvm/ido/internal/region"
 )
@@ -231,6 +233,7 @@ func (t *Thread) tickSlow() {
 	}
 	if got <= 0 {
 		m.crashed.Store(true)
+		t.rc.Emit(obs.KCrashInject, uint64(t.id), 0)
 		panic(errCrash{})
 	}
 	t.ticks = got - 1 // this event consumes one of the reserved batch
@@ -280,12 +283,26 @@ type Thread struct {
 	ticks   int64  // remaining crash-budget allotment
 	tickGen uint64 // crashGen the allotment belongs to
 
-	dirty          []uint64
+	dirty          lineset.Set      // iDO: lines dirtied in the current region
 	dirtySlots     []uint64         // JUSTDO: slot lines written outside FASEs
 	staged         []persist.RegVal // iDO: current boundary record
 	curBuf         int              // iDO: active record buffer
 	storesInRegion int
 	inRegion       bool
+
+	// retBuf is the reusable return-value buffer DRet fills; the slice
+	// Call hands back aliases it and is valid until the thread's next
+	// Call. Sized to the largest ret arity at first use, it removes the
+	// one allocation the dispatch loop had.
+	retBuf []uint64
+
+	// rc is this thread's event ring; nil when tracing is off (nil-ring
+	// methods are one-compare no-ops).
+	rc           *obs.Ring
+	curRegion    uint64 // open region's ID, for trace labels
+	regionT0     int64  // tracer clock at the open of the current region
+	faseT0       int64  // tracer clock at FASE entry
+	faseLogBytes uint64 // log payload written during the current FASE
 
 	trace []uint64 // OpPrint output, merged by Machine.Trace
 
@@ -319,6 +336,7 @@ func (m *Machine) NewThread() (*Thread, error) {
 	dev.Fence()
 	m.Reg.SetRoot(region.RootIDOHead, log)
 	t := &Thread{m: m, id: id, log: log, frame: frame, sp: frame}
+	t.rc = dev.Tracer().ThreadRing(fmt.Sprintf("vm-%s/t%d", m.Mode, id))
 	m.threads = append(m.threads, t)
 	m.mu.Unlock()
 	return t, nil
@@ -326,6 +344,8 @@ func (m *Machine) NewThread() (*Thread, error) {
 
 // Call executes fn with the given arguments. It returns the values of a
 // ret instruction, or ErrCrashed if the injected crash fired mid-run.
+// The returned slice aliases a per-thread buffer and is valid until this
+// thread's next Call or Resume; copy it to retain values longer.
 func (t *Thread) Call(fn string, args ...uint64) (rets []uint64, err error) {
 	d, ok := t.m.code[fn]
 	if !ok {
@@ -450,7 +470,10 @@ func (t *Thread) exec(d *compile.DecodedFunc, pc int, stopAtDepth int) []uint64 
 			pc = int(in.T0)
 			continue
 		case compile.DRet:
-			out := make([]uint64, len(in.Vals))
+			if cap(t.retBuf) < len(in.Vals) {
+				t.retBuf = make([]uint64, len(in.Vals))
+			}
+			out := t.retBuf[:len(in.Vals)]
 			for i, a := range in.Vals {
 				if a.IsImm {
 					out[i] = a.Imm
@@ -569,17 +592,7 @@ func (t *Thread) store(pc uint64, addr, v uint64) {
 		t.justdoLoggedStore(pc, addr, v)
 	case t.m.Mode == ModeIDO && t.inFASE():
 		dev.Store64(addr, v)
-		line := addr &^ (nvm.LineSize - 1)
-		found := false
-		for _, l := range t.dirty {
-			if l == line {
-				found = true
-				break
-			}
-		}
-		if !found {
-			t.dirty = append(t.dirty, line)
-		}
+		t.dirty.Add(addr &^ (nvm.LineSize - 1))
 		t.storesInRegion++
 		t.stats.Stores++
 	default:
@@ -606,8 +619,10 @@ func (t *Thread) justdoLoggedStore(pc, addr, v uint64) {
 	t.stats.Stores++
 	t.stats.LoggedEntries++
 	t.stats.LoggedBytes += 24
+	t.faseLogBytes += 24
 	t.stats.Regions++
 	t.stats.StoresPerRegion[1]++
+	t.rc.Emit(obs.KLogAppend, 24, pc)
 }
 
 // beginDurable enters a durable section. JUSTDO's FASE entry must find
@@ -623,7 +638,43 @@ func (t *Thread) beginDurable() {
 		t.dirtySlots = t.dirtySlots[:0]
 		dev.Fence()
 	}
+	if t.rc != nil && t.durDepth == 0 && t.lockDepth == 0 {
+		t.faseT0 = t.rc.Clock()
+		t.faseLogBytes = 0
+	}
 	t.durDepth++
+}
+
+// closeRegion accounts for the iDO region that just ended and emits its
+// trace span.
+func (t *Thread) closeRegion() {
+	if !t.inRegion {
+		return
+	}
+	b := t.storesInRegion
+	if b >= persist.HistStores {
+		b = persist.HistStores - 1
+	}
+	t.stats.StoresPerRegion[b]++
+	t.stats.Regions++
+	if t.rc != nil {
+		now := t.rc.Clock()
+		t.rc.Span(obs.KRegion, t.curRegion, uint64(t.storesInRegion), t.regionT0)
+		t.rc.Observe(obs.HRegionNS, uint64(now-t.regionT0))
+		t.rc.Observe(obs.HRegionStores, uint64(t.storesInRegion))
+	}
+	t.inRegion = false
+	t.storesInRegion = 0
+}
+
+// flushDirty writes back the region's dirty lines per-line (the same
+// event sequence the legacy oracle produces) and empties the set.
+func (t *Thread) flushDirty() {
+	dev := t.m.Reg.Dev
+	for _, line := range t.dirty.Lines() {
+		dev.CLWB(line)
+	}
+	t.dirty.Reset()
 }
 
 // boundary implements the iDO three-step protocol for an OpBoundary.
@@ -643,14 +694,7 @@ func (t *Thread) boundary(id uint64, regs []ir.Reg) {
 	}
 	dev := t.m.Reg.Dev
 	// Close the ending region's statistics.
-	if t.inRegion {
-		b := t.storesInRegion
-		if b >= persist.HistStores {
-			b = persist.HistStores - 1
-		}
-		t.stats.StoresPerRegion[b]++
-		t.stats.Regions++
-	}
+	t.closeRegion()
 	// Step 1a: fold the previous record into the fixed slots.
 	for _, s := range t.staged {
 		sa := t.log + lSlots + uint64(s.Reg)*8
@@ -677,10 +721,7 @@ func (t *Thread) boundary(id uint64, regs []ir.Reg) {
 	// grows, and resuming with a slightly-later sp merely wastes frame.
 	dev.Store64(t.log+lSP, t.sp)
 	dev.CLWB(t.log + lSP)
-	for _, line := range t.dirty {
-		dev.CLWB(line)
-	}
-	t.dirty = t.dirty[:0]
+	t.flushDirty()
 	dev.Fence()
 	t.tick()
 	// Step 2: publish recovery_pc packed with record size and buffer.
@@ -689,12 +730,20 @@ func (t *Thread) boundary(id uint64, regs []ir.Reg) {
 	dev.Fence()
 	t.curBuf = buf
 	t.stats.LoggedEntries++
-	t.stats.LoggedBytes += uint64(len(regs))*8 + 8
+	logBytes := uint64(len(regs))*8 + 8
+	t.stats.LoggedBytes += logBytes
+	t.faseLogBytes += logBytes
 	n := len(regs)
 	if n >= persist.HistOutputs {
 		n = persist.HistOutputs - 1
 	}
 	t.stats.OutputsPerRegion[n]++
+	if t.rc != nil {
+		t.rc.Emit(obs.KBoundary, id, uint64(len(regs)))
+		t.rc.Observe(obs.HOutputsPerRegion, uint64(len(regs)))
+		t.regionT0 = t.rc.Clock()
+	}
+	t.curRegion = id
 	t.storesInRegion = 0
 	t.inRegion = true
 }
@@ -771,6 +820,13 @@ func (t *Thread) lock(l *locks.Lock) {
 		dev.CLWB(t.log + lBits)
 		dev.Fence()
 	}
+	if t.rc != nil {
+		if t.lockDepth == 0 && t.durDepth == 0 {
+			t.faseT0 = t.rc.Clock()
+			t.faseLogBytes = 0
+		}
+		t.rc.Emit(obs.KLockAcq, l.Holder(), 0)
+	}
 	t.lockDepth++
 }
 
@@ -796,20 +852,8 @@ func (t *Thread) unlock(l *locks.Lock) {
 	}
 	if last && t.m.Mode != ModeOrigin {
 		if t.m.Mode == ModeIDO {
-			if t.inRegion {
-				b := t.storesInRegion
-				if b >= persist.HistStores {
-					b = persist.HistStores - 1
-				}
-				t.stats.StoresPerRegion[b]++
-				t.stats.Regions++
-				t.inRegion = false
-				t.storesInRegion = 0
-			}
-			for _, line := range t.dirty {
-				dev.CLWB(line)
-			}
-			t.dirty = t.dirty[:0]
+			t.closeRegion()
+			t.flushDirty()
 			dev.Fence()
 			t.tick()
 		}
@@ -830,9 +874,14 @@ func (t *Thread) unlock(l *locks.Lock) {
 		dev.CLWB(t.log + lBits)
 		dev.Fence()
 	}
+	t.rc.Emit(obs.KLockRel, l.Holder(), 0)
 	t.lockDepth--
 	if last {
 		t.stats.FASEs++
+		if t.rc != nil {
+			t.rc.Span(obs.KFASE, t.faseLogBytes, 0, t.faseT0)
+			t.rc.Observe(obs.HLogBytesPerFASE, t.faseLogBytes)
+		}
 	}
 	l.Release()
 }
@@ -845,20 +894,8 @@ func (t *Thread) endDurable() {
 	last := t.durDepth == 1 && t.lockDepth == 0
 	if last && t.m.Mode != ModeOrigin {
 		if t.m.Mode == ModeIDO {
-			if t.inRegion {
-				b := t.storesInRegion
-				if b >= persist.HistStores {
-					b = persist.HistStores - 1
-				}
-				t.stats.StoresPerRegion[b]++
-				t.stats.Regions++
-				t.inRegion = false
-				t.storesInRegion = 0
-			}
-			for _, line := range t.dirty {
-				dev.CLWB(line)
-			}
-			t.dirty = t.dirty[:0]
+			t.closeRegion()
+			t.flushDirty()
 			dev.Fence()
 			t.tick()
 		}
@@ -866,6 +903,10 @@ func (t *Thread) endDurable() {
 		dev.CLWB(t.log + lPC)
 		dev.Fence()
 		t.stats.FASEs++
+	}
+	if last && t.rc != nil {
+		t.rc.Span(obs.KFASE, t.faseLogBytes, 0, t.faseT0)
+		t.rc.Observe(obs.HLogBytesPerFASE, t.faseLogBytes)
 	}
 	t.durDepth--
 }
