@@ -7,9 +7,9 @@
 //	idobench -exp fig5 -quick         # one experiment, smoke-scale
 //	idobench -exp fig7 -duration 1s -threads 1,2,4,8,16
 //
-// Experiments: fig5, fig6, fig7, fig8, table1, fig9, ablations, vm, obs,
-// all. See DESIGN.md for the experiment index and EXPERIMENTS.md for
-// paper-versus-measured notes.
+// Experiments: fig5, fig6, fig7, fig8, table1, fig9, ablations, vm,
+// alloc, obs, all. See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for paper-versus-measured notes.
 //
 // -traceout FILE attaches a persist-event tracer to every device the run
 // creates and writes a Chrome trace_event JSON file (load it at
@@ -29,7 +29,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|table1|fig9|ablations|vm|obs|all")
+	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|table1|fig9|ablations|vm|alloc|obs|all")
 	quick := flag.Bool("quick", false, "smoke-scale parameters")
 	duration := flag.Duration("duration", 0, "override measurement interval per point")
 	threads := flag.String("threads", "", "override thread sweep, e.g. 1,2,4,8")
@@ -80,6 +80,8 @@ func main() {
 		_, err = bench.RunAblations(o)
 	case "vm":
 		_, err = bench.RunVM(o)
+	case "alloc":
+		_, err = bench.RunAlloc(o)
 	case "obs":
 		_, err = bench.RunObs(o)
 	default:

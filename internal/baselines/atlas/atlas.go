@@ -129,7 +129,8 @@ func (rt *Runtime) NewThread() (persist.Thread, error) {
 	dev.PersistRange(rec, trSize)
 	dev.Fence()
 	rt.reg.SetRoot(region.RootAtlasHead, rec)
-	t := &thread{rt: rt, id: id, rec: rec, firstChunk: chunk, curChunk: chunk}
+	t := &thread{rt: rt, id: id, rec: rec, firstChunk: chunk}
+	t.setChunk(chunk, 0)
 	t.rc = dev.Tracer().ThreadRing(fmt.Sprintf("atlas/t%d", id))
 	rt.threads = append(rt.threads, t)
 	return t, nil
@@ -159,6 +160,14 @@ type thread struct {
 	curUsed    int
 	touched    []uint64 // chunks written since the last prune
 
+	// Precomputed addresses for the current chunk, refilled by setChunk:
+	// entry[i] is the address of entry i, aNext/aUsed the header words.
+	// One refill per chunkCap appends hoists the base+offset math out of
+	// the per-store path.
+	entry [chunkCap]uint64
+	aNext uint64
+	aUsed uint64
+
 	depth   int
 	lamport uint64
 	dirty   []uint64 // data lines to write back at FASE end
@@ -173,36 +182,47 @@ type thread struct {
 func (t *thread) ID() int        { return t.id }
 func (t *thread) Exec(op func()) { op() }
 
+// setChunk makes c the active log chunk and refills the entry-address
+// table, so append does no address arithmetic of its own.
+func (t *thread) setChunk(c uint64, used int) {
+	t.curChunk = c
+	t.curUsed = used
+	t.aNext = c + 0
+	t.aUsed = c + 8
+	for i := range t.entry {
+		t.entry[i] = c + chunkHdr + uint64(i)*entrySize
+	}
+}
+
 // append writes one undo entry and fences it durable — the per-store
 // persist cost the paper charges Atlas for.
 func (t *thread) append(kind, addr, val, aux uint64) {
 	dev := t.rt.reg.Dev
 	if t.curUsed == chunkCap {
-		next := dev.Load64(t.curChunk + 0)
+		next := dev.Load64(t.aNext)
 		if next == 0 {
 			var err error
 			next, err = t.rt.newChunk()
 			if err != nil {
 				panic(err)
 			}
-			dev.Store64(t.curChunk+0, next)
-			dev.CLWB(t.curChunk + 0)
+			dev.Store64(t.aNext, next)
+			dev.CLWB(t.aNext)
 		}
-		t.curChunk = next
-		t.curUsed = int(dev.Load64(next + 8))
+		t.setChunk(next, int(dev.Load64(next+8)))
 	}
 	if len(t.touched) == 0 || t.touched[len(t.touched)-1] != t.curChunk {
 		t.touched = append(t.touched, t.curChunk)
 	}
-	e := t.curChunk + chunkHdr + uint64(t.curUsed)*entrySize
+	e := t.entry[t.curUsed]
 	dev.Store64(e+0, kind)
 	dev.Store64(e+8, addr)
 	dev.Store64(e+16, val)
 	dev.Store64(e+24, aux)
 	t.curUsed++
-	dev.Store64(t.curChunk+8, uint64(t.curUsed))
+	dev.Store64(t.aUsed, uint64(t.curUsed))
 	dev.CLWB(e)
-	dev.CLWB(t.curChunk + 8)
+	dev.CLWB(t.aUsed)
 	dev.Fence()
 	t.stats.LoggedEntries++
 	t.stats.LoggedBytes += entrySize
@@ -281,8 +301,7 @@ func (t *thread) prune() {
 	}
 	dev.Fence()
 	t.touched = t.touched[:0]
-	t.curChunk = t.firstChunk
-	t.curUsed = 0
+	t.setChunk(t.firstChunk, 0)
 }
 
 func (t *thread) BeginDurable() {

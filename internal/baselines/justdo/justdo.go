@@ -71,6 +71,7 @@ func (rt *Runtime) NewThread() (persist.Thread, error) {
 	rt.reg.Dev.Fence()
 	rt.mu.Lock()
 	t := &thread{rt: rt, id: rt.nextID, log: log}
+	t.initAddrs()
 	t.rc = rt.reg.Dev.Tracer().ThreadRing(fmt.Sprintf("justdo/t%d", t.id))
 	rt.nextID++
 	rt.threads = append(rt.threads, t)
@@ -104,11 +105,29 @@ type thread struct {
 	owned int
 	site  uint64 // per-thread store-site counter standing in for the pc
 
+	// Precomputed absolute addresses of the log fields and ownership
+	// slots. The log base never moves after NewThread, so every
+	// per-store base+offset addition is hoisted here once.
+	aPC, aAddr, aVal, aIntention, aOwnBits, aShadow uint64
+	aOwn                                            [numOwned]uint64
+
 	rc           *obs.Ring // event ring; nil when tracing is off
 	faseT0       int64     // tracer clock at FASE entry
 	faseLogBytes uint64    // log payload written during the current FASE
 
 	stats persist.RuntimeStats
+}
+
+func (t *thread) initAddrs() {
+	t.aPC = t.log + logPC
+	t.aAddr = t.log + logAddr
+	t.aVal = t.log + logVal
+	t.aIntention = t.log + logIntention
+	t.aOwnBits = t.log + logOwnBits
+	t.aShadow = t.log + logShadow
+	for i := range t.aOwn {
+		t.aOwn[i] = t.log + logOwnBase + uint64(i)*8
+	}
 }
 
 func (t *thread) ID() int        { return t.id }
@@ -122,13 +141,13 @@ func (t *thread) Lock(l *locks.Lock) {
 		t.faseT0 = t.rc.Clock()
 		t.faseLogBytes = 0
 	}
-	dev.Store64(t.log+logIntention, l.Holder())
-	dev.CLWB(t.log + logIntention)
+	dev.Store64(t.aIntention, l.Holder())
+	dev.CLWB(t.aIntention)
 	dev.Fence() // fence 1: intention
 	l.Acquire()
-	dev.Store64(t.log+logOwnBase+uint64(t.owned)*8, l.Holder())
-	dev.Store64(t.log+logOwnBits, uint64(t.owned+1))
-	dev.Store64(t.log+logIntention, 0)
+	dev.Store64(t.aOwn[t.owned], l.Holder())
+	dev.Store64(t.aOwnBits, uint64(t.owned+1))
+	dev.Store64(t.aIntention, 0)
 	dev.PersistRange(t.log, logOwnBase+uint64(t.owned+1)*8)
 	dev.Fence() // fence 2: ownership
 	t.rc.Emit(obs.KLockAcq, l.Holder(), 0)
@@ -139,13 +158,13 @@ func (t *thread) Lock(l *locks.Lock) {
 // Unlock performs the symmetric two-fence release.
 func (t *thread) Unlock(l *locks.Lock) {
 	dev := t.rt.reg.Dev
-	dev.Store64(t.log+logIntention, l.Holder())
-	dev.CLWB(t.log + logIntention)
+	dev.Store64(t.aIntention, l.Holder())
+	dev.CLWB(t.aIntention)
 	dev.Fence() // fence 1: intention to release
 	// Remove from the ownership array.
 	idx := -1
 	for i := 0; i < t.owned; i++ {
-		if dev.Load64(t.log+logOwnBase+uint64(i)*8) == l.Holder() {
+		if dev.Load64(t.aOwn[i]) == l.Holder() {
 			idx = i
 			break
 		}
@@ -154,18 +173,18 @@ func (t *thread) Unlock(l *locks.Lock) {
 		panic("justdo: unlocking a lock this thread does not hold")
 	}
 	lastSlot := t.owned - 1
-	dev.Store64(t.log+logOwnBase+uint64(idx)*8, dev.Load64(t.log+logOwnBase+uint64(lastSlot)*8))
-	dev.Store64(t.log+logOwnBase+uint64(lastSlot)*8, 0)
-	dev.Store64(t.log+logOwnBits, uint64(lastSlot))
-	dev.Store64(t.log+logIntention, 0)
+	dev.Store64(t.aOwn[idx], dev.Load64(t.aOwn[lastSlot]))
+	dev.Store64(t.aOwn[lastSlot], 0)
+	dev.Store64(t.aOwnBits, uint64(lastSlot))
+	dev.Store64(t.aIntention, 0)
 	dev.PersistRange(t.log, logOwnBase+uint64(t.owned)*8)
 	dev.Fence() // fence 2: ownership dropped
 	t.owned--
 	t.rc.Emit(obs.KLockRel, l.Holder(), 0)
 	if t.depth == 1 {
 		t.stats.FASEs++
-		dev.Store64(t.log+logPC, 0)
-		dev.CLWB(t.log + logPC)
+		dev.Store64(t.aPC, 0)
+		dev.CLWB(t.aPC)
 		dev.Fence()
 		if t.rc != nil {
 			t.rc.Span(obs.KFASE, t.faseLogBytes, 0, t.faseT0)
@@ -188,8 +207,8 @@ func (t *thread) EndDurable() {
 	if t.depth == 1 {
 		dev := t.rt.reg.Dev
 		t.stats.FASEs++
-		dev.Store64(t.log+logPC, 0)
-		dev.CLWB(t.log + logPC)
+		dev.Store64(t.aPC, 0)
+		dev.CLWB(t.aPC)
 		dev.Fence()
 		if t.rc != nil {
 			t.rc.Span(obs.KFASE, t.faseLogBytes, 0, t.faseT0)
@@ -215,10 +234,10 @@ func (t *thread) Store64(addr, val uint64) {
 func (t *thread) loggedStore(addr, val uint64) {
 	dev := t.rt.reg.Dev
 	t.site++
-	dev.Store64(t.log+logPC, t.site)
-	dev.Store64(t.log+logAddr, addr)
-	dev.Store64(t.log+logVal, val)
-	dev.CLWB(t.log + logPC) // pc/addr/val share the log's first line
+	dev.Store64(t.aPC, t.site)
+	dev.Store64(t.aAddr, addr)
+	dev.Store64(t.aVal, val)
+	dev.CLWB(t.aPC) // pc/addr/val share the log's first line
 	dev.Fence()             // log entry durable before the store
 	dev.Store64(addr, val)
 	dev.CLWB(addr)
@@ -242,7 +261,7 @@ func (t *thread) loggedStore(addr, val uint64) {
 func (t *thread) Load64(addr uint64) uint64 {
 	v := t.rt.reg.Dev.Load64(addr)
 	if t.depth > 0 {
-		t.loggedStore(t.log+logShadow, v)
+		t.loggedStore(t.aShadow, v)
 	}
 	return v
 }

@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ido-nvm/ido/internal/nvalloc"
+	"github.com/ido-nvm/ido/internal/nvm"
+	"github.com/ido-nvm/ido/internal/stats"
+)
+
+// AllocResult is one allocator/thread-count point of the allocator
+// contention experiment.
+type AllocResult struct {
+	Alloc   string // "sharded" or "mutex"
+	Threads int
+	OpsPS   float64
+	// MagHit is the fraction of allocations served lock-free from a
+	// magazine ring (sharded allocator only).
+	MagHit float64
+}
+
+// allocIface is the A/B surface shared by the sharded allocator and the
+// single-mutex seed allocator it replaced.
+type allocIface interface {
+	Alloc(int) (uint64, error)
+	Free(uint64)
+}
+
+// RunAlloc compares the size-class/magazine allocator against the
+// retained single-mutex MutexAllocator under mixed Alloc/Free of
+// 16-256 byte blocks with bounded per-worker live rings — the region
+// manager's allocation profile. The sweep always includes a 16-worker
+// point, the acceptance workload for the lock-light rewrite. The device
+// runs without the persistence cost model: the experiment isolates
+// allocator synchronization, not NVM latency.
+func RunAlloc(o Options) ([]AllocResult, error) {
+	sweep := append([]int(nil), o.Threads...)
+	if len(sweep) == 0 || sweep[len(sweep)-1] < 16 {
+		sweep = append(sweep, 16)
+	}
+	var out []AllocResult
+	for _, nt := range sweep {
+		for _, kind := range []string{"sharded", "mutex"} {
+			r, err := runAllocPoint(o, kind, nt)
+			if err != nil {
+				return nil, fmt.Errorf("alloc %s t=%d: %w", kind, nt, err)
+			}
+			out = append(out, r)
+		}
+	}
+	printAlloc(o, out)
+	return out, nil
+}
+
+func runAllocPoint(o Options, kind string, nt int) (AllocResult, error) {
+	cfg := nvm.Config{Size: o.DeviceBytes}
+	cfg.Tracer = o.Tracer
+	dev := nvm.New(cfg)
+	var a allocIface
+	var snap func() nvalloc.Stats
+	if kind == "sharded" {
+		sa := nvalloc.New(dev, 0, uint64(o.DeviceBytes))
+		a, snap = sa, sa.Stats
+	} else {
+		ma := nvalloc.NewMutex(dev, 0, uint64(o.DeviceBytes))
+		a, snap = ma, ma.Stats
+	}
+	runtime.GC()
+	var stop atomic.Bool
+	var total atomic.Uint64
+	var wg sync.WaitGroup
+	errs := make(chan error, nt)
+	for i := 0; i < nt; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sizes := [...]int{16, 32, 48, 64, 96, 128, 192, 256}
+			ring := make([]uint64, 0, 32)
+			n := uint64(0)
+			for j := i; !stop.Load(); j++ {
+				if len(ring) == cap(ring) {
+					for _, p := range ring {
+						a.Free(p)
+					}
+					ring = ring[:0]
+				}
+				p, err := a.Alloc(sizes[j&7])
+				if err != nil {
+					errs <- err
+					return
+				}
+				ring = append(ring, p)
+				n++
+			}
+			for _, p := range ring {
+				a.Free(p)
+			}
+			total.Add(n)
+		}(i)
+	}
+	time.Sleep(o.Duration)
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return AllocResult{}, err
+	default:
+	}
+	r := AllocResult{Alloc: kind, Threads: nt,
+		OpsPS: float64(total.Load()) / o.Duration.Seconds()}
+	if s := snap(); kind == "sharded" && s.Allocs > 0 {
+		r.MagHit = float64(s.MagHits) / float64(s.Allocs)
+	}
+	return r, nil
+}
+
+func printAlloc(o Options, results []AllocResult) {
+	out := o.out()
+	fprintf(out, "NVM allocator: size-class shards + magazines vs single mutex (allocs/s)\n")
+	var tb stats.Table
+	tb.AddRow("threads", "sharded", "mutex", "speedup", "mag-hit")
+	byT := map[int][2]AllocResult{}
+	var order []int
+	for _, r := range results {
+		e, seen := byT[r.Threads]
+		if !seen {
+			order = append(order, r.Threads)
+		}
+		if r.Alloc == "sharded" {
+			e[0] = r
+		} else {
+			e[1] = r
+		}
+		byT[r.Threads] = e
+	}
+	for _, nt := range order {
+		e := byT[nt]
+		ratio := 0.0
+		if e[1].OpsPS > 0 {
+			ratio = e[0].OpsPS / e[1].OpsPS
+		}
+		tb.AddRow(fmt.Sprintf("%d", nt),
+			fmt.Sprintf("%10.0f", e[0].OpsPS), fmt.Sprintf("%10.0f", e[1].OpsPS),
+			fmt.Sprintf("%.2fx", ratio), fmt.Sprintf("%.0f%%", e[0].MagHit*100))
+	}
+	fprintf(out, "%s\n", tb.String())
+}

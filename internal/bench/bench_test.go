@@ -217,6 +217,45 @@ func TestFig9ShapesQuick(t *testing.T) {
 	}
 }
 
+func TestAllocBenchQuick(t *testing.T) {
+	o := quick(t)
+	results, err := RunAlloc(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byT := map[int]map[string]AllocResult{}
+	maxT := 0
+	for _, r := range results {
+		if byT[r.Threads] == nil {
+			byT[r.Threads] = map[string]AllocResult{}
+		}
+		byT[r.Threads][r.Alloc] = r
+		if r.Threads > maxT {
+			maxT = r.Threads
+		}
+	}
+	if maxT < 16 {
+		t.Fatalf("sweep missing the 16-worker acceptance point: max %d", maxT)
+	}
+	// Uncontended, the magazine path must hold parity with the seed's
+	// single mutex (generous margin: short smoke windows are noisy).
+	one := byT[1]
+	if one["sharded"].OpsPS < one["mutex"].OpsPS*0.6 {
+		t.Fatalf("single-thread regression: sharded %.0f vs mutex %.0f ops/s",
+			one["sharded"].OpsPS, one["mutex"].OpsPS)
+	}
+	if one["sharded"].MagHit < 0.5 {
+		t.Fatalf("magazine hit rate %.0f%% — fast path not engaged", one["sharded"].MagHit*100)
+	}
+	// Contended, sharding must win outright (full scale shows >10x; even
+	// smoke windows on one core clear 2x).
+	top := byT[maxT]
+	if top["sharded"].OpsPS < top["mutex"].OpsPS*2 {
+		t.Fatalf("16-worker speedup below 2x: sharded %.0f vs mutex %.0f ops/s",
+			top["sharded"].OpsPS, top["mutex"].OpsPS)
+	}
+}
+
 func TestAblationsQuick(t *testing.T) {
 	o := quick(t)
 	rows, err := RunAblations(o)

@@ -17,6 +17,7 @@ func RunAll(o Options) error {
 		{"fig9", func() error { _, err := RunFig9(o); return err }},
 		{"ablations", func() error { _, err := RunAblations(o); return err }},
 		{"vm", func() error { _, err := RunVM(o); return err }},
+		{"alloc", func() error { _, err := RunAlloc(o); return err }},
 	}
 	for _, s := range steps {
 		fprintf(o.out(), "==== %s ====\n", s.name)

@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/ido-nvm/ido/internal/lineset"
@@ -528,10 +529,100 @@ func (rt *Runtime) Recover(rr *persist.ResumeRegistry) (persist.RecoveryStats, e
 	type pending struct {
 		t        *Thread
 		regionID uint64
+		n, buf   int
+		bits     uint64
+		ai       int // index into stats.Audit.Threads
 		rf       []uint64
+		locks    []uint64
+		err      error
 	}
-	var work []pending
+	var work []*pending
 
+	// The restore/re-acquire phase of each interrupted thread overlaps
+	// the serial log walk: as soon as a log entry is decoded, a goroutine
+	// reads that thread's lock slots and register file and re-acquires
+	// its locks while the walk moves on to the next entry. The acq group
+	// is the §III-C barrier — every lock re-acquired before any thread
+	// resumes — and the gate additionally holds resumption until the walk
+	// has seen every log, preserving the all-threads-recovered-together
+	// contract. Each lock was held by at most one crashed thread, so the
+	// acquisitions cannot deadlock.
+	var acq, done sync.WaitGroup
+	gate := make(chan struct{})
+	var abort atomic.Bool
+
+	launch := func(w *pending) {
+		defer done.Done()
+		t, p := w.t, w.t.log
+		func() {
+			defer acq.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					w.err = fmt.Errorf("ido: restore of log %#x panicked: %v", p, r)
+				}
+			}()
+			held := 0
+			for i := 0; i < numSlots; i++ {
+				if w.bits&(1<<uint(i)) != 0 {
+					h := dev.Load64(p + rt.laBase() + uint64(i)*8)
+					if h == 0 {
+						continue
+					}
+					t.slots[i] = h
+					t.bits |= 1 << uint(i)
+					w.locks = append(w.locks, h)
+					held++
+				}
+			}
+			// Restore the register file: fixed slots overlaid with the
+			// current boundary record (whose count rides in the pc word).
+			w.rf = make([]uint64, persist.MaxOutputs)
+			for i := range w.rf {
+				w.rf[i] = dev.Load64(p + rfBase + uint64(i)*rt.rfStride)
+			}
+			for i := 0; i < w.n && i < persist.MaxOutputs; i++ {
+				reg := dev.Load64(p + rt.stageBase(w.buf) + uint64(i)*16)
+				val := dev.Load64(p + rt.stageBase(w.buf) + uint64(i)*16 + 8)
+				if reg < persist.MaxOutputs {
+					w.rf[reg] = val
+					t.staged = append(t.staged, persist.RegVal{Reg: int(reg), Val: val})
+				}
+			}
+			t.curBuf = w.buf
+			t.lockDepth = held
+			if held == 0 {
+				t.durableDepth = 1 // a programmer-delineated FASE was active
+			}
+			t.inRegion = true
+			for s := 0; s < numSlots; s++ {
+				if t.slots[s] != 0 {
+					rt.lm.ByHolder(t.slots[s]).Acquire()
+					t.rc.Emit(obs.KLockAcq, t.slots[s], 0)
+				}
+			}
+		}()
+		<-gate
+		if abort.Load() || w.err != nil {
+			// The walk failed (or this restore did): nothing resumes.
+			// Drop the locks this thread grabbed so the manager is not
+			// left poisoned for the caller's next attempt.
+			for s := 0; s < numSlots; s++ {
+				if t.slots[s] != 0 {
+					rt.lm.ByHolder(t.slots[s]).Release()
+				}
+			}
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				w.err = fmt.Errorf("ido: resume of region %#x panicked: %v", w.regionID, r)
+			}
+		}()
+		fn, _ := rr.Lookup(w.regionID)
+		fn(t, w.rf)
+	}
+
+	var walkErr error
 	for p := rt.reg.Root(region.RootIDOHead); p != 0; p = dev.Load64(p + logNext) {
 		stats.Threads++
 		stats.LogEntries++
@@ -566,83 +657,49 @@ func (rt *Runtime) Recover(rr *persist.ResumeRegistry) (persist.RecoveryStats, e
 			continue
 		}
 
-		held := 0
-		for i := 0; i < numSlots; i++ {
-			if bits&(1<<uint(i)) != 0 {
-				h := dev.Load64(p + rt.laBase() + uint64(i)*8)
-				if h == 0 {
-					t.bits &^= 1 << uint(i)
-					continue
-				}
-				t.slots[i] = h
-				t.bits |= 1 << uint(i)
-				audit.Locks = append(audit.Locks, h)
-				held++
-			}
-		}
-		// Restore the register file: fixed slots overlaid with the
-		// current boundary record (whose count rides in the pc word).
-		rf := make([]uint64, persist.MaxOutputs)
-		for i := range rf {
-			rf[i] = dev.Load64(p + rfBase + uint64(i)*rt.rfStride)
-		}
-		for i := 0; i < n && i < persist.MaxOutputs; i++ {
-			reg := dev.Load64(p + rt.stageBase(buf) + uint64(i)*16)
-			val := dev.Load64(p + rt.stageBase(buf) + uint64(i)*16 + 8)
-			if reg < persist.MaxOutputs {
-				rf[reg] = val
-				t.staged = append(t.staged, persist.RegVal{Reg: int(reg), Val: val})
-			}
-		}
-		t.curBuf = buf
 		if _, ok := rr.Lookup(regionID); !ok {
-			return stats, fmt.Errorf("ido: no resume entry registered for region %#x (thread %d)", regionID, t.id)
+			walkErr = fmt.Errorf("ido: no resume entry registered for region %#x (thread %d)", regionID, t.id)
+			stats.Audit.Add(audit)
+			break
 		}
-		t.lockDepth = held
-		if held == 0 {
-			t.durableDepth = 1 // a programmer-delineated FASE was active
-		}
-		t.inRegion = true
 		audit.Action = obs.AuditResumed
 		audit.RegionID = regionID
 		audit.WordsRestored = persist.MaxOutputs + n // intRF + staged overlay
 		stats.Audit.Add(audit)
-		work = append(work, pending{t: t, regionID: regionID, rf: rf})
+		w := &pending{
+			t: t, regionID: regionID, n: n, buf: buf, bits: bits,
+			ai: len(stats.Audit.Threads) - 1,
+		}
+		work = append(work, w)
+		acq.Add(1)
+		done.Add(1)
+		go launch(w)
 	}
 	rc.Span(obs.KRecovery, obs.PhaseScan, stats.LogEntries, scanT0)
-
-	// Recovery threads acquire their locks, barrier (§III-C step 3), then
-	// resume. Each lock was held by at most one crashed thread, so the
-	// acquisitions cannot deadlock.
-	var barrier, done sync.WaitGroup
-	barrier.Add(len(work))
-	done.Add(len(work))
-	errs := make([]error, len(work))
-	resumeT0 := rc.Clock()
-	for i, w := range work {
-		go func(i int, w pending) {
-			defer done.Done()
-			for s := 0; s < numSlots; s++ {
-				if w.t.slots[s] != 0 {
-					rt.lm.ByHolder(w.t.slots[s]).Acquire()
-					w.t.rc.Emit(obs.KLockAcq, w.t.slots[s], 0)
-				}
-			}
-			barrier.Done()
-			barrier.Wait()
-			defer func() {
-				if r := recover(); r != nil {
-					errs[i] = fmt.Errorf("ido: resume of region %#x panicked: %v", w.regionID, r)
-				}
-			}()
-			fn, _ := rr.Lookup(w.regionID)
-			fn(w.t, w.rf)
-		}(i, w)
+	acq.Wait()
+	// Fold what the restore goroutines found into the audit, in walk
+	// order; the slice is stable now that the walk has finished, and the
+	// locks are final once the acq barrier has passed.
+	var locksTotal uint64
+	for _, w := range work {
+		stats.Audit.Threads[w.ai].Locks = w.locks
+		locksTotal += uint64(len(w.locks))
 	}
+	// The re-acquire span starts at scanT0 deliberately: it runs
+	// concurrently with the walk, which is the point of the overlap.
+	rc.Span(obs.KRecovery, obs.PhaseReacquire, locksTotal, scanT0)
+	if walkErr != nil {
+		abort.Store(true)
+	}
+	resumeT0 := rc.Clock()
+	close(gate)
 	done.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return stats, err
+	if walkErr != nil {
+		return stats, walkErr
+	}
+	for _, w := range work {
+		if w.err != nil {
+			return stats, w.err
 		}
 	}
 	rc.Span(obs.KRecovery, obs.PhaseResume, uint64(len(work)), resumeT0)

@@ -3,33 +3,195 @@
 // manager that iDO reuses (§IV-C). Block headers live in NVM and are
 // persisted eagerly, so a post-crash scan can always rebuild the volatile
 // free lists; the free lists themselves are transient.
+//
+// The volatile side is segregated and lock-light, mirroring the device's
+// striped hot path: power-of-two size classes (16 B .. 4 KiB), each
+// fronted by a magazine — a lock-free ring of atomic words caching
+// pre-carved blocks — so a steady-state Alloc/Free claims or parks a
+// block with one atomic swap and touches no lock at all. Behind the
+// magazines sit lock-striped per-class free-list shards, and requests
+// above the largest class fall back to striped first-fit buckets.
+//
+// Determinism contract: a single-threaded sequence of Alloc/Free calls
+// against identical heaps produces identical addresses and identical
+// device traffic. Every placement decision is a function of block
+// addresses and the call sequence (magazine rings and shard scans go in
+// fixed index order, shard homes hash the block address) — never of
+// goroutine identity or stack layout. The engine-equivalence suites
+// (decoded VM vs tree-walker, native vs VM) rely on this to compare
+// runs word-for-word.
+//
+// None of this changes the persistent layout: the heap is still a run
+// of size<<1|alloc headers, written and flushed before any block
+// changes ownership, and Attach rebuilds every volatile structure —
+// magazines included — from a header scan.
 package nvalloc
 
 import (
 	"fmt"
+	"math/bits"
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"unsafe"
 
 	"github.com/ido-nvm/ido/internal/nvm"
+	"github.com/ido-nvm/ido/internal/obs"
 )
 
 const (
 	headerSize = 8 // one word: size<<1 | allocated
 	minBlock   = headerSize + 8
 	allocBit   = 1
+
+	// Size classes: classSize(c) = minBlock << c, c in [0, nClasses).
+	// The largest class (4 KiB) bounds the magazine path; bigger blocks
+	// take the striped first-fit path.
+	nClasses = 9
+	maxSmall = minBlock << (nClasses - 1)
+
+	// Volatile layout: per-class magazine depth, lock stripes per class,
+	// large-path stripes, counter lanes, and blocks carved per refill.
+	magDepth  = 16
+	nShards   = 8
+	nLarge    = 8
+	nStripes  = 16
+	magRefill = 16
+
+	// oomRetries bounds how many times a failed full scan re-runs while
+	// other threads hold free extents privately (see Alloc). It exists
+	// only to turn a pathological every-thread-failing churn into an
+	// error instead of a livelock; a real carve window clears in a few
+	// yields.
+	oomRetries = 256
 )
 
+func classSize(c int) uint64 { return minBlock << c }
+
+// classFor returns the smallest class whose blocks satisfy a request of
+// need bytes (header included). need must be <= maxSmall.
+func classFor(need uint64) int {
+	c := bits.Len64(need-1) - 4
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// classOfBlock maps an existing block size back to the class list that
+// can store it. Carving folds an 8-byte tail sliver into the last block,
+// so class lists hold blocks of exactly classSize(c) or classSize(c)+8;
+// anything else (legacy splits, odd attach-time remainders) goes to the
+// large buckets instead.
+func classOfBlock(size uint64) (int, bool) {
+	c := bits.Len64(size) - 5
+	if c < 0 || c >= nClasses {
+		return 0, false
+	}
+	if s := classSize(c); size == s || size == s+8 {
+		return c, true
+	}
+	return 0, false
+}
+
+// block is a free extent: device address of its header plus total size.
+// Sizes ride along in the volatile lists so the hot path never re-reads
+// a header it already knows.
+type block struct {
+	addr, size uint64
+}
+
+// magazine is one size class's lock-free cache of pre-carved blocks: a
+// fixed ring of atomic words, each either 0 (empty) or a packed free
+// block. Alloc claims a slot with a single Swap, Free parks with a
+// CompareAndSwap; both scan the ring in fixed index order, so a
+// single-threaded run is deterministic while concurrent threads simply
+// skip slots another thread just won. A word packs its block as
+// addr | presentBit | extraBit: addresses are 8-aligned so the low
+// three bits are spare; extraBit marks a classSize+8 block (the folded
+// tail sliver), and presentBit distinguishes a block at address 0 from
+// an empty slot.
+type magazine struct {
+	w [magDepth]atomic.Uint64
+}
+
+const (
+	hotPresent = 2
+	hotExtra   = 1
+)
+
+func packHot(c int, b block) uint64 {
+	w := b.addr | hotPresent
+	if b.size != classSize(c) {
+		w |= hotExtra
+	}
+	return w
+}
+
+func unpackHot(c int, w uint64) block {
+	b := block{addr: w &^ 7, size: classSize(c)}
+	if w&hotExtra != 0 {
+		b.size += 8
+	}
+	return b
+}
+
+// classShard is one stripe of a size class's shared free list.
+type classShard struct {
+	mu  sync.Mutex
+	blk []block
+	_   [32]byte
+}
+
+// largeShard is one stripe of the first-fit path, bucketed like the
+// legacy allocator: floor-class -> candidate blocks.
+type largeShard struct {
+	mu   sync.Mutex
+	free map[int][]block
+}
+
+// stripe is one lane of the allocator's counters, padded to a cache
+// line. allocated is signed: a lane may see more frees than allocs.
+type stripe struct {
+	allocated atomic.Int64
+	allocs    atomic.Uint64
+	frees     atomic.Uint64
+	refills   atomic.Uint64
+	magHits   atomic.Uint64
+	_         [24]byte
+}
+
+// lane picks a counter stripe by hashing the caller's stack position —
+// the same goroutine-affine trick as the device's striped stat
+// counters. Counters are the one place this hash is safe: which lane a
+// delta lands in never changes any allocation decision, only where the
+// addition happens, and Stats sums all lanes.
+func lane() uint64 {
+	var probe byte
+	return (uint64(uintptr(unsafe.Pointer(&probe))) * 0x9E3779B97F4A7C15) >> (64 - 4)
+}
+
 // Allocator hands out word-aligned blocks from [start, end) on a device.
-// All methods are safe for concurrent use.
+// All methods are safe for concurrent use. Every internal lock is
+// released by defer: device accesses panic with nvm.CrashSignal when an
+// injection budget fires, and no lock may be leaked across that unwind.
 type Allocator struct {
 	dev        *nvm.Device
 	start, end uint64
 
-	mu   sync.Mutex
-	free map[int][]uint64 // size class (log2 bucket) -> block addrs
+	mags   [nClasses]magazine
+	shards [nClasses][nShards]classShard
+	large  [nLarge]largeShard
+	stat   [nStripes]stripe
 
-	allocated uint64
-	nAlloc    uint64
-	nFree     uint64
+	// held counts threads that have removed a free extent from the
+	// shared lists and not yet pushed the pieces back (mid-carve,
+	// mid-split, mid-large-fit); heldGen ticks each time such memory
+	// becomes visible again. Together they let Alloc distinguish a
+	// genuinely exhausted heap from one whose only free extent is
+	// briefly in another thread's hands.
+	held    atomic.Int64
+	heldGen atomic.Uint64
 }
 
 // New formats [start, end) of dev as a fresh heap: one big free block.
@@ -38,20 +200,24 @@ func New(dev *nvm.Device, start, end uint64) *Allocator {
 	if start%8 != 0 || end%8 != 0 || end-start < minBlock {
 		panic(fmt.Sprintf("nvalloc: bad arena [%#x,%#x)", start, end))
 	}
-	a := &Allocator{dev: dev, start: start, end: end, free: map[int][]uint64{}}
+	a := newAllocator(dev, start, end)
 	a.writeHeader(start, end-start, false)
 	dev.Fence()
-	a.pushFree(start, end-start)
+	a.pushLarge(block{start, end - start})
 	return a
 }
 
 // Attach reconstructs an allocator over an existing heap after a crash by
-// scanning block headers, the recovery path of the region manager.
+// scanning block headers, the recovery path of the region manager. The
+// scan is the sole source of truth: blocks that were sitting in a
+// magazine or shard at crash time carry free headers and are re-adopted
+// here, so nothing a crash strands in volatile caches is ever lost.
 func Attach(dev *nvm.Device, start, end uint64) (*Allocator, error) {
 	if start%8 != 0 || end%8 != 0 || end-start < minBlock {
 		return nil, fmt.Errorf("nvalloc: bad arena [%#x,%#x)", start, end)
 	}
-	a := &Allocator{dev: dev, start: start, end: end, free: map[int][]uint64{}}
+	a := newAllocator(dev, start, end)
+	var allocated uint64
 	for p := start; p < end; {
 		h := dev.Load64(p)
 		size := h >> 1
@@ -59,27 +225,26 @@ func Attach(dev *nvm.Device, start, end uint64) (*Allocator, error) {
 			return nil, fmt.Errorf("nvalloc: corrupt header at %#x: %#x", p, h)
 		}
 		if h&allocBit == 0 {
-			a.pushFree(p, size)
+			if c, ok := classOfBlock(size); ok {
+				a.classPush(c, block{p, size})
+			} else {
+				a.pushLarge(block{p, size})
+			}
 		} else {
-			a.allocated += size
+			allocated += size
 		}
 		p += size
 	}
+	a.stat[0].allocated.Add(int64(allocated))
 	return a, nil
 }
 
-func (a *Allocator) pushFree(addr, size uint64) {
-	c := sizeClassFloor(size)
-	a.free[c] = append(a.free[c], addr)
-}
-
-// sizeClassFloor buckets a free block by the largest request it can serve.
-func sizeClassFloor(size uint64) int {
-	c := 0
-	for s := uint64(minBlock); s*2 <= size; s <<= 1 {
-		c++
+func newAllocator(dev *nvm.Device, start, end uint64) *Allocator {
+	a := &Allocator{dev: dev, start: start, end: end}
+	for i := range a.large {
+		a.large[i].free = map[int][]block{}
 	}
-	return c
+	return a
 }
 
 func (a *Allocator) writeHeader(addr, size uint64, allocated bool) {
@@ -91,9 +256,9 @@ func (a *Allocator) writeHeader(addr, size uint64, allocated bool) {
 	a.dev.CLWB(addr)
 }
 
-// Alloc returns the byte address of a zeroed block with at least n usable
-// bytes, or an error when the heap is exhausted. The returned address
-// points just past the block header.
+// Alloc returns the byte address of a block with at least n usable
+// bytes, the first n of them zeroed, or an error when the heap is
+// exhausted. The returned address points just past the block header.
 func (a *Allocator) Alloc(n int) (uint64, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("nvalloc: invalid size %d", n)
@@ -102,71 +267,369 @@ func (a *Allocator) Alloc(n int) (uint64, error) {
 	if need < minBlock {
 		need = minBlock
 	}
-	addr, size, err := a.allocBlock(need)
-	if err != nil {
-		return 0, err
+	// A failed scan is not proof of exhaustion: between takeLarge and
+	// the push-back at the end of a carve or split, the heap's only free
+	// extent can be privately held by another thread, and a scan that
+	// overlaps that window sees an empty allocator. Accept the
+	// out-of-memory verdict only when no private hold overlapped the
+	// scan (held was zero after it and heldGen never moved across it);
+	// otherwise yield and rescan. held must be read before heldGen:
+	// release bumps the generation before dropping the hold count, so a
+	// hold that ends between the two loads is always caught by one of
+	// them. Single-threaded runs take one pass, keeping placement
+	// deterministic.
+	var b block
+	var ok bool
+	for attempt := 0; ; attempt++ {
+		gen := a.heldGen.Load()
+		if need <= maxSmall {
+			b, ok = a.allocSmall(classFor(need))
+		} else {
+			b, ok = a.allocLarge(need)
+		}
+		if ok {
+			break
+		}
+		if (a.held.Load() == 0 && a.heldGen.Load() == gen) || attempt >= oomRetries {
+			return 0, fmt.Errorf("nvalloc: out of memory (want %d bytes, %d allocated of %d)",
+				need, a.allocatedBytes(), a.end-a.start)
+		}
+		runtime.Gosched()
 	}
-	user := addr + headerSize
-	a.dev.Memset64(user, 0, int(size-headerSize)/8)
+	// Publish: the allocated header must be persistent before the block
+	// is handed out. Until this CLWB lands, the block's previous free
+	// header (or, mid-carve, the spanning free header of the extent it
+	// was cut from) is what a crash scan sees — either way the heap
+	// stays consistent.
+	a.writeHeader(b.addr, b.size, true)
+	a.dev.Fence()
+	st := &a.stat[lane()]
+	st.allocated.Add(int64(b.size))
+	st.allocs.Add(1)
+	user := b.addr + headerSize
+	// Zero the requested bytes, not the whole block: class rounding can
+	// hand a 64-byte request a 128-byte block, and zeroing the rounding
+	// slack would double the device traffic of small allocations. Bytes
+	// past n are unspecified (no caller reads beyond its request).
+	a.dev.Memset64(user, 0, (n+7)/8)
+	if tr := a.dev.Tracer(); tr != nil {
+		tr.DevEmit(obs.KAlloc, b.addr, b.size)
+	}
 	return user, nil
 }
 
-// allocBlock carves an allocated block of at least need bytes under the
-// heap lock. The unlock must be deferred: the device accesses inside the
-// critical section panic with nvm.CrashSignal when an armed injection
-// budget fires, and the mutex cannot stay held across that unwind —
-// other threads wait in a plain sync.Mutex, which a crash cannot
-// interrupt, so a leaked lock turns an injected crash into a deadlock.
-func (a *Allocator) allocBlock(need uint64) (addr, size uint64, err error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	var ok bool
-	addr, size, ok = a.takeLocked(need)
-	if !ok {
-		return 0, 0, fmt.Errorf("nvalloc: out of memory (want %d bytes, %d allocated of %d)",
-			need, a.allocated, a.end-a.start)
+// allocSmall satisfies a class-sized request: magazine, then shards,
+// then a fresh carve. Only when all of those fail does it scavenge the
+// magazines back into the shards, retry, and finally split a block
+// cached in a higher class — so like the legacy first-fit, a request
+// fails only when no free block anywhere can hold it.
+func (a *Allocator) allocSmall(c int) (block, bool) {
+	if b, ok := a.magPop(c); ok {
+		a.stat[lane()].magHits.Add(1)
+		return b, true
 	}
-	// Split when the remainder can hold a block.
-	if size-need >= minBlock {
-		rest := addr + need
-		a.writeHeader(rest, size-need, false)
-		a.pushFree(rest, size-need)
-		size = need
+	if b, ok := a.classPop(c); ok {
+		return b, true
 	}
-	a.writeHeader(addr, size, true)
-	a.dev.Fence()
-	a.allocated += size
-	a.nAlloc++
-	return addr, size, nil
+	if b, ok := a.carve(c); ok {
+		return b, true
+	}
+	a.scavenge()
+	if b, ok := a.classPop(c); ok {
+		return b, true
+	}
+	if b, ok := a.carve(c); ok {
+		return b, true
+	}
+	return a.splitHigher(c)
 }
 
-func (a *Allocator) takeLocked(need uint64) (addr, size uint64, ok bool) {
-	// A block of size s lives in class sizeClassFloor(s); any block with
-	// s >= need therefore lives in class >= sizeClassFloor(need), so
-	// starting at the floor class visits every candidate, smallest
-	// classes (and exact fits) first.
-	for c := sizeClassFloor(need); c < 64; c++ {
-		list := a.free[c]
-		for i := len(list) - 1; i >= 0; i-- {
-			p := list[i]
-			s := a.dev.Load64(p) >> 1
-			if s >= need {
-				a.free[c] = append(list[:i], list[i+1:]...)
-				return p, s, true
+// magPop claims a cached block from the class's magazine ring: the
+// first non-empty slot in index order, taken with a single Swap.
+func (a *Allocator) magPop(c int) (block, bool) {
+	m := &a.mags[c]
+	for i := range m.w {
+		if m.w[i].Load() == 0 {
+			continue
+		}
+		if w := m.w[i].Swap(0); w != 0 {
+			return unpackHot(c, w), true
+		}
+	}
+	return block{}, false
+}
+
+// magPush parks a free block in the class's magazine ring: the first
+// empty slot in index order, won by CompareAndSwap. Returns false when
+// the ring is full so the caller falls back to the shards.
+func (a *Allocator) magPush(c int, b block) bool {
+	m := &a.mags[c]
+	packed := packHot(c, b)
+	for i := range m.w {
+		if m.w[i].Load() != 0 {
+			continue
+		}
+		if m.w[i].CompareAndSwap(0, packed) {
+			return true
+		}
+	}
+	return false
+}
+
+// classPop takes a block from the class's shard stripes in fixed index
+// order: a TryLock pass first (deterministic when uncontended, skips
+// stripes another thread holds), then a blocking pass so a block is
+// never missed just because its stripe was busy.
+func (a *Allocator) classPop(c int) (block, bool) {
+	for i := 0; i < nShards; i++ {
+		if b, ok, locked := a.shards[c][i].tryPop(); locked {
+			if ok {
+				return b, true
 			}
 		}
 	}
-	return 0, 0, false
+	for i := 0; i < nShards; i++ {
+		if b, ok := a.shards[c][i].pop(); ok {
+			return b, true
+		}
+	}
+	return block{}, false
 }
 
-// Free returns the block whose user address is addr to the heap.
+// classPush returns a block to its class's stripes; the home stripe is
+// a pure function of the block address, keeping placement deterministic
+// and spreading load across locks.
+func (a *Allocator) classPush(c int, b block) {
+	a.shards[c][(b.addr/minBlock)%nShards].push(b)
+}
+
+func (s *classShard) tryPop() (b block, ok, locked bool) {
+	if !s.mu.TryLock() {
+		return block{}, false, false
+	}
+	defer s.mu.Unlock()
+	if len(s.blk) == 0 {
+		return block{}, false, true
+	}
+	b = s.blk[len(s.blk)-1]
+	s.blk = s.blk[:len(s.blk)-1]
+	return b, true, true
+}
+
+func (s *classShard) pop() (block, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.blk) == 0 {
+		return block{}, false
+	}
+	b := s.blk[len(s.blk)-1]
+	s.blk = s.blk[:len(s.blk)-1]
+	return b, true
+}
+
+func (s *classShard) push(b block) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blk = append(s.blk, b)
+}
+
+// carve refills a size class from the large path: it takes one free
+// extent and cuts up to magRefill class blocks out of it. Persistence
+// discipline: every interior header — the remainder's, then the carved
+// blocks' from back to front — is written and flushed while the
+// extent's original spanning free header still covers them, and only
+// the caller's final publish of block 0 (at the extent's own address)
+// makes the interior headers reachable by a crash scan. A crash at any
+// point inside the carve therefore leaves either the untouched spanning
+// free block or a fully chained run.
+func (a *Allocator) carve(c int) (block, bool) {
+	a.held.Add(1)
+	defer a.held.Add(-1)
+	lb, ok := a.takeLarge(classSize(c))
+	if !ok {
+		return block{}, false
+	}
+	b := a.carveExtent(c, lb)
+	a.heldGen.Add(1)
+	return b, true
+}
+
+// carveExtent cuts the free extent lb (header persistent, owned by the
+// caller) into class-c blocks; see carve for the persistence argument.
+func (a *Allocator) carveExtent(c int, lb block) block {
+	csize := classSize(c)
+	k := lb.size / csize
+	if k > magRefill {
+		k = magRefill
+	}
+	rest := lb.size - k*csize
+	lastExtra := uint64(0)
+	if rest > 0 && rest < minBlock {
+		// An 8-byte sliver cannot hold a header; fold it into the
+		// last carved block, which is why class lists may carry
+		// classSize(c)+8 blocks.
+		lastExtra = rest
+		rest = 0
+	}
+	if rest > 0 {
+		a.writeHeader(lb.addr+k*csize, rest, false)
+	}
+	for i := k - 1; i >= 1; i-- {
+		sz := csize
+		if i == k-1 {
+			sz += lastExtra
+		}
+		a.writeHeader(lb.addr+uint64(i)*csize, sz, false)
+	}
+	a.dev.Fence()
+	if rest > 0 {
+		a.pushLarge(block{lb.addr + k*csize, rest})
+	}
+	for i := k - 1; i >= 1; i-- {
+		sz := csize
+		if i == k-1 {
+			sz += lastExtra
+		}
+		b := block{lb.addr + uint64(i)*csize, sz}
+		if !a.magPush(c, b) {
+			a.classPush(c, b)
+		}
+	}
+	a.stat[lane()].refills.Add(1)
+	if tr := a.dev.Tracer(); tr != nil {
+		tr.DevEmit(obs.KRefill, csize, k)
+	}
+	sz := csize
+	if k == 1 {
+		sz += lastExtra
+	}
+	return block{lb.addr, sz}
+}
+
+// splitHigher serves class c from a block cached by a bigger class,
+// cutting it up exactly like a carve from the large path. Without this,
+// memory parked in one class's lists would be unreachable by smaller
+// classes and the allocator could report out-of-memory while most of
+// the heap sits free.
+func (a *Allocator) splitHigher(c int) (block, bool) {
+	a.held.Add(1)
+	defer a.held.Add(-1)
+	for cc := c + 1; cc < nClasses; cc++ {
+		if lb, ok := a.magPop(cc); ok {
+			b := a.carveExtent(c, lb)
+			a.heldGen.Add(1)
+			return b, true
+		}
+		if lb, ok := a.classPop(cc); ok {
+			b := a.carveExtent(c, lb)
+			a.heldGen.Add(1)
+			return b, true
+		}
+	}
+	return block{}, false
+}
+
+// scavenge drains every magazine ring back into the shards. Only the
+// out-of-memory path calls it; it makes cached blocks visible to the
+// splitHigher and large-fallback scans, which only look at shards.
+func (a *Allocator) scavenge() {
+	for c := range a.mags {
+		m := &a.mags[c]
+		for i := range m.w {
+			if w := m.w[i].Swap(0); w != 0 {
+				a.classPush(c, unpackHot(c, w))
+			}
+		}
+	}
+}
+
+// allocLarge satisfies a request above maxSmall by first fit over the
+// large buckets, splitting off the tail. The remainder's free header is
+// written before the caller publishes the allocated header — the same
+// discipline the legacy allocator uses — so a crash between the two
+// leaves the original spanning free header authoritative.
+func (a *Allocator) allocLarge(need uint64) (block, bool) {
+	a.held.Add(1)
+	defer a.held.Add(-1)
+	lb, ok := a.takeLarge(need)
+	if !ok && need <= maxSmall+8 {
+		// A top-class block with a folded sliver (maxSmall+8 bytes) can
+		// still cover a request just past the small cutoff; pull the
+		// class caches into the shards and check there.
+		a.scavenge()
+		if b, ok2 := a.classPop(nClasses - 1); ok2 {
+			if b.size >= need {
+				lb, ok = b, true
+			} else {
+				a.classPush(nClasses-1, b)
+				a.heldGen.Add(1)
+			}
+		}
+	}
+	if !ok {
+		return block{}, false
+	}
+	if lb.size-need >= minBlock {
+		rest := block{lb.addr + need, lb.size - need}
+		a.writeHeader(rest.addr, rest.size, false)
+		a.pushLarge(rest)
+		lb.size = need
+	}
+	a.heldGen.Add(1)
+	return lb, true
+}
+
+// takeLarge removes any free extent of at least need bytes from the
+// large buckets, scanning stripes in fixed index order.
+func (a *Allocator) takeLarge(need uint64) (block, bool) {
+	for i := 0; i < nLarge; i++ {
+		if b, ok := a.large[i].take(need); ok {
+			return b, true
+		}
+	}
+	return block{}, false
+}
+
+// pushLarge files a free extent under the stripe its address hashes to,
+// a deterministic spread like classPush.
+func (a *Allocator) pushLarge(b block) {
+	s := &a.large[(b.addr/minBlock)%nLarge]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := sizeClassFloor(b.size)
+	s.free[c] = append(s.free[c], b)
+}
+
+func (s *largeShard) take(need uint64) (block, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// A block of size sz lives in bucket sizeClassFloor(sz); any block
+	// with sz >= need lives in bucket >= sizeClassFloor(need), so
+	// starting at the floor bucket visits every candidate, smallest
+	// buckets (and tightest fits) first.
+	for c := sizeClassFloor(need); c < 64; c++ {
+		list := s.free[c]
+		for i := len(list) - 1; i >= 0; i-- {
+			if b := list[i]; b.size >= need {
+				s.free[c] = append(list[:i], list[i+1:]...)
+				return b, true
+			}
+		}
+	}
+	return block{}, false
+}
+
+// Free returns the block whose user address is addr to the heap. The
+// free header is persistent before the block re-enters any volatile
+// list, so a crash cannot leave a reused block claiming two owners.
+// Freeing the same block twice panics (the second call reads a free
+// header), as does freeing an address outside the arena; concurrent
+// double frees of one block are a data race and undetected.
 func (a *Allocator) Free(addr uint64) {
 	blk := addr - headerSize
 	if blk < a.start || blk >= a.end {
 		panic(fmt.Sprintf("nvalloc: Free(%#x) outside arena", addr))
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	h := a.dev.Load64(blk)
 	if h&allocBit == 0 {
 		panic(fmt.Sprintf("nvalloc: double free at %#x", addr))
@@ -174,9 +637,20 @@ func (a *Allocator) Free(addr uint64) {
 	size := h >> 1
 	a.writeHeader(blk, size, false)
 	a.dev.Fence()
-	a.allocated -= size
-	a.nFree++
-	a.pushFree(blk, size)
+	st := &a.stat[lane()]
+	st.allocated.Add(-int64(size))
+	st.frees.Add(1)
+	b := block{blk, size}
+	if c, ok := classOfBlock(size); ok {
+		if !a.magPush(c, b) {
+			a.classPush(c, b)
+		}
+	} else {
+		a.pushLarge(b)
+	}
+	if tr := a.dev.Tracer(); tr != nil {
+		tr.DevEmit(obs.KFree, blk, size)
+	}
 }
 
 // BlockSize reports the usable byte count of the block at user address addr.
@@ -190,26 +664,40 @@ type Stats struct {
 	AllocatedBytes uint64
 	ArenaBytes     uint64
 	Allocs, Frees  uint64
+	// Refills counts magazine refill carves from the large path; MagHits
+	// counts Allocs served straight from a magazine ring. MagHits/Allocs
+	// is the fraction of allocations that touched no lock.
+	Refills, MagHits uint64
 }
 
-// Stats returns a snapshot of allocation counters.
-func (a *Allocator) Stats() Stats {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return Stats{
-		AllocatedBytes: a.allocated,
-		ArenaBytes:     a.end - a.start,
-		Allocs:         a.nAlloc,
-		Frees:          a.nFree,
+func (a *Allocator) allocatedBytes() uint64 {
+	var total int64
+	for i := range a.stat {
+		total += a.stat[i].allocated.Load()
 	}
+	return uint64(total)
+}
+
+// Stats returns a snapshot of allocation counters. The lanes are summed
+// without a lock; concurrent callers get a consistent view only of a
+// quiescent heap.
+func (a *Allocator) Stats() Stats {
+	s := Stats{ArenaBytes: a.end - a.start, AllocatedBytes: a.allocatedBytes()}
+	for i := range a.stat {
+		s.Allocs += a.stat[i].allocs.Load()
+		s.Frees += a.stat[i].frees.Load()
+		s.Refills += a.stat[i].refills.Load()
+		s.MagHits += a.stat[i].magHits.Load()
+	}
+	return s
 }
 
 // CheckInvariants walks the heap verifying header chaining; used by tests
 // and the recovery path. It returns an error describing the first
-// inconsistency found.
+// inconsistency found. Call it on a quiescent heap that has not unwound
+// from an injected crash — after a crash the recovery path is Attach,
+// which rebuilds counters from the scan.
 func (a *Allocator) CheckInvariants() error {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	var total uint64
 	for p := a.start; p < a.end; {
 		h := a.dev.Load64(p)
@@ -222,8 +710,8 @@ func (a *Allocator) CheckInvariants() error {
 		}
 		p += size
 	}
-	if total != a.allocated {
-		return fmt.Errorf("allocated bytes drifted: walked %d, counted %d", total, a.allocated)
+	if counted := a.allocatedBytes(); total != counted {
+		return fmt.Errorf("allocated bytes drifted: walked %d, counted %d", total, counted)
 	}
 	return nil
 }

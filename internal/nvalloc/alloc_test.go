@@ -1,6 +1,7 @@
 package nvalloc
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -201,16 +202,37 @@ func TestDisjointBlocksProperty(t *testing.T) {
 	}
 }
 
+// leakedLock try-locks every internal mutex — class shards and large
+// buckets; magazines are lock-free — and names the first one still
+// held. Used after a CrashSignal unwind: a leaked lock turns an
+// injected crash into a process-wide deadlock (the table1 harness hit
+// exactly that: one worker killed mid-Alloc, the rest asleep in Lock).
+func leakedLock(a *Allocator) string {
+	for c := range a.shards {
+		for i := range a.shards[c] {
+			if !a.shards[c][i].mu.TryLock() {
+				return fmt.Sprintf("class %d shard %d", c, i)
+			}
+			a.shards[c][i].mu.Unlock()
+		}
+	}
+	for i := range a.large {
+		if !a.large[i].mu.TryLock() {
+			return fmt.Sprintf("large shard %d", i)
+		}
+		a.large[i].mu.Unlock()
+	}
+	return ""
+}
+
 // TestAllocCrashReleasesLock sweeps the injection budget so CrashSignal
-// fires at every device event inside Alloc, including the ones under the
-// heap lock, and asserts the mutex is never leaked by the unwind. A
-// leaked lock turns an injected crash into a process-wide deadlock (the
-// table1 harness hit exactly that: one worker killed mid-Alloc, the
-// rest asleep in Lock).
+// fires at every device event inside Alloc and Free — including the
+// ones under magazine, shard, and large-bucket locks — and asserts no
+// lock is leaked by the unwind.
 func TestAllocCrashReleasesLock(t *testing.T) {
 	defer nvm.ArmCrash(-1)
 	crashed := 0
-	for budget := int64(1); budget < 64; budget++ {
+	for budget := int64(1); budget < 96; budget++ {
 		_, a := newHeap(t, 1<<16)
 		if _, err := a.Alloc(24); err != nil { // populate free lists
 			t.Fatal(err)
@@ -225,19 +247,24 @@ func TestAllocCrashReleasesLock(t *testing.T) {
 					crashed++
 				}
 			}()
+			var live []uint64
 			for i := 0; i < 8; i++ {
-				if _, err := a.Alloc(24 + i*8); err != nil {
+				p, err := a.Alloc(24 + i*8)
+				if err != nil {
 					t.Fatal(err)
 				}
+				live = append(live, p)
+			}
+			for _, p := range live {
+				a.Free(p)
 			}
 		}()
 		nvm.ArmCrash(-1)
-		if !a.mu.TryLock() {
-			t.Fatalf("budget %d: heap lock leaked by crash unwind", budget)
+		if name := leakedLock(a); name != "" {
+			t.Fatalf("budget %d: %s lock leaked by crash unwind", budget, name)
 		}
-		a.mu.Unlock()
 	}
 	if crashed == 0 {
-		t.Fatal("sweep never fired a crash inside Alloc")
+		t.Fatal("sweep never fired a crash inside Alloc/Free")
 	}
 }

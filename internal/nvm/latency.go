@@ -46,12 +46,16 @@ func calibrate() {
 }
 
 // spin busy-waits for approximately ns nanoseconds. spin(0) is free.
+// The result is discarded: spinLoop is noinline, so the call cannot be
+// optimized away, and accumulating into a shared sink here would be a
+// data race between concurrently spinning threads (calibrate may still
+// use the sink — it runs once, under calOnce).
 func spin(ns int) {
 	if ns <= 0 {
 		return
 	}
 	calOnce.Do(calibrate)
-	spinSink += spinLoop(int(loopsPerNS * float64(ns)))
+	spinLoop(int(loopsPerNS * float64(ns)))
 }
 
 // SpinWait exposes the calibrated spin for other packages that model

@@ -86,6 +86,15 @@ const (
 	// KRecovery is one recovery phase (scan, reacquire, resume, rollback,
 	// truncate). A = a Phase* constant, B = items processed.
 	KRecovery
+	// KAlloc is one persistent-heap block allocation (header published
+	// allocated). A = block address, B = block bytes including the header.
+	KAlloc
+	// KFree is one persistent-heap block free (header published free).
+	// A = block address, B = block bytes including the header.
+	KFree
+	// KRefill is one magazine refill: a run of size-class blocks carved
+	// from the backing store. A = class block size, B = blocks carved.
+	KRefill
 
 	nKinds
 )
@@ -127,6 +136,12 @@ func (k Kind) String() string {
 		return "lock-release"
 	case KRecovery:
 		return "recovery"
+	case KAlloc:
+		return "alloc"
+	case KFree:
+		return "free"
+	case KRefill:
+		return "refill"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -151,6 +166,14 @@ type Config struct {
 	ThreadRingCap int
 	// DeviceRingCap is the capacity of each of the device stripe rings.
 	DeviceRingCap int
+	// SampleEvery, when non-nil, records only one in every N events of a
+	// kind in the rings (per ring, deterministically: occurrences 1, N+1,
+	// 2N+1, ... are kept). Values <= 1 record every event. Counts stay
+	// exact regardless — sampling thins the timeline, never the counters —
+	// and thinned events are tallied by SampledOut, not Dropped. This is
+	// the fig-scale knob for event storms (e.g. trace 1-in-100 nt-stores
+	// through an NVThreads page flush) without giant rings.
+	SampleEvery map[Kind]int
 }
 
 // DefaultConfig holds a FASE-timeline's worth of events per thread and a
@@ -172,6 +195,11 @@ type Tracer struct {
 	epoch time.Time
 	cfg   Config
 
+	// sample[k] is the 1-in-N recording period for kind k (0 or 1 = keep
+	// all), copied out of cfg.SampleEvery so the emit path indexes a flat
+	// array instead of a map.
+	sample [nKinds]uint64
+
 	dev [nDevStripes]*Ring
 
 	hists [nHist]hist
@@ -190,6 +218,11 @@ func New(cfg Config) *Tracer {
 		cfg.DeviceRingCap = DefaultConfig().DeviceRingCap
 	}
 	tr := &Tracer{epoch: time.Now(), cfg: cfg}
+	for k, n := range cfg.SampleEvery {
+		if int(k) < NumKinds && n > 1 {
+			tr.sample[k] = uint64(n)
+		}
+	}
 	for i := range tr.dev {
 		r := &Ring{
 			tr:    tr,
@@ -272,14 +305,27 @@ func (tr *Tracer) Count(k Kind) uint64 {
 }
 
 // Dropped returns the number of events lost to full rings. The exported
-// trace is complete if and only if this is zero; Count is exact either
-// way.
+// trace is complete if and only if this and SampledOut are zero; Count is
+// exact either way.
 func (tr *Tracer) Dropped() uint64 {
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
 	var n uint64
 	for _, r := range tr.rings {
 		n += r.dropped.Load()
+	}
+	return n
+}
+
+// SampledOut returns the number of events deliberately thinned from the
+// rings by Config.SampleEvery. Unlike Dropped, these are an intentional
+// trade; Count still includes them.
+func (tr *Tracer) SampledOut() uint64 {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	var n uint64
+	for _, r := range tr.rings {
+		n += r.sampled.Load()
 	}
 	return n
 }
@@ -311,12 +357,17 @@ type Ring struct {
 	label   string
 	next    atomic.Uint64
 	dropped atomic.Uint64
+	sampled atomic.Uint64
 	kcount  [nKinds]atomic.Uint64
 	buf     []Event
 }
 
 func (r *Ring) emit(k Kind, a, b uint64, ts, dur int64) {
-	r.kcount[k].Add(1)
+	c := r.kcount[k].Add(1)
+	if n := r.tr.sample[k]; n > 1 && (c-1)%n != 0 {
+		r.sampled.Add(1)
+		return
+	}
 	i := r.next.Add(1) - 1
 	if i >= uint64(len(r.buf)) {
 		r.dropped.Add(1)

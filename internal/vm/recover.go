@@ -37,11 +37,74 @@ func (m *Machine) Recover() (persist.RecoveryStats, error) {
 	scanT0 := rc.Clock()
 
 	type pending struct {
-		t  *Thread
-		pc uint64
-		ai int // index into stats.Audit.Threads
+		t     *Thread
+		pc    uint64
+		bits  uint64
+		ai    int // index into stats.Audit.Threads
+		locks []uint64
+		err   error
 	}
-	var work []pending
+	var work []*pending
+
+	// Each interrupted thread's lock-slot restore and re-acquisition runs
+	// in a goroutine launched mid-walk, overlapping the serial log-list
+	// scan. The acq group is the recovery barrier — every lock
+	// re-acquired before any thread resumes — and the gate holds
+	// resumption until the walk has seen every log. Each lock was held by
+	// at most one crashed thread, so the acquisitions cannot deadlock.
+	var acq, done sync.WaitGroup
+	gate := make(chan struct{})
+
+	launch := func(w *pending) {
+		defer done.Done()
+		t, p := w.t, w.t.log
+		func() {
+			defer acq.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					w.err = fmt.Errorf("vm: restore of log %#x panicked: %v", p, r)
+				}
+			}()
+			held := 0
+			for i := 0; i < numLk; i++ {
+				if w.bits&(1<<uint(i)) != 0 {
+					h := dev.Load64(p + lLocks + uint64(i)*8)
+					if h == 0 {
+						continue
+					}
+					t.slots[i] = h
+					t.bits |= 1 << uint(i)
+					w.locks = append(w.locks, h)
+					held++
+				}
+			}
+			t.lockDepth = held
+			if held == 0 {
+				t.durDepth = 1
+			}
+			for s := 0; s < numLk; s++ {
+				if t.slots[s] != 0 {
+					m.LM.ByHolder(t.slots[s]).Acquire()
+					t.rc.Emit(obs.KLockAcq, t.slots[s], 0)
+				}
+			}
+		}()
+		<-gate
+		if w.err != nil {
+			for s := 0; s < numLk; s++ {
+				if t.slots[s] != 0 {
+					m.LM.ByHolder(t.slots[s]).Release()
+				}
+			}
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				w.err = fmt.Errorf("vm: resume at pc %#x panicked: %v", w.pc, r)
+			}
+		}()
+		w.err = m.resume(t, w.pc, &stats.Audit.Threads[w.ai])
+	}
 
 	for p := m.Reg.Root(region.RootIDOHead); p != 0; p = dev.Load64(p + lNext) {
 		stats.Threads++
@@ -77,23 +140,6 @@ func (m *Machine) Recover() (persist.RecoveryStats, error) {
 			continue
 		}
 
-		held := 0
-		for i := 0; i < numLk; i++ {
-			if bits&(1<<uint(i)) != 0 {
-				h := dev.Load64(p + lLocks + uint64(i)*8)
-				if h == 0 {
-					continue
-				}
-				t.slots[i] = h
-				t.bits |= 1 << uint(i)
-				audit.Locks = append(audit.Locks, h)
-				held++
-			}
-		}
-		t.lockDepth = held
-		if held == 0 {
-			t.durDepth = 1
-		}
 		audit.Action = obs.AuditResumed
 		if m.Mode == ModeIDO {
 			audit.RegionID, _, _ = vmUnpack(pc)
@@ -101,38 +147,30 @@ func (m *Machine) Recover() (persist.RecoveryStats, error) {
 			audit.Action = obs.AuditReplayed
 		}
 		stats.Audit.Add(audit)
-		work = append(work, pending{t: t, pc: pc, ai: len(stats.Audit.Threads) - 1})
+		w := &pending{t: t, pc: pc, bits: bits, ai: len(stats.Audit.Threads) - 1}
+		work = append(work, w)
+		acq.Add(1)
+		done.Add(1)
+		go launch(w)
 	}
 	rc.Span(obs.KRecovery, obs.PhaseScan, stats.LogEntries, scanT0)
-
-	var barrier, done sync.WaitGroup
-	barrier.Add(len(work))
-	done.Add(len(work))
-	errs := make([]error, len(work))
-	resumeT0 := rc.Clock()
-	for i, w := range work {
-		go func(i int, w pending) {
-			defer done.Done()
-			for s := 0; s < numLk; s++ {
-				if w.t.slots[s] != 0 {
-					m.LM.ByHolder(w.t.slots[s]).Acquire()
-					w.t.rc.Emit(obs.KLockAcq, w.t.slots[s], 0)
-				}
-			}
-			barrier.Done()
-			barrier.Wait()
-			defer func() {
-				if r := recover(); r != nil {
-					errs[i] = fmt.Errorf("vm: resume at pc %#x panicked: %v", w.pc, r)
-				}
-			}()
-			errs[i] = m.resume(w.t, w.pc, &stats.Audit.Threads[w.ai])
-		}(i, w)
+	acq.Wait()
+	// Fold the re-acquired locks into the audit in walk order; the slice
+	// is stable now that the walk has finished.
+	var locksTotal uint64
+	for _, w := range work {
+		stats.Audit.Threads[w.ai].Locks = w.locks
+		locksTotal += uint64(len(w.locks))
 	}
+	// The re-acquire span starts at scanT0 deliberately: it runs
+	// concurrently with the walk, which is the point of the overlap.
+	rc.Span(obs.KRecovery, obs.PhaseReacquire, locksTotal, scanT0)
+	resumeT0 := rc.Clock()
+	close(gate)
 	done.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return stats, err
+	for _, w := range work {
+		if w.err != nil {
+			return stats, w.err
 		}
 	}
 	rc.Span(obs.KRecovery, obs.PhaseResume, uint64(len(work)), resumeT0)
