@@ -131,7 +131,11 @@ func (db *DB) NewLock() (*Lock, error) { return db.Locks.Create() }
 // holders the application stored in its own persistent structures).
 func (db *DB) LockAt(holder uint64) *Lock { return db.Locks.ByHolder(holder) }
 
-// Alloc allocates n bytes of zeroed persistent memory.
+// Alloc allocates n bytes of persistent memory with the first n bytes
+// zeroed. Size-class rounding may hand out a larger block; bytes past n
+// are unspecified, so a caller that discovers extra capacity (e.g. via
+// the allocator's BlockSize) must zero that slack itself before relying
+// on it.
 func (db *DB) Alloc(n int) (uint64, error) { return db.Region.Alloc.Alloc(n) }
 
 // SetRoot durably publishes a root pointer (slots 1-15 are application

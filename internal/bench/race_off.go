@@ -1,0 +1,9 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in. Perf
+// assertions in the bench smoke tests relax under it: the detector's
+// global synchronization serializes every allocator and flattens the
+// contention gaps those assertions measure.
+const raceEnabled = false

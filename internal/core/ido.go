@@ -534,6 +534,7 @@ func (rt *Runtime) Recover(rr *persist.ResumeRegistry) (persist.RecoveryStats, e
 		ai       int // index into stats.Audit.Threads
 		rf       []uint64
 		locks    []uint64
+		acquired int // locks actually re-acquired (slot order)
 		err      error
 	}
 	var work []*pending
@@ -597,6 +598,7 @@ func (rt *Runtime) Recover(rr *persist.ResumeRegistry) (persist.RecoveryStats, e
 			for s := 0; s < numSlots; s++ {
 				if t.slots[s] != 0 {
 					rt.lm.ByHolder(t.slots[s]).Acquire()
+					w.acquired++
 					t.rc.Emit(obs.KLockAcq, t.slots[s], 0)
 				}
 			}
@@ -605,10 +607,16 @@ func (rt *Runtime) Recover(rr *persist.ResumeRegistry) (persist.RecoveryStats, e
 		if abort.Load() || w.err != nil {
 			// The walk failed (or this restore did): nothing resumes.
 			// Drop the locks this thread grabbed so the manager is not
-			// left poisoned for the caller's next attempt.
-			for s := 0; s < numSlots; s++ {
+			// left poisoned for the caller's next attempt. Only the first
+			// w.acquired held slots were actually locked — a panic can
+			// land after t.slots is filled but before (or mid) the
+			// acquisition loop, and releasing a never-acquired lock would
+			// be a fatal unlock-of-unlocked-mutex.
+			rel := w.acquired
+			for s := 0; s < numSlots && rel > 0; s++ {
 				if t.slots[s] != 0 {
 					rt.lm.ByHolder(t.slots[s]).Release()
+					rel--
 				}
 			}
 			return

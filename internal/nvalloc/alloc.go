@@ -33,6 +33,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 	"unsafe"
 
 	"github.com/ido-nvm/ido/internal/nvm"
@@ -58,12 +59,15 @@ const (
 	nStripes  = 16
 	magRefill = 16
 
-	// oomRetries bounds how many times a failed full scan re-runs while
-	// other threads hold free extents privately (see Alloc). It exists
-	// only to turn a pathological every-thread-failing churn into an
-	// error instead of a livelock; a real carve window clears in a few
-	// yields.
-	oomRetries = 256
+	// A failed full scan re-runs while other threads hold free extents
+	// privately (see Alloc): the first spinRetries rescans just yield,
+	// after which the waiter sleeps with an escalating (capped) backoff
+	// so a holder starved of CPU on an oversubscribed box still gets to
+	// finish its carve. oomRetries bounds the total so a pathological
+	// every-thread-failing churn becomes an error instead of a livelock;
+	// a real carve window clears in a few yields.
+	spinRetries = 32
+	oomRetries  = 512
 )
 
 func classSize(c int) uint64 { return minBlock << c }
@@ -294,13 +298,21 @@ func (a *Allocator) Alloc(n int) (uint64, error) {
 			return 0, fmt.Errorf("nvalloc: out of memory (want %d bytes, %d allocated of %d)",
 				need, a.allocatedBytes(), a.end-a.start)
 		}
-		runtime.Gosched()
+		if attempt < spinRetries {
+			runtime.Gosched()
+		} else {
+			d := time.Duration(attempt-spinRetries+1) * time.Microsecond
+			if d > time.Millisecond {
+				d = time.Millisecond
+			}
+			time.Sleep(d)
+		}
 	}
 	// Publish: the allocated header must be persistent before the block
 	// is handed out. Until this CLWB lands, the block's previous free
-	// header (or, mid-carve, the spanning free header of the extent it
-	// was cut from) is what a crash scan sees — either way the heap
-	// stays consistent.
+	// header — covering exactly this block, the carve/split phases
+	// having already retired any wider spanning header — is what a crash
+	// scan sees, so a crash here merely forgets an unreturned block.
 	a.writeHeader(b.addr, b.size, true)
 	a.dev.Fence()
 	st := &a.stat[lane()]
@@ -435,13 +447,16 @@ func (s *classShard) push(b block) {
 
 // carve refills a size class from the large path: it takes one free
 // extent and cuts up to magRefill class blocks out of it. Persistence
-// discipline: every interior header — the remainder's, then the carved
-// blocks' from back to front — is written and flushed while the
-// extent's original spanning free header still covers them, and only
-// the caller's final publish of block 0 (at the extent's own address)
-// makes the interior headers reachable by a crash scan. A crash at any
-// point inside the carve therefore leaves either the untouched spanning
-// free block or a fully chained run.
+// discipline (two fence phases): every interior header — the
+// remainder's, then the carved blocks' from back to front — is written
+// and fenced while the extent's original spanning free header still
+// covers them; then block 0's header is shrunk to its own free block
+// and fenced, retiring the spanning header, and only after that fence
+// does any carved piece enter a globally visible list. A crash inside
+// the carve therefore leaves either the untouched spanning free block
+// or a fully chained run — and once another thread can see (and
+// allocate, and commit into) an interior block, no durable header
+// spans it anymore, so a crash can never re-adopt it as free.
 func (a *Allocator) carve(c int) (block, bool) {
 	a.held.Add(1)
 	defer a.held.Add(-1)
@@ -471,17 +486,31 @@ func (a *Allocator) carveExtent(c int, lb block) block {
 		lastExtra = rest
 		rest = 0
 	}
-	if rest > 0 {
-		a.writeHeader(lb.addr+k*csize, rest, false)
+	sz0 := csize
+	if k == 1 {
+		sz0 += lastExtra
 	}
-	for i := k - 1; i >= 1; i-- {
-		sz := csize
-		if i == k-1 {
-			sz += lastExtra
+	if rest > 0 || k > 1 {
+		// Phase 1: interior headers, durable under the spanning header.
+		if rest > 0 {
+			a.writeHeader(lb.addr+k*csize, rest, false)
 		}
-		a.writeHeader(lb.addr+uint64(i)*csize, sz, false)
+		for i := k - 1; i >= 1; i-- {
+			sz := csize
+			if i == k-1 {
+				sz += lastExtra
+			}
+			a.writeHeader(lb.addr+uint64(i)*csize, sz, false)
+		}
+		a.dev.Fence()
+		// Phase 2: retire the spanning header. Block 0 shrinks to its own
+		// free header, so from here on no durable header covers more than
+		// one carved piece — a prerequisite for exposing the pieces below,
+		// since a concurrent thread may allocate and commit into one
+		// before this carver's caller publishes block 0 as allocated.
+		a.writeHeader(lb.addr, sz0, false)
+		a.dev.Fence()
 	}
-	a.dev.Fence()
 	if rest > 0 {
 		a.pushLarge(block{lb.addr + k*csize, rest})
 	}
@@ -499,11 +528,7 @@ func (a *Allocator) carveExtent(c int, lb block) block {
 	if tr := a.dev.Tracer(); tr != nil {
 		tr.DevEmit(obs.KRefill, csize, k)
 	}
-	sz := csize
-	if k == 1 {
-		sz += lastExtra
-	}
-	return block{lb.addr, sz}
+	return block{lb.addr, sz0}
 }
 
 // splitHigher serves class c from a block cached by a bigger class,
@@ -544,10 +569,13 @@ func (a *Allocator) scavenge() {
 }
 
 // allocLarge satisfies a request above maxSmall by first fit over the
-// large buckets, splitting off the tail. The remainder's free header is
-// written before the caller publishes the allocated header — the same
-// discipline the legacy allocator uses — so a crash between the two
-// leaves the original spanning free header authoritative.
+// large buckets, splitting off the tail. The split follows the same
+// two-phase discipline as carveExtent: the remainder's free header is
+// fenced durable, then the head's header is shrunk (free) and fenced to
+// retire the spanning header, and only then does the remainder enter
+// the shared buckets — so a block another thread allocates out of the
+// remainder can never be re-adopted by a crash scan that still sees
+// the original extent-spanning free header.
 func (a *Allocator) allocLarge(need uint64) (block, bool) {
 	a.held.Add(1)
 	defer a.held.Add(-1)
@@ -572,6 +600,9 @@ func (a *Allocator) allocLarge(need uint64) (block, bool) {
 	if lb.size-need >= minBlock {
 		rest := block{lb.addr + need, lb.size - need}
 		a.writeHeader(rest.addr, rest.size, false)
+		a.dev.Fence()
+		a.writeHeader(lb.addr, need, false)
+		a.dev.Fence()
 		a.pushLarge(rest)
 		lb.size = need
 	}

@@ -140,6 +140,102 @@ func TestAllocCrashSweepRecovers(t *testing.T) {
 	t.Logf("swept %d crash points", crashes)
 }
 
+// TestCarveRetiresSpanningHeader pins the two-phase carve discipline:
+// once a carved piece is visible in a magazine or shard, no durable
+// free header may span it. It drives the race window by hand — carve
+// an extent but never publish block 0 (the carver "stalls"), let a
+// second allocation claim a carved piece and publish it, then crash.
+// If the carve had exposed pieces while the extent's spanning free
+// header was still authoritative, the scan would re-adopt the whole
+// extent and hand the committed block out again.
+func TestCarveRetiresSpanningHeader(t *testing.T) {
+	const arena = 1 << 16
+	d := nvm.New(nvm.Config{Size: arena})
+	a := New(d, 0, arena)
+	// The carver: takes the whole-arena extent, parks the interior
+	// blocks, returns block 0 — whose allocated header is deliberately
+	// never published.
+	if _, ok := a.carve(0); !ok {
+		t.Fatal("carve failed on a fresh heap")
+	}
+	// The racing thread: claims a carved interior block and commits it
+	// (allocated header fenced durable), exactly what Alloc does.
+	vb, ok := a.magPop(0)
+	if !ok {
+		t.Fatal("carve parked nothing in the magazine")
+	}
+	a.writeHeader(vb.addr, vb.size, true)
+	d.Fence()
+	d.Crash(nvm.CrashDiscard, nil)
+
+	a2, err := Attach(d, 0, arena)
+	if err != nil {
+		t.Fatalf("Attach after mid-carve crash: %v", err)
+	}
+	if err := a2.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after mid-carve crash: %v", err)
+	}
+	if h := d.Load64(vb.addr); h&allocBit == 0 {
+		t.Fatalf("committed block %#x lost its allocated header", vb.addr)
+	}
+	for i := 0; i < arena/minBlock; i++ {
+		p, err := a2.Alloc(16)
+		if err != nil {
+			break
+		}
+		end := p - headerSize + uint64(a2.BlockSize(p)) + headerSize
+		if p-headerSize < vb.addr+vb.size && vb.addr < end {
+			t.Fatalf("recovered Alloc returned [%#x,%#x) overlapping committed block [%#x,%#x)",
+				p-headerSize, end, vb.addr, vb.addr+vb.size)
+		}
+	}
+}
+
+// TestLargeSplitRetiresSpanningHeader is the same pin for the large
+// path's tail split: the remainder pushed back by allocLarge must not
+// be covered by the head's old spanning free header once another
+// thread can allocate (and commit) out of it.
+func TestLargeSplitRetiresSpanningHeader(t *testing.T) {
+	const arena = 1 << 16
+	d := nvm.New(nvm.Config{Size: arena})
+	a := New(d, 0, arena)
+	// The splitter: takes the whole-arena extent, files the remainder,
+	// stalls before publishing the head's allocated header.
+	if _, ok := a.allocLarge(8192); !ok {
+		t.Fatal("allocLarge failed on a fresh heap")
+	}
+	// The racing thread: a full Alloc out of the remainder, committed.
+	p, err := a.Alloc(100)
+	if err != nil {
+		t.Fatalf("Alloc from remainder: %v", err)
+	}
+	blk := p - headerSize
+	blkEnd := blk + uint64(a.BlockSize(p)) + headerSize
+	d.Crash(nvm.CrashDiscard, nil)
+
+	a2, err := Attach(d, 0, arena)
+	if err != nil {
+		t.Fatalf("Attach after mid-split crash: %v", err)
+	}
+	if err := a2.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after mid-split crash: %v", err)
+	}
+	if h := d.Load64(blk); h&allocBit == 0 {
+		t.Fatalf("committed block %#x lost its allocated header", blk)
+	}
+	for i := 0; i < arena/minBlock; i++ {
+		q, err := a2.Alloc(16)
+		if err != nil {
+			break
+		}
+		qEnd := q - headerSize + uint64(a2.BlockSize(q)) + headerSize
+		if q-headerSize < blkEnd && blk < qEnd {
+			t.Fatalf("recovered Alloc returned [%#x,%#x) overlapping committed block [%#x,%#x)",
+				q-headerSize, qEnd, blk, blkEnd)
+		}
+	}
+}
+
 // TestAllocHammer16 runs 16 goroutines of mixed Alloc/Free against one
 // heap — the contention profile the sharded design exists for — then
 // checks the header chain and counters balance exactly. Run with -race

@@ -37,12 +37,13 @@ func (m *Machine) Recover() (persist.RecoveryStats, error) {
 	scanT0 := rc.Clock()
 
 	type pending struct {
-		t     *Thread
-		pc    uint64
-		bits  uint64
-		ai    int // index into stats.Audit.Threads
-		locks []uint64
-		err   error
+		t        *Thread
+		pc       uint64
+		bits     uint64
+		ai       int // index into stats.Audit.Threads
+		locks    []uint64
+		acquired int // locks actually re-acquired (slot order)
+		err      error
 	}
 	var work []*pending
 
@@ -85,15 +86,22 @@ func (m *Machine) Recover() (persist.RecoveryStats, error) {
 			for s := 0; s < numLk; s++ {
 				if t.slots[s] != 0 {
 					m.LM.ByHolder(t.slots[s]).Acquire()
+					w.acquired++
 					t.rc.Emit(obs.KLockAcq, t.slots[s], 0)
 				}
 			}
 		}()
 		<-gate
 		if w.err != nil {
-			for s := 0; s < numLk; s++ {
+			// Release only the first w.acquired held slots: a panic can
+			// land after t.slots is filled but before (or mid) the
+			// acquisition loop, and releasing a never-acquired lock would
+			// be a fatal unlock-of-unlocked-mutex.
+			rel := w.acquired
+			for s := 0; s < numLk && rel > 0; s++ {
 				if t.slots[s] != 0 {
 					m.LM.ByHolder(t.slots[s]).Release()
+					rel--
 				}
 			}
 			return
