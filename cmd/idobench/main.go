@@ -34,6 +34,7 @@ func main() {
 	duration := flag.Duration("duration", 0, "override measurement interval per point")
 	threads := flag.String("threads", "", "override thread sweep, e.g. 1,2,4,8")
 	traceout := flag.String("traceout", "", "write a Chrome trace_event JSON file of all persist events")
+	seed := flag.Int64("seed", 1, "seed for every adversarial crash settle (replay a failure with the seed it printed)")
 	flag.Parse()
 
 	o := bench.DefaultOptions()
@@ -58,6 +59,7 @@ func main() {
 	if *traceout != "" {
 		o.Tracer = obs.New(obs.DefaultConfig())
 	}
+	o.Seed = *seed
 
 	start := time.Now()
 	var err error

@@ -13,6 +13,16 @@
 // After recovery it prints the audit report: which thread logs were found,
 // what action recovery took on each (idle, scrubbed, resumed), the locks
 // re-acquired, the recovery_pc resumed at, and the words restored.
+//
+// The -chaos flag switches to the deterministic crash-schedule harness
+// (internal/chaos): forward crash points × nested recovery crash points
+// for every runtime, each schedule verified against the CrashPersistAll
+// oracle. Any failure prints a single replayable tuple:
+//
+//	idorecover -chaos                        # bounded sweep, all runtimes
+//	idorecover -chaos -runtime vm-justdo     # one runtime, all adversaries
+//	idorecover -chaos -runtime ido -workload cachemix   # delete-heavy cache mix
+//	idorecover -chaos -replay 'ido:counter:random:7:12:3,0'
 package main
 
 import (
@@ -20,7 +30,9 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 
+	"github.com/ido-nvm/ido/internal/chaos"
 	"github.com/ido-nvm/ido/internal/compile"
 	"github.com/ido-nvm/ido/internal/irprog"
 	"github.com/ido-nvm/ido/internal/locks"
@@ -37,7 +49,25 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	ops := flag.Int("ops", 200, "operations before the crash window")
 	traceout := flag.String("traceout", "", "write a Chrome trace_event JSON file of recovery's persist events")
+	chaosFlag := flag.Bool("chaos", false, "run the deterministic crash-schedule sweep instead of the demo")
+	replay := flag.String("replay", "", "with -chaos: replay one schedule tuple (runtime:workload:mode:seed:forward:r1,r2|-)")
+	runtimeFlag := flag.String("runtime", "", "with -chaos: sweep only this runtime (default: all)")
+	workloadFlag := flag.String("workload", "", "with -chaos: sweep this workload (counter|mapput|cachemix; default: per runtime)")
+	points := flag.Int("points", 6, "with -chaos: crash points sampled per axis")
 	flag.Parse()
+
+	if *chaosFlag || *replay != "" {
+		// -mode restricts the sweep only when given explicitly; its
+		// demo-oriented default would otherwise hide two adversaries.
+		sweepMode := ""
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "mode" {
+				sweepMode = *modeStr
+			}
+		})
+		runChaos(*replay, *runtimeFlag, *workloadFlag, sweepMode, *seed, *points)
+		return
+	}
 
 	var mode nvm.CrashMode
 	switch *modeStr {
@@ -151,6 +181,85 @@ func main() {
 		}
 	}
 	fmt.Printf("verified: all %d completed puts durable and readable\n", len(completed))
+}
+
+// runChaos drives the internal/chaos harness: either one replayed
+// schedule (printed attempt by attempt, with the recovery audit of every
+// pass that completed) or a bounded sweep over the selected runtimes.
+func runChaos(replay, runtimeF, workloadF, modeStr string, seed int64, points int) {
+	if replay != "" {
+		s, err := chaos.ParseSchedule(replay)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		res, err := chaos.Run(s)
+		if err != nil {
+			fatalf("replay diverged: %v", err)
+		}
+		printChaosResult(res)
+		fmt.Printf("schedule %s converged\n", s)
+		return
+	}
+
+	var modes []nvm.CrashMode
+	if modeStr != "" {
+		m, err := chaos.ParseMode(modeStr)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		modes = []nvm.CrashMode{m}
+	}
+	rts := chaos.Runtimes()
+	if runtimeF != "" {
+		rts = []string{runtimeF}
+	}
+	total := 0
+	for _, rt := range rts {
+		st, err := chaos.Sweep(chaos.SweepOptions{
+			Runtime:        rt,
+			Workload:       workloadF,
+			Modes:          modes,
+			Seed:           seed,
+			ForwardPoints:  points,
+			RecoveryPoints: points,
+			DeepSamples:    2,
+		})
+		if err != nil {
+			fatalf("%s: sweep diverged: %v\n(rerun in isolation with: idorecover -chaos -replay '<the schedule in the message above>')", rt, err)
+		}
+		fmt.Printf("%-10s %4d schedules converged; nesting-depth histogram %v\n", rt, st.Schedules, st.Depth)
+		total += st.Schedules
+	}
+	fmt.Printf("chaos sweep: %d schedules converged across %d runtimes\n", total, len(rts))
+}
+
+func printChaosResult(res *chaos.Result) {
+	for _, a := range res.Attempts {
+		budget := fmt.Sprintf("budget %d", a.Budget)
+		if a.Budget < 0 {
+			budget = "clean"
+		}
+		switch {
+		case a.Crashed:
+			fmt.Printf("recovery pass %d (%s): crashed mid-recovery\n", a.Index, budget)
+		case a.Err != "":
+			fmt.Printf("recovery pass %d (%s): refused: %s\n", a.Index, budget, a.Err)
+		default:
+			fmt.Printf("recovery pass %d (%s): completed\n", a.Index, budget)
+		}
+		if a.Audit != nil {
+			fmt.Print(a.Audit)
+		}
+	}
+	keys := make([]string, 0, len(res.Final))
+	for k := range res.Final {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("observable %-8s = %d (oracle %d, persist-all %d)\n",
+			k, res.Final[k], res.Oracle[k], res.PersistAll[k])
+	}
 }
 
 func fatalf(format string, args ...any) {

@@ -39,10 +39,16 @@ const (
 	kRelease = 3 // addr = holder, val = new lock clock; aux = 1 ends the FASE
 )
 
-// Entry layout: {kind, addr, val, aux} — 32 bytes, two per cache line.
+// Entry layout: {kind|tag<<8, addr, val, aux} — 32 bytes, two per cache
+// line. The kind word's high 56 bits hold a tag hashed over the chunk's
+// generation and the entry payload, so a scan can reject both torn
+// appends (count word persisted, entry words not) and stale entries
+// (chunks are reused after truncation without erasure, so a torn count
+// can expose a valid-looking entry from an earlier, completed FASE —
+// rolling one back would corrupt committed data).
 const (
 	entrySize = 32
-	chunkHdr  = 64  // {next, used}, padded to one line
+	chunkHdr  = 64  // {next, used, gen}, padded to one line
 	chunkCap  = 504 // entries per chunk
 	chunkSize = chunkHdr + chunkCap*entrySize
 	// Thread record layout.
@@ -51,6 +57,20 @@ const (
 	trChunk = 16 // first log chunk
 	trSize  = 64
 )
+
+// entryTag hashes a chunk generation and entry payload into the kind
+// word's high 56 bits. Every truncation bumps the chunk's generation, so
+// an entry surviving from a pre-truncation epoch mismatches even though
+// its bytes parse.
+func entryTag(gen, kind, addr, val, aux uint64) uint64 {
+	x := gen + 0x632be59bd9b4e019
+	for _, w := range [...]uint64{kind, addr, val, aux} {
+		x ^= w
+		x *= 0x9e3779b97f4a7c15
+		x ^= x >> 29
+	}
+	return x >> 8
+}
 
 // Config selects the log-retention mode.
 type Config struct {
@@ -143,8 +163,9 @@ func (rt *Runtime) newChunk() (uint64, error) {
 	}
 	c := (raw + nvm.LineSize - 1) &^ (nvm.LineSize - 1)
 	dev := rt.reg.Dev
-	dev.Store64(c+0, 0) // next
-	dev.Store64(c+8, 0) // used
+	dev.Store64(c+0, 0)  // next
+	dev.Store64(c+8, 0)  // used
+	dev.Store64(c+16, 1) // gen: 1 so recycled heap bytes (gen 0) never match
 	dev.CLWB(c)
 	dev.Fence()
 	return c, nil
@@ -158,6 +179,7 @@ type thread struct {
 	firstChunk uint64
 	curChunk   uint64
 	curUsed    int
+	curGen     uint64   // current chunk's generation (cached from c+16)
 	touched    []uint64 // chunks written since the last prune
 
 	// Precomputed addresses for the current chunk, refilled by setChunk:
@@ -187,6 +209,7 @@ func (t *thread) Exec(op func()) { op() }
 func (t *thread) setChunk(c uint64, used int) {
 	t.curChunk = c
 	t.curUsed = used
+	t.curGen = t.rt.reg.Dev.Load64(c + 16)
 	t.aNext = c + 0
 	t.aUsed = c + 8
 	for i := range t.entry {
@@ -215,7 +238,7 @@ func (t *thread) append(kind, addr, val, aux uint64) {
 		t.touched = append(t.touched, t.curChunk)
 	}
 	e := t.entry[t.curUsed]
-	dev.Store64(e+0, kind)
+	dev.Store64(e+0, kind|entryTag(t.curGen, kind, addr, val, aux)<<8)
 	dev.Store64(e+8, addr)
 	dev.Store64(e+16, val)
 	dev.Store64(e+24, aux)
@@ -292,12 +315,15 @@ func (t *thread) Unlock(l *locks.Lock) {
 }
 
 // prune discards the thread's log — legal only after the FASE's data has
-// been fenced durable and before its last lock is released.
+// been fenced durable and before its last lock is released. Bumping each
+// chunk's generation alongside the count invalidates the surviving entry
+// bytes no matter which of the two words reaches NVM first.
 func (t *thread) prune() {
 	dev := t.rt.reg.Dev
 	for _, c := range t.touched {
+		dev.Store64(c+16, dev.Load64(c+16)+1)
 		dev.Store64(c+8, 0)
-		dev.CLWB(c + 8)
+		dev.CLWB(c + 8) // gen shares the header line
 	}
 	dev.Fence()
 	t.touched = t.touched[:0]
@@ -395,8 +421,11 @@ type fase struct {
 func (rt *Runtime) Recover(*persist.ResumeRegistry) (persist.RecoveryStats, error) {
 	start := time.Now()
 	dev := rt.reg.Dev
+	attempt := nvm.EnterRecovery()
+	defer nvm.ExitRecovery()
 	var stats persist.RecoveryStats
-	stats.Audit = &obs.RecoveryAudit{Runtime: rt.Name()}
+	stats.Attempt = attempt
+	stats.Audit = &obs.RecoveryAudit{Runtime: rt.Name(), Attempt: attempt}
 	rc := dev.Tracer().ThreadRing("atlas/recover")
 	scanT0 := rc.Clock()
 
@@ -416,14 +445,16 @@ func (rt *Runtime) Recover(*persist.ResumeRegistry) (persist.RecoveryStats, erro
 		var chunks []uint64
 		for c := dev.Load64(rec + trChunk); c != 0; c = dev.Load64(c + 0) {
 			chunks = append(chunks, c)
+			gen := dev.Load64(c + 16)
 			used := int(dev.Load64(c + 8))
 			if used > chunkCap {
 				used = chunkCap // torn header: clamp
 			}
 			for i := 0; i < used; i++ {
 				e := c + chunkHdr + uint64(i)*entrySize
+				w := dev.Load64(e + 0)
 				ent := logEntry{
-					kind:   dev.Load64(e + 0),
+					kind:   w & 0xff,
 					addr:   dev.Load64(e + 8),
 					val:    dev.Load64(e + 16),
 					aux:    dev.Load64(e + 24),
@@ -434,6 +465,12 @@ func (rt *Runtime) Recover(*persist.ResumeRegistry) (persist.RecoveryStats, erro
 				stats.LogEntries++
 				if ent.kind < kStore || ent.kind > kRelease {
 					continue // torn trailing entry
+				}
+				if w>>8 != entryTag(gen, ent.kind, ent.addr, ent.val, ent.aux) {
+					// Torn append (count persisted before the entry words)
+					// or a stale pre-truncation entry exposed by chunk
+					// reuse: either way not part of this epoch's log.
+					continue
 				}
 				switch ent.kind {
 				case kAcquire:
@@ -549,10 +586,16 @@ func (rt *Runtime) Recover(*persist.ResumeRegistry) (persist.RecoveryStats, erro
 	dev.Fence()
 	rc.Span(obs.KRecovery, obs.PhaseRollback, uint64(len(undo)), rbT0)
 
-	// 4. Truncate every log.
+	// 4. Truncate every log. The undo application above is fenced durable
+	// before the first truncation store, so a crash anywhere in this
+	// phase leaves a prefix of logs truncated and the rest intact — a
+	// second Recover re-applies the surviving logs' undo (idempotent) and
+	// finishes the truncation. Bumping gen alongside the count keeps the
+	// surviving entry bytes unmatchable whichever word persists first.
 	trT0 := rc.Clock()
 	for _, chunks := range logsToReset {
 		for _, c := range chunks {
+			dev.Store64(c+16, dev.Load64(c+16)+1)
 			dev.Store64(c+8, 0)
 			dev.CLWB(c + 8)
 		}

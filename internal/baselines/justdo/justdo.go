@@ -81,8 +81,12 @@ func (rt *Runtime) NewThread() (persist.Thread, error) {
 
 // Recover implements persist.Runtime. Store-granularity resumption needs
 // the VM's ability to jump to an arbitrary instruction; see internal/vm.
+// The pass is still bracketed as a recovery attempt so the chaos harness
+// sees a consistent attempt count across runtimes.
 func (rt *Runtime) Recover(*persist.ResumeRegistry) (persist.RecoveryStats, error) {
-	return persist.RecoveryStats{}, fmt.Errorf(
+	attempt := nvm.EnterRecovery()
+	defer nvm.ExitRecovery()
+	return persist.RecoveryStats{Attempt: attempt}, fmt.Errorf(
 		"justdo: native recovery is store-granularity and provided by the VM (internal/vm); see DESIGN.md")
 }
 

@@ -121,8 +121,11 @@ func (rt *Runtime) Stats() persist.RuntimeStats {
 func (rt *Runtime) Recover(*persist.ResumeRegistry) (persist.RecoveryStats, error) {
 	start := time.Now()
 	dev := rt.reg.Dev
+	attempt := nvm.EnterRecovery()
+	defer nvm.ExitRecovery()
 	var stats persist.RecoveryStats
-	stats.Audit = &obs.RecoveryAudit{Runtime: rt.Name()}
+	stats.Attempt = attempt
+	stats.Audit = &obs.RecoveryAudit{Runtime: rt.Name(), Attempt: attempt}
 	rc := dev.Tracer().ThreadRing("mnemosyne/recover")
 	scanT0 := rc.Clock()
 	for log := rt.reg.Root(region.RootMnemosyneHead); log != 0; log = dev.Load64(log + logNext) {

@@ -22,13 +22,32 @@ import (
 )
 
 const (
-	// Per-thread undo log layout.
-	logCount = 0 // live entry count; 0 = no FASE in flight
-	logNext  = 8
-	logBase  = 64 // entries: {addr, old} pairs
-	maxUndo  = 4096
-	logSize  = logBase + maxUndo*16
+	// Per-thread undo log layout. Entries are {addr, old, tag, pad}: the
+	// tag word hashes the log's generation with the entry payload, so a
+	// recovery scan can reject a torn append (count word persisted before
+	// the entry words) and — because the log area is reused across FASEs
+	// without erasure — a stale entry from an earlier, committed FASE
+	// that a torn count would otherwise expose as live. Rolling such an
+	// entry back would revert committed data.
+	logCount  = 0  // live entry count; 0 = no FASE in flight
+	logNext   = 8
+	logGen    = 16 // generation, bumped at every truncation
+	logBase   = 64
+	entrySize = 32
+	maxUndo   = 2048
+	logSize   = logBase + maxUndo*entrySize
 )
+
+// entryTag hashes (gen, addr, old) into the per-entry tag word.
+func entryTag(gen, addr, old uint64) uint64 {
+	x := gen + 0x632be59bd9b4e019
+	for _, w := range [...]uint64{addr, old} {
+		x ^= w
+		x *= 0x9e3779b97f4a7c15
+		x ^= x >> 29
+	}
+	return x
+}
 
 // Runtime is the NVML baseline runtime.
 type Runtime struct {
@@ -65,10 +84,11 @@ func (rt *Runtime) NewThread() (persist.Thread, error) {
 	defer rt.mu.Unlock()
 	dev.Store64(log+logCount, 0)
 	dev.Store64(log+logNext, rt.reg.Root(region.RootNVMLHead))
+	dev.Store64(log+logGen, 1) // 1 so recycled heap bytes (gen 0) never match
 	dev.PersistRange(log, logBase)
 	dev.Fence()
 	rt.reg.SetRoot(region.RootNVMLHead, log)
-	t := &thread{rt: rt, id: rt.nextID, log: log}
+	t := &thread{rt: rt, id: rt.nextID, log: log, gen: 1}
 	t.rc = dev.Tracer().ThreadRing(fmt.Sprintf("nvml/t%d", t.id))
 	rt.nextID++
 	rt.threads = append(rt.threads, t)
@@ -93,8 +113,11 @@ func (rt *Runtime) Stats() persist.RuntimeStats {
 func (rt *Runtime) Recover(*persist.ResumeRegistry) (persist.RecoveryStats, error) {
 	start := time.Now()
 	dev := rt.reg.Dev
+	attempt := nvm.EnterRecovery()
+	defer nvm.ExitRecovery()
 	var stats persist.RecoveryStats
-	stats.Audit = &obs.RecoveryAudit{Runtime: rt.Name()}
+	stats.Attempt = attempt
+	stats.Audit = &obs.RecoveryAudit{Runtime: rt.Name(), Attempt: attempt}
 	rc := dev.Tracer().ThreadRing("nvml/recover")
 	scanT0 := rc.Clock()
 	for log := rt.reg.Root(region.RootNVMLHead); log != 0; log = dev.Load64(log + logNext) {
@@ -109,21 +132,33 @@ func (rt *Runtime) Recover(*persist.ResumeRegistry) (persist.RecoveryStats, erro
 		if n > maxUndo {
 			n = maxUndo
 		}
+		// Undo application is fenced durable before the truncation store,
+		// so a crash anywhere in this pass leaves the log either intact
+		// (the next pass re-applies the same old values — idempotent) or
+		// already truncated. Entries whose tag does not match the current
+		// generation are torn or stale and are skipped.
+		gen := dev.Load64(log + logGen)
+		applied := 0
 		for i := n - 1; i >= 0; i-- {
-			e := log + logBase + uint64(i)*16
+			e := log + logBase + uint64(i)*entrySize
 			addr := dev.Load64(e)
 			old := dev.Load64(e + 8)
+			stats.LogEntries++
+			if dev.Load64(e+16) != entryTag(gen, addr, old) {
+				continue
+			}
 			dev.Store64(addr, old)
 			dev.CLWB(addr)
-			stats.LogEntries++
+			applied++
 		}
 		dev.Fence()
+		dev.Store64(log+logGen, gen+1)
 		dev.Store64(log+logCount, 0)
 		dev.CLWB(log + logCount)
 		dev.Fence()
 		stats.RolledBack++
 		audit.Action = obs.AuditRolledBack
-		audit.WordsRestored = n
+		audit.WordsRestored = applied
 		stats.Audit.Add(audit)
 	}
 	rc.Span(obs.KRecovery, obs.PhaseScan, stats.LogEntries, scanT0)
@@ -135,6 +170,7 @@ type thread struct {
 	rt  *Runtime
 	id  int
 	log uint64
+	gen uint64 // current log generation (cached from log+logGen)
 
 	depth int
 	used  int
@@ -198,9 +234,10 @@ func (t *thread) Store64(addr, val uint64) {
 		panic(fmt.Sprintf("nvml: FASE exceeded %d undo records", maxUndo))
 	}
 	old := dev.Load64(addr)
-	e := t.log + logBase + uint64(t.used)*16
+	e := t.log + logBase + uint64(t.used)*entrySize
 	dev.Store64(e, addr)
 	dev.Store64(e+8, old)
+	dev.Store64(e+16, entryTag(t.gen, addr, old))
 	t.used++
 	dev.Store64(t.log+logCount, uint64(t.used))
 	dev.CLWB(e)
@@ -210,9 +247,9 @@ func (t *thread) Store64(addr, val uint64) {
 	t.trackLine(addr)
 	t.stats.Stores++
 	t.stats.LoggedEntries++
-	t.stats.LoggedBytes += 16
-	t.faseLogBytes += 16
-	t.rc.Emit(obs.KLogAppend, 16, addr)
+	t.stats.LoggedBytes += entrySize
+	t.faseLogBytes += entrySize
+	t.rc.Emit(obs.KLogAppend, entrySize, addr)
 }
 
 func (t *thread) trackLine(addr uint64) {
@@ -230,7 +267,10 @@ func (t *thread) Load64(addr uint64) uint64 { return t.rt.reg.Dev.Load64(addr) }
 // Boundary is ignored: NVML has no region concept.
 func (t *thread) Boundary(uint64, ...persist.RegVal) {}
 
-// commit flushes the FASE's data, then truncates the undo log.
+// commit flushes the FASE's data, then truncates the undo log. The
+// generation bump rides in the same header line as the count, so the
+// surviving entry bytes stop matching whichever of the two words reaches
+// NVM first.
 func (t *thread) commit() {
 	dev := t.rt.reg.Dev
 	for _, line := range t.dirty {
@@ -238,6 +278,8 @@ func (t *thread) commit() {
 	}
 	t.dirty = t.dirty[:0]
 	dev.Fence()
+	t.gen++
+	dev.Store64(t.log+logGen, t.gen)
 	dev.Store64(t.log+logCount, 0)
 	dev.CLWB(t.log + logCount)
 	dev.Fence()

@@ -42,6 +42,15 @@ const (
 	logBase  = 64 // maxPages slots of {pageAddr, 512 words}
 	slotSize = 8 + PageSize
 	logSize  = logBase + maxPages*slotSize
+	// logPages rounds the log up to whole pages. The log MUST occupy
+	// pages of its own: commit applies whole dirty pages home, so if the
+	// log shared a page with workload data, applying that page would
+	// overwrite the log's own commit record with the COW snapshot taken
+	// mid-FASE — a crash between two page applies would then find
+	// logState=0 and skip the replay, losing the unapplied half of a
+	// committed FASE (found by the chaos harness's delete-heavy cache
+	// workload, where the table and the log both sat in page 0).
+	logPages = (logSize + PageSize - 1) / PageSize
 )
 
 // Runtime is the NVThreads baseline runtime.
@@ -67,11 +76,13 @@ func (rt *Runtime) Attach(reg *region.Region, _ *locks.Manager) error {
 
 // NewThread implements persist.Runtime.
 func (rt *Runtime) NewThread() (persist.Thread, error) {
-	raw, err := rt.reg.Alloc.Alloc(logSize + nvm.LineSize)
+	// Page-align and pad so every log page is exclusively the log's (see
+	// logPages above).
+	raw, err := rt.reg.Alloc.Alloc(logPages*PageSize + PageSize)
 	if err != nil {
 		return nil, fmt.Errorf("nvthreads: allocating page log: %w", err)
 	}
-	log := (raw + nvm.LineSize - 1) &^ (nvm.LineSize - 1)
+	log := (raw + PageSize - 1) &^ (PageSize - 1)
 	dev := rt.reg.Dev
 	// Deferred unlock: the device calls below panic with nvm.CrashSignal
 	// under armed injection, and the mutex must not survive the unwind.
@@ -106,8 +117,11 @@ func (rt *Runtime) Stats() persist.RuntimeStats {
 func (rt *Runtime) Recover(*persist.ResumeRegistry) (persist.RecoveryStats, error) {
 	start := time.Now()
 	dev := rt.reg.Dev
+	attempt := nvm.EnterRecovery()
+	defer nvm.ExitRecovery()
 	var stats persist.RecoveryStats
-	stats.Audit = &obs.RecoveryAudit{Runtime: rt.Name()}
+	stats.Attempt = attempt
+	stats.Audit = &obs.RecoveryAudit{Runtime: rt.Name(), Attempt: attempt}
 	rc := dev.Tracer().ThreadRing("nvthreads/recover")
 	scanT0 := rc.Clock()
 	buf := make([]uint64, pageWords)

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"github.com/ido-nvm/ido/internal/locks"
+	"github.com/ido-nvm/ido/internal/nvm"
 	"github.com/ido-nvm/ido/internal/obs"
 	"github.com/ido-nvm/ido/internal/persist"
 	"github.com/ido-nvm/ido/internal/region"
@@ -47,7 +48,12 @@ func (rt *Runtime) NewThread() (persist.Thread, error) {
 // Recover implements persist.Runtime; origin cannot recover anything.
 // The audit is present but empty, so callers can print it uniformly.
 func (rt *Runtime) Recover(*persist.ResumeRegistry) (persist.RecoveryStats, error) {
-	return persist.RecoveryStats{Audit: &obs.RecoveryAudit{Runtime: rt.Name()}}, nil
+	attempt := nvm.EnterRecovery()
+	defer nvm.ExitRecovery()
+	return persist.RecoveryStats{
+		Attempt: attempt,
+		Audit:   &obs.RecoveryAudit{Runtime: rt.Name(), Attempt: attempt},
+	}, nil
 }
 
 // Stats implements persist.Runtime.

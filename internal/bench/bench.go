@@ -46,6 +46,18 @@ type Options struct {
 	// Tracer, when non-nil, is attached to every device the run creates,
 	// so persist events from all data points land in one trace.
 	Tracer *obs.Tracer
+	// Seed drives every nvm.CrashRandom settle the run performs (Table
+	// I's post-kill crash), so a failure can be replayed with the seed
+	// its error message names. Zero means 1.
+	Seed int64
+}
+
+// seed returns the run seed with the zero-value default applied.
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
 }
 
 // DefaultOptions mirrors the paper's setup, scaled to a simulator: the

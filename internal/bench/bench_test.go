@@ -24,11 +24,21 @@ func TestFig5ShapesQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(figs) != 2 {
+	if len(figs) != 3 {
 		t.Fatalf("figures = %d", len(figs))
 	}
 	insert := figs[0]
 	maxT := float64(o.Threads[len(o.Threads)-1])
+	// The delete-heavy mix must actually run its FASEs for every system.
+	deleteHeavy := figs[2]
+	if !strings.Contains(deleteHeavy.Title, "delete-heavy") {
+		t.Fatalf("third figure is %q, want the delete-heavy mix", deleteHeavy.Title)
+	}
+	for _, name := range Fig5Runtimes {
+		if v, ok := deleteHeavy.Get(name, maxT); !ok || v <= 0 {
+			t.Fatalf("delete-heavy mix: %s series missing or zero at %v threads", name, maxT)
+		}
+	}
 	origin, _ := insert.Get("origin", maxT)
 	ido, _ := insert.Get("ido", maxT)
 	justdo, _ := insert.Get("justdo", maxT)
@@ -77,8 +87,8 @@ func TestFig7ShapesQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(figs) != 4 {
-		t.Fatalf("figures = %d", len(figs))
+	if len(figs) != 6 {
+		t.Fatalf("figures = %d (4 balanced + 2 pop-heavy churn)", len(figs))
 	}
 	// The throughput gap on the hash map is ~1.35x, which 60 ms windows
 	// on a 1-core host cannot resolve reliably; assert the deterministic
@@ -119,12 +129,22 @@ func TestFig7ShapesQuick(t *testing.T) {
 	}
 	// And the series exist at the top thread count.
 	maxT := float64(o.Threads[len(o.Threads)-1])
+	churn := 0
 	for _, f := range figs {
 		if strings.Contains(f.Title, "hashmap") {
 			if _, ok := f.Get("ido", maxT); !ok {
 				t.Fatal("hashmap figure missing ido series")
 			}
 		}
+		if strings.Contains(f.Title, "churn") {
+			churn++
+			if v, ok := f.Get("ido", maxT); !ok || v <= 0 {
+				t.Fatalf("%s: ido series missing or zero", f.Title)
+			}
+		}
+	}
+	if churn != 2 {
+		t.Fatalf("churn figures = %d, want 2 (stack, queue)", churn)
 	}
 }
 

@@ -15,14 +15,19 @@ var Fig5Runtimes = []string{"origin", "ido", "justdo", "atlas", "mnemosyne", "nv
 // RunFig5 regenerates Fig. 5: Memcached throughput (Mops/s) as a function
 // of thread count, for the insertion-intensive (50% set / 50% get) and
 // search-intensive (10% set / 90% get) memaslap-style workloads, with
-// uniformly distributed 16-byte keys and 8-byte values.
+// uniformly distributed 16-byte keys and 8-byte values. A third,
+// delete-heavy mix (40% set / 40% get / 20% delete) exercises the
+// unchain + LRU-unlink + count FASEs that the paper's two mixes never
+// reach.
 func RunFig5(o Options) ([]*stats.Figure, error) {
 	mixes := []struct {
 		title     string
 		insertPct int
+		deletePct int
 	}{
-		{"Fig5a Memcached insertion-intensive (50/50)", 50},
-		{"Fig5b Memcached search-intensive (10/90)", 10},
+		{"Fig5a Memcached insertion-intensive (50/50)", 50, 0},
+		{"Fig5b Memcached search-intensive (10/90)", 10, 0},
+		{"Fig5c Memcached delete-heavy (40/40/20)", 40, 20},
 	}
 	// memcached grows its hash power to keep the load factor near one;
 	// size the table to the key range accordingly.
@@ -37,7 +42,7 @@ func RunFig5(o Options) ([]*stats.Figure, error) {
 		fig := &stats.Figure{Title: mix.title, XLabel: "threads", YLabel: "Mops/s"}
 		for _, sp := range specs(Fig5Runtimes...) {
 			for _, nt := range o.Threads {
-				ops, err := runMemcachedPoint(o, sp, nt, mix.insertPct, keyRange, buckets)
+				ops, err := runMemcachedPoint(o, sp, nt, mix.insertPct, mix.deletePct, keyRange, buckets)
 				if err != nil {
 					return nil, fmt.Errorf("fig5 %s/%d: %w", sp.name, nt, err)
 				}
@@ -50,17 +55,17 @@ func RunFig5(o Options) ([]*stats.Figure, error) {
 	return out, nil
 }
 
-func runMemcachedPoint(o Options, sp spec, nThreads, insertPct int, keyRange uint64, buckets int) (uint64, error) {
+func runMemcachedPoint(o Options, sp spec, nThreads, insertPct, deletePct int, keyRange uint64, buckets int) (uint64, error) {
 	w, err := newWorld(sp.mk, o.DeviceBytes, 0, o.Tracer)
 	if err != nil {
 		return 0, err
 	}
-	return measureMemcached(o, w, nThreads, insertPct, keyRange, buckets, 0)
+	return measureMemcached(o, w, nThreads, insertPct, deletePct, keyRange, buckets, 0)
 }
 
 // measureMemcached builds a warmed cache in w and measures the memaslap
 // mix; shared by Fig. 5 and Fig. 9 (extraNS is applied after the warm-up).
-func measureMemcached(o Options, w *world, nThreads, insertPct int, keyRange uint64, buckets, extraNS int) (uint64, error) {
+func measureMemcached(o Options, w *world, nThreads, insertPct, deletePct int, keyRange uint64, buckets, extraNS int) (uint64, error) {
 	env := &memcache.Env{Reg: w.reg, LM: w.lm}
 	cache, _, err := memcache.New(env, buckets)
 	if err != nil {
@@ -81,13 +86,16 @@ func measureMemcached(o Options, w *world, nThreads, insertPct int, keyRange uin
 	}
 	w.reg.Dev.SetExtraLatency(extraNS)
 	return measure(w, nThreads, o.Duration, func(i int, t persist.Thread) func() {
-		gen := workload.NewUniform(int64(1000+i), keyRange, insertPct)
+		gen := workload.NewUniformMix(int64(1000+i), keyRange, insertPct, deletePct)
 		return func() {
 			op := gen.Next()
 			k0, k1 := op.Key, op.Key^0x5A5A
-			if op.Kind == workload.OpInsert {
+			switch op.Kind {
+			case workload.OpInsert:
 				cache.Set(t, k0, k1, op.Val)
-			} else {
+			case workload.OpDelete:
+				cache.Delete(t, k0, k1)
+			default:
 				cache.Get(t, k0, k1)
 			}
 		}

@@ -7,6 +7,7 @@ import (
 	"github.com/ido-nvm/ido/internal/ds"
 	"github.com/ido-nvm/ido/internal/persist"
 	"github.com/ido-nvm/ido/internal/stats"
+	"github.com/ido-nvm/ido/internal/workload"
 )
 
 // Fig7Runtimes are the systems compared on the microbenchmarks (§V-B).
@@ -17,28 +18,45 @@ var Fig7Runtimes = []string{"ido", "justdo", "atlas", "mnemosyne"}
 // Fig7Structures names the four microbenchmark data structures.
 var Fig7Structures = []string{"stack", "queue", "orderedlist", "hashmap"}
 
+// fig7Mixes are the operation mixes per figure: the paper's balanced
+// 50/50 mix for all four structures, plus a pop-heavy churn variant
+// (30% push / 70% pop) for the two structures whose removal op actually
+// unlinks (stack and queue) — it drives the free-list and empty-pop
+// paths the balanced mix rarely reaches.
+var fig7Mixes = []struct {
+	suffix     string
+	insertPct  int
+	structures []string
+}{
+	{"", 50, Fig7Structures},
+	{" churn (30/70 pop-heavy)", 30, []string{"stack", "queue"}},
+}
+
 // RunFig7 regenerates Fig. 7: microbenchmark throughput (Mops/s) as a
 // function of thread count for the four shared data structures, with each
 // thread repeatedly choosing a random operation (insert/remove for stack
-// and queue; get/put on a random key for list and map).
+// and queue; get/put on a random key for list and map), plus the
+// pop-heavy churn variants.
 func RunFig7(o Options) ([]*stats.Figure, error) {
 	var out []*stats.Figure
-	for _, structure := range Fig7Structures {
-		fig := &stats.Figure{
-			Title:  "Fig7 " + structure,
-			XLabel: "threads", YLabel: "Mops/s",
-		}
-		for _, sp := range specs(Fig7Runtimes...) {
-			for _, nt := range o.Threads {
-				ops, err := runMicroPoint(o, sp, structure, nt)
-				if err != nil {
-					return nil, fmt.Errorf("fig7 %s/%s/%d: %w", structure, sp.name, nt, err)
-				}
-				fig.Add(sp.name, float64(nt), stats.Throughput(ops, o.Duration))
+	for _, mix := range fig7Mixes {
+		for _, structure := range mix.structures {
+			fig := &stats.Figure{
+				Title:  "Fig7 " + structure + mix.suffix,
+				XLabel: "threads", YLabel: "Mops/s",
 			}
+			for _, sp := range specs(Fig7Runtimes...) {
+				for _, nt := range o.Threads {
+					ops, err := runMicroPoint(o, sp, structure, nt, mix.insertPct)
+					if err != nil {
+						return nil, fmt.Errorf("fig7 %s/%s/%d: %w", structure, sp.name, nt, err)
+					}
+					fig.Add(sp.name, float64(nt), stats.Throughput(ops, o.Duration))
+				}
+			}
+			fprintf(o.out(), "%s\n", fig)
+			out = append(out, fig)
 		}
-		fprintf(o.out(), "%s\n", fig)
-		out = append(out, fig)
 	}
 	return out, nil
 }
@@ -53,7 +71,7 @@ const (
 	mapBuckets   = 1 << 8
 )
 
-func runMicroPoint(o Options, sp spec, structure string, nThreads int) (uint64, error) {
+func runMicroPoint(o Options, sp spec, structure string, nThreads, insertPct int) (uint64, error) {
 	w, err := newWorld(sp.mk, o.DeviceBytes, 0, o.Tracer)
 	if err != nil {
 		return 0, err
@@ -72,10 +90,11 @@ func runMicroPoint(o Options, sp spec, structure string, nThreads int) (uint64, 
 			pre.Exec(func() { s.Push(pre, uint64(i+1)) })
 		}
 		return measure(w, nThreads, o.Duration, func(i int, t persist.Thread) func() {
-			rng := rand.New(rand.NewSource(int64(100 + i)))
+			// Insert/remove only: the non-insert share is all pops.
+			gen := workload.NewUniformMix(int64(100+i), 1<<30, insertPct, 100-insertPct)
 			return func() {
-				if rng.Intn(2) == 0 {
-					s.Push(t, rng.Uint64()|1)
+				if op := gen.Next(); op.Kind == workload.OpInsert {
+					s.Push(t, op.Key|1)
 				} else {
 					s.Pop(t)
 				}
@@ -92,10 +111,10 @@ func runMicroPoint(o Options, sp spec, structure string, nThreads int) (uint64, 
 			pre.Exec(func() { q.Enqueue(pre, uint64(i+1)) })
 		}
 		return measure(w, nThreads, o.Duration, func(i int, t persist.Thread) func() {
-			rng := rand.New(rand.NewSource(int64(200 + i)))
+			gen := workload.NewUniformMix(int64(200+i), 1<<30, insertPct, 100-insertPct)
 			return func() {
-				if rng.Intn(2) == 0 {
-					q.Enqueue(t, rng.Uint64()|1)
+				if op := gen.Next(); op.Kind == workload.OpInsert {
+					q.Enqueue(t, op.Key|1)
 				} else {
 					q.Dequeue(t)
 				}

@@ -69,5 +69,5 @@ func runMemcachedPointLat(o Options, sp spec, nThreads int, keyRange uint64, buc
 	if err != nil {
 		return 0, err
 	}
-	return measureMemcached(o, w, nThreads, 50, keyRange, buckets, extraNS)
+	return measureMemcached(o, w, nThreads, 50, 0, keyRange, buckets, extraNS)
 }

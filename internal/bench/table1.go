@@ -55,11 +55,11 @@ func RunTable1(o Options) ([]Table1Result, error) {
 		for _, kill := range Table1KillTimes(o.Quick) {
 			idoNS, err := recoveryTime(o, "ido", structure, threads, kill)
 			if err != nil {
-				return nil, fmt.Errorf("table1 ido/%s: %w", structure, err)
+				return nil, fmt.Errorf("table1 ido/%s (seed %d): %w", structure, o.seed(), err)
 			}
 			atlasNS, err := recoveryTime(o, "atlas-retain", structure, threads, kill)
 			if err != nil {
-				return nil, fmt.Errorf("table1 atlas/%s: %w", structure, err)
+				return nil, fmt.Errorf("table1 atlas/%s (seed %d): %w", structure, o.seed(), err)
 			}
 			r := Table1Result{
 				Structure: structure,
@@ -75,6 +75,24 @@ func RunTable1(o Options) ([]Table1Result, error) {
 	}
 	printTable1(o, out)
 	return out, nil
+}
+
+// crashSeedFor derives a distinct, replayable settle seed for one data
+// point from the run seed (splitmix-style finalizer): the Table I error
+// messages name the run seed, and the same Options replay the same
+// adversarial settle at every data point.
+func crashSeedFor(seed int64, rtName, structure string, kill time.Duration) int64 {
+	x := uint64(seed) + 0x9e3779b97f4a7c15
+	for _, s := range []string{rtName, structure} {
+		for _, b := range []byte(s) {
+			x = (x ^ uint64(b)) * 0x9e3779b97f4a7c15
+		}
+	}
+	x ^= uint64(kill.Nanoseconds())
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	return int64(x)
 }
 
 // recoveryTime runs the workload, kills it, and times recovery.
@@ -179,7 +197,7 @@ func recoveryTime(o Options, rtName, structure string, threads int, kill time.Du
 		<-done
 	}
 	nvm.ArmCrash(-1)
-	w.reg.Dev.Crash(nvm.CrashRandom, rand.New(rand.NewSource(kill.Nanoseconds())))
+	w.reg.Dev.Crash(nvm.CrashRandom, rand.New(rand.NewSource(crashSeedFor(o.seed(), rtName, structure, kill))))
 
 	// Process restart: reattach and recover under the same system.
 	reg2, err := region.Attach(w.reg.Dev)

@@ -1,0 +1,235 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/ido-nvm/ido/internal/kv/memcache"
+	"github.com/ido-nvm/ido/internal/locks"
+	"github.com/ido-nvm/ido/internal/nvm"
+	"github.com/ido-nvm/ido/internal/persist"
+	"github.com/ido-nvm/ido/internal/region"
+)
+
+const cacheBuckets = 4
+
+// cacheOps is the forward script: the delete-heavy churn of Fig. 5c as
+// a fixed, deterministic sequence (no rng: the schedule must replay
+// bit-for-bit). It covers every Set/Get/Delete region at least once —
+// miss insert, found update (with its LRU move), hit and miss Gets, and
+// found and miss Deletes with their unchain / LRU-unlink / count FASEs.
+var cacheOps = []struct {
+	kind byte // 's'et, 'g'et, 'd'elete
+	k    uint64
+	v    uint64
+}{
+	{'s', 1, 100}, // miss insert
+	{'s', 2, 200}, // miss insert
+	{'s', 1, 101}, // found update: overwrite + LRU move to front
+	{'g', 2, 0},   // hit
+	{'d', 1, 0},   // delete found: unchain + LRU unlink + count
+	{'g', 1, 0},   // miss
+	{'s', 3, 300}, // insert
+	{'d', 4, 0},   // delete miss: pure-scan release path
+	{'d', 2, 0},   // delete found
+	{'s', 4, 400}, // insert
+}
+
+// cacheKey1 derives the second key word, matching the Fig. 5 encoding.
+func cacheKey1(k0 uint64) uint64 { return k0 ^ 0x5A5A }
+
+// cacheDriver runs the Fig. 5 memcached application under the harness
+// with the delete-heavy mix, so the delete FASEs' unchain, LRU-unlink,
+// and count-decrement regions get the same crash-point coverage as the
+// counter and map workloads. Restricted to the runtimes whose recovery
+// reconstructs (or wholly replays) the in-flight FASE — a half-applied
+// unlink is a structural violation here, not a bounded counter deficit.
+type cacheDriver struct {
+	s  Schedule
+	mk func() persist.Runtime
+
+	reg   *region.Region
+	lm    *locks.Manager
+	rt    persist.Runtime
+	th    persist.Thread
+	env   *memcache.Env
+	cache *memcache.Cache
+	tbl   uint64
+}
+
+func (d *cacheDriver) prepare(seed int64) error {
+	d.reg = region.Create(1<<20, nvm.Config{})
+	d.lm = locks.NewManager(d.reg)
+	d.rt = d.mk()
+	if err := d.rt.Attach(d.reg, d.lm); err != nil {
+		return err
+	}
+	d.env = &memcache.Env{Reg: d.reg, LM: d.lm}
+	cache, tbl, err := memcache.New(d.env, cacheBuckets)
+	if err != nil {
+		return err
+	}
+	d.cache = cache
+	d.tbl = tbl
+	d.reg.SetRoot(rootChaosCache, tbl)
+	th, err := d.rt.NewThread()
+	if err != nil {
+		return err
+	}
+	d.th = th
+	return nil
+}
+
+func (d *cacheDriver) forward() error {
+	for _, op := range cacheOps {
+		k0, k1 := op.k, cacheKey1(op.k)
+		switch op.kind {
+		case 's':
+			d.cache.Set(d.th, k0, k1, op.v)
+		case 'g':
+			d.cache.Get(d.th, k0, k1)
+		case 'd':
+			d.cache.Delete(d.th, k0, k1)
+		}
+	}
+	return nil
+}
+
+func (d *cacheDriver) reopen(mode nvm.CrashMode, rng *rand.Rand) error {
+	reg2, err := d.reg.Crash(mode, rng)
+	if err != nil {
+		return err
+	}
+	d.reg = reg2
+	d.lm = locks.NewManager(reg2)
+	d.rt = d.mk()
+	if err := d.rt.Attach(reg2, d.lm); err != nil {
+		return err
+	}
+	d.env = &memcache.Env{Reg: reg2, LM: d.lm}
+	d.tbl = reg2.Root(rootChaosCache)
+	d.cache = memcache.Attach(d.env, d.tbl)
+	d.th = nil // recovery and observation never execute workload FASEs
+	return nil
+}
+
+func (d *cacheDriver) recover() (persist.RecoveryStats, error) {
+	rr := persist.NewResumeRegistry()
+	memcache.Register(rr, d.env)
+	return d.rt.Recover(rr)
+}
+
+// Table/item field offsets, mirrored from the memcache layout for the
+// raw-device walks below (the driver inspects the image directly, like
+// a recovery auditor, rather than through cache FASEs).
+const (
+	cTLRUHead = 16
+	cTLRUTail = 24
+	cTCount   = 32
+	cTCmdGet  = 40
+	cTCmdSet  = 48
+	cTHits    = 56
+	cTArray   = 64
+	cIK0      = 0
+	cIVal     = 16
+	cIHNext   = 24
+	cILPrev   = 32
+	cILNext   = 40
+)
+
+// walkChains visits every item of every bucket chain.
+func (d *cacheDriver) walkChains(fn func(item uint64) error) error {
+	dev := d.reg.Dev
+	n := dev.Load64(d.tbl + 8)
+	if n != cacheBuckets {
+		return fmt.Errorf("cache header: %d buckets, want %d", n, cacheBuckets)
+	}
+	for b := uint64(0); b < n; b++ {
+		steps := 0
+		for item := dev.Load64(d.tbl + cTArray + b*8); item != 0; item = dev.Load64(item + cIHNext) {
+			if steps++; steps > walkBound {
+				return fmt.Errorf("bucket %d: chain exceeds %d items (cycle?)", b, walkBound)
+			}
+			if err := fn(item); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (d *cacheDriver) observe() (map[string]uint64, error) {
+	dev := d.reg.Dev
+	out := map[string]uint64{
+		"count": dev.Load64(d.tbl + cTCount),
+		"sets":  dev.Load64(d.tbl + cTCmdSet),
+		"gets":  dev.Load64(d.tbl + cTCmdGet),
+		"hits":  dev.Load64(d.tbl + cTHits),
+	}
+	err := d.walkChains(func(item uint64) error {
+		out[fmt.Sprintf("k%d", dev.Load64(item+cIK0))] = dev.Load64(item + cIVal)
+		return nil
+	})
+	return out, err
+}
+
+// invariants checks the structural contract every completed recovery
+// must restore: no duplicate keys, item count matching the chains, and
+// an LRU list that is a consistent double-linking of exactly the chained
+// items.
+func (d *cacheDriver) invariants() error {
+	dev := d.reg.Dev
+	chained := map[uint64]bool{}
+	seen := map[uint64]bool{}
+	err := d.walkChains(func(item uint64) error {
+		k := dev.Load64(item + cIK0)
+		if seen[k] {
+			return fmt.Errorf("duplicate key %d", k)
+		}
+		seen[k] = true
+		chained[item] = true
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if cnt := dev.Load64(d.tbl + cTCount); cnt != uint64(len(chained)) {
+		return fmt.Errorf("count = %d, chains hold %d items", cnt, len(chained))
+	}
+	// LRU: head-to-tail walk must visit each chained item exactly once,
+	// with consistent back links, ending at the recorded tail.
+	var last uint64
+	visited := 0
+	for item := dev.Load64(d.tbl + cTLRUHead); item != 0; item = dev.Load64(item + cILNext) {
+		if visited++; visited > walkBound {
+			return fmt.Errorf("LRU list exceeds %d items (cycle?)", walkBound)
+		}
+		if !chained[item] {
+			return fmt.Errorf("LRU item %#x not on any chain", item)
+		}
+		if p := dev.Load64(item + cILPrev); p != last {
+			return fmt.Errorf("LRU item %#x: prev = %#x, want %#x", item, p, last)
+		}
+		last = item
+	}
+	if tail := dev.Load64(d.tbl + cTLRUTail); tail != last {
+		return fmt.Errorf("LRU tail = %#x, walk ended at %#x", tail, last)
+	}
+	if visited != len(chained) {
+		return fmt.Errorf("LRU lists %d items, chains hold %d", visited, len(chained))
+	}
+	return nil
+}
+
+func (d *cacheDriver) locksFree() error {
+	holder := d.reg.Dev.Load64(d.tbl)
+	if holder == 0 {
+		return fmt.Errorf("cache lock holder is zero")
+	}
+	l := d.lm.ByHolder(holder)
+	if !l.TryAcquire() {
+		return fmt.Errorf("cache lock (holder %#x) still held", holder)
+	}
+	l.Release()
+	return nil
+}

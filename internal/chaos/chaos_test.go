@@ -1,0 +1,334 @@
+package chaos
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/ido-nvm/ido/internal/nvm"
+)
+
+// Crash injection is process-global, so no test here may call
+// t.Parallel.
+
+func pick(full, short int) int {
+	if testing.Short() {
+		return short
+	}
+	return full
+}
+
+func TestScheduleStringRoundTrip(t *testing.T) {
+	for _, s := range []Schedule{
+		{Runtime: "ido", Workload: "counter", Mode: nvm.CrashRandom, Seed: 7, Forward: 12, Recovery: []int64{3, 5}},
+		{Runtime: "vm-ido", Workload: "mapput", Mode: nvm.CrashDiscard, Seed: 1, Forward: 99},
+		{Runtime: "nvml", Workload: "counter", Mode: nvm.CrashPersistAll, Seed: -3, Forward: 1, Recovery: []int64{0, 0, 0}},
+	} {
+		got, err := ParseSchedule(s.String())
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if !reflect.DeepEqual(got, s) {
+			t.Fatalf("round trip: %s -> %+v, want %+v", s, got, s)
+		}
+	}
+}
+
+func TestParseScheduleRejects(t *testing.T) {
+	for _, bad := range []string{
+		"ido:counter:random:7:12",            // missing field
+		"ido:counter:sideways:7:12:-",        // unknown mode
+		"ido:counter:random:7:12:1,2,3,4",    // nesting too deep
+		"warp9:counter:random:7:12:-",        // unknown runtime
+		"ido:towersofhanoi:random:7:12:-",    // unknown workload
+		"ido:counter:random:seven:12:-",      // bad seed
+		"vm-ido:counter:persist-all:1:5:-",   // native workload on the VM
+		"origin:mapput:persist-all:1:5:-",    // VM workload on a native runtime
+		"atlas:cachemix:random:1:5:-",        // cachemix needs FASE-exact recovery
+		"origin:cachemix:persist-all:1:5:-",  // ditto
+	} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Errorf("ParseSchedule(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestSweepAllRuntimes is the tentpole matrix: for every runtime,
+// forward crash points × first-pass recovery crash points under every
+// supported adversary, plus sampled depth-2/3 nesting, each schedule
+// verified against the CrashPersistAll oracle.
+func TestSweepAllRuntimes(t *testing.T) {
+	for _, rt := range Runtimes() {
+		t.Run(rt, func(t *testing.T) {
+			st, err := Sweep(SweepOptions{
+				Runtime:        rt,
+				ForwardPoints:  pick(10, 4),
+				RecoveryPoints: pick(6, 3),
+				DeepSamples:    pick(2, 1),
+			})
+			if err != nil {
+				t.Fatalf("sweep diverged (the error carries the replayable tuple; rerun with idorecover -chaos -replay '<tuple>'): %v", err)
+			}
+			if st.Schedules == 0 {
+				t.Fatal("sweep ran no schedules")
+			}
+			switch rt {
+			case "justdo", "origin", "vm-origin":
+				// Recovery refuses or is a no-op: no pass to crash.
+				if st.Depth[1]+st.Depth[2]+st.Depth[3] != 0 {
+					t.Fatalf("recovery-less runtime reported nested crashes: %v", st.Depth)
+				}
+			default:
+				if st.Depth[1] == 0 {
+					t.Fatalf("no schedule crashed inside recovery: %v", st.Depth)
+				}
+			}
+			t.Logf("%d schedules converged; nesting-depth histogram %v", st.Schedules, st.Depth)
+		})
+	}
+}
+
+// TestNestedDepth3Converges pins the deepest contract directly: crash
+// the first recovery at its first event, the recovery of that recovery
+// at its first event, and once more at depth 3, then prove the final
+// clean pass converges. Budget 0 always fires (every pass reads the
+// log list), so the depth is deterministic, and the per-nesting-level
+// attempt indices must come out 0,1,2,3.
+func TestNestedDepth3Converges(t *testing.T) {
+	for _, rt := range []string{"ido", "atlas", "mnemosyne", "nvthreads", "nvml", "vm-ido", "vm-justdo"} {
+		t.Run(rt, func(t *testing.T) {
+			base := Schedule{Runtime: rt, Workload: DefaultWorkload(rt), Mode: nvm.CrashRandom, Seed: 42, Forward: 1}
+			k, err := ForwardEvents(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range []int64{1, k / 2, k - 1} {
+				if f < 1 {
+					continue
+				}
+				s := base
+				s.Forward = f
+				s.Recovery = []int64{0, 0, 0}
+				res, err := Run(s)
+				if err != nil {
+					t.Fatalf("replay with: idorecover -chaos -replay '%s': %v", s, err)
+				}
+				if len(res.Attempts) != 4 {
+					t.Fatalf("%s: %d attempts, want 4 (3 crashed + final)", s, len(res.Attempts))
+				}
+				for i, a := range res.Attempts {
+					if a.Index != i {
+						t.Fatalf("%s: attempt %d has recovery-pass index %d", s, i, a.Index)
+					}
+					if crashed := i < 3; a.Crashed != crashed {
+						t.Fatalf("%s: attempt %d crashed=%v, want %v", s, i, a.Crashed, crashed)
+					}
+				}
+				last := res.Attempts[3]
+				if last.Audit == nil {
+					t.Fatalf("%s: final pass has no audit", s)
+				}
+				if last.Audit.Attempt != last.Index {
+					t.Fatalf("%s: final audit attempt %d, want %d", s, last.Audit.Attempt, last.Index)
+				}
+			}
+		})
+	}
+}
+
+// TestNestedCrashLeaksNoGoroutines covers the drained-gate fix in both
+// parallel-restore runtimes (core and the VM) at the harness level:
+// repeated nested recovery crashes must not strand restore goroutines.
+func TestNestedCrashLeaksNoGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for _, rt := range []string{"ido", "vm-ido"} {
+		s := Schedule{Runtime: rt, Workload: DefaultWorkload(rt), Mode: nvm.CrashDiscard, Seed: 3, Forward: 5, Recovery: []int64{0, 0, 0}}
+		for i := 0; i < pick(8, 3); i++ {
+			s.Seed = int64(i + 1)
+			if _, err := Run(s); err != nil {
+				t.Fatalf("replay with: idorecover -chaos -replay '%s': %v", s, err)
+			}
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > base+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d goroutines above baseline %d after nested-crash schedules", runtime.NumGoroutine()-base, base)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestJUSTDOParamRegisterReplay pins two bugs this harness found in the
+// VM's JUSTDO mode. First, Thread.Call used to write parameter registers
+// (and the stack pointer) straight into the volatile register file,
+// bypassing the JUSTDO register-slot discipline, so a replay resuming
+// inside map_put restored the key parameter as the slot's stale value —
+// typically 0 — and linked a key-0 node into whatever bucket the
+// pre-crash key had hashed to. Second, the single ⟨pc, addr, val⟩ log
+// record was rewritten in place with three unordered stores, so a crash
+// mid-rewrite (e.g. at vm-justdo:mapput:persist-all:1:208) left a mixed
+// record — new pc and addr with the previous store's value — and replay
+// wrote that stale value into the named register slot, turning a node's
+// lock-holder field into the node's own address. Both windows open at
+// crash points all through a put's FASE, so the test strides the whole
+// forward range; pre-fix it fails the bucket/chain invariants or the
+// lock-table check.
+func TestJUSTDOParamRegisterReplay(t *testing.T) {
+	base := Schedule{Runtime: "vm-justdo", Workload: "mapput", Mode: nvm.CrashPersistAll, Seed: 1}
+	k, err := ForwardEvents(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stride the whole forward range: the stale-parameter window opens
+	// at every crash point inside a put's FASE.
+	stride := k / int64(pick(40, 10))
+	if stride < 1 {
+		stride = 1
+	}
+	for f := int64(1); f < k; f += stride {
+		s := base
+		s.Forward = f
+		if _, err := Run(s); err != nil {
+			t.Fatalf("replay with: idorecover -chaos -replay '%s': %v", s, err)
+		}
+	}
+}
+
+// TestCacheMixSweep drives the delete-heavy memcache workload (the
+// Fig. 5c satellite) through the harness: a bounded sweep on iDO — the
+// delete FASEs' unchain / LRU-unlink / count regions crash-tested under
+// every adversary, including nested recovery crashes — plus one
+// deterministic depth-1 schedule per other supported runtime.
+func TestCacheMixSweep(t *testing.T) {
+	st, err := Sweep(SweepOptions{
+		Runtime:        "ido",
+		Workload:       "cachemix",
+		ForwardPoints:  pick(8, 3),
+		RecoveryPoints: pick(4, 2),
+		DeepSamples:    1,
+	})
+	if err != nil {
+		t.Fatalf("sweep diverged (rerun with idorecover -chaos -replay '<tuple>'): %v", err)
+	}
+	if st.Schedules == 0 || st.Depth[1] == 0 {
+		t.Fatalf("sweep too shallow: %d schedules, depth histogram %v", st.Schedules, st.Depth)
+	}
+	t.Logf("ido/cachemix: %d schedules converged; depth histogram %v", st.Schedules, st.Depth)
+
+	for _, rt := range []string{"mnemosyne", "nvthreads"} {
+		base := Schedule{Runtime: rt, Workload: "cachemix", Mode: nvm.CrashRandom, Seed: 7, Forward: 1}
+		k, err := ForwardEvents(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := base
+		s.Forward = k / 2
+		s.Recovery = []int64{0}
+		if _, err := Run(s); err != nil {
+			t.Fatalf("replay with: idorecover -chaos -replay '%s': %v", s, err)
+		}
+	}
+}
+
+// TestPCPublishSingleEvent pins a bug the sweep found in the iDO
+// runtimes (native and VM) and in the VM's JUSTDO mode: recovery_pc was
+// published with a cached store followed by a CLWB, leaving a one-event
+// window where the crash adversary decided whether the pc reached the
+// persistence domain. At a FASE's entry boundary that choice was "FASE
+// never started" (discard) versus "FASE resumes and completes"
+// (persist-all) — e.g. vm-ido:mapput:discard:1:409:0 against the old
+// code — violating the adversary-independence the persist-all oracle
+// checks exactly. The pc is now published with a single non-temporal
+// store. The window was one event wide, so this walks EVERY forward
+// event under the discard adversary (the sweep's coarser stride can
+// miss it).
+func TestPCPublishSingleEvent(t *testing.T) {
+	for _, base := range []Schedule{
+		{Runtime: "ido", Workload: "counter", Mode: nvm.CrashDiscard, Seed: 1},
+		{Runtime: "vm-ido", Workload: "mapput", Mode: nvm.CrashDiscard, Seed: 1},
+		{Runtime: "vm-justdo", Workload: "mapput", Mode: nvm.CrashDiscard, Seed: 1},
+	} {
+		k, err := ForwardEvents(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f, stride := int64(1), int64(pick(1, 7)); f < k; f += stride {
+			s := base
+			s.Forward = f
+			if _, err := Run(s); err != nil {
+				t.Fatalf("replay with: idorecover -chaos -replay '%s': %v", s, err)
+			}
+		}
+	}
+}
+
+// TestNVThreadsCommitSelfClobber pins a bug this workload found in the
+// NVThreads baseline: its per-thread page log used to share page 0 with
+// the workload data, so a multi-page commit that dirtied page 0 would,
+// while applying that page home, overwrite its own published commit
+// record with the mid-FASE COW snapshot (logState=0). A crash between
+// the two page applies — e.g. nvthreads:cachemix:random:7:654:0 against
+// the old layout — then skipped the replay and lost the unapplied half
+// of a committed delete FASE (the victim's LRU neighbor kept a dangling
+// back link). The log now gets pages of its own; this strides crash
+// points across the whole forward range to keep the window covered.
+func TestNVThreadsCommitSelfClobber(t *testing.T) {
+	base := Schedule{Runtime: "nvthreads", Workload: "cachemix", Mode: nvm.CrashPersistAll, Seed: 7}
+	k, err := ForwardEvents(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stride := k / int64(pick(40, 10))
+	if stride < 1 {
+		stride = 1
+	}
+	for f := int64(1); f < k; f += stride {
+		s := base
+		s.Forward = f
+		if _, err := Run(s); err != nil {
+			t.Fatalf("replay with: idorecover -chaos -replay '%s': %v", s, err)
+		}
+	}
+}
+
+// TestRunRejectsUnsupportedMode: runtimes without recovery are only
+// comparable to the oracle under persist-all.
+func TestRunRejectsUnsupportedMode(t *testing.T) {
+	for _, rt := range []string{"origin", "vm-origin"} {
+		s := Schedule{Runtime: rt, Workload: DefaultWorkload(rt), Mode: nvm.CrashDiscard, Seed: 1, Forward: 3}
+		if _, err := Run(s); err == nil {
+			t.Errorf("%s: Run accepted the discard adversary", rt)
+		}
+	}
+}
+
+// TestReplayIsDeterministic: the String form replays to the identical
+// observation, which is what makes a printed failing tuple actionable.
+func TestReplayIsDeterministic(t *testing.T) {
+	s := Schedule{Runtime: "ido", Workload: "counter", Mode: nvm.CrashRandom, Seed: 99, Forward: 17, Recovery: []int64{4, 2}}
+	first, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseSchedule(s.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Final, second.Final) {
+		t.Fatalf("replay diverged: %v vs %v", first.Final, second.Final)
+	}
+	if len(first.Attempts) != len(second.Attempts) {
+		t.Fatalf("replay attempt counts differ: %d vs %d", len(first.Attempts), len(second.Attempts))
+	}
+	for i := range first.Attempts {
+		if first.Attempts[i].Crashed != second.Attempts[i].Crashed {
+			t.Fatalf("replay attempt %d crash outcome differs", i)
+		}
+	}
+}

@@ -342,9 +342,14 @@ func (t *Thread) Boundary(regionID uint64, outputs ...persist.RegVal) {
 
 	// Step 2: publish the new recovery_pc (record count and buffer ride
 	// in the packed word, so record and pc switch atomically), fence.
-	// From here on a crash resumes at regionID's entry.
-	dev.Store64(t.log+logPC, pcPack(regionID, len(outputs), buf))
-	dev.CLWB(t.log + logPC)
+	// From here on a crash resumes at regionID's entry. The publish is a
+	// non-temporal store: a cached store plus write-back would leave a
+	// window where the crash adversary decides whether the pc reached the
+	// persistence domain — at a FASE's entry boundary that would let the
+	// adversary pick between "FASE never started" and "FASE resumes",
+	// breaking the adversary-independence of recovery (§III-C) that the
+	// chaos harness's persist-all oracle checks exactly.
+	dev.StoreNT(t.log+logPC, pcPack(regionID, len(outputs), buf))
 	dev.Fence()
 	t.curBuf = buf
 	t.staged = append(t.staged[:0], outputs...)
@@ -441,8 +446,9 @@ func (t *Thread) Unlock(l *locks.Lock) {
 		t.closeRegion()
 		t.flushDirty()
 		dev.Fence()
-		dev.Store64(t.log+logPC, 0)
-		dev.CLWB(t.log + logPC)
+		// Single-event clear, matching the Boundary publish (see Step 2
+		// there): the pc transition must not depend on the adversary.
+		dev.StoreNT(t.log+logPC, 0)
 		dev.Fence()
 		t.stats.FASEs++
 		if t.rc != nil {
@@ -488,8 +494,7 @@ func (t *Thread) EndDurable() {
 		t.closeRegion()
 		t.flushDirty()
 		dev.Fence()
-		dev.Store64(t.log+logPC, 0)
-		dev.CLWB(t.log + logPC)
+		dev.StoreNT(t.log+logPC, 0)
 		dev.Fence()
 		t.stats.FASEs++
 		if t.rc != nil {
@@ -521,8 +526,18 @@ func (rt *Runtime) Stats() persist.RuntimeStats {
 func (rt *Runtime) Recover(rr *persist.ResumeRegistry) (persist.RecoveryStats, error) {
 	start := time.Now()
 	dev := rt.reg.Dev
+	attempt := nvm.EnterRecovery()
+	defer nvm.ExitRecovery()
+	// With a recovery-scoped crash budget armed, run the single-goroutine
+	// restore path: goroutine interleaving would make "the Nth device
+	// event of recovery" a different event on every run, and the chaos
+	// harness needs schedules to replay bit-for-bit. The serial path
+	// preserves the §III-C barrier by finishing every restore/re-acquire
+	// before the first resume.
+	serial := nvm.RecoveryCrashArmed()
 	var stats persist.RecoveryStats
-	stats.Audit = &obs.RecoveryAudit{Runtime: rt.Name()}
+	stats.Attempt = attempt
+	stats.Audit = &obs.RecoveryAudit{Runtime: rt.Name(), Attempt: attempt}
 	rc := dev.Tracer().ThreadRing("ido/recover")
 	scanT0 := rc.Clock()
 
@@ -550,75 +565,106 @@ func (rt *Runtime) Recover(rr *persist.ResumeRegistry) (persist.RecoveryStats, e
 	// acquisitions cannot deadlock.
 	var acq, done sync.WaitGroup
 	gate := make(chan struct{})
+	var gateOnce sync.Once
+	openGate := func() { gateOnce.Do(func() { close(gate) }) }
 	var abort atomic.Bool
+
+	// A crash injected while this frame is driving the walk (or the
+	// serial restore) must not strand launched goroutines: they block on
+	// <-gate after their acq phase, and a panic that unwinds past this
+	// frame would leak them — and the locks they re-acquired — forever.
+	// Flag the abort, open the gate so they drain down the release path,
+	// and re-raise.
+	defer func() {
+		if r := recover(); r != nil {
+			abort.Store(true)
+			openGate()
+			done.Wait()
+			panic(r)
+		}
+	}()
+
+	// restore reads one interrupted thread's lock slots and register file
+	// from its log and re-acquires its locks. Panics propagate to the
+	// caller (each call path wraps it per its own death semantics).
+	restore := func(w *pending) {
+		t, p := w.t, w.t.log
+		held := 0
+		for i := 0; i < numSlots; i++ {
+			if w.bits&(1<<uint(i)) != 0 {
+				h := dev.Load64(p + rt.laBase() + uint64(i)*8)
+				if h == 0 {
+					continue
+				}
+				t.slots[i] = h
+				t.bits |= 1 << uint(i)
+				w.locks = append(w.locks, h)
+				held++
+			}
+		}
+		// Restore the register file: fixed slots overlaid with the
+		// current boundary record (whose count rides in the pc word).
+		w.rf = make([]uint64, persist.MaxOutputs)
+		for i := range w.rf {
+			w.rf[i] = dev.Load64(p + rfBase + uint64(i)*rt.rfStride)
+		}
+		for i := 0; i < w.n && i < persist.MaxOutputs; i++ {
+			reg := dev.Load64(p + rt.stageBase(w.buf) + uint64(i)*16)
+			val := dev.Load64(p + rt.stageBase(w.buf) + uint64(i)*16 + 8)
+			if reg < persist.MaxOutputs {
+				w.rf[reg] = val
+				t.staged = append(t.staged, persist.RegVal{Reg: int(reg), Val: val})
+			}
+		}
+		t.curBuf = w.buf
+		t.lockDepth = held
+		if held == 0 {
+			t.durableDepth = 1 // a programmer-delineated FASE was active
+		}
+		t.inRegion = true
+		for s := 0; s < numSlots; s++ {
+			if t.slots[s] != 0 {
+				rt.lm.ByHolder(t.slots[s]).Acquire()
+				w.acquired++
+				t.rc.Emit(obs.KLockAcq, t.slots[s], 0)
+			}
+		}
+	}
+	// release drops the locks a failed/aborted thread actually grabbed so
+	// the manager is not left poisoned for the caller's next attempt.
+	// Only the first w.acquired held slots were locked — a panic can land
+	// after t.slots is filled but before (or mid) the acquisition loop,
+	// and releasing a never-acquired lock would be a fatal
+	// unlock-of-unlocked-mutex.
+	release := func(w *pending) {
+		rel := w.acquired
+		for s := 0; s < numSlots && rel > 0; s++ {
+			if w.t.slots[s] != 0 {
+				rt.lm.ByHolder(w.t.slots[s]).Release()
+				rel--
+			}
+		}
+	}
+	resume := func(w *pending) {
+		fn, _ := rr.Lookup(w.regionID)
+		fn(w.t, w.rf)
+	}
 
 	launch := func(w *pending) {
 		defer done.Done()
-		t, p := w.t, w.t.log
 		func() {
 			defer acq.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					w.err = fmt.Errorf("ido: restore of log %#x panicked: %v", p, r)
+					w.err = fmt.Errorf("ido: restore of log %#x panicked: %v", w.t.log, r)
 				}
 			}()
-			held := 0
-			for i := 0; i < numSlots; i++ {
-				if w.bits&(1<<uint(i)) != 0 {
-					h := dev.Load64(p + rt.laBase() + uint64(i)*8)
-					if h == 0 {
-						continue
-					}
-					t.slots[i] = h
-					t.bits |= 1 << uint(i)
-					w.locks = append(w.locks, h)
-					held++
-				}
-			}
-			// Restore the register file: fixed slots overlaid with the
-			// current boundary record (whose count rides in the pc word).
-			w.rf = make([]uint64, persist.MaxOutputs)
-			for i := range w.rf {
-				w.rf[i] = dev.Load64(p + rfBase + uint64(i)*rt.rfStride)
-			}
-			for i := 0; i < w.n && i < persist.MaxOutputs; i++ {
-				reg := dev.Load64(p + rt.stageBase(w.buf) + uint64(i)*16)
-				val := dev.Load64(p + rt.stageBase(w.buf) + uint64(i)*16 + 8)
-				if reg < persist.MaxOutputs {
-					w.rf[reg] = val
-					t.staged = append(t.staged, persist.RegVal{Reg: int(reg), Val: val})
-				}
-			}
-			t.curBuf = w.buf
-			t.lockDepth = held
-			if held == 0 {
-				t.durableDepth = 1 // a programmer-delineated FASE was active
-			}
-			t.inRegion = true
-			for s := 0; s < numSlots; s++ {
-				if t.slots[s] != 0 {
-					rt.lm.ByHolder(t.slots[s]).Acquire()
-					w.acquired++
-					t.rc.Emit(obs.KLockAcq, t.slots[s], 0)
-				}
-			}
+			restore(w)
 		}()
 		<-gate
 		if abort.Load() || w.err != nil {
 			// The walk failed (or this restore did): nothing resumes.
-			// Drop the locks this thread grabbed so the manager is not
-			// left poisoned for the caller's next attempt. Only the first
-			// w.acquired held slots were actually locked — a panic can
-			// land after t.slots is filled but before (or mid) the
-			// acquisition loop, and releasing a never-acquired lock would
-			// be a fatal unlock-of-unlocked-mutex.
-			rel := w.acquired
-			for s := 0; s < numSlots && rel > 0; s++ {
-				if t.slots[s] != 0 {
-					rt.lm.ByHolder(t.slots[s]).Release()
-					rel--
-				}
-			}
+			release(w)
 			return
 		}
 		defer func() {
@@ -626,8 +672,7 @@ func (rt *Runtime) Recover(rr *persist.ResumeRegistry) (persist.RecoveryStats, e
 				w.err = fmt.Errorf("ido: resume of region %#x panicked: %v", w.regionID, r)
 			}
 		}()
-		fn, _ := rr.Lookup(w.regionID)
-		fn(t, w.rf)
+		resume(w)
 	}
 
 	var walkErr error
@@ -679,11 +724,68 @@ func (rt *Runtime) Recover(rr *persist.ResumeRegistry) (persist.RecoveryStats, e
 			ai: len(stats.Audit.Threads) - 1,
 		}
 		work = append(work, w)
-		acq.Add(1)
-		done.Add(1)
-		go launch(w)
+		if !serial {
+			acq.Add(1)
+			done.Add(1)
+			go launch(w)
+		}
 	}
 	rc.Span(obs.KRecovery, obs.PhaseScan, stats.LogEntries, scanT0)
+
+	if serial {
+		// Deterministic path: restore every thread, then resume every
+		// thread, on this goroutine in walk order. An injected CrashSignal
+		// propagates — the crash kills recovery mid-flight and the chaos
+		// harness settles and re-recovers; any other panic becomes an
+		// error after the acquired locks are dropped.
+		guard := func(label string, w *pending, f func()) (ok bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, crash := r.(nvm.CrashSignal); crash {
+						panic(r)
+					}
+					w.err = fmt.Errorf("ido: %s panicked: %v", label, r)
+				}
+			}()
+			f()
+			return w.err == nil
+		}
+		var firstErr error
+		if walkErr == nil {
+			for _, w := range work {
+				if !guard(fmt.Sprintf("restore of log %#x", w.t.log), w, func() { restore(w) }) {
+					firstErr = w.err
+					break
+				}
+			}
+		}
+		var locksTotal uint64
+		for _, w := range work {
+			stats.Audit.Threads[w.ai].Locks = w.locks
+			locksTotal += uint64(len(w.locks))
+		}
+		rc.Span(obs.KRecovery, obs.PhaseReacquire, locksTotal, scanT0)
+		if walkErr != nil || firstErr != nil {
+			for _, w := range work {
+				release(w)
+			}
+			if walkErr != nil {
+				return stats, walkErr
+			}
+			return stats, firstErr
+		}
+		resumeT0 := rc.Clock()
+		for _, w := range work {
+			if !guard(fmt.Sprintf("resume of region %#x", w.regionID), w, func() { resume(w) }) {
+				return stats, w.err
+			}
+		}
+		rc.Span(obs.KRecovery, obs.PhaseResume, uint64(len(work)), resumeT0)
+		stats.Resumed = len(work)
+		stats.Elapsed = time.Since(start)
+		return stats, nil
+	}
+
 	acq.Wait()
 	// Fold what the restore goroutines found into the audit, in walk
 	// order; the slice is stable now that the walk has finished, and the
@@ -700,7 +802,7 @@ func (rt *Runtime) Recover(rr *persist.ResumeRegistry) (persist.RecoveryStats, e
 		abort.Store(true)
 	}
 	resumeT0 := rc.Clock()
-	close(gate)
+	openGate()
 	done.Wait()
 	if walkErr != nil {
 		return stats, walkErr

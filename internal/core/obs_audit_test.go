@@ -132,7 +132,7 @@ func TestRecoveryAuditAtEveryPoint(t *testing.T) {
 			t.Fatalf("k=%d: nothing mid-FASE but audit shows %d resumed", k, st.Audit.Resumed())
 		}
 		// The report must render and name the runtime.
-		if rpt := st.Audit.String(); !strings.Contains(rpt, "recovery audit (ido)") {
+		if rpt := st.Audit.String(); !strings.Contains(rpt, "recovery audit (ido") {
 			t.Fatalf("k=%d: audit report missing header: %q", k, rpt)
 		}
 	}

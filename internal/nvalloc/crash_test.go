@@ -335,3 +335,127 @@ func TestAllocNoTransientOOM(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAttachCrashSweepReattaches crashes the recovery path itself: the
+// Attach header scan is killed at a stride of event offsets mid-adoption,
+// then run again on the same image. The scan only reads the device, so a
+// crashed scan must be invisible — the re-Attach must succeed, see the
+// identical heap, and agree byte-for-byte on allocated bytes with a
+// MutexAllocator attach of the same image (the differential oracle for
+// the shared persistent format).
+func TestAttachCrashSweepReattaches(t *testing.T) {
+	defer nvm.ArmCrash(-1)
+	const arena = 1 << 16
+	d := nvm.New(nvm.Config{Size: arena})
+	a := New(d, 0, arena)
+	st := &sweepState{live: map[uint64]int{}}
+
+	// Probe the workload's event count, then rebuild and crash it
+	// mid-flight so the image Attach scans carries in-flight state.
+	nvm.ArmCrash(1 << 40)
+	sweepWork(a, st)
+	workEvents := int64(1)<<40 - nvm.CrashBudgetRemaining()
+	nvm.ArmCrash(-1)
+
+	d = nvm.New(nvm.Config{Size: arena})
+	a = New(d, 0, arena)
+	st = &sweepState{live: map[uint64]int{}}
+	nvm.ArmCrash(workEvents * 3 / 5)
+	crashed := func() (c bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(nvm.CrashSignal); !ok {
+					panic(r)
+				}
+				c = true
+			}
+		}()
+		sweepWork(a, st)
+		return false
+	}()
+	nvm.ArmCrash(-1)
+	if !crashed {
+		t.Fatal("mid-workload budget did not fire")
+	}
+	d.Crash(nvm.CrashDiscard, nil)
+
+	// Probe the scan's own event count on the settled image.
+	nvm.ArmCrash(1 << 40)
+	ref, err := Attach(d, 0, arena)
+	if err != nil {
+		t.Fatalf("reference Attach: %v", err)
+	}
+	scanEvents := int64(1)<<40 - nvm.CrashBudgetRemaining()
+	nvm.ArmCrash(-1)
+	if scanEvents < 2 {
+		t.Fatalf("scan performed only %d device events", scanEvents)
+	}
+	refAllocated := ref.Stats().AllocatedBytes
+
+	stride := scanEvents / 16
+	if stride < 1 {
+		stride = 1
+	}
+	points := 0
+	for off := int64(1); off < scanEvents; off += stride {
+		nvm.ArmCrash(off)
+		crashed := func() (c bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(nvm.CrashSignal); !ok {
+						panic(r)
+					}
+					c = true
+				}
+			}()
+			_, aerr := Attach(d, 0, arena)
+			if aerr != nil {
+				t.Errorf("offset %d: Attach errored instead of crashing: %v", off, aerr)
+			}
+			return false
+		}()
+		nvm.ArmCrash(-1)
+		if t.Failed() {
+			return
+		}
+		if !crashed {
+			t.Fatalf("offset %d of %d did not crash the scan", off, scanEvents)
+		}
+		d.Crash(nvm.CrashDiscard, nil)
+
+		a2, err := Attach(d, 0, arena)
+		if err != nil {
+			t.Fatalf("offset %d: re-Attach after crashed scan: %v", off, err)
+		}
+		if err := a2.CheckInvariants(); err != nil {
+			t.Fatalf("offset %d: invariants after crashed scan: %v", off, err)
+		}
+		if got := a2.Stats().AllocatedBytes; got != refAllocated {
+			t.Fatalf("offset %d: re-Attach sees %d allocated bytes, reference saw %d", off, got, refAllocated)
+		}
+		for p, n := range st.live {
+			h := d.Load64(p - headerSize)
+			if h&allocBit == 0 {
+				t.Fatalf("offset %d: committed block %#x lost its allocated header", off, p)
+			}
+			if got := int(h>>1) - headerSize; got < n {
+				t.Fatalf("offset %d: committed block %#x shrank: %d < %d", off, p, got, n)
+			}
+		}
+		m, err := AttachMutex(d, 0, arena)
+		if err != nil {
+			t.Fatalf("offset %d: AttachMutex cross-check: %v", off, err)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("offset %d: MutexAllocator sees a different heap: %v", off, err)
+		}
+		if got := m.Stats().AllocatedBytes; got != refAllocated {
+			t.Fatalf("offset %d: MutexAllocator sees %d allocated bytes, sharded scan saw %d", off, got, refAllocated)
+		}
+		points++
+	}
+	if points == 0 {
+		t.Fatal("sweep crashed the scan at no offsets")
+	}
+	t.Logf("crashed the Attach scan at %d offsets (of %d scan events)", points, scanEvents)
+}

@@ -47,6 +47,11 @@ type ThreadAudit struct {
 // RecoveryAudit is the full audit trail of one recovery pass.
 type RecoveryAudit struct {
 	Runtime string
+	// Attempt is this pass's recovery-attempt index (0 for the first
+	// pass since nvm.ResetRecoveryPasses). Under the chaos harness each
+	// nested crash-during-recovery bumps it, so a failing schedule's
+	// audit trail shows which nesting level did what.
+	Attempt int
 	Threads []ThreadAudit
 }
 
@@ -86,8 +91,8 @@ func (a *RecoveryAudit) WordsRestored() int {
 // String renders the audit as the report idorecover prints.
 func (a *RecoveryAudit) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "recovery audit (%s): %d thread logs, %d resumed, %d locks re-acquired, %d words restored\n",
-		a.Runtime, len(a.Threads), a.Resumed(), a.LocksReacquired(), a.WordsRestored())
+	fmt.Fprintf(&b, "recovery audit (%s, attempt %d): %d thread logs, %d resumed, %d locks re-acquired, %d words restored\n",
+		a.Runtime, a.Attempt, len(a.Threads), a.Resumed(), a.LocksReacquired(), a.WordsRestored())
 	for _, t := range a.Threads {
 		fmt.Fprintf(&b, "  t%d log=%#x: %s", t.ThreadID, t.LogAddr, t.Action)
 		if t.RegionID != 0 {

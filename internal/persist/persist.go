@@ -133,6 +133,12 @@ type RecoveryStats struct {
 	LogEntries uint64        // log entries scanned
 	Elapsed    time.Duration // wall time of the pass
 
+	// Attempt is the recovery-attempt index of this pass (0 for the
+	// first pass since nvm.ResetRecoveryPasses). A pass that runs after
+	// an earlier pass crashed mid-recovery reports a higher Attempt —
+	// the re-entrancy counter the chaos harness asserts on.
+	Attempt int
+
 	// Audit is the per-thread audit trail of what this pass did — which
 	// locks were re-acquired, which region was resumed at which
 	// recovery_pc, how many words were restored. Runtimes populate it

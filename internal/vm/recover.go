@@ -3,10 +3,12 @@ package vm
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/ido-nvm/ido/internal/compile"
 	"github.com/ido-nvm/ido/internal/ir"
+	"github.com/ido-nvm/ido/internal/nvm"
 	"github.com/ido-nvm/ido/internal/obs"
 	"github.com/ido-nvm/ido/internal/persist"
 	"github.com/ido-nvm/ido/internal/region"
@@ -28,8 +30,17 @@ import (
 func (m *Machine) Recover() (persist.RecoveryStats, error) {
 	start := time.Now()
 	dev := m.Reg.Dev
+	attempt := nvm.EnterRecovery()
+	defer nvm.ExitRecovery()
+	// With a recovery-scoped crash budget armed, run the deterministic
+	// single-goroutine restore path (see core.Runtime.Recover): the Nth
+	// recovery event must be the same event on every replay, and the
+	// §III-C barrier is preserved by finishing every restore/re-acquire
+	// before the first resume.
+	serial := nvm.RecoveryCrashArmed()
 	var stats persist.RecoveryStats
-	stats.Audit = &obs.RecoveryAudit{Runtime: "vm-" + m.Mode.String()}
+	stats.Attempt = attempt
+	stats.Audit = &obs.RecoveryAudit{Runtime: "vm-" + m.Mode.String(), Attempt: attempt}
 	if m.Mode == ModeOrigin {
 		return stats, nil
 	}
@@ -55,55 +66,77 @@ func (m *Machine) Recover() (persist.RecoveryStats, error) {
 	// at most one crashed thread, so the acquisitions cannot deadlock.
 	var acq, done sync.WaitGroup
 	gate := make(chan struct{})
+	var gateOnce sync.Once
+	openGate := func() { gateOnce.Do(func() { close(gate) }) }
+	var abort atomic.Bool
+
+	// A crash injected while this frame is driving the walk must not
+	// strand launched goroutines at <-gate: flag the abort, open the gate
+	// so they drain down the release path, and re-raise.
+	defer func() {
+		if r := recover(); r != nil {
+			abort.Store(true)
+			openGate()
+			done.Wait()
+			panic(r)
+		}
+	}()
+
+	restore := func(w *pending) {
+		t, p := w.t, w.t.log
+		held := 0
+		for i := 0; i < numLk; i++ {
+			if w.bits&(1<<uint(i)) != 0 {
+				h := dev.Load64(p + lLocks + uint64(i)*8)
+				if h == 0 {
+					continue
+				}
+				t.slots[i] = h
+				t.bits |= 1 << uint(i)
+				w.locks = append(w.locks, h)
+				held++
+			}
+		}
+		t.lockDepth = held
+		if held == 0 {
+			t.durDepth = 1
+		}
+		for s := 0; s < numLk; s++ {
+			if t.slots[s] != 0 {
+				m.LM.ByHolder(t.slots[s]).Acquire()
+				w.acquired++
+				t.rc.Emit(obs.KLockAcq, t.slots[s], 0)
+			}
+		}
+	}
+	// release drops only the first w.acquired held slots: a panic can
+	// land after t.slots is filled but before (or mid) the acquisition
+	// loop, and releasing a never-acquired lock would be a fatal
+	// unlock-of-unlocked-mutex.
+	release := func(w *pending) {
+		rel := w.acquired
+		for s := 0; s < numLk && rel > 0; s++ {
+			if w.t.slots[s] != 0 {
+				m.LM.ByHolder(w.t.slots[s]).Release()
+				rel--
+			}
+		}
+	}
 
 	launch := func(w *pending) {
 		defer done.Done()
-		t, p := w.t, w.t.log
 		func() {
 			defer acq.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					w.err = fmt.Errorf("vm: restore of log %#x panicked: %v", p, r)
+					w.err = fmt.Errorf("vm: restore of log %#x panicked: %v", w.t.log, r)
 				}
 			}()
-			held := 0
-			for i := 0; i < numLk; i++ {
-				if w.bits&(1<<uint(i)) != 0 {
-					h := dev.Load64(p + lLocks + uint64(i)*8)
-					if h == 0 {
-						continue
-					}
-					t.slots[i] = h
-					t.bits |= 1 << uint(i)
-					w.locks = append(w.locks, h)
-					held++
-				}
-			}
-			t.lockDepth = held
-			if held == 0 {
-				t.durDepth = 1
-			}
-			for s := 0; s < numLk; s++ {
-				if t.slots[s] != 0 {
-					m.LM.ByHolder(t.slots[s]).Acquire()
-					w.acquired++
-					t.rc.Emit(obs.KLockAcq, t.slots[s], 0)
-				}
-			}
+			restore(w)
 		}()
 		<-gate
-		if w.err != nil {
-			// Release only the first w.acquired held slots: a panic can
-			// land after t.slots is filled but before (or mid) the
-			// acquisition loop, and releasing a never-acquired lock would
-			// be a fatal unlock-of-unlocked-mutex.
-			rel := w.acquired
-			for s := 0; s < numLk && rel > 0; s++ {
-				if t.slots[s] != 0 {
-					m.LM.ByHolder(t.slots[s]).Release()
-					rel--
-				}
-			}
+		if abort.Load() || w.err != nil {
+			release(w)
 			return
 		}
 		defer func() {
@@ -111,7 +144,7 @@ func (m *Machine) Recover() (persist.RecoveryStats, error) {
 				w.err = fmt.Errorf("vm: resume at pc %#x panicked: %v", w.pc, r)
 			}
 		}()
-		w.err = m.resume(t, w.pc, &stats.Audit.Threads[w.ai])
+		w.err = m.resume(w.t, w.pc, &stats.Audit.Threads[w.ai])
 	}
 
 	for p := m.Reg.Root(region.RootIDOHead); p != 0; p = dev.Load64(p + lNext) {
@@ -157,11 +190,64 @@ func (m *Machine) Recover() (persist.RecoveryStats, error) {
 		stats.Audit.Add(audit)
 		w := &pending{t: t, pc: pc, bits: bits, ai: len(stats.Audit.Threads) - 1}
 		work = append(work, w)
-		acq.Add(1)
-		done.Add(1)
-		go launch(w)
+		if !serial {
+			acq.Add(1)
+			done.Add(1)
+			go launch(w)
+		}
 	}
 	rc.Span(obs.KRecovery, obs.PhaseScan, stats.LogEntries, scanT0)
+
+	if serial {
+		// Deterministic path: restore every thread, then resume every
+		// thread, on this goroutine in walk order. An injected
+		// CrashSignal propagates (the crash kills recovery mid-flight);
+		// any other panic becomes an error after acquired locks drop.
+		guard := func(label string, w *pending, f func()) (ok bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, crash := r.(nvm.CrashSignal); crash {
+						panic(r)
+					}
+					w.err = fmt.Errorf("vm: %s panicked: %v", label, r)
+				}
+			}()
+			f()
+			return w.err == nil
+		}
+		var firstErr error
+		for _, w := range work {
+			if !guard(fmt.Sprintf("restore of log %#x", w.t.log), w, func() { restore(w) }) {
+				firstErr = w.err
+				break
+			}
+		}
+		var locksTotal uint64
+		for _, w := range work {
+			stats.Audit.Threads[w.ai].Locks = w.locks
+			locksTotal += uint64(len(w.locks))
+		}
+		rc.Span(obs.KRecovery, obs.PhaseReacquire, locksTotal, scanT0)
+		if firstErr != nil {
+			for _, w := range work {
+				release(w)
+			}
+			return stats, firstErr
+		}
+		resumeT0 := rc.Clock()
+		for _, w := range work {
+			if !guard(fmt.Sprintf("resume at pc %#x", w.pc), w, func() {
+				w.err = m.resume(w.t, w.pc, &stats.Audit.Threads[w.ai])
+			}) {
+				return stats, w.err
+			}
+		}
+		rc.Span(obs.KRecovery, obs.PhaseResume, uint64(len(work)), resumeT0)
+		stats.Resumed = len(work)
+		stats.Elapsed = time.Since(start)
+		return stats, nil
+	}
+
 	acq.Wait()
 	// Fold the re-acquired locks into the audit in walk order; the slice
 	// is stable now that the walk has finished.
@@ -174,7 +260,7 @@ func (m *Machine) Recover() (persist.RecoveryStats, error) {
 	// concurrently with the walk, which is the point of the overlap.
 	rc.Span(obs.KRecovery, obs.PhaseReacquire, locksTotal, scanT0)
 	resumeT0 := rc.Clock()
-	close(gate)
+	openGate()
 	done.Wait()
 	for _, w := range work {
 		if w.err != nil {
@@ -219,13 +305,18 @@ func (m *Machine) resume(t *Thread, pc uint64, audit *obs.ThreadAudit) error {
 		t.runFrom(target.Func, f, target.Entry.Block, target.Entry.Index)
 		return nil
 	case ModeJUSTDO:
-		// Re-perform the logged store, then continue at the next
-		// instruction with the slot-backed register file.
-		addr := dev.Load64(t.log + lJDAddr)
-		val := dev.Load64(t.log + lJDVal)
+		// Re-perform the logged store from the record buffer the pc
+		// names, then continue at the next instruction with the
+		// slot-backed register file.
+		buf := int(pc >> 63)
+		pc &^= jdBufBit
+		rec := jdRecAt(t.log, buf)
+		addr := dev.Load64(rec)
+		val := dev.Load64(rec + 8)
 		dev.Store64(addr, val)
 		dev.CLWB(addr)
 		dev.Fence()
+		t.jdBuf = buf
 		fnIdx, blk, idx := compile.UnpackPC(pc)
 		if fnIdx >= len(m.funcNames) {
 			return fmt.Errorf("vm: JUSTDO pc %#x names function %d of %d", pc, fnIdx, len(m.funcNames))

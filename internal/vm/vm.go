@@ -84,9 +84,11 @@ const (
 	lBits    = 24 // lock_array live bitmask
 	lSP      = 32 // logged stack pointer
 	lFrame   = 40 // stack frame base
-	lJDAddr  = 48 // JUSTDO: logged store target
-	lJDVal   = 56 // JUSTDO: logged store value
+	lJDAddr  = 48 // JUSTDO: logged store target (record buffer 0)
+	lJDVal   = 56 // JUSTDO: logged store value (record buffer 0)
 	lIntent  = 64 // JUSTDO: lock intention slot
+	lJDAddr1 = 72 // JUSTDO: record buffer 1 (ping-pong with buffer 0)
+	lJDVal1  = 80
 	lSlots   = 128
 	lLocks   = lSlots + MaxRegs*8
 	numLk    = 16
@@ -108,6 +110,19 @@ func vmPack(regionID uint64, n, buf int) uint64 {
 
 func vmUnpack(pc uint64) (regionID uint64, n, buf int) {
 	return pc & (1<<48 - 1), int(pc >> 48 & 0xFF), int(pc >> 56 & 1)
+}
+
+// jdBufBit rides in the published JUSTDO pc word (compile.PackPC only
+// uses bits 0..62), naming the record buffer the pc refers to.
+const jdBufBit = uint64(1) << 63
+
+// jdRecAt returns the base of JUSTDO record buffer buf (0 or 1): the
+// ⟨addr, val⟩ pair the published pc's logged store lives in.
+func jdRecAt(log uint64, buf int) uint64 {
+	if buf == 0 {
+		return log + lJDAddr
+	}
+	return log + lJDAddr1
 }
 
 // errCrash unwinds execution when the crash budget hits zero.
@@ -287,6 +302,7 @@ type Thread struct {
 	dirtySlots     []uint64         // JUSTDO: slot lines written outside FASEs
 	staged         []persist.RegVal // iDO: current boundary record
 	curBuf         int              // iDO: active record buffer
+	jdBuf          int              // JUSTDO: active ⟨addr, val⟩ record buffer
 	storesInRegion int
 	inRegion       bool
 
@@ -366,10 +382,14 @@ func (t *Thread) Call(fn string, args ...uint64) (rets []uint64, err error) {
 			panic(r)
 		}
 	}()
+	// Parameters and the stack pointer go through def/setSP, not raw rf
+	// writes: under JUSTDO they are FASE-live state that replay restores
+	// from the NVM register slots, and a param only ever assigned here
+	// would otherwise replay as the slot's stale (or zero) value.
 	for i, a := range args {
-		t.rf[i] = a
+		t.def(0, ir.Reg(i), a)
 	}
-	t.sp = t.frame
+	t.setSP(0, t.frame)
 	if t.m.Legacy {
 		rets = t.runLegacy(t.m.Prog.Funcs[fn].F, 0, 0, -1)
 	} else {
@@ -604,14 +624,31 @@ func (t *Thread) store(pc uint64, addr, v uint64) {
 }
 
 // justdoLoggedStore implements JUSTDO's per-mutation protocol: persist
-// ⟨pc, addr, value⟩, fence, perform the mutation, fence.
+// ⟨pc, addr, value⟩, fence, perform the mutation, fence. The ⟨addr, val⟩
+// pair goes into the inactive record buffer and is fenced durable before
+// a single pc store (carrying the buffer index in jdBufBit) publishes
+// it, so a crash at any point exposes either the previous complete
+// record or this one — never a torn mix of the two. Replay of the old
+// record is idempotent (its mutation already ran) and resuming after its
+// pc deterministically re-executes up to this instruction, because every
+// register definition is itself a logged store: nothing state-changing
+// lies between two records, and re-executed lock/unlock ops are absorbed
+// by the recovery guards.
 func (t *Thread) justdoLoggedStore(pc, addr, v uint64) {
 	dev := t.m.Reg.Dev
-	dev.Store64(t.log+lPC, pc)
-	dev.Store64(t.log+lJDAddr, addr)
-	dev.Store64(t.log+lJDVal, v)
-	dev.CLWB(t.log + lPC) // pc/addr/val share the first log line
+	buf := 1 - t.jdBuf
+	rec := jdRecAt(t.log, buf)
+	dev.Store64(rec, addr)
+	dev.Store64(rec+8, v)
+	dev.CLWB(rec)
 	dev.Fence()
+	// Single-event pc publish, for the same adversary-independence reason
+	// as the iDO boundary (see Thread.boundary): the record in the
+	// inactive buffer is already durable, so the NT store alone decides
+	// whether this logged store exists.
+	dev.StoreNT(t.log+lPC, pc|uint64(buf)<<63)
+	dev.Fence()
+	t.jdBuf = buf
 	t.tick()
 	dev.Store64(addr, v)
 	dev.CLWB(addr)
@@ -724,9 +761,13 @@ func (t *Thread) boundary(id uint64, regs []ir.Reg) {
 	t.flushDirty()
 	dev.Fence()
 	t.tick()
-	// Step 2: publish recovery_pc packed with record size and buffer.
-	dev.Store64(t.log+lPC, vmPack(id, len(regs), buf))
-	dev.CLWB(t.log + lPC)
+	// Step 2: publish recovery_pc packed with record size and buffer. A
+	// non-temporal store makes the publish a single durable event — a
+	// cached store plus write-back would leave a window where the crash
+	// adversary decides whether the pc landed, and at a FASE's entry
+	// boundary that choice is "FASE never started" vs "FASE resumes",
+	// which would break recovery's adversary-independence (§III-C).
+	dev.StoreNT(t.log+lPC, vmPack(id, len(regs), buf))
 	dev.Fence()
 	t.curBuf = buf
 	t.stats.LoggedEntries++
@@ -857,8 +898,7 @@ func (t *Thread) unlock(l *locks.Lock) {
 			dev.Fence()
 			t.tick()
 		}
-		dev.Store64(t.log+lPC, 0)
-		dev.CLWB(t.log + lPC)
+		dev.StoreNT(t.log+lPC, 0)
 		dev.Fence()
 	}
 	t.slots[slot] = 0
@@ -899,8 +939,7 @@ func (t *Thread) endDurable() {
 			dev.Fence()
 			t.tick()
 		}
-		dev.Store64(t.log+lPC, 0)
-		dev.CLWB(t.log + lPC)
+		dev.StoreNT(t.log+lPC, 0)
 		dev.Fence()
 		t.stats.FASEs++
 	}

@@ -19,7 +19,8 @@ type OpKind int
 // Request kinds.
 const (
 	OpInsert OpKind = iota // set / put / push / enqueue
-	OpSearch               // get / lookup / pop / dequeue
+	OpSearch               // get / lookup
+	OpDelete               // delete / remove / pop / dequeue
 )
 
 // Op is one generated request.
@@ -33,6 +34,7 @@ type Op struct {
 type Generator struct {
 	rng       *rand.Rand
 	insertPct int
+	deletePct int
 	keys      *keyDist
 	seq       uint64
 }
@@ -46,8 +48,18 @@ type keyDist struct {
 // keys in [1, rangeSize], insertPct percent inserts (50 for the paper's
 // insertion-intensive mix, 10 for search-intensive).
 func NewUniform(seed int64, rangeSize uint64, insertPct int) *Generator {
+	return NewUniformMix(seed, rangeSize, insertPct, 0)
+}
+
+// NewUniformMix is NewUniform with a three-way mix: insertPct percent
+// inserts, deletePct percent deletes, searches for the rest (40/20 for
+// the delete-heavy churn mix). For structures without keyed search
+// (stack, queue) callers treat OpDelete as the removal op, so a
+// zero-search mix degenerates to pure insert/remove churn.
+func NewUniformMix(seed int64, rangeSize uint64, insertPct, deletePct int) *Generator {
 	rng := rand.New(rand.NewSource(seed))
-	return &Generator{rng: rng, insertPct: insertPct, keys: &keyDist{rangeSize: rangeSize}}
+	return &Generator{rng: rng, insertPct: insertPct, deletePct: deletePct,
+		keys: &keyDist{rangeSize: rangeSize}}
 }
 
 // NewPowerLaw builds an lru_test-style generator: zipfian keys over
@@ -69,8 +81,10 @@ func (g *Generator) Next() Op {
 		key = uint64(g.rng.Int63n(int64(g.keys.rangeSize))) + 1
 	}
 	kind := OpSearch
-	if g.rng.Intn(100) < g.insertPct {
+	if r := g.rng.Intn(100); r < g.insertPct {
 		kind = OpInsert
+	} else if r < g.insertPct+g.deletePct {
+		kind = OpDelete
 	}
 	return Op{Kind: kind, Key: key, Val: g.seq}
 }
