@@ -8,8 +8,13 @@
 //	idobench -exp fig7 -duration 1s -threads 1,2,4,8,16
 //
 // Experiments: fig5, fig6, fig7, fig8, table1, fig9, ablations, vm,
-// alloc, obs, all. See DESIGN.md for the experiment index and
+// alloc, obs, gc, all. See DESIGN.md for the experiment index and
 // EXPERIMENTS.md for paper-versus-measured notes.
+//
+// -workers N runs independent figure points through a bounded pool; -gc
+// runs every device with the group-commit fence combiner (-gcwindow sets
+// the leader's batching dwell in simulated ns). The gc experiment itself
+// sweeps direct vs grouped across threads × window.
 //
 // -traceout FILE attaches a persist-event tracer to every device the run
 // creates and writes a Chrome trace_event JSON file (load it at
@@ -29,12 +34,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|table1|fig9|ablations|vm|alloc|obs|all")
+	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|table1|fig9|ablations|vm|alloc|obs|gc|all")
 	quick := flag.Bool("quick", false, "smoke-scale parameters")
 	duration := flag.Duration("duration", 0, "override measurement interval per point")
 	threads := flag.String("threads", "", "override thread sweep, e.g. 1,2,4,8")
 	traceout := flag.String("traceout", "", "write a Chrome trace_event JSON file of all persist events")
 	seed := flag.Int64("seed", 1, "seed for every adversarial crash settle (replay a failure with the seed it printed)")
+	workers := flag.Int("workers", 1, "independent figure points run concurrently (1 = serial, the accurate-measurement default)")
+	gc := flag.Bool("gc", false, "run every world's device with the group-commit fence combiner")
+	gcwindow := flag.Int("gcwindow", 0, "group-commit leader batch window in simulated ns (with -gc)")
 	flag.Parse()
 
 	o := bench.DefaultOptions()
@@ -60,6 +68,9 @@ func main() {
 		o.Tracer = obs.New(obs.DefaultConfig())
 	}
 	o.Seed = *seed
+	o.Workers = *workers
+	o.GroupCommit = *gc
+	o.GroupWindowNS = *gcwindow
 
 	start := time.Now()
 	var err error
@@ -86,6 +97,8 @@ func main() {
 		_, err = bench.RunAlloc(o)
 	case "obs":
 		_, err = bench.RunObs(o)
+	case "gc":
+		_, err = bench.RunGroupCommit(o)
 	default:
 		fatalf("unknown experiment %q", *exp)
 	}

@@ -246,7 +246,7 @@ func (t *thread) append(kind, addr, val, aux uint64) {
 	dev.Store64(t.aUsed, uint64(t.curUsed))
 	dev.CLWB(e)
 	dev.CLWB(t.aUsed)
-	dev.Fence()
+	dev.FenceBatch()
 	t.stats.LoggedEntries++
 	t.stats.LoggedBytes += entrySize
 	t.faseLogBytes += entrySize
@@ -290,12 +290,10 @@ func (t *thread) Unlock(l *locks.Lock) {
 	t.lamport++
 	t.rt.setLockClock(l.Holder(), t.lamport)
 	if last {
-		// FASE end: data durable first.
-		for _, line := range t.dirty {
-			dev.CLWB(line)
-		}
+		// FASE end: data durable first (flush + fence, group-commit
+		// batchable).
+		dev.PersistBatch(t.dirty)
 		t.dirty = t.dirty[:0]
-		dev.Fence()
 		if t.rt.cfg.Retain {
 			t.append(kRelease, l.Holder(), t.lamport, 1)
 		} else {
@@ -325,7 +323,7 @@ func (t *thread) prune() {
 		dev.Store64(c+8, 0)
 		dev.CLWB(c + 8) // gen shares the header line
 	}
-	dev.Fence()
+	dev.FenceBatch()
 	t.touched = t.touched[:0]
 	t.setChunk(t.firstChunk, 0)
 }
@@ -343,11 +341,8 @@ func (t *thread) BeginDurable() {
 func (t *thread) EndDurable() {
 	dev := t.rt.reg.Dev
 	if t.depth == 1 {
-		for _, line := range t.dirty {
-			dev.CLWB(line)
-		}
+		dev.PersistBatch(t.dirty)
 		t.dirty = t.dirty[:0]
-		dev.Fence()
 		t.lamport++
 		if t.rt.cfg.Retain {
 			t.append(kRelease, 0, t.lamport, 1)
@@ -433,7 +428,7 @@ func (rt *Runtime) Recover(*persist.ResumeRegistry) (persist.RecoveryStats, erro
 	var fases []*fase
 	releaseIndex := map[[2]uint64]*fase{} // (holder, clock) -> releasing FASE
 	var logsToReset [][]uint64            // chunks per thread, for truncation
-	auditIdx := map[int]int{} // tid -> index into stats.Audit.Threads
+	auditIdx := map[int]int{}             // tid -> index into stats.Audit.Threads
 	for rec := rt.reg.Root(region.RootAtlasHead); rec != 0; rec = dev.Load64(rec + trNext) {
 		stats.Threads++
 		tid := int(dev.Load64(rec + trID))

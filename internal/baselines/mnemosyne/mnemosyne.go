@@ -358,23 +358,26 @@ func (t *thread) commit() {
 	wv := t.rt.clock.Add(1)
 
 	// Durability: stream the redo log with NT stores, fence, publish the
-	// commit record, fence; then apply in place and truncate.
+	// commit record, fence; then apply in place and truncate. All four
+	// fences are batchable (FenceBatch): a conflicting committer aborts
+	// rather than waiting on stripe locks, so a thread parked in the
+	// fence combiner can never block another committer's progress.
 	for i, addr := range t.writeOrder {
 		e := t.log + logBase + uint64(i)*16
 		dev.StoreNT(e, addr)
 		dev.StoreNT(e+8, t.writes[addr])
 	}
 	dev.StoreNT(t.log+logCount, uint64(len(t.writeOrder)))
-	dev.Fence()
+	dev.FenceBatch()
 	dev.StoreNT(t.log+logState, 1)
-	dev.Fence()
+	dev.FenceBatch()
 	for _, addr := range t.writeOrder {
 		dev.Store64(addr, t.writes[addr])
 		dev.CLWB(addr)
 	}
-	dev.Fence()
+	dev.FenceBatch()
 	dev.StoreNT(t.log+logState, 0)
-	dev.Fence()
+	dev.FenceBatch()
 
 	t.stats.FASEs++
 	t.stats.LoggedEntries += uint64(len(t.writeOrder))

@@ -50,6 +50,24 @@ type Options struct {
 	// I's post-kill crash), so a failure can be replayed with the seed
 	// its error message names. Zero means 1.
 	Seed int64
+	// Workers bounds how many independent figure points run concurrently
+	// (each point owns its own world, so points share nothing). 0 or 1
+	// runs points serially — the accurate-measurement default, since a
+	// co-scheduled point steals cycles from the one being timed; raise it
+	// to overlap construction and warm-up when sweeping a large grid.
+	// Crash-injection experiments (Table I, recovery ablations) ignore it
+	// and stay serial: the injection arming is process-global.
+	Workers int
+	// WorldTracer, when non-nil, supplies the tracer for each world from
+	// the point's label (e.g. "fig5a/ido/t4"), so a parallel sweep can
+	// give every world its own trace instead of interleaving one shared
+	// Tracer. When nil, the shared Tracer is used.
+	WorldTracer func(label string) *obs.Tracer
+	// GroupCommit runs every world's device with the cross-thread
+	// flush/fence combiner enabled, and GroupWindowNS sets the elected
+	// leader's batching dwell (0 = serve only what is already published).
+	GroupCommit   bool
+	GroupWindowNS int
 }
 
 // seed returns the run seed with the zero-value default applied.
@@ -58,6 +76,22 @@ func (o Options) seed() int64 {
 		return 1
 	}
 	return o.Seed
+}
+
+// workers returns the point-level concurrency bound (at least 1).
+func (o Options) workers() int {
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
+}
+
+// tracer resolves the device tracer for the point labelled label.
+func (o Options) tracer(label string) *obs.Tracer {
+	if o.WorldTracer != nil {
+		return o.WorldTracer(label)
+	}
+	return o.Tracer
 }
 
 // DefaultOptions mirrors the paper's setup, scaled to a simulator: the
@@ -126,9 +160,18 @@ type world struct {
 	rt  persist.Runtime
 }
 
-func newWorld(mk func() persist.Runtime, bytes, extraNS int, tr *obs.Tracer) (*world, error) {
-	cfg := nvmConfig(bytes, extraNS)
+func newWorld(o Options, mk func() persist.Runtime, extraNS int, tr *obs.Tracer) (*world, error) {
+	cfg := nvmConfig(o.DeviceBytes, extraNS)
 	cfg.Tracer = tr // attach at birth so trace counts equal device stats
+	if o.GroupCommit {
+		cfg.GroupCommit = nvm.GroupCommitConfig{Enabled: true, WindowNS: o.GroupWindowNS}
+	}
+	return newWorldCfg(mk, o.DeviceBytes, cfg)
+}
+
+// newWorldCfg builds a world over an explicit device configuration, for
+// experiments that vary the cost model itself.
+func newWorldCfg(mk func() persist.Runtime, bytes int, cfg nvm.Config) (*world, error) {
 	reg := region.Create(bytes, cfg)
 	lm := locks.NewManager(reg)
 	rt := mk()
@@ -217,6 +260,58 @@ func measure(w *world, nThreads int, d time.Duration,
 	stop.Store(true)
 	wg.Wait()
 	return total.Load(), nil
+}
+
+// runPoints executes jobs 0..n-1 through a bounded pool of o.workers()
+// goroutines and returns the first error encountered (remaining queued
+// jobs are skipped once a worker fails). Each job owns its own world, so
+// jobs are independent; callers capture per-job results by index inside
+// run and fold them into figures afterwards, in deterministic job order —
+// stats.Figure.Add is not safe for concurrent use and series order is
+// part of the printed output.
+func runPoints(o Options, n int, run func(i int) error) error {
+	workers := o.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := run(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		first  error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				if err := run(i); err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
 }
 
 func fprintf(out io.Writer, format string, args ...any) {

@@ -3,9 +3,11 @@ package bench
 import (
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 
 	"github.com/ido-nvm/ido/internal/ds"
+	"github.com/ido-nvm/ido/internal/obs"
 )
 
 // The bench tests run every experiment driver end to end at smoke scale
@@ -95,7 +97,7 @@ func TestFig7ShapesQuick(t *testing.T) {
 	// mechanism instead: per-op persist events (fences + write-backs)
 	// under iDO must be below JUSTDO's.
 	events := func(name string) float64 {
-		w, err := newWorld(mkSpec(name).mk, o.DeviceBytes, 0, o.Tracer)
+		w, err := newWorld(o, mkSpec(name).mk, 0, o.Tracer)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -283,6 +285,58 @@ func TestAllocBenchQuick(t *testing.T) {
 		t.Fatalf("16-worker speedup below %.1fx: sharded %.0f vs mutex %.0f ops/s",
 			want, top["sharded"].OpsPS, top["mutex"].OpsPS)
 	}
+}
+
+func TestGroupCommitBenchQuick(t *testing.T) {
+	o := quick(t)
+	o.Workers = 4 // exercise the bounded pool; each point still owns its world
+	var mu sync.Mutex
+	labels := map[string]int{}
+	o.WorldTracer = func(label string) *obs.Tracer {
+		mu.Lock()
+		labels[label]++
+		mu.Unlock()
+		return nil
+	}
+	results, err := RunGroupCommit(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]map[int]GCResult{}
+	for _, r := range results {
+		if byKey[r.Series] == nil {
+			byKey[r.Series] = map[int]GCResult{}
+		}
+		byKey[r.Series][r.Threads] = r
+		if r.Ops == 0 {
+			t.Fatalf("%s/t%d: zero commits", r.Series, r.Threads)
+		}
+	}
+	if len(labels) != len(results) {
+		t.Fatalf("world labels = %d, want one per point (%d)", len(labels), len(results))
+	}
+	for l, n := range labels {
+		if n != 1 {
+			t.Fatalf("label %q used for %d worlds", l, n)
+		}
+	}
+	// Solo commits take the fast path: the fence schedule is identical to
+	// direct, so per-commit fence counts must match (small tolerance for
+	// the partial op in flight when the measurement window closes).
+	d1, g1 := byKey["direct"][1], byKey["gc-w0"][1]
+	if g1.FencesPerOp < d1.FencesPerOp*0.98 || g1.FencesPerOp > d1.FencesPerOp*1.02 {
+		t.Fatalf("solo fence parity: direct %.2f vs gc-w0 %.2f fences/op", d1.FencesPerOp, g1.FencesPerOp)
+	}
+	// At 16 threads the combiner must never add fences. How much it merges
+	// in a 60 ms window on one core is scheduler-dependent, so the ≥1.5x
+	// throughput bar is gated on the captured BENCH_group_commit.json run,
+	// not this smoke canary.
+	d16, g16 := byKey["direct"][16], byKey["gc-w0"][16]
+	if g16.FencesPerOp > d16.FencesPerOp*1.05 {
+		t.Fatalf("grouped fences/op %.2f exceed direct %.2f at 16 threads", g16.FencesPerOp, d16.FencesPerOp)
+	}
+	t.Logf("16T: direct %.3f Mops/s %.2f fences/op; gc-w0 %.3f Mops/s %.2f fences/op",
+		d16.MopsPS, d16.FencesPerOp, g16.MopsPS, g16.FencesPerOp)
 }
 
 func TestAblationsQuick(t *testing.T) {

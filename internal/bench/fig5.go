@@ -38,16 +38,36 @@ func RunFig5(o Options) ([]*stats.Figure, error) {
 		buckets = 1 << 10
 	}
 	var out []*stats.Figure
-	for _, mix := range mixes {
+	sps := specs(Fig5Runtimes...)
+	for mi, mix := range mixes {
 		fig := &stats.Figure{Title: mix.title, XLabel: "threads", YLabel: "Mops/s"}
-		for _, sp := range specs(Fig5Runtimes...) {
+		type job struct {
+			sp spec
+			nt int
+		}
+		var jobs []job
+		for _, sp := range sps {
 			for _, nt := range o.Threads {
-				ops, err := runMemcachedPoint(o, sp, nt, mix.insertPct, mix.deletePct, keyRange, buckets)
-				if err != nil {
-					return nil, fmt.Errorf("fig5 %s/%d: %w", sp.name, nt, err)
-				}
-				fig.Add(sp.name, float64(nt), stats.Throughput(ops, o.Duration))
+				jobs = append(jobs, job{sp, nt})
 			}
+		}
+		ops := make([]uint64, len(jobs))
+		mi := mi
+		err := runPoints(o, len(jobs), func(i int) error {
+			j := jobs[i]
+			label := fmt.Sprintf("fig5%c/%s/t%d", 'a'+mi, j.sp.name, j.nt)
+			n, err := runMemcachedPoint(o, j.sp, label, j.nt, mix.insertPct, mix.deletePct, keyRange, buckets)
+			if err != nil {
+				return fmt.Errorf("fig5 %s/%d: %w", j.sp.name, j.nt, err)
+			}
+			ops[i] = n
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, j := range jobs {
+			fig.Add(j.sp.name, float64(j.nt), stats.Throughput(ops[i], o.Duration))
 		}
 		fprintf(o.out(), "%s\n", fig)
 		out = append(out, fig)
@@ -55,8 +75,8 @@ func RunFig5(o Options) ([]*stats.Figure, error) {
 	return out, nil
 }
 
-func runMemcachedPoint(o Options, sp spec, nThreads, insertPct, deletePct int, keyRange uint64, buckets int) (uint64, error) {
-	w, err := newWorld(sp.mk, o.DeviceBytes, 0, o.Tracer)
+func runMemcachedPoint(o Options, sp spec, label string, nThreads, insertPct, deletePct int, keyRange uint64, buckets int) (uint64, error) {
+	w, err := newWorld(o, sp.mk, 0, o.tracer(label))
 	if err != nil {
 		return 0, err
 	}

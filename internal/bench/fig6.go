@@ -24,23 +24,40 @@ func RunFig6(o Options) (*stats.Figure, error) {
 		ranges = []uint64{1_000, 10_000}
 	}
 	fig := &stats.Figure{Title: "Fig6 Redis throughput by key range", XLabel: "key range", YLabel: "Mops/s"}
+	type job struct {
+		sp spec
+		kr uint64
+	}
+	var jobs []job
 	for _, sp := range specs(Fig6Runtimes...) {
 		for _, kr := range ranges {
-			ops, err := runRedisPoint(o, sp, kr, 0)
-			if err != nil {
-				return nil, fmt.Errorf("fig6 %s/%d: %w", sp.name, kr, err)
-			}
-			fig.Add(sp.name, float64(kr), stats.Throughput(ops, o.Duration))
+			jobs = append(jobs, job{sp, kr})
 		}
+	}
+	ops := make([]uint64, len(jobs))
+	err := runPoints(o, len(jobs), func(i int) error {
+		j := jobs[i]
+		n, err := runRedisPoint(o, j.sp, fmt.Sprintf("fig6/%s/k%d", j.sp.name, j.kr), j.kr, 0)
+		if err != nil {
+			return fmt.Errorf("fig6 %s/%d: %w", j.sp.name, j.kr, err)
+		}
+		ops[i] = n
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, j := range jobs {
+		fig.Add(j.sp.name, float64(j.kr), stats.Throughput(ops[i], o.Duration))
 	}
 	fprintf(o.out(), "%s\n", fig)
 	return fig, nil
 }
 
-func runRedisPoint(o Options, sp spec, keyRange uint64, extraNS int) (uint64, error) {
+func runRedisPoint(o Options, sp spec, label string, keyRange uint64, extraNS int) (uint64, error) {
 	// Warm with zero added latency; the Fig. 9 knob applies to the
 	// measured interval only.
-	w, err := newWorld(sp.mk, o.DeviceBytes, 0, o.Tracer)
+	w, err := newWorld(o, sp.mk, 0, o.tracer(label))
 	if err != nil {
 		return 0, err
 	}

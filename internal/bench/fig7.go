@@ -45,14 +45,33 @@ func RunFig7(o Options) ([]*stats.Figure, error) {
 				Title:  "Fig7 " + structure + mix.suffix,
 				XLabel: "threads", YLabel: "Mops/s",
 			}
+			type job struct {
+				sp spec
+				nt int
+			}
+			var jobs []job
 			for _, sp := range specs(Fig7Runtimes...) {
 				for _, nt := range o.Threads {
-					ops, err := runMicroPoint(o, sp, structure, nt, mix.insertPct)
-					if err != nil {
-						return nil, fmt.Errorf("fig7 %s/%s/%d: %w", structure, sp.name, nt, err)
-					}
-					fig.Add(sp.name, float64(nt), stats.Throughput(ops, o.Duration))
+					jobs = append(jobs, job{sp, nt})
 				}
+			}
+			ops := make([]uint64, len(jobs))
+			structure := structure
+			err := runPoints(o, len(jobs), func(i int) error {
+				j := jobs[i]
+				label := fmt.Sprintf("fig7/%s/%s/t%d", structure, j.sp.name, j.nt)
+				n, err := runMicroPoint(o, j.sp, label, structure, j.nt, mix.insertPct)
+				if err != nil {
+					return fmt.Errorf("fig7 %s/%s/%d: %w", structure, j.sp.name, j.nt, err)
+				}
+				ops[i] = n
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			for i, j := range jobs {
+				fig.Add(j.sp.name, float64(j.nt), stats.Throughput(ops[i], o.Duration))
 			}
 			fprintf(o.out(), "%s\n", fig)
 			out = append(out, fig)
@@ -71,8 +90,8 @@ const (
 	mapBuckets   = 1 << 8
 )
 
-func runMicroPoint(o Options, sp spec, structure string, nThreads, insertPct int) (uint64, error) {
-	w, err := newWorld(sp.mk, o.DeviceBytes, 0, o.Tracer)
+func runMicroPoint(o Options, sp spec, label, structure string, nThreads, insertPct int) (uint64, error) {
+	w, err := newWorld(o, sp.mk, 0, o.tracer(label))
 	if err != nil {
 		return 0, err
 	}

@@ -43,29 +43,49 @@ func RunFig9(o Options) ([]*stats.Figure, error) {
 	figRD := &stats.Figure{Title: "Fig9b Redis (large) vs NVM latency",
 		XLabel: "added ns", YLabel: "Mops/s"}
 
+	type job struct {
+		sp spec
+		ns int
+	}
+	var jobs []job
 	for _, sp := range specs(Fig9Runtimes...) {
 		for _, ns := range latencies {
-			ops, err := runMemcachedPointLat(o, sp, mcThreads, keyRange, buckets, ns)
-			if err != nil {
-				return nil, fmt.Errorf("fig9 mc %s/%d: %w", sp.name, ns, err)
-			}
-			figMC.Add(sp.name, float64(ns), stats.Throughput(ops, o.Duration))
-
-			ops, err = runRedisPoint(o, sp, redisRange, ns)
-			if err != nil {
-				return nil, fmt.Errorf("fig9 redis %s/%d: %w", sp.name, ns, err)
-			}
-			figRD.Add(sp.name, float64(ns), stats.Throughput(ops, o.Duration))
+			jobs = append(jobs, job{sp, ns})
 		}
+	}
+	// Each grid cell measures two worlds (Memcached and Redis).
+	opsMC := make([]uint64, len(jobs))
+	opsRD := make([]uint64, len(jobs))
+	err := runPoints(o, len(jobs), func(i int) error {
+		j := jobs[i]
+		n, err := runMemcachedPointLat(o, j.sp, fmt.Sprintf("fig9a/%s/ns%d", j.sp.name, j.ns),
+			mcThreads, keyRange, buckets, j.ns)
+		if err != nil {
+			return fmt.Errorf("fig9 mc %s/%d: %w", j.sp.name, j.ns, err)
+		}
+		opsMC[i] = n
+		n, err = runRedisPoint(o, j.sp, fmt.Sprintf("fig9b/%s/ns%d", j.sp.name, j.ns), redisRange, j.ns)
+		if err != nil {
+			return fmt.Errorf("fig9 redis %s/%d: %w", j.sp.name, j.ns, err)
+		}
+		opsRD[i] = n
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, j := range jobs {
+		figMC.Add(j.sp.name, float64(j.ns), stats.Throughput(opsMC[i], o.Duration))
+		figRD.Add(j.sp.name, float64(j.ns), stats.Throughput(opsRD[i], o.Duration))
 	}
 	fprintf(o.out(), "%s\n%s\n", figMC, figRD)
 	return []*stats.Figure{figMC, figRD}, nil
 }
 
-func runMemcachedPointLat(o Options, sp spec, nThreads int, keyRange uint64, buckets, extraNS int) (uint64, error) {
+func runMemcachedPointLat(o Options, sp spec, label string, nThreads int, keyRange uint64, buckets, extraNS int) (uint64, error) {
 	// Same workload as Fig. 5's insertion-intensive mix with the latency
 	// knob turned on after the warm-up.
-	w, err := newWorld(sp.mk, o.DeviceBytes, 0, o.Tracer)
+	w, err := newWorld(o, sp.mk, 0, o.tracer(label))
 	if err != nil {
 		return 0, err
 	}

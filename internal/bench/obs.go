@@ -45,7 +45,7 @@ func RunObs(o Options) ([]ObsResult, error) {
 	var out []ObsResult
 	for _, sp := range specs(ObsRuntimes...) {
 		tr := obs.New(obs.DefaultConfig())
-		w, err := newWorld(sp.mk, o.DeviceBytes, 0, tr)
+		w, err := newWorld(o, sp.mk, 0, tr)
 		if err != nil {
 			return nil, fmt.Errorf("obs %s: %w", sp.name, err)
 		}

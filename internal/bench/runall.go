@@ -18,6 +18,7 @@ func RunAll(o Options) error {
 		{"ablations", func() error { _, err := RunAblations(o); return err }},
 		{"vm", func() error { _, err := RunVM(o); return err }},
 		{"alloc", func() error { _, err := RunAlloc(o); return err }},
+		{"gc", func() error { _, err := RunGroupCommit(o); return err }},
 	}
 	for _, s := range steps {
 		fprintf(o.out(), "==== %s ====\n", s.name)

@@ -217,12 +217,31 @@ type driver interface {
 	locksFree() error
 }
 
-// Runtimes lists the runtime names Run accepts, native first.
+// Runtimes lists the runtime names Run accepts, native first. The
+// "-gc" variants run the same runtime with the device's group-commit
+// fence combiner enabled and forced (every batchable commit goes
+// through the combiner's publish/merge/fence protocol, so the
+// single-threaded schedules cover its crash points deterministically).
 func Runtimes() []string {
 	return []string{
 		"ido", "atlas", "mnemosyne", "nvthreads", "nvml", "justdo", "origin",
-		"vm-ido", "vm-justdo", "vm-origin",
+		"ido-gc", "atlas-gc", "mnemosyne-gc",
+		"vm-ido", "vm-justdo", "vm-origin", "vm-ido-gc",
 	}
+}
+
+// gcSuffix selects group-commit mode on a runtime name.
+const gcSuffix = "-gc"
+
+// chaosNVMConfig builds the device config for a schedule. Group-commit
+// schedules force combining so the combiner path (slot publish, leader
+// election, merged fence) is on every commit's event sequence, not just
+// when threads happen to overlap.
+func chaosNVMConfig(gc bool) nvm.Config {
+	if !gc {
+		return nvm.Config{}
+	}
+	return nvm.Config{GroupCommit: nvm.GroupCommitConfig{Enabled: true, ForceCombine: true}}
 }
 
 func newDriver(s Schedule) (driver, caps, error) {

@@ -3,6 +3,7 @@ package chaos
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"github.com/ido-nvm/ido/internal/baselines/atlas"
 	"github.com/ido-nvm/ido/internal/baselines/justdo"
@@ -46,6 +47,7 @@ const (
 type nativeDriver struct {
 	s  Schedule
 	mk func() persist.Runtime
+	gc bool // run the device with the forced group-commit combiner
 
 	reg  *region.Region
 	lm   *locks.Manager
@@ -56,24 +58,35 @@ type nativeDriver struct {
 }
 
 func newNativeDriver(s Schedule) (driver, caps, error) {
-	mk, c, err := nativeRuntime(s.Runtime)
+	// A "-gc" suffix selects the same runtime over a group-commit
+	// device. Only the runtimes whose commit epilogues issue batchable
+	// persists (PersistBatch/FenceBatch) have a gc variant.
+	base, gc := strings.CutSuffix(s.Runtime, gcSuffix)
+	if gc {
+		switch base {
+		case "ido", "atlas", "mnemosyne":
+		default:
+			return nil, caps{}, fmt.Errorf("chaos: runtime %q has no group-commit variant", base)
+		}
+	}
+	mk, c, err := nativeRuntime(base)
 	if err != nil {
 		return nil, caps{}, err
 	}
 	switch s.Workload {
 	case "counter":
-		return &nativeDriver{s: s, mk: mk}, c, nil
+		return &nativeDriver{s: s, mk: mk, gc: gc}, c, nil
 	case "cachemix":
 		// The delete-heavy memcache script needs recovery that completes
 		// (or wholly discards) the in-flight FASE: a torn chain unlink is
 		// a structural invariant violation, not a bounded counter deficit,
 		// so the no-recovery and cached-truncation runtimes are out.
-		switch s.Runtime {
+		switch base {
 		case "ido", "mnemosyne", "nvthreads":
 		default:
 			return nil, caps{}, fmt.Errorf("chaos: runtime %s: workload \"cachemix\" needs FASE-exact recovery (supported on ido|mnemosyne|nvthreads)", s.Runtime)
 		}
-		return &cacheDriver{s: s, mk: mk}, c, nil
+		return &cacheDriver{s: s, mk: mk, gc: gc}, c, nil
 	}
 	return nil, caps{}, fmt.Errorf("chaos: runtime %s: unknown workload %q (native runtimes run \"counter\" or \"cachemix\")", s.Runtime, s.Workload)
 }
@@ -118,7 +131,7 @@ func nativeRuntime(name string) (func() persist.Runtime, caps, error) {
 }
 
 func (d *nativeDriver) prepare(seed int64) error {
-	d.reg = region.Create(1<<20, nvm.Config{})
+	d.reg = region.Create(1<<20, chaosNVMConfig(d.gc))
 	d.lm = locks.NewManager(d.reg)
 	d.rt = d.mk()
 	if err := d.rt.Attach(d.reg, d.lm); err != nil {

@@ -3,6 +3,7 @@ package chaos
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 
 	"github.com/ido-nvm/ido/internal/compile"
@@ -38,6 +39,7 @@ func compiledProg() (*compile.Compiled, error) {
 type vmDriver struct {
 	s    Schedule
 	mode vm.Mode
+	gc   bool // run the device with the forced group-commit combiner
 
 	reg *region.Region
 	lm  *locks.Manager
@@ -49,7 +51,11 @@ type vmDriver struct {
 func newVMDriver(s Schedule) (driver, caps, error) {
 	var mode vm.Mode
 	c := caps{modes: allModes, exactPA: true}
-	switch s.Runtime {
+	base, gc := strings.CutSuffix(s.Runtime, gcSuffix)
+	if gc && base != "vm-ido" {
+		return nil, caps{}, fmt.Errorf("chaos: runtime %q has no group-commit variant", base)
+	}
+	switch base {
 	case "vm-ido":
 		mode = vm.ModeIDO
 	case "vm-justdo":
@@ -67,7 +73,7 @@ func newVMDriver(s Schedule) (driver, caps, error) {
 	if s.Workload != "mapput" {
 		return nil, caps{}, fmt.Errorf("chaos: runtime %s: unknown workload %q (VM runtimes run \"mapput\")", s.Runtime, s.Workload)
 	}
-	return &vmDriver{s: s, mode: mode}, c, nil
+	return &vmDriver{s: s, mode: mode, gc: gc}, c, nil
 }
 
 func (d *vmDriver) prepare(seed int64) error {
@@ -75,7 +81,7 @@ func (d *vmDriver) prepare(seed int64) error {
 	if err != nil {
 		return err
 	}
-	d.reg = region.Create(1<<22, nvm.Config{})
+	d.reg = region.Create(1<<22, chaosNVMConfig(d.gc))
 	d.lm = locks.NewManager(d.reg)
 	d.m = vm.New(d.reg, d.lm, prog, d.mode)
 	mp, err := irprog.NewMap(d.reg, d.lm, mapBuckets)

@@ -282,11 +282,14 @@ func (t *Thread) closeRegion() {
 	t.storesInRegion = 0
 }
 
-// flushDirty writes back every line the current region dirtied in one
-// bulk call (§III-A step 1; same write-back, fence, and crash-injection
-// event counts as per-line CLWB).
-func (t *Thread) flushDirty() {
-	t.rt.reg.Dev.FlushLines(t.dirty.Lines())
+// persistDirty writes back every line the current region dirtied in one
+// bulk call and orders the write-backs with a persist fence (§III-A
+// step 1; same write-back, fence, and crash-injection event counts as
+// per-line CLWB plus Fence). With group commit enabled the flush+fence
+// may be performed by an elected leader merging several threads'
+// commits into a single fence drain.
+func (t *Thread) persistDirty() {
+	t.rt.reg.Dev.PersistBatch(t.dirty.Lines())
 	t.dirty.Reset()
 }
 
@@ -337,8 +340,7 @@ func (t *Thread) Boundary(regionID uint64, outputs ...persist.RegVal) {
 			}
 		}
 	}
-	t.flushDirty()
-	dev.Fence()
+	t.persistDirty() // flush + fence, group-commit batchable
 
 	// Step 2: publish the new recovery_pc (record count and buffer ride
 	// in the packed word, so record and pc switch atomically), fence.
@@ -350,7 +352,7 @@ func (t *Thread) Boundary(regionID uint64, outputs ...persist.RegVal) {
 	// breaking the adversary-independence of recovery (§III-C) that the
 	// chaos harness's persist-all oracle checks exactly.
 	dev.StoreNT(t.log+logPC, pcPack(regionID, len(outputs), buf))
-	dev.Fence()
+	dev.FenceBatch()
 	t.curBuf = buf
 	t.staged = append(t.staged[:0], outputs...)
 
@@ -444,12 +446,11 @@ func (t *Thread) Unlock(l *locks.Lock) {
 	last := t.lockDepth == 1 && t.durableDepth == 0
 	if last {
 		t.closeRegion()
-		t.flushDirty()
-		dev.Fence()
+		t.persistDirty()
 		// Single-event clear, matching the Boundary publish (see Step 2
 		// there): the pc transition must not depend on the adversary.
 		dev.StoreNT(t.log+logPC, 0)
-		dev.Fence()
+		dev.FenceBatch()
 		t.stats.FASEs++
 		if t.rc != nil {
 			t.rc.Span(obs.KFASE, t.faseLogBytes, 0, t.faseT0)
@@ -492,10 +493,9 @@ func (t *Thread) EndDurable() {
 	if last {
 		dev := t.rt.reg.Dev
 		t.closeRegion()
-		t.flushDirty()
-		dev.Fence()
+		t.persistDirty()
 		dev.StoreNT(t.log+logPC, 0)
-		dev.Fence()
+		dev.FenceBatch()
 		t.stats.FASEs++
 		if t.rc != nil {
 			t.rc.Span(obs.KFASE, t.faseLogBytes, 0, t.faseT0)

@@ -103,6 +103,12 @@ type Config struct {
 	// SetTracer can attach or swap one later, but operations performed
 	// in the meantime are counted yet untraced.
 	Tracer *obs.Tracer
+
+	// GroupCommit configures the cross-thread flush/fence combiner
+	// (see groupcommit.go). Disabled by default; when disabled,
+	// PersistBatch and FenceBatch are exactly FlushLines+Fence and
+	// Fence.
+	GroupCommit GroupCommitConfig
 }
 
 // CrashMode selects what happens to dirty (unflushed) cache words when the
@@ -198,6 +204,14 @@ type Device struct {
 	// stores are deliberately not traced: they are the simulation's
 	// hottest path and the paper's argument is about persist events.
 	trc atomic.Pointer[obs.Tracer]
+
+	// fenceTok serializes persist fences device-wide: a fence holds the
+	// token while its drain spin runs, modeling the memory controller
+	// draining one write queue. Concurrent fences from different
+	// threads therefore queue — the contention the group-commit
+	// combiner (gc, nil when disabled) exists to amortize.
+	fenceTok atomic.Uint32
+	gc       *combiner
 }
 
 // SetTracer attaches (or, with nil, detaches) a persist-event tracer.
@@ -236,6 +250,9 @@ func New(cfg Config) *Device {
 	}
 	d.extraNS.Store(int64(cfg.ExtraNS))
 	d.trc.Store(cfg.Tracer)
+	if cfg.GroupCommit.Enabled {
+		d.gc = newCombiner(cfg.GroupCommit)
+	}
 	return d
 }
 
@@ -416,13 +433,29 @@ func (d *Device) PersistRange(addr, n uint64) {
 }
 
 // Fence is a persist fence: all preceding write-backs are guaranteed
-// durable once it returns.
+// durable once it returns. Fences serialize at the device — the drain
+// holds a device-global token, so N concurrent fences cost N
+// back-to-back drains (the memory controller drains one write queue).
+// That queueing is what group commit (PersistBatch/FenceBatch) exists
+// to amortize.
 func (d *Device) Fence() {
 	tickCrash()
 	d.count(statFences, 1)
 	tr := d.trc.Load()
 	t0 := tr.Clock()
+	// Acquire the fence token. The spin is crash-aware like lockLine:
+	// the holder only ever spins (never panics) while holding it, so
+	// the token cannot leak across an injected crash.
+	for i := 0; !d.fenceTok.CompareAndSwap(0, 1); i++ {
+		if i&63 == 63 {
+			if injectArmed.Load() && injectFired.Load() {
+				panic(CrashSignal{})
+			}
+			runtime.Gosched()
+		}
+	}
 	spin(d.cfg.FenceNS)
+	d.fenceTok.Store(0)
 	if tr != nil {
 		tr.DevSpan(obs.KFence, 0, 0, t0)
 	}
@@ -503,6 +536,10 @@ func (d *Device) Crash(mode CrashMode, rng *rand.Rand) {
 		}
 		d.unlockLine(uint64(li), 0) // the whole line's cache state dies
 	}
+	// The fence token and the combiner are volatile CPU-side state:
+	// whoever held them is dead, so the reopened device starts clean.
+	d.fenceTok.Store(0)
+	d.gc.reset()
 }
 
 // DrainCache writes back every dirty line (a global flush). Used by

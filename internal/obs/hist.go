@@ -28,6 +28,10 @@ const (
 	HRegionNS
 	// HRegionStores is the tracked-store count of each completed region.
 	HRegionStores
+	// HFASEsPerFence is the number of FASE commits amortized by each
+	// merged group-commit fence — the direct observation of the
+	// combiner's amortization factor (1 = no combining happened).
+	HFASEsPerFence
 
 	nHist
 )
@@ -49,6 +53,8 @@ func (h HistKind) String() string {
 		return "region-ns"
 	case HRegionStores:
 		return "stores/region"
+	case HFASEsPerFence:
+		return "fases/fence"
 	default:
 		return fmt.Sprintf("HistKind(%d)", int(h))
 	}

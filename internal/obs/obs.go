@@ -95,6 +95,14 @@ const (
 	// KRefill is one magazine refill: a run of size-class blocks carved
 	// from the backing store. A = class block size, B = blocks carved.
 	KRefill
+	// KFenceCombined is one commit whose persist fence was absorbed into
+	// another thread's merged group-commit fence (the thread waited on the
+	// combiner instead of fencing itself). A = combiner epoch.
+	KFenceCombined
+	// KBatchCommit is one merged group-commit flush+fence performed by an
+	// elected leader on behalf of a batch. A = FASEs (slots) served,
+	// B = total cache lines written back for the batch.
+	KBatchCommit
 
 	nKinds
 )
@@ -142,6 +150,10 @@ func (k Kind) String() string {
 		return "free"
 	case KRefill:
 		return "refill"
+	case KFenceCombined:
+		return "fence-combined"
+	case KBatchCommit:
+		return "batch-commit"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

@@ -704,13 +704,13 @@ func (t *Thread) closeRegion() {
 	t.storesInRegion = 0
 }
 
-// flushDirty writes back the region's dirty lines per-line (the same
-// event sequence the legacy oracle produces) and empties the set.
-func (t *Thread) flushDirty() {
-	dev := t.m.Reg.Dev
-	for _, line := range t.dirty.Lines() {
-		dev.CLWB(line)
-	}
+// persistDirty writes back the region's dirty lines (FlushLines charges
+// the same per-line event sequence the legacy per-line-CLWB oracle
+// produces), orders them with a persist fence, and empties the set.
+// With group commit enabled on the device the flush+fence may be merged
+// into another thread's batch.
+func (t *Thread) persistDirty() {
+	t.m.Reg.Dev.PersistBatch(t.dirty.Lines())
 	t.dirty.Reset()
 }
 
@@ -758,8 +758,7 @@ func (t *Thread) boundary(id uint64, regs []ir.Reg) {
 	// grows, and resuming with a slightly-later sp merely wastes frame.
 	dev.Store64(t.log+lSP, t.sp)
 	dev.CLWB(t.log + lSP)
-	t.flushDirty()
-	dev.Fence()
+	t.persistDirty() // flush + fence, group-commit batchable
 	t.tick()
 	// Step 2: publish recovery_pc packed with record size and buffer. A
 	// non-temporal store makes the publish a single durable event — a
@@ -768,7 +767,7 @@ func (t *Thread) boundary(id uint64, regs []ir.Reg) {
 	// boundary that choice is "FASE never started" vs "FASE resumes",
 	// which would break recovery's adversary-independence (§III-C).
 	dev.StoreNT(t.log+lPC, vmPack(id, len(regs), buf))
-	dev.Fence()
+	dev.FenceBatch()
 	t.curBuf = buf
 	t.stats.LoggedEntries++
 	logBytes := uint64(len(regs))*8 + 8
@@ -894,12 +893,11 @@ func (t *Thread) unlock(l *locks.Lock) {
 	if last && t.m.Mode != ModeOrigin {
 		if t.m.Mode == ModeIDO {
 			t.closeRegion()
-			t.flushDirty()
-			dev.Fence()
+			t.persistDirty()
 			t.tick()
 		}
 		dev.StoreNT(t.log+lPC, 0)
-		dev.Fence()
+		dev.FenceBatch()
 	}
 	t.slots[slot] = 0
 	t.bits &^= 1 << uint(slot)
@@ -935,12 +933,11 @@ func (t *Thread) endDurable() {
 	if last && t.m.Mode != ModeOrigin {
 		if t.m.Mode == ModeIDO {
 			t.closeRegion()
-			t.flushDirty()
-			dev.Fence()
+			t.persistDirty()
 			t.tick()
 		}
 		dev.StoreNT(t.log+lPC, 0)
-		dev.Fence()
+		dev.FenceBatch()
 		t.stats.FASEs++
 	}
 	if last && t.rc != nil {
