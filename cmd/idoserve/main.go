@@ -1,0 +1,158 @@
+// Command idoserve runs the networked KV front end: the memcache text
+// protocol or RESP over the iDO failure-atomicity runtime, with requests
+// hashed to per-shard commit pipelines that feed the device's
+// group-commit fence combiner.
+//
+// Usage:
+//
+//	idoserve                                  # memcache on :11211
+//	idoserve -proto resp -addr :6379 -gc -gcwindow 2000
+//	idoserve -load -conns 16 -pipeline 8 -duration 2s   # in-process load run
+//
+// The default mode listens on -addr and serves until interrupted. With
+// -load it instead drives the server through in-memory connections with
+// the built-in load generator (the Fig. 5c GET/SET/DELETE mix) and
+// prints client throughput, latency quantiles, and device fences per
+// operation — the single-command demo of the BENCH_server_e2e.json
+// experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"time"
+
+	"github.com/ido-nvm/ido/internal/core"
+	"github.com/ido-nvm/ido/internal/kv/memcache"
+	"github.com/ido-nvm/ido/internal/kv/redis"
+	"github.com/ido-nvm/ido/internal/loadgen"
+	"github.com/ido-nvm/ido/internal/locks"
+	"github.com/ido-nvm/ido/internal/nvm"
+	"github.com/ido-nvm/ido/internal/region"
+	"github.com/ido-nvm/ido/internal/server"
+)
+
+func main() {
+	proto := flag.String("proto", "memcache", "wire protocol: memcache|resp")
+	addr := flag.String("addr", ":11211", "listen address (serve mode)")
+	shards := flag.Int("shards", 16, "shard pipelines (rounded up to a power of two)")
+	buckets := flag.Int("buckets", 64, "hash buckets per shard")
+	size := flag.Int("size", 1<<26, "simulated NVM region bytes")
+	gc := flag.Bool("gc", false, "enable the group-commit fence combiner")
+	gcwindow := flag.Int("gcwindow", 2000, "combiner leader batch window, simulated ns (with -gc)")
+	gcforce := flag.Bool("gcforce", false, "with -gc: route solo commits through the combiner ring too")
+	load := flag.Bool("load", false, "run the in-process load generator instead of listening")
+	conns := flag.Int("conns", 16, "with -load: client connections")
+	pipeline := flag.Int("pipeline", 8, "with -load: in-flight requests per connection")
+	duration := flag.Duration("duration", 2*time.Second, "with -load: measurement interval")
+	keys := flag.Uint64("keys", 4096, "with -load: key-space size")
+	setpct := flag.Int("setpct", 40, "with -load: SET percentage of the mix")
+	delpct := flag.Int("delpct", 20, "with -load: DELETE percentage of the mix")
+	zipf := flag.Float64("zipf", 0, "with -load: key skew exponent (>1; 0 = uniform)")
+	rate := flag.Int("rate", 0, "with -load: open-loop aggregate request rate, ops/s (0 = closed loop)")
+	seed := flag.Int64("seed", 1, "with -load: workload seed")
+	flag.Parse()
+
+	cfg := nvm.Config{Size: *size}
+	if *gc {
+		cfg.GroupCommit = nvm.GroupCommitConfig{
+			Enabled: true, ForceCombine: *gcforce, WindowNS: *gcwindow}
+	}
+	reg := region.Create(*size, cfg)
+	lm := locks.NewManager(reg)
+	rt := core.New(core.DefaultConfig())
+	if err := rt.Attach(reg, lm); err != nil {
+		fatalf("attach runtime: %v", err)
+	}
+
+	var store server.Store
+	var sproto server.Proto
+	var lproto loadgen.Proto
+	var err error
+	switch *proto {
+	case "memcache":
+		sproto, lproto = server.ProtoMemcache, loadgen.ProtoMemcache
+		store, err = server.NewMcStore(&memcache.Env{Reg: reg, LM: lm}, *shards, *buckets)
+	case "resp":
+		sproto, lproto = server.ProtoRESP, loadgen.ProtoRESP
+		store, err = server.NewRespStore(&redis.Env{Reg: reg}, *shards, *buckets)
+	default:
+		fatalf("unknown protocol %q", *proto)
+	}
+	if err != nil {
+		fatalf("create store: %v", err)
+	}
+	srv, err := server.New(rt, store, server.Config{Proto: sproto}, nil)
+	if err != nil {
+		fatalf("create server: %v", err)
+	}
+
+	if *load {
+		runLoad(srv, reg.Dev, loadgen.Config{
+			Proto:       lproto,
+			Conns:       *conns,
+			Pipeline:    *pipeline,
+			Keys:        *keys,
+			SetPct:      *setpct,
+			DelPct:      *delpct,
+			Zipf:        *zipf,
+			OpenRateOPS: *rate,
+			Duration:    *duration,
+			Seed:        *seed,
+		})
+		srv.Close()
+		return
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("listen: %v", err)
+	}
+	fmt.Printf("idoserve: %s protocol on %s, %d shards, group commit %v\n",
+		sproto, ln.Addr(), store.NumShards(), *gc)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		fmt.Println("idoserve: interrupt, draining")
+		srv.Close()
+	}()
+	if err := srv.Serve(ln); err != nil && err != server.ErrServerClosed {
+		fatalf("serve: %v", err)
+	}
+	st := srv.Stats()
+	fmt.Printf("idoserve: served %d requests in %d write batches\n", st.Reqs, st.Batches)
+}
+
+// runLoad drives the server over in-memory pipes and prints the result.
+func runLoad(srv *server.Server, dev *nvm.Device, cfg loadgen.Config) {
+	dev.ResetStats()
+	res, err := loadgen.Run(cfg, func() (net.Conn, error) {
+		client, srvEnd := loadgen.MemPipe(64 << 10)
+		if serr := srv.ServeConn(srvEnd); serr != nil {
+			return nil, serr
+		}
+		return client, nil
+	})
+	if err != nil {
+		fatalf("loadgen: %v", err)
+	}
+	fences := dev.Stats().Fences
+	fmt.Printf("ops %d (errs %d)  %.0f ops/s  hits %d misses %d\n",
+		res.Ops, res.Errs, float64(res.Ops)/res.Elapsed.Seconds(), res.Hits, res.Misses)
+	fmt.Printf("latency p50 %v  p99 %v  max %v  mean %v\n",
+		time.Duration(res.P50), time.Duration(res.P99),
+		time.Duration(res.Max), time.Duration(res.MeanNS))
+	if res.Ops > 0 {
+		fmt.Printf("fences %d  %.2f fences/op  combiner epochs %d\n",
+			fences, float64(fences)/float64(res.Ops), dev.Epoch())
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "idoserve: "+format+"\n", args...)
+	os.Exit(1)
+}

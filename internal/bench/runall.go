@@ -19,6 +19,7 @@ func RunAll(o Options) error {
 		{"vm", func() error { _, err := RunVM(o); return err }},
 		{"alloc", func() error { _, err := RunAlloc(o); return err }},
 		{"gc", func() error { _, err := RunGroupCommit(o); return err }},
+		{"server", func() error { _, err := RunServer(o); return err }},
 	}
 	for _, s := range steps {
 		fprintf(o.out(), "==== %s ====\n", s.name)

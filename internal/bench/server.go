@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+
+	"github.com/ido-nvm/ido/internal/kv/memcache"
+	"github.com/ido-nvm/ido/internal/loadgen"
+	"github.com/ido-nvm/ido/internal/nvm"
+	"github.com/ido-nvm/ido/internal/server"
+	"github.com/ido-nvm/ido/internal/stats"
+)
+
+// ServerResult is one cell of the end-to-end server sweep.
+type ServerResult struct {
+	Series      string // "direct" or "gc-w<windowNS>"
+	Conns       int
+	Pipeline    int
+	Ops         uint64
+	Errs        uint64
+	MopsPS      float64
+	P50NS       uint64 // client-observed request latency
+	P99NS       uint64
+	Fences      uint64 // device fences in the measured interval
+	FencesPerOp float64
+}
+
+// RunServer regenerates the end-to-end networked-KV experiment: the
+// memcache front end over the iDO runtime, driven by the closed-loop
+// generator on in-memory connections, sweeping client connections ×
+// pipelining depth for direct persists versus the group-commit combiner.
+// The workload is Fig. 5c's mix (40% SET, 20% DELETE, 40% GET) over a
+// prefilled key space. Concurrency reaches the persistence domain
+// through the shard pipelines — 16 shard threads committing FASEs
+// back-to-back — so at high connection counts the combiner merges
+// cross-shard fence drains exactly as it merges worker threads in the
+// commit microbenchmark, and the client sees the win as ops/s. The
+// acceptance bars: grouped throughput at 16 conns ≥ 1.5x direct with
+// fewer device fences per operation, and 1-conn latency within parity
+// (a solo committer skips combining).
+func RunServer(o Options) ([]ServerResult, error) {
+	conns := []int{1, 2, 4, 8, 16}
+	pipelines := []int{1, 8}
+	windows := []int{2000, 8000}
+	if o.Quick {
+		conns = []int{1, 16}
+		pipelines = []int{4}
+		windows = []int{2000}
+	}
+	type job struct {
+		series   string
+		gc       bool
+		window   int
+		conns    int
+		pipeline int
+	}
+	var jobs []job
+	for _, p := range pipelines {
+		for _, nc := range conns {
+			jobs = append(jobs, job{"direct", false, 0, nc, p})
+		}
+	}
+	for _, wnd := range windows {
+		for _, p := range pipelines {
+			for _, nc := range conns {
+				jobs = append(jobs, job{fmt.Sprintf("gc-w%d", wnd), true, wnd, nc, p})
+			}
+		}
+	}
+	out := make([]ServerResult, len(jobs))
+	err := runPoints(o, len(jobs), func(i int) error {
+		j := jobs[i]
+		label := fmt.Sprintf("server/%s/c%d/p%d", j.series, j.conns, j.pipeline)
+		res, fences, err := runServerPoint(o, label, j.gc, j.window, j.conns, j.pipeline)
+		if err != nil {
+			return fmt.Errorf("server %s/c%d/p%d: %w", j.series, j.conns, j.pipeline, err)
+		}
+		r := ServerResult{Series: j.series, Conns: j.conns, Pipeline: j.pipeline,
+			Ops: res.Ops, Errs: res.Errs, P50NS: res.P50, P99NS: res.P99, Fences: fences}
+		r.MopsPS = stats.Throughput(res.Ops, res.Elapsed)
+		if res.Ops > 0 {
+			r.FencesPerOp = float64(fences) / float64(res.Ops)
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pipelines {
+		fig := &stats.Figure{Title: fmt.Sprintf("Server end-to-end throughput, pipeline depth %d (memcache/iDO, Fig. 5c mix)", p),
+			XLabel: "connections", YLabel: "Mops/s"}
+		for i, j := range jobs {
+			if j.pipeline == p {
+				fig.Add(j.series, float64(j.conns), out[i].MopsPS)
+			}
+		}
+		fprintf(o.out(), "%s\n", fig)
+	}
+	for _, r := range out {
+		fprintf(o.out(), "  %-8s c=%-2d p=%-2d %8.3f Mops/s  p50 %7d ns  p99 %7d ns %6.2f fences/op\n",
+			r.Series, r.Conns, r.Pipeline, r.MopsPS, r.P50NS, r.P99NS, r.FencesPerOp)
+	}
+	return out, nil
+}
+
+// runServerPoint measures one cell: a fresh world and server, the key
+// space prefilled through a direct thread (so the GET leg of the mix
+// hits), then the load generator over in-memory pipes for o.Duration.
+// Returns the client-side result and the device fence count for the
+// measured interval.
+func runServerPoint(o Options, label string, gc bool, windowNS, nconns, pipeline int) (*loadgen.Result, uint64, error) {
+	cfg := nvmConfig(o.DeviceBytes, 0)
+	cfg.FlushNS *= gcCostScale
+	cfg.FenceNS *= gcCostScale
+	cfg.NTStoreNS *= gcCostScale
+	cfg.Tracer = o.tracer(label)
+	if gc {
+		// ForceCombine routes every commit through the slot ring. The solo
+		// fast path would otherwise defeat the experiment on a small host:
+		// shard threads block on their queues between requests, so the
+		// scheduler switches between them at channel boundaries — never
+		// inside a commit — and each arrival sees itself alone and fences
+		// directly. Forcing the ring makes the first committer the leader,
+		// and its batch-window dwell yields the processor to the other
+		// shard pipelines until they reach their publish points: the
+		// rendezvous a multicore host gets from true concurrency.
+		cfg.GroupCommit = nvm.GroupCommitConfig{
+			Enabled: true, ForceCombine: true, WindowNS: windowNS}
+	}
+	w, err := newWorldCfg(mkSpec("ido").mk, o.DeviceBytes, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	shards, buckets := 16, 64
+	keys := uint64(4096)
+	if o.Quick {
+		shards, keys = 8, 1024
+	}
+	store, err := server.NewMcStore(&memcache.Env{Reg: w.reg, LM: w.lm}, shards, buckets)
+	if err != nil {
+		return nil, 0, err
+	}
+	srv, err := server.New(w.rt, store, server.Config{Proto: server.ProtoMemcache}, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer srv.Close()
+
+	th, err := w.rt.NewThread()
+	if err != nil {
+		return nil, 0, err
+	}
+	var kb [8]byte
+	for k := uint64(0); k < keys; k++ {
+		k0, k1, ok := server.McKeyWords(loadgen.AppendKey(kb[:0], k))
+		if !ok {
+			return nil, 0, fmt.Errorf("unstorable warm key %d", k)
+		}
+		shard := store.ShardOf(k0, k1)
+		v := k
+		th.Exec(func() { store.Set(th, shard, k0, k1, v) })
+	}
+
+	dev := w.reg.Dev
+	dev.ResetStats()
+	res, err := loadgen.Run(loadgen.Config{
+		Proto:    loadgen.ProtoMemcache,
+		Conns:    nconns,
+		Pipeline: pipeline,
+		Keys:     keys,
+		SetPct:   40,
+		DelPct:   20,
+		Duration: o.Duration,
+		Seed:     o.seed(),
+	}, func() (net.Conn, error) {
+		client, srvEnd := loadgen.MemPipe(64 << 10)
+		if serr := srv.ServeConn(srvEnd); serr != nil {
+			return nil, serr
+		}
+		return client, nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	fences := dev.Stats().Fences
+	return res, fences, nil
+}

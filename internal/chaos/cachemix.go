@@ -138,25 +138,14 @@ const (
 	cILNext   = 40
 )
 
-// walkChains visits every item of every bucket chain.
+// walkChains visits every item of every bucket chain, first pinning the
+// bucket count to the driver's known geometry (the exported walker only
+// bounds-checks it).
 func (d *cacheDriver) walkChains(fn func(item uint64) error) error {
-	dev := d.reg.Dev
-	n := dev.Load64(d.tbl + 8)
-	if n != cacheBuckets {
+	if n := d.reg.Dev.Load64(d.tbl + 8); n != cacheBuckets {
 		return fmt.Errorf("cache header: %d buckets, want %d", n, cacheBuckets)
 	}
-	for b := uint64(0); b < n; b++ {
-		steps := 0
-		for item := dev.Load64(d.tbl + cTArray + b*8); item != 0; item = dev.Load64(item + cIHNext) {
-			if steps++; steps > walkBound {
-				return fmt.Errorf("bucket %d: chain exceeds %d items (cycle?)", b, walkBound)
-			}
-			if err := fn(item); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	return WalkCacheChains(d.reg.Dev, d.tbl, fn)
 }
 
 func (d *cacheDriver) observe() (map[string]uint64, error) {
@@ -175,62 +164,14 @@ func (d *cacheDriver) observe() (map[string]uint64, error) {
 }
 
 // invariants checks the structural contract every completed recovery
-// must restore: no duplicate keys, item count matching the chains, and
-// an LRU list that is a consistent double-linking of exactly the chained
-// items.
+// must restore (see CheckCacheImage), after pinning the geometry.
 func (d *cacheDriver) invariants() error {
-	dev := d.reg.Dev
-	chained := map[uint64]bool{}
-	seen := map[uint64]bool{}
-	err := d.walkChains(func(item uint64) error {
-		k := dev.Load64(item + cIK0)
-		if seen[k] {
-			return fmt.Errorf("duplicate key %d", k)
-		}
-		seen[k] = true
-		chained[item] = true
-		return nil
-	})
-	if err != nil {
-		return err
+	if n := d.reg.Dev.Load64(d.tbl + 8); n != cacheBuckets {
+		return fmt.Errorf("cache header: %d buckets, want %d", n, cacheBuckets)
 	}
-	if cnt := dev.Load64(d.tbl + cTCount); cnt != uint64(len(chained)) {
-		return fmt.Errorf("count = %d, chains hold %d items", cnt, len(chained))
-	}
-	// LRU: head-to-tail walk must visit each chained item exactly once,
-	// with consistent back links, ending at the recorded tail.
-	var last uint64
-	visited := 0
-	for item := dev.Load64(d.tbl + cTLRUHead); item != 0; item = dev.Load64(item + cILNext) {
-		if visited++; visited > walkBound {
-			return fmt.Errorf("LRU list exceeds %d items (cycle?)", walkBound)
-		}
-		if !chained[item] {
-			return fmt.Errorf("LRU item %#x not on any chain", item)
-		}
-		if p := dev.Load64(item + cILPrev); p != last {
-			return fmt.Errorf("LRU item %#x: prev = %#x, want %#x", item, p, last)
-		}
-		last = item
-	}
-	if tail := dev.Load64(d.tbl + cTLRUTail); tail != last {
-		return fmt.Errorf("LRU tail = %#x, walk ended at %#x", tail, last)
-	}
-	if visited != len(chained) {
-		return fmt.Errorf("LRU lists %d items, chains hold %d", visited, len(chained))
-	}
-	return nil
+	return CheckCacheImage(d.reg.Dev, d.tbl)
 }
 
 func (d *cacheDriver) locksFree() error {
-	holder := d.reg.Dev.Load64(d.tbl)
-	if holder == 0 {
-		return fmt.Errorf("cache lock holder is zero")
-	}
-	l := d.lm.ByHolder(holder)
-	if !l.TryAcquire() {
-		return fmt.Errorf("cache lock (holder %#x) still held", holder)
-	}
-	l.Release()
-	return nil
+	return CheckCacheLockFree(d.reg.Dev, d.lm, d.tbl)
 }

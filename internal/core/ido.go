@@ -193,7 +193,8 @@ type Thread struct {
 
 	dirty          lineset.Set      // heap lines dirtied in the current region
 	staged         []persist.RegVal // pairs in the current boundary record
-	curBuf         int              // active boundary-record buffer
+	outScratch     [persist.MaxOutputs]persist.RegVal
+	curBuf         int // active boundary-record buffer
 	storesInRegion int
 	inRegion       bool
 
@@ -292,6 +293,13 @@ func (t *Thread) persistDirty() {
 	t.rt.reg.Dev.PersistBatch(t.dirty.Lines())
 	t.dirty.Reset()
 }
+
+// OutputScratch implements persist.OutputScratcher: callers assemble
+// each Boundary output set in this thread-owned buffer, so spreading it
+// into the variadic Boundary never heap-allocates. Boundary itself only
+// reads the slice (it copies into t.staged), so reuse across calls is
+// safe.
+func (t *Thread) OutputScratch() []persist.RegVal { return t.outScratch[:0] }
 
 // Boundary ends the current idempotent region and opens the one
 // identified by regionID, logging the ending region's OutputSet into the

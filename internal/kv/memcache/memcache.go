@@ -141,8 +141,8 @@ func bucketAddr(t persist.Thread, tbl, k0, k1 uint64) uint64 {
 // Set inserts or updates a key as one FASE under the cache lock.
 func (c *Cache) Set(t persist.Thread, k0, k1, v uint64) {
 	t.Lock(c.lock)
-	t.Boundary(ridSetEntry,
-		persist.RV(0, c.tbl), persist.RV(1, k0), persist.RV(2, k1), persist.RV(3, v))
+	t.Boundary(ridSetEntry, append(persist.Outs(t),
+		persist.RV(0, c.tbl), persist.RV(1, k0), persist.RV(2, k1), persist.RV(3, v))...)
 	setEntry(c.env, t, c.tbl, k0, k1, v)
 }
 
@@ -172,7 +172,8 @@ func setScanFrom(env *Env, t persist.Thread, tbl, k0, k1, v, pp, ba, hb, cur, cs
 			t.Store64(item+iK1, k1)
 			t.Store64(item+iVal, v)
 			t.Store64(item+iHNext, hb)
-			t.Boundary(ridSetIns2, persist.RV(4, item), persist.RV(6, ba), persist.RV(9, cs))
+			t.Boundary(ridSetIns2, append(persist.Outs(t),
+				persist.RV(4, item), persist.RV(6, ba), persist.RV(9, cs))...)
 			setInsert2(env, t, tbl, item, ba, cs)
 			return
 		}
@@ -182,7 +183,8 @@ func setScanFrom(env *Env, t persist.Thread, tbl, k0, k1, v, pp, ba, hb, cur, cs
 			t.Store64(cur+iVal, v)
 			lruUnlinkStores(t, tbl, cur)
 			h := t.Load64(tbl + tLRUHead)
-			t.Boundary(ridPush2, persist.RV(4, cur), persist.RV(7, h), persist.RV(9, cs))
+			t.Boundary(ridPush2, append(persist.Outs(t),
+				persist.RV(4, cur), persist.RV(7, h), persist.RV(9, cs))...)
 			lruPush2(env, t, tbl, cur, h, cs)
 			return
 		}
@@ -236,7 +238,8 @@ func lruPush2(env *Env, t persist.Thread, tbl, item, h, cs uint64) {
 func setInsert2(env *Env, t persist.Thread, tbl, item, ba, cs uint64) {
 	t.Store64(ba, item)
 	cnt := t.Load64(tbl + tCount)
-	t.Boundary(ridSetIns3, persist.RV(7, cnt))
+	t.Boundary(ridSetIns3, append(persist.Outs(t),
+		persist.RV(7, cnt))...)
 	setInsert3(env, t, tbl, item, cnt, cs)
 }
 
@@ -244,7 +247,8 @@ func setInsert2(env *Env, t persist.Thread, tbl, item, ba, cs uint64) {
 func setInsert3(env *Env, t persist.Thread, tbl, item, cnt, cs uint64) {
 	t.Store64(tbl+tCount, cnt+1)
 	h := t.Load64(tbl + tLRUHead)
-	t.Boundary(ridPush2, persist.RV(7, h))
+	t.Boundary(ridPush2, append(persist.Outs(t),
+		persist.RV(7, h))...)
 	lruPush2(env, t, tbl, item, h, cs)
 }
 
@@ -259,8 +263,8 @@ func release(env *Env, t persist.Thread, tbl uint64) {
 // access time exactly as memcached does.
 func (c *Cache) Get(t persist.Thread, k0, k1 uint64) (v uint64, ok bool) {
 	t.Lock(c.lock)
-	t.Boundary(ridGetEntry,
-		persist.RV(0, c.tbl), persist.RV(1, k0), persist.RV(2, k1))
+	t.Boundary(ridGetEntry, append(persist.Outs(t),
+		persist.RV(0, c.tbl), persist.RV(1, k0), persist.RV(2, k1))...)
 	return getEntry(c.env, t, c.tbl, k0, k1)
 }
 
@@ -274,15 +278,16 @@ func getEntry(env *Env, t persist.Thread, tbl, k0, k1 uint64) (uint64, bool) {
 func getScanFrom(env *Env, t persist.Thread, tbl, k0, k1, pp, cur, cg, hs uint64) (uint64, bool) {
 	for {
 		if cur == 0 {
-			t.Boundary(ridGetRel,
-				persist.RV(7, cg), persist.RV(9, hs), persist.RV(10, 0))
+			t.Boundary(ridGetRel, append(persist.Outs(t),
+				persist.RV(7, cg), persist.RV(9, hs), persist.RV(10, 0))...)
 			getRel(env, t, tbl, 0, cg, hs, 0)
 			return 0, false
 		}
 		if t.Load64(cur+iK0) == k0 && t.Load64(cur+iK1) == k1 {
 			v := t.Load64(cur + iVal)
-			t.Boundary(ridGetRel, persist.RV(4, cur),
-				persist.RV(7, cg), persist.RV(9, hs), persist.RV(10, 1))
+			t.Boundary(ridGetRel, append(persist.Outs(t),
+				persist.RV(4, cur),
+				persist.RV(7, cg), persist.RV(9, hs), persist.RV(10, 1))...)
 			getRel(env, t, tbl, cur, cg, hs, 1)
 			return v, true
 		}
@@ -308,8 +313,8 @@ func getRel(env *Env, t persist.Thread, tbl, item, cg, hs, hit uint64) {
 // leaks the block rather than risking a double free on re-execution).
 func (c *Cache) Delete(t persist.Thread, k0, k1 uint64) bool {
 	t.Lock(c.lock)
-	t.Boundary(ridDelEntry,
-		persist.RV(0, c.tbl), persist.RV(1, k0), persist.RV(2, k1))
+	t.Boundary(ridDelEntry, append(persist.Outs(t),
+		persist.RV(0, c.tbl), persist.RV(1, k0), persist.RV(2, k1))...)
 	item, found := delEntry(c.env, t, c.tbl, k0, k1)
 	if found && item != 0 {
 		c.env.Reg.Alloc.Free(item)
@@ -329,7 +334,8 @@ func delScanFrom(env *Env, t persist.Thread, tbl, k0, k1, pp, cur uint64) (uint6
 			return 0, false
 		}
 		if t.Load64(cur+iK0) == k0 && t.Load64(cur+iK1) == k1 {
-			t.Boundary(ridDelChain, persist.RV(4, cur), persist.RV(5, pp))
+			t.Boundary(ridDelChain, append(persist.Outs(t),
+				persist.RV(4, cur), persist.RV(5, pp))...)
 			delChain(env, t, tbl, cur, pp)
 			return cur, true
 		}
@@ -345,7 +351,8 @@ func delChain(env *Env, t persist.Thread, tbl, item, pp uint64) {
 	t.Store64(pp, nx)
 	lruUnlinkStores(t, tbl, item)
 	cnt := t.Load64(tbl + tCount)
-	t.Boundary(ridDelCnt, persist.RV(7, cnt))
+	t.Boundary(ridDelCnt, append(persist.Outs(t),
+		persist.RV(7, cnt))...)
 	delCnt(env, t, tbl, cnt)
 }
 
@@ -361,7 +368,8 @@ func delCnt(env *Env, t persist.Thread, tbl, cnt uint64) {
 // victim existed. Used by callers that bound the cache size.
 func (c *Cache) EvictOne(t persist.Thread) bool {
 	t.Lock(c.lock)
-	t.Boundary(ridEvEntry, persist.RV(0, c.tbl))
+	t.Boundary(ridEvEntry, append(persist.Outs(t),
+		persist.RV(0, c.tbl))...)
 	return evEntry(c.env, t, c.tbl)
 }
 
@@ -383,7 +391,8 @@ func evEntry(env *Env, t persist.Thread, tbl uint64) bool {
 func evScanFrom(env *Env, t persist.Thread, tbl, victim, pp, cur uint64) {
 	for {
 		if cur == 0 || cur == victim {
-			t.Boundary(ridDelChain, persist.RV(4, victim), persist.RV(5, pp))
+			t.Boundary(ridDelChain, append(persist.Outs(t),
+				persist.RV(4, victim), persist.RV(5, pp))...)
 			delChain(env, t, tbl, victim, pp)
 			return
 		}

@@ -97,8 +97,8 @@ func bucketAddr(t persist.Thread, tbl, key uint64) uint64 {
 // Set inserts or updates a key inside a programmer-delineated FASE.
 func (d *DB) Set(t persist.Thread, key, val uint64) {
 	t.BeginDurable()
-	t.Boundary(ridSetEntry,
-		persist.RV(0, d.tbl), persist.RV(1, key), persist.RV(2, val))
+	t.Boundary(ridSetEntry, append(persist.Outs(t),
+		persist.RV(0, d.tbl), persist.RV(1, key), persist.RV(2, val))...)
 	setEntry(d.env, t, d.tbl, key, val)
 }
 
@@ -125,12 +125,14 @@ func setScanFrom(env *Env, t persist.Thread, tbl, key, val, pp, ba, hb, cur, dr 
 			t.Store64(entry+eKey, key)
 			t.Store64(entry+eVal, val)
 			t.Store64(entry+eNext, hb)
-			t.Boundary(ridSetIns2, persist.RV(3, entry), persist.RV(6, ba), persist.RV(7, dr))
+			t.Boundary(ridSetIns2, append(persist.Outs(t),
+				persist.RV(3, entry), persist.RV(6, ba), persist.RV(7, dr))...)
 			setInsert2(env, t, tbl, entry, ba, dr)
 			return
 		}
 		if t.Load64(cur+eKey) == key {
-			t.Boundary(ridSetUpd, persist.RV(3, cur), persist.RV(7, dr))
+			t.Boundary(ridSetUpd, append(persist.Outs(t),
+				persist.RV(3, cur), persist.RV(7, dr))...)
 			setUpdate(env, t, tbl, cur, val, dr)
 			return
 		}
@@ -150,7 +152,8 @@ func setUpdate(env *Env, t persist.Thread, tbl, entry, val, dr uint64) {
 func setInsert2(env *Env, t persist.Thread, tbl, entry, ba, dr uint64) {
 	t.Store64(ba, entry)
 	cnt := t.Load64(tbl + tCount)
-	t.Boundary(ridSetIns3, persist.RV(5, cnt))
+	t.Boundary(ridSetIns3, append(persist.Outs(t),
+		persist.RV(5, cnt))...)
 	setInsert3(env, t, tbl, cnt, dr)
 }
 
@@ -178,7 +181,8 @@ func (d *DB) Get(t persist.Thread, key uint64) (uint64, bool) {
 // entry's memory is released after the FASE completes.
 func (d *DB) Del(t persist.Thread, key uint64) bool {
 	t.BeginDurable()
-	t.Boundary(ridDelEntry, persist.RV(0, d.tbl), persist.RV(1, key))
+	t.Boundary(ridDelEntry, append(persist.Outs(t),
+		persist.RV(0, d.tbl), persist.RV(1, key))...)
 	entry, found := delEntry(d.env, t, d.tbl, key)
 	if found && entry != 0 {
 		d.env.Reg.Alloc.Free(entry)
@@ -200,7 +204,8 @@ func delScanFrom(env *Env, t persist.Thread, tbl, key, pp, cur, dr uint64) (uint
 			return 0, false
 		}
 		if t.Load64(cur+eKey) == key {
-			t.Boundary(ridDelChain, persist.RV(3, cur), persist.RV(4, pp), persist.RV(7, dr))
+			t.Boundary(ridDelChain, append(persist.Outs(t),
+				persist.RV(3, cur), persist.RV(4, pp), persist.RV(7, dr))...)
 			delChain(env, t, tbl, cur, pp, dr)
 			return cur, true
 		}
@@ -212,7 +217,8 @@ func delScanFrom(env *Env, t persist.Thread, tbl, key, pp, cur, dr uint64) (uint
 func delChain(env *Env, t persist.Thread, tbl, entry, pp, dr uint64) {
 	t.Store64(pp, t.Load64(entry+eNext))
 	cnt := t.Load64(tbl + tCount)
-	t.Boundary(ridDelCnt, persist.RV(5, cnt))
+	t.Boundary(ridDelCnt, append(persist.Outs(t),
+		persist.RV(5, cnt))...)
 	delCnt(env, t, tbl, cnt, dr)
 }
 

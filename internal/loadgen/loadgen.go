@@ -1,0 +1,500 @@
+// Package loadgen drives the networked KV front end the way the paper's
+// Fig. 5 drives memcached with memaslap: N client connections issuing a
+// GET/SET/DELETE mix, either closed-loop (a fixed pipeline window per
+// connection, the next request issued when a response frees a window
+// slot) or open-loop (a paced arrival schedule, latency measured from
+// the intended send time so coordinated omission doesn't flatter p99).
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/ido-nvm/ido/internal/obs"
+)
+
+// Proto selects the wire protocol spoken to the server.
+type Proto uint8
+
+const (
+	ProtoMemcache Proto = iota
+	ProtoRESP
+)
+
+// Config shapes one load run.
+type Config struct {
+	Proto    Proto
+	Conns    int     // client connections (default 1)
+	Pipeline int     // in-flight requests per connection (default 1)
+	Keys     uint64  // key-space size (default 1024)
+	SetPct   int     // percent SETs (Fig. 5c mix: 40)
+	DelPct   int     // percent DELETEs (Fig. 5c mix: 20); the rest are GETs
+	Zipf     float64 // key skew exponent when > 1; uniform otherwise
+
+	Duration    time.Duration // stop after this long (when Ops == 0)
+	Ops         uint64        // per-connection op budget (overrides Duration)
+	OpenRateOPS int           // > 0: open-loop at this aggregate request rate
+
+	Seed   int64
+	Track  bool        // record per-key mutation history (crash convergence)
+	Tracer *obs.Tracer // optional: feeds HReqLatency alongside the server's
+}
+
+func (cfg *Config) fill() {
+	if cfg.Conns <= 0 {
+		cfg.Conns = 1
+	}
+	if cfg.Pipeline <= 0 {
+		cfg.Pipeline = 1
+	}
+	if cfg.Keys == 0 {
+		cfg.Keys = 1024
+	}
+	if cfg.Keys < uint64(cfg.Conns) {
+		cfg.Keys = uint64(cfg.Conns)
+	}
+	if cfg.Ops == 0 && cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+}
+
+// Result aggregates a run.
+type Result struct {
+	Ops     uint64 // responses received
+	Errs    uint64 // error responses (or unparseable replies)
+	Hits    uint64 // GET hits
+	Misses  uint64 // GET misses
+	Elapsed time.Duration
+
+	P50, P99, Max uint64  // response latency, nanoseconds (log2-bucket upper bounds)
+	MeanNS        float64 // exact mean
+
+	// Tracked holds per-key mutation histories when Config.Track is set;
+	// key spaces are connection-disjoint, so the merge is a plain union.
+	Tracked map[uint64]*KeyHist
+}
+
+// AppendKey formats key k as its 8-byte wire form ("k" + 7 hex digits),
+// valid for both protocols (RESP keys are capped at 8 bytes).
+func AppendKey(b []byte, k uint64) []byte {
+	b = append(b, 'k')
+	for shift := 24; shift >= 0; shift -= 4 {
+		b = append(b, "0123456789abcdef"[(k>>uint(shift))&0xF])
+	}
+	return b
+}
+
+// latHist is a local log2 latency histogram (same bucketing as obs).
+type latHist struct {
+	buckets [65]uint64
+	sum     uint64
+	count   uint64
+}
+
+func (h *latHist) observe(ns uint64) {
+	h.buckets[bits.Len64(ns)]++
+	h.sum += ns
+	h.count++
+}
+
+func (h *latHist) merge(o *latHist) {
+	for i, c := range o.buckets {
+		h.buckets[i] += c
+	}
+	h.sum += o.sum
+	h.count += o.count
+}
+
+func (h *latHist) quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen > rank {
+			if i == 0 {
+				return 0
+			}
+			return 1<<uint(i) - 1
+		}
+	}
+	return ^uint64(0)
+}
+
+// pend is the reader-side record of one in-flight request. hist carries
+// the tracked key's history by pointer so the reader never touches the
+// writer-owned tracked map: the writer appends to Ops, the reader only
+// increments Acked, and the meta channel orders each append before the
+// ack that could observe it.
+type pend struct {
+	get  bool
+	key  uint64
+	hist *KeyHist // non-nil: tracked mutation (ack advances Acked)
+	ts   int64    // send timestamp (intended send time in open-loop mode)
+}
+
+// clientConn is one connection's state; writer and reader goroutines
+// share it through the meta channel and the window semaphore.
+type clientConn struct {
+	cfg    Config
+	id     int
+	nc     net.Conn
+	window chan struct{} // pipeline window tokens
+	meta   chan pend     // FIFO of in-flight requests (writer → reader)
+	dead   chan struct{} // closed by the reader on transport failure
+
+	ops, errs, hits, misses uint64
+	lat                     latHist
+	tracked                 map[uint64]*KeyHist
+	rerr                    error
+}
+
+// Run drives the configured load against connections from dial and
+// blocks until every connection finished (op budget, duration, or server
+// hangup). dial is called once per connection.
+func Run(cfg Config, dial func() (net.Conn, error)) (*Result, error) {
+	cfg.fill()
+	clients := make([]*clientConn, cfg.Conns)
+	for i := range clients {
+		nc, err := dial()
+		if err != nil {
+			for _, c := range clients[:i] {
+				c.nc.Close()
+			}
+			return nil, fmt.Errorf("loadgen: dial conn %d: %w", i, err)
+		}
+		clients[i] = &clientConn{
+			cfg:    cfg,
+			id:     i,
+			nc:     nc,
+			window: make(chan struct{}, cfg.Pipeline),
+			meta:   make(chan pend, cfg.Pipeline),
+			dead:   make(chan struct{}),
+		}
+		if cfg.Track {
+			clients[i].tracked = map[uint64]*KeyHist{}
+		}
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		wg.Add(2)
+		go func(c *clientConn) { defer wg.Done(); c.writeLoop() }(c)
+		go func(c *clientConn) { defer wg.Done(); c.readLoop() }(c)
+	}
+	wg.Wait()
+	res := &Result{Elapsed: time.Since(start)}
+	var all latHist
+	for _, c := range clients {
+		c.nc.Close()
+		res.Ops += c.ops
+		res.Errs += c.errs
+		res.Hits += c.hits
+		res.Misses += c.misses
+		all.merge(&c.lat)
+		if cfg.Track {
+			if res.Tracked == nil {
+				res.Tracked = map[uint64]*KeyHist{}
+			}
+			for k, h := range c.tracked {
+				res.Tracked[k] = h
+			}
+		}
+	}
+	res.P50 = all.quantile(0.50)
+	res.P99 = all.quantile(0.99)
+	res.Max = all.quantile(1.0)
+	if all.count > 0 {
+		res.MeanNS = float64(all.sum) / float64(all.count)
+	}
+	return res, nil
+}
+
+// ---- writer ----
+
+func (c *clientConn) writeLoop() {
+	cfg := &c.cfg
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(c.id)*7919))
+	perConn := cfg.Keys / uint64(cfg.Conns)
+	if perConn == 0 {
+		perConn = 1
+	}
+	var zipf *rand.Zipf
+	if cfg.Zipf > 1 {
+		zipf = rand.NewZipf(rng, cfg.Zipf, 1, perConn-1)
+	}
+	bw := bufio.NewWriterSize(c.nc, 32<<10)
+	var deadline time.Time
+	if cfg.Ops == 0 {
+		deadline = time.Now().Add(cfg.Duration)
+	}
+	var interval time.Duration
+	next := time.Now()
+	if cfg.OpenRateOPS > 0 {
+		rate := cfg.OpenRateOPS / cfg.Conns
+		if rate <= 0 {
+			rate = 1
+		}
+		interval = time.Second / time.Duration(rate)
+	}
+	scratch := make([]byte, 0, 64)
+	valSeq := uint64(0)
+	issued := uint64(0)
+	for {
+		if cfg.Ops > 0 {
+			if issued >= cfg.Ops {
+				break
+			}
+		} else if time.Now().After(deadline) {
+			break
+		}
+		// Window slot: flush buffered requests before blocking, so the
+		// server always sees everything we are waiting on.
+		select {
+		case c.window <- struct{}{}:
+		default:
+			if bw.Flush() != nil {
+				goto out
+			}
+			select {
+			case c.window <- struct{}{}:
+			case <-c.dead:
+				goto out
+			}
+		}
+		// Open-loop pacing: latency is measured from the intended send
+		// time, so queueing delay inside the client counts against p99.
+		ts := time.Now()
+		if interval > 0 {
+			next = next.Add(interval)
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			ts = next
+		}
+		// Pick op and key.
+		var kidx uint64
+		if zipf != nil {
+			kidx = zipf.Uint64()
+		} else {
+			kidx = rng.Uint64() % perConn
+		}
+		key := uint64(c.id)*perConn + kidx
+		p := pend{key: key, ts: ts.UnixNano()}
+		roll := rng.Intn(100)
+		scratch = scratch[:0]
+		switch {
+		case roll < cfg.SetPct:
+			valSeq++
+			val := uint64(c.id+1)<<40 | valSeq
+			scratch = c.encodeSet(scratch, key, val)
+			p.hist = c.track(key, KeyOp{Val: val})
+		case roll < cfg.SetPct+cfg.DelPct:
+			scratch = c.encodeDel(scratch, key)
+			p.hist = c.track(key, KeyOp{Del: true})
+		default:
+			scratch = c.encodeGet(scratch, key)
+			p.get = true
+		}
+		if _, err := bw.Write(scratch); err != nil {
+			goto out
+		}
+		c.meta <- p
+		issued++
+	}
+out:
+	bw.Flush()
+	close(c.meta)
+}
+
+// track appends a mutation to the key's history and returns it (nil when
+// tracking is off) so the reader can ack without reading the map.
+func (c *clientConn) track(key uint64, op KeyOp) *KeyHist {
+	if c.tracked == nil {
+		return nil
+	}
+	h := c.tracked[key]
+	if h == nil {
+		h = &KeyHist{}
+		c.tracked[key] = h
+	}
+	h.Ops = append(h.Ops, op)
+	return h
+}
+
+func (c *clientConn) encodeGet(b []byte, key uint64) []byte {
+	if c.cfg.Proto == ProtoMemcache {
+		b = append(b, "get "...)
+		b = AppendKey(b, key)
+		return append(b, '\r', '\n')
+	}
+	b = append(b, "*2\r\n$3\r\nGET\r\n$8\r\n"...)
+	b = AppendKey(b, key)
+	return append(b, '\r', '\n')
+}
+
+func (c *clientConn) encodeDel(b []byte, key uint64) []byte {
+	if c.cfg.Proto == ProtoMemcache {
+		b = append(b, "delete "...)
+		b = AppendKey(b, key)
+		return append(b, '\r', '\n')
+	}
+	b = append(b, "*2\r\n$3\r\nDEL\r\n$8\r\n"...)
+	b = AppendKey(b, key)
+	return append(b, '\r', '\n')
+}
+
+func (c *clientConn) encodeSet(b []byte, key, val uint64) []byte {
+	var dig [20]byte
+	d := strconv.AppendUint(dig[:0], val, 10)
+	if c.cfg.Proto == ProtoMemcache {
+		b = append(b, "set "...)
+		b = AppendKey(b, key)
+		b = append(b, " 0 0 "...)
+		b = strconv.AppendUint(b, uint64(len(d)), 10)
+		b = append(b, '\r', '\n')
+		b = append(b, d...)
+		return append(b, '\r', '\n')
+	}
+	b = append(b, "*3\r\n$3\r\nSET\r\n$8\r\n"...)
+	b = AppendKey(b, key)
+	b = append(b, "\r\n$"...)
+	b = strconv.AppendUint(b, uint64(len(d)), 10)
+	b = append(b, '\r', '\n')
+	b = append(b, d...)
+	return append(b, '\r', '\n')
+}
+
+// ---- reader ----
+
+func (c *clientConn) readLoop() {
+	br := bufio.NewReaderSize(c.nc, 32<<10)
+	for p := range c.meta {
+		ok, hit, err := c.readReply(br, p.get)
+		if err != nil {
+			// Server went away mid-window: the remaining in-flight
+			// requests are unacknowledged by definition.
+			c.rerr = err
+			close(c.dead)
+			break
+		}
+		lat := uint64(time.Now().UnixNano() - p.ts)
+		c.lat.observe(lat)
+		if c.cfg.Tracer != nil {
+			c.cfg.Tracer.Observe(obs.HReqLatency, lat)
+		}
+		c.ops++
+		if !ok {
+			c.errs++
+		} else {
+			if p.get {
+				if hit {
+					c.hits++
+				} else {
+					c.misses++
+				}
+			}
+			if p.hist != nil {
+				p.hist.Acked++
+			}
+		}
+		<-c.window
+	}
+	// Drain any leftover meta so the writer never blocks on a full
+	// channel after a read error.
+	for range c.meta {
+	}
+}
+
+// readReply consumes exactly one response. ok=false is a server-reported
+// error (the connection stays usable); err != nil is a transport or
+// framing failure.
+func (c *clientConn) readReply(br *bufio.Reader, isGet bool) (ok, hit bool, err error) {
+	if c.cfg.Proto == ProtoMemcache {
+		return c.readMcReply(br, isGet)
+	}
+	return c.readRespReply(br)
+}
+
+func readLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadSlice('\n')
+	if err != nil {
+		return nil, err
+	}
+	return bytes.TrimRight(line, "\r\n"), nil
+}
+
+func (c *clientConn) readMcReply(br *bufio.Reader, isGet bool) (bool, bool, error) {
+	if isGet {
+		hit := false
+		for {
+			line, err := readLine(br)
+			if err != nil {
+				return false, false, err
+			}
+			switch {
+			case bytes.Equal(line, []byte("END")):
+				return true, hit, nil
+			case bytes.HasPrefix(line, []byte("VALUE ")):
+				hit = true
+				if _, err := readLine(br); err != nil { // data line
+					return false, false, err
+				}
+			default:
+				return false, false, nil // protocol error reply
+			}
+		}
+	}
+	line, err := readLine(br)
+	if err != nil {
+		return false, false, err
+	}
+	switch {
+	case bytes.Equal(line, []byte("STORED")),
+		bytes.Equal(line, []byte("DELETED")),
+		bytes.Equal(line, []byte("NOT_FOUND")):
+		return true, false, nil
+	}
+	return false, false, nil
+}
+
+func (c *clientConn) readRespReply(br *bufio.Reader) (bool, bool, error) {
+	line, err := readLine(br)
+	if err != nil {
+		return false, false, err
+	}
+	if len(line) == 0 {
+		return false, false, fmt.Errorf("loadgen: empty RESP reply")
+	}
+	switch line[0] {
+	case '+', ':':
+		return true, false, nil
+	case '-':
+		return false, false, nil
+	case '$':
+		n, perr := strconv.Atoi(string(line[1:]))
+		if perr != nil {
+			return false, false, fmt.Errorf("loadgen: bad bulk header %q", line)
+		}
+		if n < 0 {
+			return true, false, nil // $-1 miss
+		}
+		if _, err := readLine(br); err != nil { // data line
+			return false, false, err
+		}
+		return true, true, nil
+	}
+	return false, false, fmt.Errorf("loadgen: unparseable reply %q", line)
+}

@@ -1,0 +1,315 @@
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// ---- MemPipe ----
+
+func TestMemPipeRoundTrip(t *testing.T) {
+	a, b := MemPipe(8) // tiny capacity so the ring wraps many times
+	const msg = "the quick brown fox jumps over the lazy dog"
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.Write([]byte(msg))
+		errc <- err
+	}()
+	got := make([]byte, 0, len(msg))
+	buf := make([]byte, 5)
+	for len(got) < len(msg) {
+		n, err := b.Read(buf)
+		if err != nil {
+			t.Fatalf("read: %v (got %q)", err, got)
+		}
+		got = append(got, buf[:n]...)
+	}
+	if string(got) != msg {
+		t.Fatalf("round trip corrupted: %q", got)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("write: %v", err)
+	}
+}
+
+func TestMemPipeCloseSemantics(t *testing.T) {
+	a, b := MemPipe(64)
+	if _, err := a.Write([]byte("tail")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	a.Close()
+	// Buffered bytes stay readable after the writer closes...
+	buf := make([]byte, 16)
+	n, err := b.Read(buf)
+	if err != nil || string(buf[:n]) != "tail" {
+		t.Fatalf("drain after close: n=%d err=%v", n, err)
+	}
+	// ...then EOF, not a hang.
+	if _, err := b.Read(buf); err != io.EOF {
+		t.Fatalf("drained read: want io.EOF, got %v", err)
+	}
+	// Writes into a closed pipe fail immediately.
+	if _, err := b.Write([]byte("x")); err == nil {
+		t.Fatal("write after peer close succeeded")
+	}
+}
+
+func TestMemPipeCloseWakesBlockedReader(t *testing.T) {
+	a, b := MemPipe(16)
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Read(make([]byte, 1)) // blocks: nothing written
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-done:
+		if err != io.EOF {
+			t.Fatalf("blocked read after close: want io.EOF, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked reader not woken by close")
+	}
+}
+
+// ---- key formatting ----
+
+func TestLoadgenAppendKey(t *testing.T) {
+	if got := string(AppendKey(nil, 0)); got != "k0000000" {
+		t.Fatalf("key 0: %q", got)
+	}
+	if got := string(AppendKey(nil, 0xABCDEF1)); got != "kabcdef1" {
+		t.Fatalf("key 0xABCDEF1: %q", got)
+	}
+	// 8 bytes always (the RESP store caps keys at one word).
+	seen := map[string]bool{}
+	for k := uint64(0); k < 512; k++ {
+		s := string(AppendKey(nil, k))
+		if len(s) != 8 {
+			t.Fatalf("key %d: length %d", k, len(s))
+		}
+		if seen[s] {
+			t.Fatalf("key %d: collision on %q", k, s)
+		}
+		seen[s] = true
+	}
+}
+
+// ---- convergence checker ----
+
+func TestLoadgenExplainable(t *testing.T) {
+	set := func(v uint64) KeyOp { return KeyOp{Val: v} }
+	del := KeyOp{Del: true}
+	cases := []struct {
+		name    string
+		hist    KeyHist
+		present bool
+		val     uint64
+		want    bool
+	}{
+		{"empty history, absent", KeyHist{}, false, 0, true},
+		{"empty history, phantom value", KeyHist{}, true, 7, false},
+		{"unacked set may be absent", KeyHist{Ops: []KeyOp{set(1)}}, false, 0, true},
+		{"unacked set may be applied", KeyHist{Ops: []KeyOp{set(1)}}, true, 1, true},
+		{"acked set must be present", KeyHist{Ops: []KeyOp{set(1)}, Acked: 1}, false, 0, false},
+		{"acked set, exact value", KeyHist{Ops: []KeyOp{set(1)}, Acked: 1}, true, 1, true},
+		{"torn value", KeyHist{Ops: []KeyOp{set(1), set(2)}, Acked: 2}, true, 1, false},
+		{"unacked tail optional", KeyHist{Ops: []KeyOp{set(1), set(2)}, Acked: 1}, true, 1, true},
+		{"unacked tail applied", KeyHist{Ops: []KeyOp{set(1), set(2)}, Acked: 1}, true, 2, true},
+		{"acked delete: resurrection", KeyHist{Ops: []KeyOp{set(1), del}, Acked: 2}, true, 1, false},
+		{"acked delete, absent", KeyHist{Ops: []KeyOp{set(1), del}, Acked: 2}, false, 0, true},
+		{"lost acked write", KeyHist{Ops: []KeyOp{del, set(3)}, Acked: 2}, false, 0, false},
+		{"stale pre-acked state", KeyHist{Ops: []KeyOp{set(1), set(2), set(3)}, Acked: 2}, true, 1, false},
+	}
+	for _, tc := range cases {
+		if got := tc.hist.Explainable(tc.present, tc.val); got != tc.want {
+			t.Errorf("%s: Explainable(%v, %d) = %v, want %v",
+				tc.name, tc.present, tc.val, got, tc.want)
+		}
+	}
+}
+
+// ---- Run against a miniature in-test server ----
+
+// miniServe speaks just enough of each protocol to ack every request:
+// SETs are stored, GETs answer from the map (so hit accounting is
+// checked end to end), DELETEs always ack.
+func miniServe(t *testing.T, proto Proto, nc io.ReadWriteCloser) {
+	t.Helper()
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+	bw := bufio.NewWriter(nc)
+	store := map[string]string{}
+	line := func() ([]byte, bool) {
+		l, err := br.ReadSlice('\n')
+		if err != nil {
+			return nil, false
+		}
+		return bytes.TrimRight(l, "\r\n"), true
+	}
+	for {
+		l, ok := line()
+		if !ok {
+			return
+		}
+		if proto == ProtoMemcache {
+			switch {
+			case bytes.HasPrefix(l, []byte("get ")):
+				if v, hit := store[string(l[4:])]; hit {
+					bw.WriteString("VALUE " + string(l[4:]) + " 0 " +
+						strconv.Itoa(len(v)) + "\r\n" + v + "\r\n")
+				}
+				bw.WriteString("END\r\n")
+			case bytes.HasPrefix(l, []byte("set ")):
+				f := bytes.Fields(l)
+				data, ok := line()
+				if !ok || len(f) != 5 {
+					return
+				}
+				store[string(f[1])] = string(data)
+				bw.WriteString("STORED\r\n")
+			case bytes.HasPrefix(l, []byte("delete ")):
+				delete(store, string(l[7:]))
+				bw.WriteString("DELETED\r\n")
+			default:
+				return
+			}
+		} else {
+			// RESP array: *N then N bulk strings.
+			n, err := strconv.Atoi(string(l[1:]))
+			if err != nil || l[0] != '*' {
+				return
+			}
+			args := make([]string, 0, n)
+			for i := 0; i < n; i++ {
+				if _, ok := line(); !ok { // $len header
+					return
+				}
+				data, ok := line()
+				if !ok {
+					return
+				}
+				args = append(args, string(data))
+			}
+			switch args[0] {
+			case "GET":
+				if v, hit := store[args[1]]; hit {
+					bw.WriteString("$" + strconv.Itoa(len(v)) + "\r\n" + v + "\r\n")
+				} else {
+					bw.WriteString("$-1\r\n")
+				}
+			case "SET":
+				store[args[1]] = args[2]
+				bw.WriteString("+OK\r\n")
+			case "DEL":
+				delete(store, args[1])
+				bw.WriteString(":1\r\n")
+			default:
+				return
+			}
+		}
+		if br.Buffered() == 0 {
+			if bw.Flush() != nil {
+				return
+			}
+		}
+	}
+}
+
+func testLoadgenRun(t *testing.T, proto Proto) {
+	cfg := Config{
+		Proto:    proto,
+		Conns:    4,
+		Pipeline: 8,
+		Keys:     64,
+		SetPct:   40,
+		DelPct:   20,
+		Ops:      200, // per connection
+		Seed:     42,
+		Track:    true,
+	}
+	res, err := Run(cfg, func() (net.Conn, error) {
+		client, srvEnd := MemPipe(32 << 10)
+		go miniServe(t, proto, srvEnd)
+		return client, nil
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if want := uint64(cfg.Conns) * cfg.Ops; res.Ops != want {
+		t.Fatalf("ops: got %d, want %d", res.Ops, want)
+	}
+	if res.Errs != 0 {
+		t.Fatalf("errs: %d", res.Errs)
+	}
+	if res.Hits == 0 || res.Misses == 0 {
+		t.Fatalf("GET accounting degenerate: hits=%d misses=%d", res.Hits, res.Misses)
+	}
+	if res.P99 < res.P50 || res.Max < res.P99 {
+		t.Fatalf("quantiles disordered: p50=%d p99=%d max=%d", res.P50, res.P99, res.Max)
+	}
+	if res.MeanNS <= 0 {
+		t.Fatalf("mean: %v", res.MeanNS)
+	}
+	// Every ack arrived (the server never died), so every tracked
+	// history must be fully acknowledged and the recovered state "all
+	// ops applied" must be explainable.
+	if len(res.Tracked) == 0 {
+		t.Fatal("tracking enabled but nothing tracked")
+	}
+	for key, h := range res.Tracked {
+		if h.Acked != len(h.Ops) {
+			t.Fatalf("key %d: %d/%d acked on a clean run", key, h.Acked, len(h.Ops))
+		}
+		pres, v := false, uint64(0)
+		for _, op := range h.Ops {
+			if op.Del {
+				pres, v = false, 0
+			} else {
+				pres, v = true, op.Val
+			}
+		}
+		if !h.Explainable(pres, v) {
+			t.Fatalf("key %d: final state not explainable by its own history", key)
+		}
+	}
+}
+
+func TestLoadgenRunMemcache(t *testing.T) { testLoadgenRun(t, ProtoMemcache) }
+func TestLoadgenRunRESP(t *testing.T)     { testLoadgenRun(t, ProtoRESP) }
+
+func TestLoadgenOpenLoop(t *testing.T) {
+	cfg := Config{
+		Proto:       ProtoMemcache,
+		Conns:       2,
+		Pipeline:    4,
+		Keys:        32,
+		SetPct:      50,
+		Ops:         50,
+		OpenRateOPS: 20000, // 10k/conn: fast enough to finish, slow enough to pace
+		Seed:        7,
+	}
+	start := time.Now()
+	res, err := Run(cfg, func() (net.Conn, error) {
+		client, srvEnd := MemPipe(32 << 10)
+		go miniServe(t, ProtoMemcache, srvEnd)
+		return client, nil
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if want := uint64(cfg.Conns) * cfg.Ops; res.Ops != want {
+		t.Fatalf("ops: got %d, want %d", res.Ops, want)
+	}
+	// 50 ops at 10k/s per connection is >= 5ms of schedule; a closed
+	// loop over MemPipe would finish in well under a millisecond.
+	if elapsed := time.Since(start); elapsed < 4*time.Millisecond {
+		t.Fatalf("open loop did not pace: finished in %v", elapsed)
+	}
+}

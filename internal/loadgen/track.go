@@ -1,0 +1,61 @@
+package loadgen
+
+// Convergence tracking for the crash-mid-serve smoke: with Track on,
+// each connection records the total order of mutations it issued per key
+// and how many of them were acknowledged before the connection died.
+// The key space is partitioned across connections (key % Conns ==
+// connID) and every written value is globally unique, so after a crash
+// the recovered image can be checked key by key against each history
+// independently — the three-way convergence argument:
+//
+//  1. acked mutations are durable (the server responds only after the
+//     FASE's commit fence), so at least the acked prefix applied;
+//  2. unacked mutations may or may not have reached the store, but they
+//     applied in issue order (same key → same shard → one FIFO pipeline);
+//  3. therefore the recovered state of a key must equal the state after
+//     some prefix of length j, Acked ≤ j ≤ len(Ops).
+//
+// Anything else — a torn value, a resurrected deleted key, a lost acked
+// write — is a failure of failure atomicity, not of the workload.
+
+// KeyOp is one tracked mutation: a delete, or a set of Val.
+type KeyOp struct {
+	Del bool
+	Val uint64
+}
+
+// KeyHist is the mutation history of one key on one connection.
+type KeyHist struct {
+	Ops   []KeyOp
+	Acked int // mutations acknowledged before shutdown (a prefix of Ops)
+}
+
+// Explainable reports whether an observed post-recovery state (present
+// with value val, or absent) matches the state after some acknowledged-
+// or-later prefix of the history. The initial state is absent (fresh
+// store).
+func (h *KeyHist) Explainable(present bool, val uint64) bool {
+	pres, v := false, uint64(0)
+	if h.Acked <= 0 && matches(pres, v, present, val) {
+		return true
+	}
+	for j := 1; j <= len(h.Ops); j++ {
+		op := h.Ops[j-1]
+		if op.Del {
+			pres, v = false, 0
+		} else {
+			pres, v = true, op.Val
+		}
+		if j >= h.Acked && matches(pres, v, present, val) {
+			return true
+		}
+	}
+	return false
+}
+
+func matches(pres bool, v uint64, present bool, val uint64) bool {
+	if pres != present {
+		return false
+	}
+	return !present || v == val
+}

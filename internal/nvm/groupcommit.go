@@ -252,7 +252,27 @@ func (d *Device) gcPersist(lines []uint64) {
 		}
 		if c.leader.Load() == 0 && c.leader.CompareAndSwap(0, 1) {
 			if s.state.Load() != gcDone {
-				d.gcLead()
+				// If an injected crash kills the leader mid-serve, the
+				// leader flag must not die held: a parked waiter's condvar
+				// predicate (leader == 1, slot not done) would then never
+				// change and no broadcast would ever come — the waiter
+				// sleeps through the crash instead of dying with it. The
+				// deferred release turns a leader death into a release +
+				// broadcast, so woken waiters observe the fired injection
+				// and propagate the CrashSignal themselves.
+				abort := true
+				func() {
+					defer func() {
+						if abort {
+							c.mu.Lock()
+							c.leader.Store(0)
+							c.wake.Broadcast()
+							c.mu.Unlock()
+						}
+					}()
+					d.gcLead()
+					abort = false
+				}()
 				ledSelf = true
 			}
 			c.mu.Lock()

@@ -1,12 +1,63 @@
 package nvm
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/ido-nvm/ido/internal/obs"
 )
+
+// TestGroupCommitLeaderCrashWakesParked: when an injected crash kills the
+// serving leader, every waiter must terminate too — including one that
+// already parked on the combiner's condvar before the crash fired. The
+// slow flush/fence model (2 ms per event) holds the leader in its serve
+// long enough for the other committer to park; the budget sweep lands the
+// crash on each of the leader's serve events (first flush, second flush,
+// merged fence) in turn. Before the deferred leader-release this
+// deadlocked: the leader died holding the flag, no broadcast ever came,
+// and the parked waiter slept through the crash.
+func TestGroupCommitLeaderCrashWakesParked(t *testing.T) {
+	for _, budget := range []int64{2, 3, 4} {
+		t.Run(fmt.Sprintf("budget%d", budget), func(t *testing.T) {
+			d := New(Config{Size: 1 << 20, FlushNS: 2_000_000, FenceNS: 2_000_000,
+				GroupCommit: GroupCommitConfig{Enabled: true, ForceCombine: true}})
+			lines := []uint64{0, 64}
+			for _, ln := range lines {
+				d.Store64(ln, 1)
+			}
+			ArmCrash(budget)
+			defer ArmCrash(-1)
+			var wg sync.WaitGroup
+			for i := 0; i < 2; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					defer func() {
+						if r := recover(); r != nil {
+							if _, ok := r.(CrashSignal); !ok {
+								panic(r)
+							}
+						}
+					}()
+					d.PersistBatch(lines[i : i+1])
+				}(i)
+			}
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(20 * time.Second):
+				t.Fatal("a combiner waiter outlived the leader's crash (parked forever?)")
+			}
+			if !CrashFired() {
+				t.Fatal("crash budget never fired: the sweep no longer covers the serve path")
+			}
+		})
+	}
+}
 
 func gcDevice(t *testing.T, cfg GroupCommitConfig, tr *obs.Tracer) *Device {
 	t.Helper()

@@ -32,6 +32,10 @@ const (
 	// merged group-commit fence — the direct observation of the
 	// combiner's amortization factor (1 = no combining happened).
 	HFASEsPerFence
+	// HReqLatency is the nanoseconds from a network request's parse
+	// completion to its response being handed to the connection writer —
+	// the server-side component of end-to-end request latency.
+	HReqLatency
 
 	nHist
 )
@@ -55,6 +59,8 @@ func (h HistKind) String() string {
 		return "stores/region"
 	case HFASEsPerFence:
 		return "fases/fence"
+	case HReqLatency:
+		return "req-latency-ns"
 	default:
 		return fmt.Sprintf("HistKind(%d)", int(h))
 	}

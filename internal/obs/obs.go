@@ -103,6 +103,13 @@ const (
 	// elected leader on behalf of a batch. A = FASEs (slots) served,
 	// B = total cache lines written back for the batch.
 	KBatchCommit
+	// KNetReq is one served network request (parse → shard dispatch →
+	// respond), emitted as a span by the owning shard pipeline.
+	// A = request opcode, B = shard index.
+	KNetReq
+	// KNetBatch is one batched response write flushed back to a client
+	// connection. A = bytes written, B = requests covered by the flush.
+	KNetBatch
 
 	nKinds
 )
@@ -154,6 +161,10 @@ func (k Kind) String() string {
 		return "fence-combined"
 	case KBatchCommit:
 		return "batch-commit"
+	case KNetReq:
+		return "net-req"
+	case KNetBatch:
+		return "net-batch"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

@@ -86,6 +86,31 @@ type RegVal struct {
 // RV builds a RegVal.
 func RV(reg int, val uint64) RegVal { return RegVal{Reg: reg, Val: val} }
 
+// OutputScratcher is an optional Thread extension: a thread-owned
+// reusable buffer for assembling a Boundary output set. Boundary must
+// copy its outputs before returning (iDO's does — the log is persistent,
+// the staged copy is its own slice), so the same buffer is safe to hand
+// back on every call. Threads are single-goroutine by contract, which is
+// what makes a single per-thread buffer sound.
+type OutputScratcher interface {
+	// OutputScratch returns a zero-length slice with at least MaxOutputs
+	// capacity, valid until the next OutputScratch call on this thread.
+	OutputScratch() []RegVal
+}
+
+// Outs returns a zero-length buffer for building t's next Boundary
+// output set: t's reusable scratch when the runtime offers one, a fresh
+// slice otherwise. Appending up to MaxOutputs RegVals and spreading the
+// result into Boundary is then allocation-free on scratch-providing
+// runtimes — variadic slices built at an interface call site otherwise
+// defeat escape analysis and heap-allocate on every FASE.
+func Outs(t Thread) []RegVal {
+	if s, ok := t.(OutputScratcher); ok {
+		return s.OutputScratch()
+	}
+	return make([]RegVal, 0, MaxOutputs)
+}
+
 // ResumeFunc re-executes an interrupted FASE from the entry of the
 // idempotent region identified at registration, given the thread handle
 // and the full logged register file (rf[i] is register slot i), and runs

@@ -1,0 +1,52 @@
+package server_test
+
+import (
+	"io"
+	"testing"
+
+	"github.com/ido-nvm/ido/internal/nvm"
+	"github.com/ido-nvm/ido/internal/server"
+)
+
+// BenchmarkServeSteady measures the full serve path — parse, shard
+// dispatch, FASE execution, response encode, batched write — over a
+// deterministic 4-op cycle on one connection. The CI allocation gate
+// holds this at 0 allocs/op: ReportAllocs counts mallocs process-wide,
+// so a stray allocation anywhere on the server's hot path (reader,
+// shard pipeline, writer) shows up here.
+func BenchmarkServeSteady(b *testing.B) {
+	benchServeSteady(b, server.ProtoMemcache,
+		"set bk 0 0 2\r\n42\r\nget bk\r\ndelete bk\r\nget bk\r\n",
+		len("STORED\r\n"+"VALUE bk 0 2\r\n42\r\nEND\r\n"+"DELETED\r\n"+"END\r\n"))
+}
+
+func BenchmarkServeSteadyRESP(b *testing.B) {
+	benchServeSteady(b, server.ProtoRESP,
+		"SET bk 42\r\nGET bk\r\nDEL bk\r\nGET bk\r\n",
+		len("+OK\r\n"+"$2\r\n42\r\n"+":1\r\n"+"$-1\r\n"))
+}
+
+func benchServeSteady(b *testing.B, proto server.Proto, cycle string, respLen int) {
+	w := newWorld(b, proto, 2, nvm.Config{Size: 1 << 22}, nil)
+	c := w.dial(b)
+	req := []byte(cycle)
+	resp := make([]byte, respLen)
+	// Warm once so lazy one-time allocations (goroutine stacks, bufio)
+	// are paid before the measured region.
+	if _, err := c.Write(req); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := io.ReadFull(c, resp); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Write(req); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.ReadFull(c, resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"testing"
+)
+
+// The fuzz targets drive each parser the way a connection reader does:
+// repeatedly over the head of the stream, consuming what each frame
+// claims. The invariants under arbitrary bytes: never panic, never
+// consume zero or more than is buffered, errNeedMore only with n == 0,
+// and every frame's key offsets must land inside the consumed bytes and
+// satisfy the key validity rules the stores depend on.
+
+func checkMcFrame(t *testing.T, buf []byte, f mcFrame, n int) {
+	t.Helper()
+	switch f.op {
+	case opGet:
+		if f.nkeys < 1 || f.nkeys > maxMultiGet {
+			t.Fatalf("get frame with %d keys", f.nkeys)
+		}
+	case opSet, opDel:
+		if f.nkeys != 1 {
+			t.Fatalf("op %d with %d keys", f.op, f.nkeys)
+		}
+	case opReply:
+		if f.reply == "" {
+			t.Fatalf("reply frame with empty reply")
+		}
+		return
+	case opQuit, opNone:
+		return
+	default:
+		t.Fatalf("bad op %d", f.op)
+	}
+	for i := 0; i < f.nkeys; i++ {
+		s, e := f.keys[i][0], f.keys[i][1]
+		if s < 0 || s >= e || e > n {
+			t.Fatalf("key %d offsets [%d,%d) outside consumed %d", i, s, e, n)
+		}
+		if !validKey(buf[s:e], maxKeyLen) {
+			t.Fatalf("frame carries invalid key %q", buf[s:e])
+		}
+	}
+}
+
+func FuzzParseMemcache(f *testing.F) {
+	f.Add([]byte("get foo\r\n"))
+	f.Add([]byte("get a b c\r\n"))
+	f.Add([]byte("gets foo\r\n"))
+	f.Add([]byte("set foo 0 0 3\r\n123\r\n"))
+	f.Add([]byte("set foo 0 0 3 noreply\r\n123\r\n"))
+	f.Add([]byte("set foo 0 0 25\r\n1234567890123456789012345\r\n"))
+	f.Add([]byte("delete foo noreply\r\n"))
+	f.Add([]byte("version\r\nquit\r\n"))
+	f.Add([]byte("set foo 0 0 9999\r\n"))
+	f.Add([]byte("set k 0 0 abc\r\n"))
+	f.Add([]byte("get \x00\x01\xff\r\n"))
+	f.Add([]byte("\r\n"))
+	f.Add([]byte("set a 18446744073709551616 0 1\r\nx\r\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		buf := data
+		for len(buf) > 0 {
+			fr, n, err := parseMemcache(buf)
+			if err != nil {
+				if err != errNeedMore {
+					t.Fatalf("unexpected error %v", err)
+				}
+				if n != 0 {
+					t.Fatalf("errNeedMore with n=%d", n)
+				}
+				return
+			}
+			if n <= 0 || n > len(buf) {
+				t.Fatalf("consumed %d of %d buffered", n, len(buf))
+			}
+			checkMcFrame(t, buf, fr, n)
+			if fr.fatal || fr.op == opQuit {
+				return
+			}
+			buf = buf[n:]
+		}
+	})
+}
+
+func checkRespFrame(t *testing.T, buf []byte, f respFrame, n int) {
+	t.Helper()
+	switch f.op {
+	case opGet, opSet, opDel:
+		s, e := f.key[0], f.key[1]
+		if s < 0 || s >= e || e > n {
+			t.Fatalf("key offsets [%d,%d) outside consumed %d", s, e, n)
+		}
+		if !validKey(buf[s:e], respKeyLen) {
+			t.Fatalf("frame carries invalid key %q", buf[s:e])
+		}
+	case opReply:
+		if f.reply == "" {
+			t.Fatalf("reply frame with empty reply")
+		}
+	case opNone:
+	default:
+		t.Fatalf("bad op %d", f.op)
+	}
+}
+
+func FuzzParseRESP(f *testing.F) {
+	f.Add([]byte("*2\r\n$3\r\nGET\r\n$2\r\nk1\r\n"))
+	f.Add([]byte("*3\r\n$3\r\nSET\r\n$2\r\nk1\r\n$2\r\n42\r\n"))
+	f.Add([]byte("*2\r\n$3\r\nDEL\r\n$2\r\nk1\r\nPING\r\n"))
+	f.Add([]byte("GET k1\r\nSET k1 5\r\n"))
+	f.Add([]byte("*1\r\n$4\r\nPING\r\n"))
+	f.Add([]byte("QUIT\r\n"))
+	f.Add([]byte("*9999\r\n"))
+	f.Add([]byte("*2\r\n$3\r\nGET\r\n$bad\r\n"))
+	f.Add([]byte("*2\r\n$3\r\nGET\r\n$600\r\n"))
+	f.Add([]byte("$5\r\nhello\r\n"))
+	f.Add([]byte("*1\r\n$0\r\n\r\n"))
+	f.Add([]byte("\r\n"))
+	f.Add([]byte("*-1\r\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		buf := data
+		for len(buf) > 0 {
+			fr, n, err := parseRESP(buf)
+			if err != nil {
+				if err != errNeedMore {
+					t.Fatalf("unexpected error %v", err)
+				}
+				if n != 0 {
+					t.Fatalf("errNeedMore with n=%d", n)
+				}
+				return
+			}
+			if n <= 0 || n > len(buf) {
+				t.Fatalf("consumed %d of %d buffered", n, len(buf))
+			}
+			checkRespFrame(t, buf, fr, n)
+			if fr.fatal {
+				return
+			}
+			buf = buf[n:]
+		}
+	})
+}

@@ -1,0 +1,314 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"strconv"
+)
+
+// The memcache text protocol (the subset the Fig. 5 workload speaks):
+//
+//	get <key>*\r\n
+//	set <key> <flags> <exptime> <bytes> [noreply]\r\n<data>\r\n
+//	delete <key> [noreply]\r\n
+//	version\r\n
+//	quit\r\n
+//
+// Values are ASCII-decimal uint64s (the stores hold one word per key, the
+// paper's memaslap configuration), keys are 1..16 printable bytes, and
+// flags/exptime are parsed but not stored (VALUE lines echo flags 0).
+// Parsing is zero-copy: a frame holds byte offsets into the caller's
+// buffer, never slices of it, and never allocates — the fuzz targets and
+// the steady-state allocation gate both hold the parsers to that.
+
+// errNeedMore reports an incomplete frame: the caller must read more
+// bytes and re-parse. It is the parsers' only non-nil error; every
+// malformed input becomes an error-reply frame instead, because the
+// connection must answer (or deliberately hang up), not stall.
+var errNeedMore = errors.New("server: incomplete frame")
+
+// Request opcodes, shared by both protocols.
+const (
+	opNone  uint8 = iota // consumed bytes only (blank line); nothing to do
+	opGet                // lookup; okOut/vOut carry the result
+	opSet                // store s.val
+	opDel                // delete; okOut reports presence
+	opReply              // locally-served canned response (errors, VERSION, PONG)
+	opQuit               // client hangup: flush and close, no response
+)
+
+// Frame-size bounds. A command line and its inline data always fit well
+// inside a connection's read buffer, so errNeedMore always resolves:
+// anything larger is answered (or hung up on) instead of buffered.
+const (
+	maxKeyLen   = 16   // two key words, the kv/memcache geometry
+	respKeyLen  = 8    // one key word, the kv/redis geometry
+	maxLineLen  = 1024 // command line bound, memcached's own default
+	maxDataLen  = 20   // longest ASCII uint64
+	maxSwallow  = 4096 // oversized set data consumed-then-refused up to this
+	maxMultiGet = 60   // keys per multi-get (each claims one pipeline slot)
+)
+
+// Canned reply lines. Error texts follow memcached's wire vocabulary.
+const (
+	mcReplyError     = "ERROR\r\n"
+	mcReplyBadKey    = "CLIENT_ERROR bad key\r\n"
+	mcReplyBadFormat = "CLIENT_ERROR bad command line format\r\n"
+	mcReplyBadData   = "CLIENT_ERROR bad data chunk\r\n"
+	mcReplyTooLong   = "CLIENT_ERROR line too long\r\n"
+	mcReplyTooBig    = "SERVER_ERROR object too large for cache\r\n"
+	mcReplyTooMany   = "SERVER_ERROR too many keys\r\n"
+	mcReplyVersion   = "VERSION ido/1.0\r\n"
+)
+
+// mcFrame is one parsed memcache command. Key fields are [start,end)
+// byte offsets into the buffer passed to parseMemcache.
+type mcFrame struct {
+	op      uint8
+	nkeys   int
+	keys    [maxMultiGet][2]int
+	val     uint64
+	noreply bool
+	reply   string // canned response when op == opReply
+	fatal   bool   // close the connection after replying
+}
+
+// nextTok returns the [start,end) of the next space-separated token of b
+// at or after i (start == end means no token remains).
+func nextTok(b []byte, i int) (int, int) {
+	for i < len(b) && b[i] == ' ' {
+		i++
+	}
+	s := i
+	for i < len(b) && b[i] != ' ' {
+		i++
+	}
+	return s, i
+}
+
+// parseUint parses an ASCII-decimal uint64 without allocating; ok is
+// false on empty input, a non-digit, or overflow.
+func parseUint(b []byte) (uint64, bool) {
+	if len(b) == 0 || len(b) > maxDataLen {
+		return 0, false
+	}
+	var v uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := uint64(c - '0')
+		if v > (^uint64(0)-d)/10 {
+			return 0, false
+		}
+		v = v*10 + d
+	}
+	return v, true
+}
+
+// validKey reports whether a wire key is storable: 1..max bytes, every
+// byte printable non-space ASCII. The charset rule is memcached's, and it
+// is what makes the stores' zero-padded fixed-width key words injective —
+// no legal key contains NUL, so distinct keys never pad to the same words.
+func validKey(b []byte, max int) bool {
+	if len(b) == 0 || len(b) > max {
+		return false
+	}
+	for _, c := range b {
+		if c <= ' ' || c > '~' {
+			return false
+		}
+	}
+	return true
+}
+
+// token equality against a lowercase literal, without allocation.
+func tokIs(b []byte, s string) bool {
+	if len(b) != len(s) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		if b[i] != s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// reply builds an error/canned frame consuming n bytes.
+func mcReply(reply string, n int, fatal bool) (mcFrame, int, error) {
+	return mcFrame{op: opReply, reply: reply, fatal: fatal}, n, nil
+}
+
+// parseMemcache parses one command frame from the head of buf. It
+// returns errNeedMore when buf holds only a prefix of a frame; otherwise
+// it returns the frame and how many bytes it consumed (always > 0).
+// Malformed input yields opReply frames — never a panic, never n == 0.
+func parseMemcache(buf []byte) (mcFrame, int, error) {
+	window := buf
+	if len(window) > maxLineLen {
+		window = window[:maxLineLen]
+	}
+	nl := bytes.IndexByte(window, '\n')
+	if nl < 0 {
+		if len(buf) >= maxLineLen {
+			// No terminator within the protocol bound: refuse and hang up
+			// (consuming everything buffered — the connection is done).
+			return mcReply(mcReplyTooLong, len(buf), true)
+		}
+		return mcFrame{}, 0, errNeedMore
+	}
+	n := nl + 1
+	line := buf[:nl]
+	if nl > 0 && line[nl-1] == '\r' {
+		line = line[:nl-1]
+	}
+	cs, ce := nextTok(line, 0)
+	cmd := line[cs:ce]
+	switch {
+	case tokIs(cmd, "get") || tokIs(cmd, "gets"):
+		var f mcFrame
+		f.op = opGet
+		for i := ce; ; {
+			ks, ke := nextTok(line, i)
+			if ks == ke {
+				break
+			}
+			if !validKey(line[ks:ke], maxKeyLen) {
+				return mcReply(mcReplyBadKey, n, false)
+			}
+			if f.nkeys == maxMultiGet {
+				return mcReply(mcReplyTooMany, n, false)
+			}
+			f.keys[f.nkeys] = [2]int{ks, ke}
+			f.nkeys++
+			i = ke
+		}
+		if f.nkeys == 0 {
+			return mcReply(mcReplyError, n, false)
+		}
+		return f, n, nil
+
+	case tokIs(cmd, "set"):
+		ks, ke := nextTok(line, ce)
+		fs, fe := nextTok(line, ke)
+		es, ee := nextTok(line, fe)
+		bs, be := nextTok(line, ee)
+		os, oe := nextTok(line, be)
+		xs, xe := nextTok(line, oe)
+		if ks == ke || fs == fe || es == ee || bs == be || xs != xe {
+			return mcReply(mcReplyError, n, false)
+		}
+		noreply := false
+		if os != oe {
+			if !tokIs(line[os:oe], "noreply") {
+				return mcReply(mcReplyError, n, false)
+			}
+			noreply = true
+		}
+		if _, ok := parseUint(line[fs:fe]); !ok {
+			return mcReply(mcReplyBadFormat, n, false)
+		}
+		if _, ok := parseUint(line[es:ee]); !ok {
+			return mcReply(mcReplyBadFormat, n, false)
+		}
+		nbytes, ok := parseUint(line[bs:be])
+		if !ok {
+			return mcReply(mcReplyBadFormat, n, false)
+		}
+		if nbytes > maxSwallow {
+			// Too big to even swallow: refuse and hang up, since the rest
+			// of the stream is unframed data.
+			return mcReply(mcReplyTooBig, len(buf), true)
+		}
+		frameLen := n + int(nbytes) + 2
+		if len(buf) < frameLen {
+			return mcFrame{}, 0, errNeedMore
+		}
+		if nbytes > maxDataLen {
+			// Values are single words here; consume the data, refuse the op.
+			return mcReply(mcReplyTooBig, frameLen, false)
+		}
+		data := buf[n : n+int(nbytes)]
+		if buf[frameLen-2] != '\r' || buf[frameLen-1] != '\n' {
+			return mcReply(mcReplyBadData, frameLen, false)
+		}
+		if !validKey(line[ks:ke], maxKeyLen) {
+			return mcReply(mcReplyBadKey, frameLen, false)
+		}
+		val, ok := parseUint(data)
+		if !ok {
+			return mcReply(mcReplyBadData, frameLen, false)
+		}
+		f := mcFrame{op: opSet, nkeys: 1, val: val, noreply: noreply}
+		f.keys[0] = [2]int{ks, ke}
+		return f, frameLen, nil
+
+	case tokIs(cmd, "delete"):
+		ks, ke := nextTok(line, ce)
+		os, oe := nextTok(line, ke)
+		xs, xe := nextTok(line, oe)
+		if ks == ke || xs != xe {
+			return mcReply(mcReplyError, n, false)
+		}
+		noreply := false
+		if os != oe {
+			if !tokIs(line[os:oe], "noreply") {
+				return mcReply(mcReplyError, n, false)
+			}
+			noreply = true
+		}
+		if !validKey(line[ks:ke], maxKeyLen) {
+			return mcReply(mcReplyBadKey, n, false)
+		}
+		f := mcFrame{op: opDel, nkeys: 1, noreply: noreply}
+		f.keys[0] = [2]int{ks, ke}
+		return f, n, nil
+
+	case tokIs(cmd, "version"):
+		return mcReply(mcReplyVersion, n, false)
+
+	case tokIs(cmd, "quit"):
+		return mcFrame{op: opQuit}, n, nil
+
+	default:
+		return mcReply(mcReplyError, n, false)
+	}
+}
+
+// encodeMcReply formats s's response into s.resp after the shard executed
+// the operation. Allocation-free: every append stays within the slot's
+// fixed response array.
+func encodeMcReply(s *slot) {
+	b := s.resp[:0]
+	switch s.op {
+	case opGet:
+		if s.okOut {
+			var dig [maxDataLen]byte
+			d := strconv.AppendUint(dig[:0], s.vOut, 10)
+			b = append(b, "VALUE "...)
+			b = append(b, s.key[:s.klen]...)
+			b = append(b, " 0 "...)
+			b = strconv.AppendUint(b, uint64(len(d)), 10)
+			b = append(b, '\r', '\n')
+			b = append(b, d...)
+			b = append(b, '\r', '\n')
+		}
+		if s.last {
+			b = append(b, "END\r\n"...)
+		}
+	case opSet:
+		if !s.noreply {
+			b = append(b, "STORED\r\n"...)
+		}
+	case opDel:
+		if !s.noreply {
+			if s.okOut {
+				b = append(b, "DELETED\r\n"...)
+			} else {
+				b = append(b, "NOT_FOUND\r\n"...)
+			}
+		}
+	}
+	s.rlen = int32(len(b))
+}

@@ -1,0 +1,261 @@
+package server
+
+import (
+	"bytes"
+	"strconv"
+)
+
+// RESP (REdis Serialization Protocol) front end for the kv/redis runtime:
+// GET/SET/DEL/PING/QUIT over both framings real clients use —
+//
+//	array frames:  *2\r\n$3\r\nGET\r\n$2\r\nk1\r\n
+//	inline frames: GET k1\r\n
+//
+// Keys are 1..8 printable bytes (one kv/redis key word), values ASCII
+// decimal uint64s. Same zero-copy discipline as the memcache parser:
+// offsets into the caller's buffer, no allocation, malformed input turns
+// into -ERR reply frames (fatal ones for framing-level corruption, since
+// resynchronizing a broken RESP stream is guesswork).
+
+const (
+	respMaxArgs = 8   // arrays beyond this are refused (commands take ≤3)
+	respMaxBulk = 512 // single bulk-string bound; keeps frames buffer-sized
+)
+
+const (
+	respReplyOK       = "+OK\r\n"
+	respReplyPong     = "+PONG\r\n"
+	respReplyProtoErr = "-ERR Protocol error\r\n"
+	respReplyBadKey   = "-ERR key must be 1..8 printable bytes\r\n"
+	respReplyBadInt   = "-ERR value is not an integer or out of range\r\n"
+	respReplyArity    = "-ERR wrong number of arguments\r\n"
+	respReplyUnknown  = "-ERR unknown command\r\n"
+)
+
+// respFrame is one parsed RESP command; key is a [start,end) offset pair
+// into the buffer passed to parseRESP.
+type respFrame struct {
+	op    uint8
+	key   [2]int
+	val   uint64
+	reply string
+	fatal bool
+}
+
+func respReply(reply string, n int, fatal bool) (respFrame, int, error) {
+	return respFrame{op: opReply, reply: reply, fatal: fatal}, n, nil
+}
+
+// parseRESP parses one command frame from the head of buf, with the same
+// contract as parseMemcache: errNeedMore on a frame prefix, an opReply
+// frame (never a panic, never n == 0) on malformed input.
+func parseRESP(buf []byte) (respFrame, int, error) {
+	if len(buf) == 0 {
+		return respFrame{}, 0, errNeedMore
+	}
+	if buf[0] == '*' {
+		return parseRESPArray(buf)
+	}
+	return parseRESPInline(buf)
+}
+
+// respLine finds the CRLF-terminated line starting at i, returning the
+// offset just past it. ok=false distinguishes "need more" (err == nil is
+// impossible here; the caller maps !ok && within bounds to errNeedMore)
+// from a framing violation (bad == true: LF without CR, or line too long).
+func respLine(buf []byte, i int) (end int, ok, bad bool) {
+	window := buf[i:]
+	if len(window) > maxLineLen {
+		window = window[:maxLineLen]
+	}
+	nl := bytes.IndexByte(window, '\n')
+	if nl < 0 {
+		return 0, false, len(buf)-i >= maxLineLen
+	}
+	if nl == 0 || window[nl-1] != '\r' {
+		return 0, false, true
+	}
+	return i + nl + 1, true, false
+}
+
+// respInt parses the ASCII integer body of a length/count line
+// buf[s:e-2] (e is just past the CRLF).
+func respInt(buf []byte, s, e int) (uint64, bool) {
+	return parseUint(buf[s : e-2])
+}
+
+func parseRESPArray(buf []byte) (respFrame, int, error) {
+	end, ok, bad := respLine(buf, 0)
+	if !ok {
+		if bad {
+			return respReply(respReplyProtoErr, len(buf), true)
+		}
+		return respFrame{}, 0, errNeedMore
+	}
+	nargs, okN := respInt(buf, 1, end)
+	if !okN || nargs == 0 || nargs > respMaxArgs {
+		return respReply(respReplyProtoErr, len(buf), true)
+	}
+	var args [respMaxArgs][2]int
+	pos := end
+	for i := uint64(0); i < nargs; i++ {
+		if pos >= len(buf) {
+			return respFrame{}, 0, errNeedMore
+		}
+		if buf[pos] != '$' {
+			return respReply(respReplyProtoErr, len(buf), true)
+		}
+		hend, ok, bad := respLine(buf, pos)
+		if !ok {
+			if bad {
+				return respReply(respReplyProtoErr, len(buf), true)
+			}
+			return respFrame{}, 0, errNeedMore
+		}
+		blen, okL := respInt(buf, pos+1, hend)
+		if !okL || blen > respMaxBulk {
+			return respReply(respReplyProtoErr, len(buf), true)
+		}
+		bend := hend + int(blen) + 2
+		if len(buf) < bend {
+			return respFrame{}, 0, errNeedMore
+		}
+		if buf[bend-2] != '\r' || buf[bend-1] != '\n' {
+			return respReply(respReplyProtoErr, len(buf), true)
+		}
+		args[i] = [2]int{hend, hend + int(blen)}
+		pos = bend
+	}
+	f, fatal := respCommand(buf, args[:nargs])
+	if fatal {
+		return respReply(f.reply, len(buf), true)
+	}
+	return f, pos, nil
+}
+
+func parseRESPInline(buf []byte) (respFrame, int, error) {
+	end, ok, bad := respLine(buf, 0)
+	if !ok {
+		if bad {
+			return respReply(respReplyProtoErr, len(buf), true)
+		}
+		return respFrame{}, 0, errNeedMore
+	}
+	line := buf[:end-2]
+	var args [respMaxArgs][2]int
+	nargs := 0
+	for i := 0; ; {
+		s, e := nextTok(line, i)
+		if s == e {
+			break
+		}
+		if nargs == respMaxArgs {
+			return respReply(respReplyProtoErr, len(buf), true)
+		}
+		args[nargs] = [2]int{s, e}
+		nargs++
+		i = e
+	}
+	if nargs == 0 {
+		// Blank inline line: consume and ignore, like redis does.
+		return respFrame{op: opNone}, end, nil
+	}
+	f, fatal := respCommand(buf, args[:nargs])
+	if fatal {
+		return respReply(f.reply, len(buf), true)
+	}
+	return f, end, nil
+}
+
+// eqFold compares a token to an uppercase ASCII literal case-insensitively
+// without allocating.
+func eqFold(b []byte, upper string) bool {
+	if len(b) != len(upper) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		if c != upper[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// respCommand interprets a parsed argument vector. fatal=true means the
+// caller should convert the frame's reply into a hang-up (QUIT, which is
+// not an error, also travels this way via f.fatal on the frame itself).
+func respCommand(buf []byte, args [][2]int) (respFrame, bool) {
+	cmd := buf[args[0][0]:args[0][1]]
+	switch {
+	case eqFold(cmd, "GET"):
+		if len(args) != 2 {
+			return respFrame{op: opReply, reply: respReplyArity}, false
+		}
+		if !validKey(buf[args[1][0]:args[1][1]], respKeyLen) {
+			return respFrame{op: opReply, reply: respReplyBadKey}, false
+		}
+		return respFrame{op: opGet, key: args[1]}, false
+	case eqFold(cmd, "SET"):
+		if len(args) != 3 {
+			return respFrame{op: opReply, reply: respReplyArity}, false
+		}
+		if !validKey(buf[args[1][0]:args[1][1]], respKeyLen) {
+			return respFrame{op: opReply, reply: respReplyBadKey}, false
+		}
+		val, ok := parseUint(buf[args[2][0]:args[2][1]])
+		if !ok {
+			return respFrame{op: opReply, reply: respReplyBadInt}, false
+		}
+		return respFrame{op: opSet, key: args[1], val: val}, false
+	case eqFold(cmd, "DEL"):
+		if len(args) != 2 {
+			return respFrame{op: opReply, reply: respReplyArity}, false
+		}
+		if !validKey(buf[args[1][0]:args[1][1]], respKeyLen) {
+			return respFrame{op: opReply, reply: respReplyBadKey}, false
+		}
+		return respFrame{op: opDel, key: args[1]}, false
+	case eqFold(cmd, "PING"):
+		if len(args) != 1 {
+			return respFrame{op: opReply, reply: respReplyArity}, false
+		}
+		return respFrame{op: opReply, reply: respReplyPong}, false
+	case eqFold(cmd, "QUIT"):
+		return respFrame{op: opReply, reply: respReplyOK, fatal: true}, false
+	default:
+		return respFrame{op: opReply, reply: respReplyUnknown}, false
+	}
+}
+
+// encodeRespReply formats s's response into s.resp after the shard
+// executed the operation; allocation-free like its memcache twin.
+func encodeRespReply(s *slot) {
+	b := s.resp[:0]
+	switch s.op {
+	case opGet:
+		if s.okOut {
+			var dig [maxDataLen]byte
+			d := strconv.AppendUint(dig[:0], s.vOut, 10)
+			b = append(b, '$')
+			b = strconv.AppendUint(b, uint64(len(d)), 10)
+			b = append(b, '\r', '\n')
+			b = append(b, d...)
+			b = append(b, '\r', '\n')
+		} else {
+			b = append(b, "$-1\r\n"...)
+		}
+	case opSet:
+		b = append(b, "+OK\r\n"...)
+	case opDel:
+		if s.okOut {
+			b = append(b, ":1\r\n"...)
+		} else {
+			b = append(b, ":0\r\n"...)
+		}
+	}
+	s.rlen = int32(len(b))
+}

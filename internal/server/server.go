@@ -1,0 +1,589 @@
+// Package server is the networked front end over the paper's Fig. 5
+// key-value runtimes: a memcache-text-protocol server backed by
+// kv/memcache and a RESP server backed by kv/redis, both riding the
+// device's group-commit combiner.
+//
+// The shape is the whole point. Per-connection reader goroutines parse
+// zero-copy frames and hash each request to one of N shard pipelines; a
+// shard pipeline is a single goroutine owning one persist.Thread and one
+// store shard, executing FASEs back-to-back. Under load every shard has
+// a request in hand, so N commit streams hit PersistBatch/Fence
+// concurrently — exactly the overlap the group-commit combiner turns
+// into one shared fence per window. Responses complete out of order
+// across shards but are emitted in arrival order per connection through
+// a fixed slot ring, and a per-connection writer batches however many
+// responses are ready into one socket write.
+//
+// Everything on the steady-state path is allocation-free: slots are
+// fixed rings, tokens are counting-semaphore channels, response bytes
+// are built in place with append into array-backed slices.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"github.com/ido-nvm/ido/internal/nvm"
+	"github.com/ido-nvm/ido/internal/obs"
+	"github.com/ido-nvm/ido/internal/persist"
+)
+
+// Proto selects the wire protocol (and with it the backend flavor).
+type Proto uint8
+
+const (
+	ProtoMemcache Proto = iota
+	ProtoRESP
+)
+
+func (p Proto) String() string {
+	if p == ProtoRESP {
+		return "resp"
+	}
+	return "memcache"
+}
+
+// ErrServerClosed is returned by Serve and ServeConn after Close (or a
+// device crash) has shut the server down.
+var ErrServerClosed = errors.New("server: closed")
+
+// Config sizes the per-connection and per-shard machinery.
+type Config struct {
+	Proto Proto
+	// Ring is the per-connection pipeline depth: the number of in-flight
+	// request slots (default 256). A reader that gets ahead of its shards
+	// by this much blocks until responses drain.
+	Ring int
+	// ShardQueue is the per-shard request queue depth (default 256).
+	ShardQueue int
+	// ReadBuf is the per-connection read buffer (default 64 KiB; min 8 KiB,
+	// which every parseable frame fits inside — see the parser bounds).
+	ReadBuf int
+	// WriteBuf is the per-connection response batch buffer (default 32 KiB);
+	// the writer flushes when it fills or when no further response is ready.
+	WriteBuf int
+}
+
+func (cfg *Config) fill() {
+	if cfg.Ring <= 0 {
+		cfg.Ring = 256
+	}
+	if cfg.ShardQueue <= 0 {
+		cfg.ShardQueue = 256
+	}
+	if cfg.ReadBuf < 8<<10 {
+		cfg.ReadBuf = 64 << 10
+	}
+	if cfg.WriteBuf < 4<<10 {
+		cfg.WriteBuf = 32 << 10
+	}
+}
+
+// respCap bounds one encoded response: the longest memcache VALUE line
+// (6+16+3+2+2+20+2 bytes) plus END, and every canned error line, fit.
+const respCap = 96
+
+// slot is one in-flight request. The reader fills it, exactly one shard
+// pipeline (or the reader itself, for local replies) completes it, and
+// the connection writer emits and recycles it. done is the only
+// cross-goroutine field: Store(true) after the fields are final
+// publishes them to the writer's Load.
+type slot struct {
+	c       *conn
+	op      uint8
+	last    bool // final key of a multi-get: append END
+	noreply bool
+	fatal   bool // close the connection after emitting this response
+	klen    uint8
+	shard   int32
+	key     [maxKeyLen]byte
+	k0, k1  uint64
+	val     uint64
+	ts      int64 // tracer clock at dispatch (0 when tracing is off)
+	vOut    uint64
+	okOut   bool
+	rlen    int32
+	resp    [respCap]byte
+	done    atomic.Bool
+}
+
+// conn is one client connection: a slot ring plus the two token channels
+// that sequence it. free holds a token per recyclable slot (reader
+// consumes on claim, writer returns on emit); cmpl gets a token per
+// completed slot (capacity == ring, and at most ring slots are ever
+// in flight, so sends never block — shards cannot stall on a dead
+// connection).
+type conn struct {
+	srv   *Server
+	nc    net.Conn
+	ring  []slot
+	free  chan struct{}
+	cmpl  chan struct{}
+	deadc chan struct{} // closed when the writer exits: unblocks the reader
+	rseq  uint64        // next slot to claim (reader only)
+	wseq  uint64        // next slot to emit (writer only)
+	wbuf  []byte
+}
+
+// shard is one commit pipeline: a goroutine owning one persist.Thread
+// and one store shard. fn is built once — the Exec closure reads cur, so
+// the hot loop allocates nothing.
+type shard struct {
+	srv  *Server
+	idx  int
+	th   persist.Thread
+	in   chan *slot
+	cur  *slot
+	fn   func()
+	ring *obs.Ring
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Reqs     uint64 // responses emitted (including errors and canned replies)
+	Batches  uint64 // socket writes (response flushes)
+	BytesOut uint64
+}
+
+// Server multiplexes client connections over the shard pipelines.
+type Server struct {
+	cfg    Config
+	store  Store
+	tr     *obs.Tracer
+	shards []*shard
+
+	stopc     chan struct{} // closed on Close or crash: everything unwinds
+	crashc    chan struct{} // closed only when a FASE hit an injected crash
+	stopOnce  sync.Once
+	crashOnce sync.Once
+	wg        sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  map[*conn]struct{}
+	lns    []net.Listener
+	closed bool
+
+	reqs     atomic.Uint64
+	batches  atomic.Uint64
+	bytesOut atomic.Uint64
+}
+
+// New builds a server over an attached store. One persist.Thread is
+// created per store shard; rt must therefore have capacity for
+// store.NumShards() more threads. tr may be nil (tracing off).
+func New(rt persist.Runtime, store Store, cfg Config, tr *obs.Tracer) (*Server, error) {
+	cfg.fill()
+	srv := &Server{
+		cfg:    cfg,
+		store:  store,
+		tr:     tr,
+		stopc:  make(chan struct{}),
+		crashc: make(chan struct{}),
+		conns:  map[*conn]struct{}{},
+	}
+	for i := 0; i < store.NumShards(); i++ {
+		th, err := rt.NewThread()
+		if err != nil {
+			return nil, fmt.Errorf("server: shard %d thread: %w", i, err)
+		}
+		sh := &shard{
+			srv:  srv,
+			idx:  i,
+			th:   th,
+			in:   make(chan *slot, cfg.ShardQueue),
+			ring: tr.ThreadRing(fmt.Sprintf("server/shard%d", i)),
+		}
+		sh.fn = func() { sh.exec(sh.cur) }
+		srv.shards = append(srv.shards, sh)
+		srv.wg.Add(1)
+		go sh.run()
+	}
+	return srv, nil
+}
+
+// Crashed is closed when a shard pipeline hit an injected device crash;
+// the server then shuts down as a crashed process would — abruptly,
+// leaving recovery to the next attach.
+func (srv *Server) Crashed() <-chan struct{} { return srv.crashc }
+
+// Stats snapshots the serve counters.
+func (srv *Server) Stats() Stats {
+	return Stats{
+		Reqs:     srv.reqs.Load(),
+		Batches:  srv.batches.Load(),
+		BytesOut: srv.bytesOut.Load(),
+	}
+}
+
+// ServeConn adopts a connection: it starts the reader and writer
+// goroutines and returns. The connection is closed when the client
+// quits, errors, or the server stops.
+func (srv *Server) ServeConn(nc net.Conn) error {
+	srv.mu.Lock()
+	if srv.closed {
+		srv.mu.Unlock()
+		nc.Close()
+		return ErrServerClosed
+	}
+	c := &conn{
+		srv:   srv,
+		nc:    nc,
+		ring:  make([]slot, srv.cfg.Ring),
+		free:  make(chan struct{}, srv.cfg.Ring),
+		cmpl:  make(chan struct{}, srv.cfg.Ring),
+		deadc: make(chan struct{}),
+		wbuf:  make([]byte, 0, srv.cfg.WriteBuf),
+	}
+	srv.conns[c] = struct{}{}
+	srv.mu.Unlock()
+	for i := 0; i < srv.cfg.Ring; i++ {
+		c.free <- struct{}{}
+	}
+	srv.wg.Add(2)
+	go c.readLoop()
+	go c.writeLoop()
+	return nil
+}
+
+// Serve accepts connections from l until the listener or server closes.
+// It blocks; run it in its own goroutine to serve several listeners.
+func (srv *Server) Serve(l net.Listener) error {
+	srv.mu.Lock()
+	if srv.closed {
+		srv.mu.Unlock()
+		l.Close()
+		return ErrServerClosed
+	}
+	srv.lns = append(srv.lns, l)
+	srv.mu.Unlock()
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			select {
+			case <-srv.stopc:
+				return ErrServerClosed
+			default:
+				return err
+			}
+		}
+		srv.ServeConn(nc)
+	}
+}
+
+// Close stops the server and waits for every goroutine to unwind. Safe
+// after a crash (it then only joins).
+func (srv *Server) Close() error {
+	srv.shutdown()
+	srv.wg.Wait()
+	return nil
+}
+
+func (srv *Server) shutdown() {
+	srv.stopOnce.Do(func() { close(srv.stopc) })
+	srv.mu.Lock()
+	srv.closed = true
+	for c := range srv.conns {
+		c.nc.Close()
+	}
+	for _, l := range srv.lns {
+		l.Close()
+	}
+	srv.mu.Unlock()
+}
+
+// noteCrash records an injected-crash death. Called from a shard
+// goroutine, so it must not wait on the WaitGroup it is part of.
+func (srv *Server) noteCrash() {
+	srv.crashOnce.Do(func() { close(srv.crashc) })
+	srv.shutdown()
+}
+
+func (srv *Server) dropConn(c *conn) {
+	srv.mu.Lock()
+	delete(srv.conns, c)
+	srv.mu.Unlock()
+	c.nc.Close()
+}
+
+// ---- shard pipeline ----
+
+func (sh *shard) exec(s *slot) {
+	switch s.op {
+	case opGet:
+		s.vOut, s.okOut = sh.srv.store.Get(sh.th, sh.idx, s.k0, s.k1)
+	case opSet:
+		sh.srv.store.Set(sh.th, sh.idx, s.k0, s.k1, s.val)
+	case opDel:
+		s.okOut = sh.srv.store.Del(sh.th, sh.idx, s.k0, s.k1)
+	}
+}
+
+func (sh *shard) run() {
+	defer sh.srv.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(nvm.CrashSignal); ok {
+				sh.srv.noteCrash()
+				return
+			}
+			panic(r)
+		}
+	}()
+	mc := sh.srv.cfg.Proto == ProtoMemcache
+	for {
+		select {
+		case s := <-sh.in:
+			sh.cur = s
+			sh.th.Exec(sh.fn)
+			sh.cur = nil
+			if mc {
+				encodeMcReply(s)
+			} else {
+				encodeRespReply(s)
+			}
+			if sh.ring != nil {
+				now := sh.ring.Clock()
+				sh.ring.Span(obs.KNetReq, uint64(s.op), uint64(sh.idx), s.ts)
+				sh.ring.Observe(obs.HReqLatency, uint64(now-s.ts))
+			}
+			complete(s)
+		case <-sh.srv.stopc:
+			return
+		}
+	}
+}
+
+// complete publishes a finished slot to its connection writer. The
+// done store is the release edge for every other slot field.
+func complete(s *slot) {
+	c := s.c
+	s.done.Store(true)
+	c.cmpl <- struct{}{}
+}
+
+// ---- connection reader ----
+
+// claim acquires the next ring slot, blocking until the writer recycles
+// one; false means the server is stopping or the writer already died.
+func (c *conn) claim() (*slot, bool) {
+	select {
+	case <-c.free:
+	case <-c.srv.stopc:
+		return nil, false
+	case <-c.deadc:
+		return nil, false
+	}
+	s := &c.ring[c.rseq%uint64(len(c.ring))]
+	c.rseq++
+	s.c = c
+	return s, true
+}
+
+// dispatch hands a filled slot to its shard pipeline; false means the
+// server is stopping.
+func (c *conn) dispatch(s *slot) bool {
+	sh := c.srv.shards[s.shard]
+	select {
+	case sh.in <- s:
+		return true
+	case <-c.srv.stopc:
+		return false
+	}
+}
+
+// local completes a canned reply on the reader side without touching a
+// shard. Returns false (stop reading) for fatal replies.
+func (c *conn) local(reply string, fatal bool) bool {
+	s, ok := c.claim()
+	if !ok {
+		return false
+	}
+	s.op = opReply
+	s.last, s.noreply = false, false
+	s.fatal = fatal
+	s.rlen = int32(copy(s.resp[:], reply))
+	complete(s)
+	return !fatal
+}
+
+// fillKey copies and encodes a validated wire key into the slot.
+func (s *slot) fillKey(kb []byte) {
+	s.klen = uint8(len(kb))
+	copy(s.key[:], kb)
+	for i := len(kb); i < maxKeyLen; i++ {
+		s.key[i] = 0
+	}
+	s.k0, s.k1 = padKeyWords(s.key[:s.klen])
+	s.shard = int32(s.c.srv.store.ShardOf(s.k0, s.k1))
+}
+
+// sendOp claims, fills, and dispatches one store operation.
+func (c *conn) sendOp(op uint8, kb []byte, val uint64, noreply, last bool, ts int64) bool {
+	s, ok := c.claim()
+	if !ok {
+		return false
+	}
+	s.op = op
+	s.last = last
+	s.noreply = noreply
+	s.fatal = false
+	s.val = val
+	s.ts = ts
+	s.rlen = 0
+	s.fillKey(kb)
+	return c.dispatch(s)
+}
+
+func (c *conn) dispatchMc(f *mcFrame, raw []byte, ts int64) bool {
+	switch f.op {
+	case opNone:
+		return true
+	case opGet:
+		for i := 0; i < f.nkeys; i++ {
+			kb := raw[f.keys[i][0]:f.keys[i][1]]
+			if !c.sendOp(opGet, kb, 0, false, i == f.nkeys-1, ts) {
+				return false
+			}
+		}
+		return true
+	case opSet, opDel:
+		kb := raw[f.keys[0][0]:f.keys[0][1]]
+		return c.sendOp(f.op, kb, f.val, f.noreply, false, ts)
+	case opReply:
+		return c.local(f.reply, f.fatal)
+	case opQuit:
+		return c.local("", true)
+	}
+	return true
+}
+
+func (c *conn) dispatchResp(f *respFrame, raw []byte, ts int64) bool {
+	switch f.op {
+	case opNone:
+		return true
+	case opGet, opSet, opDel:
+		kb := raw[f.key[0]:f.key[1]]
+		return c.sendOp(f.op, kb, f.val, false, false, ts)
+	case opReply:
+		return c.local(f.reply, f.fatal)
+	}
+	return true
+}
+
+func (c *conn) readLoop() {
+	defer c.srv.wg.Done()
+	buf := make([]byte, c.srv.cfg.ReadBuf)
+	mc := c.srv.cfg.Proto == ProtoMemcache
+	start, end := 0, 0
+	for {
+		for start < end {
+			ts := c.srv.tr.Clock()
+			var n int
+			var cont bool
+			var err error
+			if mc {
+				var f mcFrame
+				f, n, err = parseMemcache(buf[start:end])
+				if err == nil {
+					cont = c.dispatchMc(&f, buf[start:start+n], ts)
+				}
+			} else {
+				var f respFrame
+				f, n, err = parseRESP(buf[start:end])
+				if err == nil {
+					cont = c.dispatchResp(&f, buf[start:start+n], ts)
+				}
+			}
+			if err != nil {
+				break // errNeedMore: refill
+			}
+			start += n
+			if !cont {
+				return
+			}
+		}
+		if start > 0 {
+			copy(buf, buf[start:end])
+			end -= start
+			start = 0
+		}
+		n, err := c.nc.Read(buf[end:])
+		end += n
+		if err != nil {
+			// EOF or a torn connection: emit a zero-length fatal slot so
+			// the writer flushes everything pending, then closes.
+			c.local("", true)
+			return
+		}
+	}
+}
+
+// ---- connection writer ----
+
+func (c *conn) writeLoop() {
+	defer c.srv.wg.Done()
+	defer c.srv.dropConn(c)
+	defer close(c.deadc)
+	n := uint64(len(c.ring))
+	inBatch := 0
+	flush := func() bool {
+		if len(c.wbuf) == 0 {
+			return true
+		}
+		m, err := c.nc.Write(c.wbuf)
+		if tr := c.srv.tr; tr != nil {
+			tr.DevEmit(obs.KNetBatch, uint64(m), uint64(inBatch))
+		}
+		c.srv.batches.Add(1)
+		c.srv.bytesOut.Add(uint64(m))
+		c.wbuf = c.wbuf[:0]
+		inBatch = 0
+		return err == nil
+	}
+	for {
+		select {
+		case <-c.cmpl:
+		case <-c.srv.stopc:
+			flush()
+			return
+		}
+		closing := false
+		for {
+			s := &c.ring[c.wseq%n]
+			if !s.done.Load() {
+				break
+			}
+			c.wbuf = append(c.wbuf, s.resp[:s.rlen]...)
+			inBatch++
+			c.srv.reqs.Add(1)
+			fatal := s.fatal
+			s.done.Store(false)
+			c.wseq++
+			c.free <- struct{}{}
+			if fatal {
+				closing = true
+				break
+			}
+			if len(c.wbuf) >= cap(c.wbuf)-respCap {
+				if !flush() {
+					return
+				}
+			}
+		}
+		if closing {
+			flush()
+			return
+		}
+		// Flush when no further completion is immediately pending — the
+		// adaptive batching rule: bytes pile up only while the pipeline
+		// is actually producing.
+		if len(c.cmpl) == 0 {
+			if !flush() {
+				return
+			}
+		}
+	}
+}
