@@ -132,6 +132,7 @@ const (
 	cTHits    = 56
 	cTArray   = 64
 	cIK0      = 0
+	cIK1      = 8
 	cIVal     = 16
 	cIHNext   = 24
 	cILPrev   = 32

@@ -42,11 +42,14 @@ func WalkCacheChains(dev *nvm.Device, tbl uint64, fn func(item uint64) error) er
 // double-linking of exactly the chained items.
 func CheckCacheImage(dev *nvm.Device, tbl uint64) error {
 	chained := map[uint64]bool{}
-	seen := map[uint64]bool{}
+	// Cache keys are two words; dedupe on the full (k0,k1) identity the
+	// store itself uses, or distinct keys sharing k0 would be reported
+	// as duplicates.
+	seen := map[[2]uint64]bool{}
 	err := WalkCacheChains(dev, tbl, func(item uint64) error {
-		k := dev.Load64(item + cIK0)
+		k := [2]uint64{dev.Load64(item + cIK0), dev.Load64(item + cIK1)}
 		if seen[k] {
-			return fmt.Errorf("duplicate key %d", k)
+			return fmt.Errorf("duplicate key (%d,%d)", k[0], k[1])
 		}
 		seen[k] = true
 		chained[item] = true

@@ -15,8 +15,9 @@
 // responses are ready into one socket write.
 //
 // Everything on the steady-state path is allocation-free: slots are
-// fixed rings, tokens are counting-semaphore channels, response bytes
-// are built in place with append into array-backed slices.
+// fixed rings, free-slot tokens are a counting-semaphore channel,
+// completions ring an edge-triggered doorbell, response bytes are built
+// in place with append into array-backed slices.
 package server
 
 import (
@@ -110,12 +111,16 @@ type slot struct {
 	done    atomic.Bool
 }
 
-// conn is one client connection: a slot ring plus the two token channels
-// that sequence it. free holds a token per recyclable slot (reader
-// consumes on claim, writer returns on emit); cmpl gets a token per
-// completed slot (capacity == ring, and at most ring slots are ever
-// in flight, so sends never block — shards cannot stall on a dead
-// connection).
+// conn is one client connection: a slot ring plus the two channels that
+// sequence it. free is a counting semaphore holding a token per
+// recyclable slot (reader consumes on claim, writer returns on emit).
+// cmpl is an edge-triggered doorbell (capacity 1): complete() rings it
+// with a non-blocking send after publishing done, and the writer drains
+// every done slot per ring. Because each done.Store happens before its
+// send attempt, and a failed send means the writer has a consume-then-
+// rescan still ahead of it, no completion is ever missed — and a
+// completer can never block, so shard pipelines cannot stall on a slow
+// or dead connection.
 type conn struct {
 	srv   *Server
 	nc    net.Conn
@@ -187,6 +192,10 @@ func New(rt persist.Runtime, store Store, cfg Config, tr *obs.Tracer) (*Server, 
 	for i := 0; i < store.NumShards(); i++ {
 		th, err := rt.NewThread()
 		if err != nil {
+			// Unwind the shard goroutines already started before the
+			// unreachable Server leaks them (and their persist threads).
+			srv.shutdown()
+			srv.wg.Wait()
 			return nil, fmt.Errorf("server: shard %d thread: %w", i, err)
 		}
 		sh := &shard{
@@ -233,7 +242,7 @@ func (srv *Server) ServeConn(nc net.Conn) error {
 		nc:    nc,
 		ring:  make([]slot, srv.cfg.Ring),
 		free:  make(chan struct{}, srv.cfg.Ring),
-		cmpl:  make(chan struct{}, srv.cfg.Ring),
+		cmpl:  make(chan struct{}, 1),
 		deadc: make(chan struct{}),
 		wbuf:  make([]byte, 0, srv.cfg.WriteBuf),
 	}
@@ -356,12 +365,19 @@ func (sh *shard) run() {
 	}
 }
 
-// complete publishes a finished slot to its connection writer. The
-// done store is the release edge for every other slot field.
+// complete publishes a finished slot to its connection writer: the done
+// store is the release edge for every other slot field, and the
+// non-blocking doorbell send can never stall the completer. If the send
+// finds the doorbell already rung, the writer still has that token to
+// consume, and it rescans the ring after every consume — so this
+// completion is picked up by that pass.
 func complete(s *slot) {
 	c := s.c
 	s.done.Store(true)
-	c.cmpl <- struct{}{}
+	select {
+	case c.cmpl <- struct{}{}:
+	default:
+	}
 }
 
 // ---- connection reader ----
@@ -577,9 +593,9 @@ func (c *conn) writeLoop() {
 			flush()
 			return
 		}
-		// Flush when no further completion is immediately pending — the
-		// adaptive batching rule: bytes pile up only while the pipeline
-		// is actually producing.
+		// Flush when the doorbell is quiet (no completion since this
+		// pass began) — the adaptive batching rule: bytes pile up only
+		// while the pipeline is actually producing.
 		if len(c.cmpl) == 0 {
 			if !flush() {
 				return
