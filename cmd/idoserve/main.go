@@ -7,7 +7,9 @@
 //
 //	idoserve                                  # memcache on :11211
 //	idoserve -proto resp -addr :6379 -gc -gcwindow 2000
+//	idoserve -admin :8080                     # /metrics /healthz /readyz /debug/*
 //	idoserve -load -conns 16 -pipeline 8 -duration 2s   # in-process load run
+//	idoserve -load -statsevery 500ms          # load run with a live rate table
 //
 // The default mode listens on -addr and serves until interrupted. With
 // -load it instead drives the server through in-memory connections with
@@ -15,12 +17,19 @@
 // prints client throughput, latency quantiles, and device fences per
 // operation — the single-command demo of the BENCH_server_e2e.json
 // experiment.
+//
+// The admin plane (-admin) serves Prometheus text on /metrics, liveness
+// and readiness on /healthz + /readyz, the full JSON snapshot on
+// /debug/snapshot, and a windowed Chrome trace capture on
+// /debug/trace?ms=N. The same counters answer the in-band memcache
+// `stats` verb and RESP `INFO` command on the data port.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
@@ -30,7 +39,9 @@ import (
 	"github.com/ido-nvm/ido/internal/kv/redis"
 	"github.com/ido-nvm/ido/internal/loadgen"
 	"github.com/ido-nvm/ido/internal/locks"
+	"github.com/ido-nvm/ido/internal/metrics"
 	"github.com/ido-nvm/ido/internal/nvm"
+	"github.com/ido-nvm/ido/internal/obs"
 	"github.com/ido-nvm/ido/internal/region"
 	"github.com/ido-nvm/ido/internal/server"
 )
@@ -38,6 +49,9 @@ import (
 func main() {
 	proto := flag.String("proto", "memcache", "wire protocol: memcache|resp")
 	addr := flag.String("addr", ":11211", "listen address (serve mode)")
+	admin := flag.String("admin", "", "admin listen address (/metrics, /healthz, /readyz, /debug/*); empty = off")
+	statsevery := flag.Duration("statsevery", 0, "print a stats snapshot line this often (0 = off)")
+	trace := flag.Bool("trace", true, "keep live event rings for /debug/trace (counters stay on regardless)")
 	shards := flag.Int("shards", 16, "shard pipelines (rounded up to a power of two)")
 	buckets := flag.Int("buckets", 64, "hash buckets per shard")
 	size := flag.Int("size", 1<<26, "simulated NVM region bytes")
@@ -56,12 +70,40 @@ func main() {
 	seed := flag.Int64("seed", 1, "with -load: workload seed")
 	flag.Parse()
 
-	cfg := nvm.Config{Size: *size}
+	// The tracer is on by default: emit is lock-free and allocation-free,
+	// and the admin plane's quantiles come from its histograms. Modest
+	// ring caps bound memory; /debug/trace rotates them per capture, so a
+	// long-lived process can still produce a fresh window any time.
+	var tr *obs.Tracer
+	if *trace {
+		tr = obs.New(obs.Config{ThreadRingCap: 1 << 12, DeviceRingCap: 1 << 13})
+	}
+
+	cfg := nvm.Config{Size: *size, Tracer: tr}
 	if *gc {
 		cfg.GroupCommit = nvm.GroupCommitConfig{
 			Enabled: true, ForceCombine: *gcforce, WindowNS: *gcwindow}
 	}
 	reg := region.Create(*size, cfg)
+
+	// The admin plane comes up before the store attaches so /readyz
+	// reports "attaching" (503) during boot and recovery, then flips
+	// ready once the shards are serving.
+	coll := metrics.NewCollector(tr, reg.Dev)
+	health := metrics.NewHealth("attaching store")
+	if *admin != "" {
+		aln, err := net.Listen("tcp", *admin)
+		if err != nil {
+			fatalf("admin listen: %v", err)
+		}
+		fmt.Printf("idoserve: admin plane on http://%s\n", aln.Addr())
+		go func() {
+			if err := http.Serve(aln, metrics.NewAdmin(coll, health).Handler()); err != nil {
+				fmt.Fprintf(os.Stderr, "idoserve: admin: %v\n", err)
+			}
+		}()
+	}
+
 	lm := locks.NewManager(reg)
 	rt := core.New(core.DefaultConfig())
 	if err := rt.Attach(reg, lm); err != nil {
@@ -85,13 +127,15 @@ func main() {
 	if err != nil {
 		fatalf("create store: %v", err)
 	}
-	srv, err := server.New(rt, store, server.Config{Proto: sproto}, nil)
+	srv, err := server.New(rt, store, server.Config{Proto: sproto, Metrics: coll}, tr)
 	if err != nil {
 		fatalf("create server: %v", err)
 	}
+	health.Set(true, "serving")
+	health.NotReadyOn(srv.Crashed(), "device crash: restart for recovery")
 
 	if *load {
-		runLoad(srv, reg.Dev, loadgen.Config{
+		lcfg := loadgen.Config{
 			Proto:       lproto,
 			Conns:       *conns,
 			Pipeline:    *pipeline,
@@ -102,9 +146,18 @@ func main() {
 			OpenRateOPS: *rate,
 			Duration:    *duration,
 			Seed:        *seed,
-		})
+		}
+		if *statsevery > 0 {
+			lcfg.ReportEvery = *statsevery
+			lcfg.Report = loadgen.ReportPrinter(os.Stdout)
+		}
+		runLoad(srv, reg.Dev, lcfg)
 		srv.Close()
 		return
+	}
+
+	if *statsevery > 0 {
+		go statsLogger(coll, *statsevery, srv.Crashed())
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -125,6 +178,33 @@ func main() {
 	}
 	st := srv.Stats()
 	fmt.Printf("idoserve: served %d requests in %d write batches\n", st.Reqs, st.Batches)
+}
+
+// statsLogger prints one interval line per period: the -statsevery view
+// of the same deltas /metrics exposes.
+func statsLogger(coll *metrics.Collector, every time.Duration, stop <-chan struct{}) {
+	prev := coll.Snapshot()
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	var d metrics.Delta
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			cur := coll.Snapshot()
+			metrics.Diff(prev, cur, &d)
+			var depth int64
+			for i := range cur.Srv.Shards {
+				depth += cur.Srv.Shards[i].QueueDepth
+			}
+			fmt.Printf("stats: %8.0f req/s  fences/op %.2f  occupancy %.2f  p50 %v  p99 %v  depth %d  conns %d\n",
+				d.OpsPerSec, d.FencesPerOp, d.BatchOccupancy,
+				time.Duration(d.ReqP50NS), time.Duration(d.ReqP99NS),
+				depth, cur.Srv.ConnsOpen)
+			prev = cur
+		}
+	}
 }
 
 // runLoad drives the server over in-memory pipes and prints the result.

@@ -3,10 +3,13 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"time"
 
 	"github.com/ido-nvm/ido/internal/compile"
 	"github.com/ido-nvm/ido/internal/ds"
 	"github.com/ido-nvm/ido/internal/irprog"
+	"github.com/ido-nvm/ido/internal/metrics"
 	"github.com/ido-nvm/ido/internal/nvm"
 	"github.com/ido-nvm/ido/internal/obs"
 	"github.com/ido-nvm/ido/internal/stats"
@@ -43,6 +46,8 @@ func RunObs(o Options) ([]ObsResult, error) {
 		iters = 400
 	}
 	var out []ObsResult
+	var lastTr *obs.Tracer
+	var lastDev *nvm.Device
 	for _, sp := range specs(ObsRuntimes...) {
 		tr := obs.New(obs.DefaultConfig())
 		w, err := newWorld(o, sp.mk, 0, tr)
@@ -70,6 +75,7 @@ func RunObs(o Options) ([]ObsResult, error) {
 			return nil, err
 		}
 		out = append(out, summarize(sp.name, tr))
+		lastTr, lastDev = tr, w.reg.Dev
 	}
 	vmOut, err := runObsVM(o, iters)
 	if err != nil {
@@ -77,7 +83,63 @@ func RunObs(o Options) ([]ObsResult, error) {
 	}
 	out = append(out, vmOut...)
 	printObs(o, out)
+	printObsOverhead(o, measureObsOverhead(lastTr, lastDev))
 	return out, nil
+}
+
+// ObsOverhead is the snapshot-plane cost row: wall time and heap
+// allocations per cumulative Collector.Read and per interval Diff, both
+// measured against a tracer left warm by a full traced workload.
+type ObsOverhead struct {
+	ReadNS, DiffNS         float64
+	ReadAllocs, DiffAllocs uint64
+}
+
+// measureObsOverhead times the two snapshot-plane operations the admin
+// scrape path performs. Allocations are a per-iteration malloc delta on
+// one OS thread, so the reported counts are exact for the steady state:
+// Read fills in place and Diff is pure arithmetic, so both must be 0
+// (the strict gate lives in the metrics package benchmarks and CI).
+func measureObsOverhead(tr *obs.Tracer, dev *nvm.Device) ObsOverhead {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	coll := metrics.NewCollector(tr, dev)
+	var prev, cur metrics.Snapshot
+	var d metrics.Delta
+	coll.Read(&prev)
+	coll.Read(&cur)
+	metrics.Diff(&prev, &cur, &d)
+	const iters = 2000
+	var oh ObsOverhead
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		coll.Read(&cur)
+	}
+	oh.ReadNS = float64(time.Since(t0).Nanoseconds()) / iters
+	runtime.ReadMemStats(&ms1)
+	oh.ReadAllocs = (ms1.Mallocs - ms0.Mallocs) / iters
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	t0 = time.Now()
+	for i := 0; i < iters; i++ {
+		metrics.Diff(&prev, &cur, &d)
+	}
+	oh.DiffNS = float64(time.Since(t0).Nanoseconds()) / iters
+	runtime.ReadMemStats(&ms1)
+	oh.DiffAllocs = (ms1.Mallocs - ms0.Mallocs) / iters
+	return oh
+}
+
+func printObsOverhead(o Options, oh ObsOverhead) {
+	out := o.out()
+	fprintf(out, "Obs: snapshot plane overhead (per scrape, warm tracer)\n")
+	var tb stats.Table
+	tb.AddRow("op", "ns", "allocs")
+	tb.AddRow("collector-read", fmt.Sprintf("%.0f", oh.ReadNS), fmt.Sprintf("%d", oh.ReadAllocs))
+	tb.AddRow("interval-diff", fmt.Sprintf("%.0f", oh.DiffNS), fmt.Sprintf("%d", oh.DiffAllocs))
+	fprintf(out, "%s\n", tb.String())
 }
 
 // runObsVM profiles the VM engines on the irprog stack kernel.

@@ -10,11 +10,13 @@ import (
 	"bufio"
 	"bytes"
 	"fmt"
+	"io"
 	"math/bits"
 	"math/rand"
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/ido-nvm/ido/internal/obs"
@@ -45,6 +47,12 @@ type Config struct {
 	Seed   int64
 	Track  bool        // record per-key mutation history (crash convergence)
 	Tracer *obs.Tracer // optional: feeds HReqLatency alongside the server's
+
+	// ReportEvery, when positive with Report set, emits a live Interval
+	// (ops, rate, windowed latency quantiles) every period while the run
+	// progresses — the converging rate table, instead of one final line.
+	ReportEvery time.Duration
+	Report      func(Interval)
 }
 
 func (cfg *Config) fill() {
@@ -92,36 +100,58 @@ func AppendKey(b []byte, k uint64) []byte {
 }
 
 // latHist is a local log2 latency histogram (same bucketing as obs).
+// Buckets are atomic so the live reporter can snapshot a connection's
+// distribution while its reader goroutine observes into it.
 type latHist struct {
+	buckets [65]atomic.Uint64
+	sum     atomic.Uint64
+	count   atomic.Uint64
+}
+
+func (h *latHist) observe(ns uint64) {
+	h.buckets[bits.Len64(ns)].Add(1)
+	h.sum.Add(ns)
+	h.count.Add(1)
+}
+
+// read accumulates the histogram's current state into dst.
+func (h *latHist) read(dst *latSnap) {
+	for i := range h.buckets {
+		dst.buckets[i] += h.buckets[i].Load()
+	}
+	dst.sum += h.sum.Load()
+	dst.count += h.count.Load()
+}
+
+// latSnap is a plain (non-atomic) histogram snapshot: closed under
+// subtraction, which is what windows an interval out of two cumulative
+// reads.
+type latSnap struct {
 	buckets [65]uint64
 	sum     uint64
 	count   uint64
 }
 
-func (h *latHist) observe(ns uint64) {
-	h.buckets[bits.Len64(ns)]++
-	h.sum += ns
-	h.count++
-}
-
-func (h *latHist) merge(o *latHist) {
-	for i, c := range o.buckets {
-		h.buckets[i] += c
+func (s *latSnap) sub(p *latSnap) latSnap {
+	var out latSnap
+	for i := range s.buckets {
+		out.buckets[i] = s.buckets[i] - p.buckets[i]
 	}
-	h.sum += o.sum
-	h.count += o.count
+	out.sum = s.sum - p.sum
+	out.count = s.count - p.count
+	return out
 }
 
-func (h *latHist) quantile(q float64) uint64 {
-	if h.count == 0 {
+func (s *latSnap) quantile(q float64) uint64 {
+	if s.count == 0 {
 		return 0
 	}
-	rank := uint64(q * float64(h.count))
-	if rank >= h.count {
-		rank = h.count - 1
+	rank := uint64(q * float64(s.count))
+	if rank >= s.count {
+		rank = s.count - 1
 	}
 	var seen uint64
-	for i, c := range h.buckets {
+	for i, c := range s.buckets {
 		seen += c
 		if seen > rank {
 			if i == 0 {
@@ -155,10 +185,12 @@ type clientConn struct {
 	meta   chan pend     // FIFO of in-flight requests (writer → reader)
 	dead   chan struct{} // closed by the reader on transport failure
 
-	ops, errs, hits, misses uint64
+	// Reader-written, atomically readable by the live reporter.
+	ops, errs, hits, misses atomic.Uint64
 	lat                     latHist
-	tracked                 map[uint64]*KeyHist
-	rerr                    error
+
+	tracked map[uint64]*KeyHist
+	rerr    error
 }
 
 // Run drives the configured load against connections from dial and
@@ -194,16 +226,27 @@ func Run(cfg Config, dial func() (net.Conn, error)) (*Result, error) {
 		go func(c *clientConn) { defer wg.Done(); c.writeLoop() }(c)
 		go func(c *clientConn) { defer wg.Done(); c.readLoop() }(c)
 	}
+	repStop := make(chan struct{})
+	var repWG sync.WaitGroup
+	if cfg.ReportEvery > 0 && cfg.Report != nil {
+		repWG.Add(1)
+		go func() {
+			defer repWG.Done()
+			reportLoop(&cfg, clients, start, repStop)
+		}()
+	}
 	wg.Wait()
+	close(repStop)
+	repWG.Wait()
 	res := &Result{Elapsed: time.Since(start)}
-	var all latHist
+	var all latSnap
 	for _, c := range clients {
 		c.nc.Close()
-		res.Ops += c.ops
-		res.Errs += c.errs
-		res.Hits += c.hits
-		res.Misses += c.misses
-		all.merge(&c.lat)
+		res.Ops += c.ops.Load()
+		res.Errs += c.errs.Load()
+		res.Hits += c.hits.Load()
+		res.Misses += c.misses.Load()
+		c.lat.read(&all)
 		if cfg.Track {
 			if res.Tracked == nil {
 				res.Tracked = map[uint64]*KeyHist{}
@@ -220,6 +263,72 @@ func Run(cfg Config, dial func() (net.Conn, error)) (*Result, error) {
 		res.MeanNS = float64(all.sum) / float64(all.count)
 	}
 	return res, nil
+}
+
+// Interval is one live progress report from a running load: the window's
+// throughput and latency distribution, plus cumulative position. A rate
+// table of Intervals converging is how a warm-up (or a regression) shows
+// itself during the run instead of after it.
+type Interval struct {
+	Seq     int           // 1-based report index
+	Elapsed time.Duration // since the run started
+	Window  time.Duration // this report's measurement window
+
+	Ops       uint64 // responses in the window
+	Errs      uint64 // error responses in the window
+	OpsPerSec float64
+	P50, P99  uint64 // window latency, ns (log2-bucket upper bounds)
+}
+
+// reportLoop snapshots the clients every ReportEvery and reports the
+// window between consecutive snapshots.
+func reportLoop(cfg *Config, clients []*clientConn, start time.Time, stop <-chan struct{}) {
+	tick := time.NewTicker(cfg.ReportEvery)
+	defer tick.Stop()
+	var prevOps, prevErrs uint64
+	var prevLat latSnap
+	prevT := start
+	seq := 0
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-tick.C:
+			var ops, errs uint64
+			var lat latSnap
+			for _, c := range clients {
+				ops += c.ops.Load()
+				errs += c.errs.Load()
+				c.lat.read(&lat)
+			}
+			win := lat.sub(&prevLat)
+			iv := Interval{
+				Seq:     seq + 1,
+				Elapsed: now.Sub(start),
+				Window:  now.Sub(prevT),
+				Ops:     ops - prevOps,
+				Errs:    errs - prevErrs,
+				P50:     win.quantile(0.50),
+				P99:     win.quantile(0.99),
+			}
+			if iv.Window > 0 {
+				iv.OpsPerSec = float64(iv.Ops) / iv.Window.Seconds()
+			}
+			cfg.Report(iv)
+			seq++
+			prevOps, prevErrs, prevLat, prevT = ops, errs, lat, now
+		}
+	}
+}
+
+// ReportPrinter returns a Report callback printing one rate-table line
+// per interval to w — the idoserve -load live view.
+func ReportPrinter(w io.Writer) func(Interval) {
+	return func(iv Interval) {
+		fmt.Fprintf(w, "interval %3d  t=%6.1fs  %10.0f ops/s  errs %d  p50 %v  p99 %v\n",
+			iv.Seq, iv.Elapsed.Seconds(), iv.OpsPerSec, iv.Errs,
+			time.Duration(iv.P50), time.Duration(iv.P99))
+	}
 }
 
 // ---- writer ----
@@ -395,15 +504,15 @@ func (c *clientConn) readLoop() {
 		if c.cfg.Tracer != nil {
 			c.cfg.Tracer.Observe(obs.HReqLatency, lat)
 		}
-		c.ops++
+		c.ops.Add(1)
 		if !ok {
-			c.errs++
+			c.errs.Add(1)
 		} else {
 			if p.get {
 				if hit {
-					c.hits++
+					c.hits.Add(1)
 				} else {
-					c.misses++
+					c.misses.Add(1)
 				}
 			}
 			if p.hist != nil {

@@ -1,0 +1,84 @@
+package metrics_test
+
+import (
+	"testing"
+
+	"github.com/ido-nvm/ido/internal/metrics"
+	"github.com/ido-nvm/ido/internal/obs"
+)
+
+// The snapshot plane's own cost: a scrape must not allocate once its
+// Snapshot is warm (the shard slice is reused), and a Diff never
+// allocates. CI gates on these benchmarks' allocs/op.
+
+// fakeSrc stands in for a 16-shard server.
+type fakeSrc struct{}
+
+func (fakeSrc) MetricsSnapshot(dst *metrics.ServerStats) {
+	dst.ConnsOpen, dst.ConnsTotal = 8, 64
+	dst.Reqs, dst.Batches = 1_000_000, 250_000
+	dst.BytesIn, dst.BytesOut = 32<<20, 48<<20
+	if cap(dst.Shards) < 16 {
+		dst.Shards = make([]metrics.ShardStats, 16)
+	}
+	dst.Shards = dst.Shards[:16]
+	for i := range dst.Shards {
+		sh := &dst.Shards[i]
+		sh.QueueDepth, sh.InFlight = int64(i%4), int64(i%2)
+		sh.Reqs = 62_500
+		sh.Gets, sh.Sets, sh.Dels = 25_000, 25_000, 12_500
+		sh.Hits, sh.Misses = 20_000, 5_000
+	}
+}
+
+// warmCollector builds a collector over a tracer with events in every
+// layer, plus the fake 16-shard source.
+func warmCollector() *metrics.Collector {
+	tr := obs.New(obs.DefaultConfig())
+	r := tr.ThreadRing("bench")
+	for i := 0; i < 1000; i++ {
+		r.Emit(obs.KFASE, uint64(i), 0)
+		r.Observe(obs.HReqLatency, uint64(i)*100)
+	}
+	c := metrics.NewCollector(tr, nil)
+	c.Src = fakeSrc{}
+	return c
+}
+
+func BenchmarkCollectorRead(b *testing.B) {
+	c := warmCollector()
+	var s metrics.Snapshot
+	c.Read(&s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Read(&s)
+	}
+}
+
+func BenchmarkDiff(b *testing.B) {
+	c := warmCollector()
+	var prev, cur metrics.Snapshot
+	var d metrics.Delta
+	c.Read(&prev)
+	c.Read(&cur)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metrics.Diff(&prev, &cur, &d)
+	}
+}
+
+// TestSnapshotZeroAlloc is the local form of the CI allocation gate.
+func TestSnapshotZeroAlloc(t *testing.T) {
+	c := warmCollector()
+	var prev, cur metrics.Snapshot
+	var d metrics.Delta
+	c.Read(&prev)
+	if n := testing.AllocsPerRun(100, func() { c.Read(&cur) }); n != 0 {
+		t.Errorf("Collector.Read allocates %v per op with a warm snapshot", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { metrics.Diff(&prev, &cur, &d) }); n != 0 {
+		t.Errorf("Diff allocates %v per op", n)
+	}
+}

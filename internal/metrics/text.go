@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"github.com/ido-nvm/ido/internal/obs"
+
+	"strconv"
+)
+
+// In-band protocol exposure: the memcache `stats` verb and the RESP
+// `INFO` command render from the same Snapshot the admin plane serves,
+// so existing memcache/redis tooling reads the stack's live state
+// unmodified. Both renderers append to a caller buffer and are only
+// invoked on the reading side of a connection for an explicit stats
+// request — never on the per-request hot path.
+
+func appendStat(b []byte, name string, v uint64) []byte {
+	b = append(b, "STAT "...)
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, v, 10)
+	return append(b, '\r', '\n')
+}
+
+func appendStatF(b []byte, name string, v float64) []byte {
+	b = append(b, "STAT "...)
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = strconv.AppendFloat(b, v, 'f', 4, 64)
+	return append(b, '\r', '\n')
+}
+
+// AppendMemcacheStats appends the memcache text-protocol `stats`
+// response (STAT lines + END) for s. Field order is fixed: the golden
+// wire tests depend on it, and so may scripts built on `nc`.
+func AppendMemcacheStats(b []byte, s *Snapshot) []byte {
+	uptime := uint64(s.UptimeNS / 1e9)
+	var gets, sets, dels, hits, misses uint64
+	for i := range s.Srv.Shards {
+		sh := &s.Srv.Shards[i]
+		gets += sh.Gets
+		sets += sh.Sets
+		dels += sh.Dels
+		hits += sh.Hits
+		misses += sh.Misses
+	}
+	b = appendStat(b, "uptime", uptime)
+	b = appendStat(b, "curr_connections", uint64(s.Srv.ConnsOpen))
+	b = appendStat(b, "total_connections", s.Srv.ConnsTotal)
+	b = appendStat(b, "cmd_get", gets)
+	b = appendStat(b, "cmd_set", sets)
+	b = appendStat(b, "cmd_delete", dels)
+	b = appendStat(b, "get_hits", hits)
+	b = appendStat(b, "get_misses", misses)
+	b = appendStat(b, "bytes_read", s.Srv.BytesIn)
+	b = appendStat(b, "bytes_written", s.Srv.BytesOut)
+	b = appendStat(b, "protocol_errors", s.Srv.ProtoErrs)
+	b = appendStat(b, "ido_requests", s.Srv.Reqs)
+	b = appendStat(b, "ido_shards", uint64(len(s.Srv.Shards)))
+	b = appendStat(b, "ido_fences", s.Dev.Fences)
+	b = appendStat(b, "ido_flushes", s.Dev.Flushes)
+	b = appendStat(b, "ido_nt_stores", s.Dev.NTStores)
+	b = appendStat(b, "ido_crashes", s.Dev.Crashes)
+	if s.Srv.Reqs > 0 {
+		b = appendStatF(b, "ido_fences_per_op", float64(s.Dev.Fences)/float64(s.Srv.Reqs))
+	}
+	b = appendStat(b, "ido_gc_epochs", s.GC.Epochs)
+	b = appendStat(b, "ido_gc_combined", s.GC.Combined)
+	lat := &s.Obs.Hists[obs.HReqLatency]
+	b = appendStat(b, "ido_req_p50_ns", lat.Quantile(0.50))
+	b = appendStat(b, "ido_req_p99_ns", lat.Quantile(0.99))
+	return append(b, "END\r\n"...)
+}
+
+func appendInfo(b []byte, name string, v uint64) []byte {
+	b = append(b, name...)
+	b = append(b, ':')
+	b = strconv.AppendUint(b, v, 10)
+	return append(b, '\r', '\n')
+}
+
+func appendInfoF(b []byte, name string, v float64) []byte {
+	b = append(b, name...)
+	b = append(b, ':')
+	b = strconv.AppendFloat(b, v, 'f', 4, 64)
+	return append(b, '\r', '\n')
+}
+
+// AppendRESPInfo appends the RESP `INFO` response — one bulk string of
+// `key:value` lines under `# Section` headers, redis-style — for s.
+// Field order is fixed for the golden wire tests.
+func AppendRESPInfo(b []byte, s *Snapshot) []byte {
+	payload := appendInfoPayload(nil, s)
+	b = append(b, '$')
+	b = strconv.AppendInt(b, int64(len(payload)), 10)
+	b = append(b, '\r', '\n')
+	b = append(b, payload...)
+	return append(b, '\r', '\n')
+}
+
+func appendInfoPayload(b []byte, s *Snapshot) []byte {
+	var gets, sets, dels, hits, misses uint64
+	for i := range s.Srv.Shards {
+		sh := &s.Srv.Shards[i]
+		gets += sh.Gets
+		sets += sh.Sets
+		dels += sh.Dels
+		hits += sh.Hits
+		misses += sh.Misses
+	}
+	b = append(b, "# Server\r\n"...)
+	b = appendInfo(b, "uptime_in_seconds", uint64(s.UptimeNS/1e9))
+	b = append(b, "# Clients\r\n"...)
+	b = appendInfo(b, "connected_clients", uint64(s.Srv.ConnsOpen))
+	b = append(b, "# Stats\r\n"...)
+	b = appendInfo(b, "total_connections_received", s.Srv.ConnsTotal)
+	b = appendInfo(b, "total_commands_processed", s.Srv.Reqs)
+	b = appendInfo(b, "total_net_input_bytes", s.Srv.BytesIn)
+	b = appendInfo(b, "total_net_output_bytes", s.Srv.BytesOut)
+	b = appendInfo(b, "total_reads_processed", gets)
+	b = appendInfo(b, "total_writes_processed", sets+dels)
+	b = appendInfo(b, "keyspace_hits", hits)
+	b = appendInfo(b, "keyspace_misses", misses)
+	b = appendInfo(b, "protocol_errors", s.Srv.ProtoErrs)
+	b = append(b, "# Persistence\r\n"...)
+	b = appendInfo(b, "ido_fences", s.Dev.Fences)
+	b = appendInfo(b, "ido_flushes", s.Dev.Flushes)
+	b = appendInfo(b, "ido_nt_stores", s.Dev.NTStores)
+	b = appendInfo(b, "ido_crashes", s.Dev.Crashes)
+	if s.Srv.Reqs > 0 {
+		b = appendInfoF(b, "ido_fences_per_op", float64(s.Dev.Fences)/float64(s.Srv.Reqs))
+	}
+	b = appendInfo(b, "ido_gc_epochs", s.GC.Epochs)
+	b = appendInfo(b, "ido_gc_combined", s.GC.Combined)
+	b = append(b, "# Latency\r\n"...)
+	lat := &s.Obs.Hists[obs.HReqLatency]
+	b = appendInfo(b, "req_p50_ns", lat.Quantile(0.50))
+	b = appendInfo(b, "req_p99_ns", lat.Quantile(0.99))
+	return b
+}

@@ -130,6 +130,16 @@ type combiner struct {
 	mu      sync.Mutex    // guards parking; see gcPersist
 	wake    *sync.Cond    // broadcast on slot-done and leader-release
 	slots   [gcSlots]gcSlot
+
+	// Host-side observability counters. Unlike the protocol state above
+	// they are not part of the simulated persistence domain, so reset()
+	// leaves them alone: the admin plane reads them cumulatively across
+	// crashes, the same contract as the device's striped stat counters.
+	solo     atomic.Uint64 // commits taken on the solo fast path
+	leads    atomic.Uint64 // leader elections that served a batch
+	combined atomic.Uint64 // commits whose fence another thread's batch absorbed
+	fases    atomic.Uint64 // total slots served across all merged fences
+	dwell    atomic.Uint64 // dwell rounds leaders spent holding an epoch open
 }
 
 func newCombiner(cfg GroupCommitConfig) *combiner {
@@ -167,6 +177,39 @@ func (d *Device) Epoch() uint64 {
 
 // GroupCommitEnabled reports whether the fence combiner is active.
 func (d *Device) GroupCommitEnabled() bool { return d.gc != nil }
+
+// GCStats is a cumulative snapshot of combiner activity: how often the
+// solo fast path fired, how many merged fences were led, how many
+// commits rode another thread's fence, the total FASEs those merged
+// fences served (Epochs>0 ⇒ FASEs/Epochs is the realized amortization
+// factor), and how many dwell rounds leaders spent holding a batch
+// window open. These are host-side observability counters — they
+// survive Crash, unlike the combiner's protocol state.
+type GCStats struct {
+	Epochs      uint64 // merged group-commit fences completed
+	Leads       uint64 // leader elections that served a batch (== Epochs)
+	Solo        uint64 // commits taken on the solo fast path
+	Combined    uint64 // commits absorbed into another thread's fence
+	ServedFASEs uint64 // slots served across all merged fences
+	DwellRounds uint64 // leader dwell yields while an epoch was held open
+}
+
+// GroupCommitStats reports cumulative combiner activity; all-zero when
+// the combiner is disabled. Safe to call concurrently with commits.
+func (d *Device) GroupCommitStats() GCStats {
+	c := d.gc
+	if c == nil {
+		return GCStats{}
+	}
+	return GCStats{
+		Epochs:      c.epoch.Load(),
+		Leads:       c.leads.Load(),
+		Solo:        c.solo.Load(),
+		Combined:    c.combined.Load(),
+		ServedFASEs: c.fases.Load(),
+		DwellRounds: c.dwell.Load(),
+	}
+}
 
 // PersistBatch makes the cache lines in lines durable: it write-backs
 // every line and orders them with a persist fence before returning.
@@ -216,6 +259,7 @@ func (d *Device) gcPersist(lines []uint64) {
 		// Solo fast path: no other committer is inside the combiner,
 		// so there is nothing to amortize — take the direct path and
 		// keep single-thread latency at parity (one atomic add/sub).
+		c.solo.Add(1)
 		d.FlushLines(lines)
 		d.Fence()
 		return
@@ -304,6 +348,7 @@ func (d *Device) gcPersist(lines []uint64) {
 	if !ledSelf {
 		// This commit's fence was absorbed into another thread's
 		// merged fence.
+		c.combined.Add(1)
 		if tr := d.trc.Load(); tr != nil {
 			tr.DevEmit(obs.KFenceCombined, c.epoch.Load(), 0)
 		}
@@ -341,6 +386,7 @@ func (d *Device) gcLead() {
 			if injectArmed.Load() && injectFired.Load() {
 				panic(CrashSignal{})
 			}
+			c.dwell.Add(1)
 			before := bits.OnesCount64(served)
 			runtime.Gosched()
 			collect()
@@ -367,6 +413,8 @@ func (d *Device) gcLead() {
 	}
 	d.Fence() // the merged fence: one drain covers the whole batch
 	c.epoch.Add(1)
+	c.leads.Add(1)
+	c.fases.Add(batches)
 	if tr := d.trc.Load(); tr != nil {
 		tr.DevEmit(obs.KBatchCommit, batches, nlines)
 		tr.Observe(obs.HFASEsPerFence, batches)

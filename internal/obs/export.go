@@ -14,12 +14,21 @@ import (
 // thread-scoped instants (ph "i"). Timestamps are microseconds in Chrome's
 // format; sub-microsecond precision survives as fractional ts.
 
-// WriteChromeTrace writes the merged timeline to w. Producers must be
-// quiescent. The metadata block records the per-kind counts and the drop
-// counter so a consumer can tell whether the event list is complete.
+// WriteChromeTrace writes the merged timeline to w. For a complete trace
+// call with producers quiescent; with live producers the event list is a
+// race-clean snapshot (see Events). The metadata block records the
+// per-kind counts and the drop counter so a consumer can tell whether
+// the event list is complete.
 func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
+	return tr.WriteChromeTraceEvents(w, tr.Events())
+}
+
+// WriteChromeTraceEvents writes an explicit event slice — e.g. a capture
+// window returned by Rotate — in the same trace_event JSON shape as
+// WriteChromeTrace. The cumulative otherData counters still describe the
+// whole tracer session, not just the slice.
+func (tr *Tracer) WriteChromeTraceEvents(w io.Writer, events []Event) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
-	events := tr.Events()
 
 	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"dropped\":\"%d\"", tr.Dropped())
 	for k := Kind(0); k < nKinds; k++ {
@@ -37,12 +46,13 @@ func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
 		first = false
 	}
 
-	// Thread-name metadata rows, one per ring that recorded anything.
-	tr.mu.Lock()
-	rings := append([]*Ring(nil), tr.rings...)
-	tr.mu.Unlock()
-	for _, r := range rings {
-		if r.next.Load() == 0 {
+	// Thread-name metadata rows, one per ring with events in the slice.
+	present := make(map[int32]bool, 8)
+	for i := range events {
+		present[events[i].Tid] = true
+	}
+	for _, r := range *tr.rings.Load() {
+		if !present[r.tid] {
 			continue
 		}
 		comma()

@@ -227,8 +227,11 @@ type Tracer struct {
 
 	hists [nHist]hist
 
+	// rings is the atomically published registry of every ring, device
+	// stripes first. Registration copies the slice and swings the pointer,
+	// so snapshot readers iterate it lock-free; mu serializes writers only.
 	mu    sync.Mutex
-	rings []*Ring // every ring, device stripes first
+	rings atomic.Pointer[[]*Ring]
 }
 
 // New creates a tracer with all rings preallocated, so recording never
@@ -246,16 +249,18 @@ func New(cfg Config) *Tracer {
 			tr.sample[k] = uint64(n)
 		}
 	}
+	rings := make([]*Ring, 0, nDevStripes)
 	for i := range tr.dev {
 		r := &Ring{
 			tr:    tr,
 			tid:   int32(devTidBase + i),
 			label: fmt.Sprintf("nvm-dev/%d", i),
-			buf:   make([]Event, cfg.DeviceRingCap),
 		}
+		r.rb.Store(newRingBuf(cfg.DeviceRingCap))
 		tr.dev[i] = r
-		tr.rings = append(tr.rings, r)
+		rings = append(rings, r)
 	}
+	tr.rings.Store(&rings)
 	return tr
 }
 
@@ -278,13 +283,17 @@ func (tr *Tracer) ThreadRing(label string) *Ring {
 	}
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
+	old := *tr.rings.Load()
 	r := &Ring{
 		tr:    tr,
-		tid:   int32(len(tr.rings) - nDevStripes),
+		tid:   int32(len(old) - nDevStripes),
 		label: label,
-		buf:   make([]Event, tr.cfg.ThreadRingCap),
 	}
-	tr.rings = append(tr.rings, r)
+	r.rb.Store(newRingBuf(tr.cfg.ThreadRingCap))
+	next := make([]*Ring, len(old)+1)
+	copy(next, old)
+	next[len(old)] = r
+	tr.rings.Store(&next)
 	return r
 }
 
@@ -316,12 +325,11 @@ func (tr *Tracer) DevSpan(k Kind, a, b uint64, startTS int64) {
 }
 
 // Count returns the exact number of k events recorded (including any that
-// were dropped from a full ring).
+// were dropped from a full ring). Lock-free: one bounded pass of atomic
+// loads over the published ring registry, safe while producers emit.
 func (tr *Tracer) Count(k Kind) uint64 {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
 	var n uint64
-	for _, r := range tr.rings {
+	for _, r := range *tr.rings.Load() {
 		n += r.kcount[k].Load()
 	}
 	return n
@@ -331,10 +339,8 @@ func (tr *Tracer) Count(k Kind) uint64 {
 // trace is complete if and only if this and SampledOut are zero; Count is
 // exact either way.
 func (tr *Tracer) Dropped() uint64 {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
 	var n uint64
-	for _, r := range tr.rings {
+	for _, r := range *tr.rings.Load() {
 		n += r.dropped.Load()
 	}
 	return n
@@ -344,45 +350,96 @@ func (tr *Tracer) Dropped() uint64 {
 // rings by Config.SampleEvery. Unlike Dropped, these are an intentional
 // trade; Count still includes them.
 func (tr *Tracer) SampledOut() uint64 {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
 	var n uint64
-	for _, r := range tr.rings {
+	for _, r := range *tr.rings.Load() {
 		n += r.sampled.Load()
 	}
 	return n
 }
 
 // Events returns every recorded event merged across rings in timestamp
-// order. Call while producers are quiescent.
+// order. Safe to call while producers emit: each ring's write cursor is
+// read once to bound the scan, and only slots whose publish word is set
+// are copied out, so an event claimed but not yet fully written is
+// skipped rather than read torn. When producers are quiescent the result
+// is exactly everything recorded.
 func (tr *Tracer) Events() []Event {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
 	var out []Event
-	for _, r := range tr.rings {
-		n := r.next.Load()
-		if n > uint64(len(r.buf)) {
-			n = uint64(len(r.buf))
-		}
-		out = append(out, r.buf[:n]...)
+	for _, r := range *tr.rings.Load() {
+		out = r.rb.Load().collect(out)
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+	return out
+}
+
+// Rotate swaps every ring's buffer for a fresh empty one and returns the
+// events published in the replaced buffers, merged in timestamp order.
+// This is the windowed-capture primitive: Rotate (discard) to open a
+// window, run, Rotate again to collect exactly the window's events — on
+// a long-lived process whose drop-newest rings filled long ago, rotation
+// is what makes a live capture possible at all. Producers racing the swap
+// finish their write into whichever buffer they claimed a slot in; a slot
+// published into the old buffer after collection is missed from the
+// returned window but still counted by Count. Cumulative counters
+// (Count, Dropped, SampledOut, histograms) are unaffected.
+func (tr *Tracer) Rotate() []Event {
+	if tr == nil {
+		return nil
+	}
+	var out []Event
+	for _, r := range *tr.rings.Load() {
+		old := r.rb.Swap(newRingBuf(len(r.rb.Load().buf)))
+		out = old.collect(out)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+	return out
+}
+
+// ringBuf is one generation of a ring's storage. seq[i] is the publish
+// word for buf[i]: stored (release) only after the event is fully
+// written, so a reader that observes seq[i] != 0 (acquire) reads a
+// complete event. Swapping the whole generation out atomically is what
+// lets Rotate reset a ring without a double-writer race on slot indices —
+// an in-flight producer keeps writing into the generation it claimed
+// a slot in.
+type ringBuf struct {
+	next atomic.Uint64
+	buf  []Event
+	seq  []atomic.Uint32
+}
+
+func newRingBuf(cap int) *ringBuf {
+	return &ringBuf{buf: make([]Event, cap), seq: make([]atomic.Uint32, cap)}
+}
+
+// collect appends every published event to out. The write cursor is read
+// once, bounding the scan even while producers keep claiming slots.
+func (rb *ringBuf) collect(out []Event) []Event {
+	n := rb.next.Load()
+	if n > uint64(len(rb.buf)) {
+		n = uint64(len(rb.buf))
+	}
+	for i := uint64(0); i < n; i++ {
+		if rb.seq[i].Load() != 0 {
+			out = append(out, rb.buf[i])
+		}
+	}
 	return out
 }
 
 // Ring is one bounded event buffer. A thread ring has a single writer;
 // device stripe rings are shared, which the atomic index claim makes safe.
 // All methods are nil-receiver safe so a disabled tracer costs producers
-// one pointer compare.
+// one pointer compare. The counters live on the Ring and survive buffer
+// rotation; the event storage lives in the current ringBuf generation.
 type Ring struct {
 	tr      *Tracer
 	tid     int32
 	label   string
-	next    atomic.Uint64
 	dropped atomic.Uint64
 	sampled atomic.Uint64
 	kcount  [nKinds]atomic.Uint64
-	buf     []Event
+	rb      atomic.Pointer[ringBuf]
 }
 
 func (r *Ring) emit(k Kind, a, b uint64, ts, dur int64) {
@@ -391,12 +448,14 @@ func (r *Ring) emit(k Kind, a, b uint64, ts, dur int64) {
 		r.sampled.Add(1)
 		return
 	}
-	i := r.next.Add(1) - 1
-	if i >= uint64(len(r.buf)) {
+	rb := r.rb.Load()
+	i := rb.next.Add(1) - 1
+	if i >= uint64(len(rb.buf)) {
 		r.dropped.Add(1)
 		return
 	}
-	r.buf[i] = Event{TS: ts, Dur: dur, A: a, B: b, Kind: k, Tid: r.tid}
+	rb.buf[i] = Event{TS: ts, Dur: dur, A: a, B: b, Kind: k, Tid: r.tid}
+	rb.seq[i].Store(1)
 }
 
 // Emit records an instant event.

@@ -27,7 +27,7 @@ func checkMcFrame(t *testing.T, buf []byte, f mcFrame, n int) {
 			t.Fatalf("reply frame with empty reply")
 		}
 		return
-	case opQuit, opNone:
+	case opQuit, opNone, opStats:
 		return
 	default:
 		t.Fatalf("bad op %d", f.op)
@@ -52,6 +52,8 @@ func FuzzParseMemcache(f *testing.F) {
 	f.Add([]byte("set foo 0 0 25\r\n1234567890123456789012345\r\n"))
 	f.Add([]byte("delete foo noreply\r\n"))
 	f.Add([]byte("version\r\nquit\r\n"))
+	f.Add([]byte("stats\r\n"))
+	f.Add([]byte("stats items\r\n"))
 	f.Add([]byte("set foo 0 0 9999\r\n"))
 	f.Add([]byte("set k 0 0 abc\r\n"))
 	f.Add([]byte("get \x00\x01\xff\r\n"))
@@ -97,7 +99,7 @@ func checkRespFrame(t *testing.T, buf []byte, f respFrame, n int) {
 		if f.reply == "" {
 			t.Fatalf("reply frame with empty reply")
 		}
-	case opNone:
+	case opNone, opStats:
 	default:
 		t.Fatalf("bad op %d", f.op)
 	}
@@ -110,6 +112,9 @@ func FuzzParseRESP(f *testing.F) {
 	f.Add([]byte("GET k1\r\nSET k1 5\r\n"))
 	f.Add([]byte("*1\r\n$4\r\nPING\r\n"))
 	f.Add([]byte("QUIT\r\n"))
+	f.Add([]byte("INFO\r\n"))
+	f.Add([]byte("*1\r\n$4\r\nINFO\r\n"))
+	f.Add([]byte("*2\r\n$4\r\nINFO\r\n$5\r\nstats\r\n"))
 	f.Add([]byte("*9999\r\n"))
 	f.Add([]byte("*2\r\n$3\r\nGET\r\n$bad\r\n"))
 	f.Add([]byte("*2\r\n$3\r\nGET\r\n$600\r\n"))

@@ -35,6 +35,7 @@ const (
 	opDel                // delete; okOut reports presence
 	opReply              // locally-served canned response (errors, VERSION, PONG)
 	opQuit               // client hangup: flush and close, no response
+	opStats              // introspection (memcache `stats` / RESP `INFO`), served reader-side
 )
 
 // Frame-size bounds. A command line and its inline data always fit well
@@ -264,6 +265,14 @@ func parseMemcache(buf []byte) (mcFrame, int, error) {
 		f := mcFrame{op: opDel, nkeys: 1, noreply: noreply}
 		f.keys[0] = [2]int{ks, ke}
 		return f, n, nil
+
+	case tokIs(cmd, "stats"):
+		// Bare `stats` only: the sub-commands (items, slabs, ...) describe
+		// machinery this server does not have.
+		if as, ae := nextTok(line, ce); as != ae {
+			return mcReply(mcReplyError, n, false)
+		}
+		return mcFrame{op: opStats}, n, nil
 
 	case tokIs(cmd, "version"):
 		return mcReply(mcReplyVersion, n, false)

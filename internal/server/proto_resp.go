@@ -219,6 +219,14 @@ func respCommand(buf []byte, args [][2]int) (respFrame, bool) {
 			return respFrame{op: opReply, reply: respReplyBadKey}, false
 		}
 		return respFrame{op: opDel, key: args[1]}, false
+	case eqFold(cmd, "INFO"):
+		// INFO or INFO <section>; the section argument is accepted but
+		// the full body is always returned, keeping the response
+		// single-sourced from the snapshot layer.
+		if len(args) > 2 {
+			return respFrame{op: opReply, reply: respReplyArity}, false
+		}
+		return respFrame{op: opStats}, false
 	case eqFold(cmd, "PING"):
 		if len(args) != 1 {
 			return respFrame{op: opReply, reply: respReplyArity}, false

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/ido-nvm/ido/internal/metrics"
 	"github.com/ido-nvm/ido/internal/nvm"
 	"github.com/ido-nvm/ido/internal/obs"
 	"github.com/ido-nvm/ido/internal/persist"
@@ -66,6 +67,12 @@ type Config struct {
 	// WriteBuf is the per-connection response batch buffer (default 32 KiB);
 	// the writer flushes when it fills or when no further response is ready.
 	WriteBuf int
+	// Metrics, when non-nil, is the collector the in-band introspection
+	// verbs (memcache `stats`, RESP `INFO`) answer from. New attaches the
+	// server as the collector's Source if none is set, so the same
+	// collector drives the admin plane's /metrics. When nil the server
+	// builds a private collector over its own gauges alone.
+	Metrics *metrics.Collector
 }
 
 func (cfg *Config) fill() {
@@ -108,7 +115,12 @@ type slot struct {
 	okOut   bool
 	rlen    int32
 	resp    [respCap]byte
-	done    atomic.Bool
+	// big is the overflow response for replies that cannot fit resp
+	// (stats/INFO bodies). Filled reader-side, consumed and nilled by the
+	// writer; always nil on the GET/SET/DEL hot path, which stays
+	// allocation-free.
+	big  []byte
+	done atomic.Bool
 }
 
 // conn is one client connection: a slot ring plus the two channels that
@@ -144,6 +156,14 @@ type shard struct {
 	cur  *slot
 	fn   func()
 	ring *obs.Ring
+
+	// Pipeline gauges/counters, read by MetricsSnapshot. inflight is 1
+	// while the shard thread is inside a FASE; queue depth is len(in).
+	inflight atomic.Int32
+	reqs     atomic.Uint64
+	verbs    [3]atomic.Uint64 // gets, sets, dels (indexed op-opGet)
+	hits     atomic.Uint64
+	misses   atomic.Uint64
 }
 
 // Stats is a point-in-time counter snapshot.
@@ -171,9 +191,16 @@ type Server struct {
 	lns    []net.Listener
 	closed bool
 
-	reqs     atomic.Uint64
-	batches  atomic.Uint64
-	bytesOut atomic.Uint64
+	coll *metrics.Collector
+
+	reqs       atomic.Uint64
+	batches    atomic.Uint64
+	bytesOut   atomic.Uint64
+	bytesIn    atomic.Uint64
+	protoErrs  atomic.Uint64
+	connsOpen  atomic.Int64
+	connsTotal atomic.Uint64
+	crashes    atomic.Uint64
 }
 
 // New builds a server over an attached store. One persist.Thread is
@@ -210,6 +237,15 @@ func New(rt persist.Runtime, store Store, cfg Config, tr *obs.Tracer) (*Server, 
 		srv.wg.Add(1)
 		go sh.run()
 	}
+	if cfg.Metrics != nil {
+		srv.coll = cfg.Metrics
+		if srv.coll.Src == nil {
+			srv.coll.Src = srv
+		}
+	} else {
+		srv.coll = metrics.NewCollector(tr, nil)
+		srv.coll.Src = srv
+	}
 	return srv, nil
 }
 
@@ -224,6 +260,37 @@ func (srv *Server) Stats() Stats {
 		Reqs:     srv.reqs.Load(),
 		Batches:  srv.batches.Load(),
 		BytesOut: srv.bytesOut.Load(),
+	}
+}
+
+// MetricsSnapshot fills dst with the front end's gauges and counters —
+// the metrics.Source contract. dst's shard slice is reused whenever its
+// capacity suffices, so a caller that holds its Snapshot reads at
+// 0 allocs/op in steady state.
+func (srv *Server) MetricsSnapshot(dst *metrics.ServerStats) {
+	dst.ConnsOpen = srv.connsOpen.Load()
+	dst.ConnsTotal = srv.connsTotal.Load()
+	dst.Reqs = srv.reqs.Load()
+	dst.Batches = srv.batches.Load()
+	dst.BytesIn = srv.bytesIn.Load()
+	dst.BytesOut = srv.bytesOut.Load()
+	dst.ProtoErrs = srv.protoErrs.Load()
+	dst.Crashes = srv.crashes.Load()
+	n := len(srv.shards)
+	if cap(dst.Shards) < n {
+		dst.Shards = make([]metrics.ShardStats, n)
+	}
+	dst.Shards = dst.Shards[:n]
+	for i, sh := range srv.shards {
+		d := &dst.Shards[i]
+		d.QueueDepth = int64(len(sh.in))
+		d.InFlight = int64(sh.inflight.Load())
+		d.Reqs = sh.reqs.Load()
+		d.Gets = sh.verbs[0].Load()
+		d.Sets = sh.verbs[1].Load()
+		d.Dels = sh.verbs[2].Load()
+		d.Hits = sh.hits.Load()
+		d.Misses = sh.misses.Load()
 	}
 }
 
@@ -248,6 +315,8 @@ func (srv *Server) ServeConn(nc net.Conn) error {
 	}
 	srv.conns[c] = struct{}{}
 	srv.mu.Unlock()
+	srv.connsTotal.Add(1)
+	srv.connsOpen.Add(1)
 	for i := 0; i < srv.cfg.Ring; i++ {
 		c.free <- struct{}{}
 	}
@@ -306,7 +375,10 @@ func (srv *Server) shutdown() {
 // noteCrash records an injected-crash death. Called from a shard
 // goroutine, so it must not wait on the WaitGroup it is part of.
 func (srv *Server) noteCrash() {
-	srv.crashOnce.Do(func() { close(srv.crashc) })
+	srv.crashOnce.Do(func() {
+		srv.crashes.Add(1)
+		close(srv.crashc)
+	})
 	srv.shutdown()
 }
 
@@ -314,6 +386,7 @@ func (srv *Server) dropConn(c *conn) {
 	srv.mu.Lock()
 	delete(srv.conns, c)
 	srv.mu.Unlock()
+	srv.connsOpen.Add(-1)
 	c.nc.Close()
 }
 
@@ -345,9 +418,20 @@ func (sh *shard) run() {
 	for {
 		select {
 		case s := <-sh.in:
+			sh.inflight.Store(1)
 			sh.cur = s
 			sh.th.Exec(sh.fn)
 			sh.cur = nil
+			sh.inflight.Store(0)
+			sh.reqs.Add(1)
+			sh.verbs[s.op-opGet].Add(1)
+			if s.op == opGet {
+				if s.okOut {
+					sh.hits.Add(1)
+				} else {
+					sh.misses.Add(1)
+				}
+			}
 			if mc {
 				encodeMcReply(s)
 			} else {
@@ -413,6 +497,17 @@ func (c *conn) dispatch(s *slot) bool {
 // local completes a canned reply on the reader side without touching a
 // shard. Returns false (stop reading) for fatal replies.
 func (c *conn) local(reply string, fatal bool) bool {
+	if len(reply) > 0 {
+		// Every canned reply that is not VERSION (memcache) or +OK/+PONG
+		// (RESP) reports a protocol-level refusal; count it. First-byte
+		// classification is exact over the canned vocabulary: errors
+		// start 'E' (ERROR), 'C' (CLIENT_ERROR), 'S' (SERVER_ERROR),
+		// or '-' (RESP -ERR).
+		switch reply[0] {
+		case 'E', 'C', 'S', '-':
+			c.srv.protoErrs.Add(1)
+		}
+	}
 	s, ok := c.claim()
 	if !ok {
 		return false
@@ -423,6 +518,30 @@ func (c *conn) local(reply string, fatal bool) bool {
 	s.rlen = int32(copy(s.resp[:], reply))
 	complete(s)
 	return !fatal
+}
+
+// localStats answers an introspection verb (memcache `stats`, RESP
+// `INFO`) reader-side: the snapshot and its rendering happen on this
+// connection's goroutine, never a shard pipeline, and the body rides
+// the slot's overflow field since stats bodies outgrow resp. The only
+// allocation a stats request performs is its own response.
+func (c *conn) localStats() bool {
+	s, ok := c.claim()
+	if !ok {
+		return false
+	}
+	s.op = opReply
+	s.last, s.noreply, s.fatal = false, false, false
+	s.rlen = 0
+	var snap metrics.Snapshot
+	c.srv.coll.Read(&snap)
+	if c.srv.cfg.Proto == ProtoMemcache {
+		s.big = metrics.AppendMemcacheStats(nil, &snap)
+	} else {
+		s.big = metrics.AppendRESPInfo(nil, &snap)
+	}
+	complete(s)
+	return true
 }
 
 // fillKey copies and encodes a validated wire key into the slot.
@@ -472,6 +591,8 @@ func (c *conn) dispatchMc(f *mcFrame, raw []byte, ts int64) bool {
 		return c.local(f.reply, f.fatal)
 	case opQuit:
 		return c.local("", true)
+	case opStats:
+		return c.localStats()
 	}
 	return true
 }
@@ -485,6 +606,8 @@ func (c *conn) dispatchResp(f *respFrame, raw []byte, ts int64) bool {
 		return c.sendOp(f.op, kb, f.val, false, false, ts)
 	case opReply:
 		return c.local(f.reply, f.fatal)
+	case opStats:
+		return c.localStats()
 	}
 	return true
 }
@@ -528,6 +651,7 @@ func (c *conn) readLoop() {
 		}
 		n, err := c.nc.Read(buf[end:])
 		end += n
+		c.srv.bytesIn.Add(uint64(n))
 		if err != nil {
 			// EOF or a torn connection: emit a zero-length fatal slot so
 			// the writer flushes everything pending, then closes.
@@ -572,7 +696,12 @@ func (c *conn) writeLoop() {
 			if !s.done.Load() {
 				break
 			}
-			c.wbuf = append(c.wbuf, s.resp[:s.rlen]...)
+			if s.big != nil {
+				c.wbuf = append(c.wbuf, s.big...)
+				s.big = nil
+			} else {
+				c.wbuf = append(c.wbuf, s.resp[:s.rlen]...)
+			}
 			inBatch++
 			c.srv.reqs.Add(1)
 			fatal := s.fatal

@@ -14,6 +14,7 @@ import (
 	"github.com/ido-nvm/ido/internal/kv/redis"
 	"github.com/ido-nvm/ido/internal/loadgen"
 	"github.com/ido-nvm/ido/internal/locks"
+	"github.com/ido-nvm/ido/internal/metrics"
 	"github.com/ido-nvm/ido/internal/nvm"
 	"github.com/ido-nvm/ido/internal/obs"
 	"github.com/ido-nvm/ido/internal/persist"
@@ -34,6 +35,7 @@ type world struct {
 func newWorld(t testing.TB, proto server.Proto, shards int, devcfg nvm.Config, tr *obs.Tracer) *world {
 	t.Helper()
 	w := &world{}
+	devcfg.Tracer = tr
 	w.reg = region.Create(1<<22, devcfg)
 	w.lm = locks.NewManager(w.reg)
 	w.rt = core.New(core.DefaultConfig())
@@ -49,7 +51,10 @@ func newWorld(t testing.TB, proto server.Proto, shards int, devcfg nvm.Config, t
 	if err != nil {
 		t.Fatalf("new store: %v", err)
 	}
-	w.srv, err = server.New(w.rt, w.store, server.Config{Proto: proto}, tr)
+	// Wire the collector the way cmd/idoserve does, so in-band stats see
+	// device counters too.
+	w.srv, err = server.New(w.rt, w.store,
+		server.Config{Proto: proto, Metrics: metrics.NewCollector(tr, w.reg.Dev)}, tr)
 	if err != nil {
 		t.Fatalf("new server: %v", err)
 	}
@@ -207,11 +212,11 @@ func TestServerRESPGolden(t *testing.T) {
 	runSteps(t, c, []step{
 		{"*3\r\n$3\r\nSET\r\n$2\r\nk1\r\n$2\r\n42\r\n", "+OK\r\n"},
 		{"*2\r\n$3\r\nGET\r\n$2\r\nk1\r\n", "$2\r\n42\r\n"},
-		{"GET k1\r\n", "$2\r\n42\r\n"},          // inline framing
-		{"get k1\r\n", "$2\r\n42\r\n"},          // case-insensitive
-		{"GET nope\r\n", "$-1\r\n"},             // miss
-		{"SET k1 7\r\n", "+OK\r\n"},             // inline set
-		{"GET k1\r\n", "$1\r\n7\r\n"},           // overwrite visible
+		{"GET k1\r\n", "$2\r\n42\r\n"}, // inline framing
+		{"get k1\r\n", "$2\r\n42\r\n"}, // case-insensitive
+		{"GET nope\r\n", "$-1\r\n"},    // miss
+		{"SET k1 7\r\n", "+OK\r\n"},    // inline set
+		{"GET k1\r\n", "$1\r\n7\r\n"},  // overwrite visible
 		{"*2\r\n$3\r\nDEL\r\n$2\r\nk1\r\n", ":1\r\n"},
 		{"DEL k1\r\n", ":0\r\n"},
 		{"PING\r\n", "+PONG\r\n"},
