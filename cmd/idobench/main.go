@@ -8,8 +8,8 @@
 //	idobench -exp fig7 -duration 1s -threads 1,2,4,8,16
 //
 // Experiments: fig5, fig6, fig7, fig8, table1, fig9, ablations, vm,
-// alloc, obs, gc, server, all. See DESIGN.md for the experiment index and
-// EXPERIMENTS.md for paper-versus-measured notes.
+// alloc, obs, gc, server, serverread, all. See DESIGN.md for the
+// experiment index and EXPERIMENTS.md for paper-versus-measured notes.
 //
 // -workers N runs independent figure points through a bounded pool; -gc
 // runs every device with the group-commit fence combiner (-gcwindow sets
@@ -34,7 +34,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|table1|fig9|ablations|vm|alloc|obs|gc|server|all")
+	exp := flag.String("exp", "all", "experiment: fig5|fig6|fig7|fig8|table1|fig9|ablations|vm|alloc|obs|gc|server|serverread|all")
 	quick := flag.Bool("quick", false, "smoke-scale parameters")
 	duration := flag.Duration("duration", 0, "override measurement interval per point")
 	threads := flag.String("threads", "", "override thread sweep, e.g. 1,2,4,8")
@@ -101,6 +101,8 @@ func main() {
 		_, err = bench.RunGroupCommit(o)
 	case "server":
 		_, err = bench.RunServer(o)
+	case "serverread":
+		_, err = bench.RunServerReadPath(o)
 	default:
 		fatalf("unknown experiment %q", *exp)
 	}

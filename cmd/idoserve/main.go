@@ -58,6 +58,8 @@ func main() {
 	gc := flag.Bool("gc", false, "enable the group-commit fence combiner")
 	gcwindow := flag.Int("gcwindow", 2000, "combiner leader batch window, simulated ns (with -gc)")
 	gcforce := flag.Bool("gcforce", false, "with -gc: route solo commits through the combiner ring too")
+	maxitems := flag.Int("maxitems", 0, "per-shard live-item watermark; the pipeline evicts LRU items above it (0 = unbounded)")
+	nofast := flag.Bool("nofastreads", false, "disable the lock-free GET fast lane (serve every read through its shard pipeline)")
 	load := flag.Bool("load", false, "run the in-process load generator instead of listening")
 	conns := flag.Int("conns", 16, "with -load: client connections")
 	pipeline := flag.Int("pipeline", 8, "with -load: in-flight requests per connection")
@@ -66,6 +68,7 @@ func main() {
 	setpct := flag.Int("setpct", 40, "with -load: SET percentage of the mix")
 	delpct := flag.Int("delpct", 20, "with -load: DELETE percentage of the mix")
 	zipf := flag.Float64("zipf", 0, "with -load: key skew exponent (>1; 0 = uniform)")
+	mget := flag.Int("mget", 1, "with -load: keys per GET request (multi-get batch)")
 	rate := flag.Int("rate", 0, "with -load: open-loop aggregate request rate, ops/s (0 = closed loop)")
 	seed := flag.Int64("seed", 1, "with -load: workload seed")
 	flag.Parse()
@@ -127,7 +130,9 @@ func main() {
 	if err != nil {
 		fatalf("create store: %v", err)
 	}
-	srv, err := server.New(rt, store, server.Config{Proto: sproto, Metrics: coll}, tr)
+	srv, err := server.New(rt, store, server.Config{
+		Proto: sproto, Metrics: coll,
+		MaxItems: *maxitems, DisableFastReads: *nofast}, tr)
 	if err != nil {
 		fatalf("create server: %v", err)
 	}
@@ -143,6 +148,7 @@ func main() {
 			SetPct:      *setpct,
 			DelPct:      *delpct,
 			Zipf:        *zipf,
+			MGet:        *mget,
 			OpenRateOPS: *rate,
 			Duration:    *duration,
 			Seed:        *seed,

@@ -20,6 +20,7 @@ func RunAll(o Options) error {
 		{"alloc", func() error { _, err := RunAlloc(o); return err }},
 		{"gc", func() error { _, err := RunGroupCommit(o); return err }},
 		{"server", func() error { _, err := RunServer(o); return err }},
+		{"serverread", func() error { _, err := RunServerReadPath(o); return err }},
 	}
 	for _, s := range steps {
 		fprintf(o.out(), "==== %s ====\n", s.name)

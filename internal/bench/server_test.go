@@ -39,3 +39,43 @@ func TestServerBenchQuick(t *testing.T) {
 	t.Logf("c16: direct %.3f Mops/s %.2f fences/op; gc-w2000 %.3f Mops/s %.2f fences/op",
 		d16.MopsPS, d16.FencesPerOp, g16.MopsPS, g16.FencesPerOp)
 }
+
+// TestServerReadPathQuick runs the read-path sweep at smoke scale and
+// asserts its qualitative shape: every cell serves error-free, the fast
+// series actually uses the lock-free lane, and at 16 connections the
+// fast lane never pays more fences per request than the slot path. The
+// ≥2x throughput bar is gated on the captured BENCH_server_readpath.json
+// run, not this canary.
+func TestServerReadPathQuick(t *testing.T) {
+	o := quick(t)
+	results, err := RunServerReadPath(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]map[int]ServerReadResult{}
+	for _, r := range results {
+		if byKey[r.Series] == nil {
+			byKey[r.Series] = map[int]ServerReadResult{}
+		}
+		byKey[r.Series][r.Conns] = r
+		if r.Ops == 0 {
+			t.Fatalf("%s/c%d: zero ops", r.Series, r.Conns)
+		}
+		if r.Errs != 0 {
+			t.Fatalf("%s/c%d: %d client-visible errors", r.Series, r.Conns, r.Errs)
+		}
+		if r.Series == "slot" && r.FastGets != 0 {
+			t.Fatalf("slot/c%d: %d fast gets with the lane disabled", r.Conns, r.FastGets)
+		}
+		if r.Series != "slot" && r.FastGets == 0 {
+			t.Fatalf("%s/c%d: fast lane never taken", r.Series, r.Conns)
+		}
+	}
+	s16, f16 := byKey["slot"][16], byKey["fast"][16]
+	if f16.FencesPerOp > s16.FencesPerOp*1.05 {
+		t.Fatalf("fast fences/op %.2f exceed slot %.2f at 16 conns",
+			f16.FencesPerOp, s16.FencesPerOp)
+	}
+	t.Logf("c16: slot %.3f Mops/s %.2f fences/op; fast %.3f Mops/s %.2f fences/op (%d fast gets, %d fallbacks)",
+		s16.MopsPS, s16.FencesPerOp, f16.MopsPS, f16.FencesPerOp, f16.FastGets, f16.Fallbacks)
+}

@@ -1,0 +1,43 @@
+package memcache
+
+// GetFast is the lock-free read fast lane: it walks the hash chain and
+// reads the value directly off the device — no cache lock, no FASE, no
+// boundary log, no fence. It is only sound under the caller's seqlock
+// protocol: the caller snapshots the shard's write epoch before the
+// call, re-checks it after, and discards the result on any change, so a
+// successful fast read is equivalent to one that ran entirely between
+// two write FASEs.
+//
+// Because the walk races concurrent Set/Delete/EvictOne FASEs — which
+// free items back to the allocator — every pointer is defensively
+// validated (alignment, bounds) and the walk is step-bounded before any
+// load dereferences it. A walk that trips a check returns ok=false and
+// the caller falls back; in-bounds stale garbage it cannot detect is
+// exactly what the epoch re-check rejects. Returns (value, hit, ok):
+// ok=false means "could not complete safely", not "miss".
+func (c *Cache) GetFast(k0, k1 uint64) (v uint64, hit, ok bool) {
+	dev := c.env.Reg.Dev
+	limit := uint64(dev.Size())
+	n := dev.Load64(c.tbl + tBuckets)
+	if n == 0 || n&(n-1) != 0 {
+		return 0, false, false
+	}
+	ba := c.tbl + tArray + hash(k0, k1, n)*8
+	if ba+8 > limit {
+		return 0, false, false
+	}
+	cur := dev.Load64(ba)
+	for steps := 0; steps < 1024; steps++ {
+		if cur == 0 {
+			return 0, false, true
+		}
+		if cur&7 != 0 || cur+iSize > limit {
+			return 0, false, false
+		}
+		if dev.Load64(cur+iK0) == k0 && dev.Load64(cur+iK1) == k1 {
+			return dev.Load64(cur + iVal), true, true
+		}
+		cur = dev.Load64(cur + iHNext)
+	}
+	return 0, false, false
+}

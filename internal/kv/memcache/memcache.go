@@ -79,6 +79,10 @@ const (
 	ridDelChain = ridBase + 11 // unchain + LRU unlink + read count
 	ridDelCnt   = ridBase + 12 // decrement the count, release
 	ridEvEntry  = ridBase + 13 // eviction: read the LRU tail, scan
+	ridIncrEnt  = ridBase + 14 // incr/decr: after lock, scan, read the value
+	ridIncrUpd  = ridBase + 15 // incr/decr: publish the new value, release
+	ridTouchEnt = ridBase + 16 // touch batch: after lock, read counters, scan
+	ridTouchRel = ridBase + 17 // touch batch: retire counters + iTime, release
 )
 
 // Env bundles region and lock-manager access for the cache and its
@@ -401,6 +405,102 @@ func evScanFrom(env *Env, t persist.Thread, tbl, victim, pp, cur uint64) {
 	}
 }
 
+// Incr adjusts an existing key's value by delta as one FASE: wrapping
+// addition, or (dec) subtraction clamped at zero, exactly memcached's
+// incr/decr semantics. A missing key is reported, not created.
+func (c *Cache) Incr(t persist.Thread, k0, k1, delta uint64, dec bool) (uint64, bool) {
+	var df uint64
+	if dec {
+		df = 1
+	}
+	t.Lock(c.lock)
+	t.Boundary(ridIncrEnt, append(persist.Outs(t),
+		persist.RV(0, c.tbl), persist.RV(1, k0), persist.RV(2, k1),
+		persist.RV(3, delta), persist.RV(10, df))...)
+	return incrEntry(c.env, t, c.tbl, k0, k1, delta, df)
+}
+
+// incrEntry is region ridIncrEnt: compute the bucket, scan the chain
+// (pure reads), and on a hit read the old value and compute the new one
+// — storing it antidepends on that load, so the store is the next
+// region. A miss just releases.
+func incrEntry(env *Env, t persist.Thread, tbl, k0, k1, delta, df uint64) (uint64, bool) {
+	ba := bucketAddr(t, tbl, k0, k1)
+	cur := t.Load64(ba)
+	for {
+		if cur == 0 {
+			release(env, t, tbl)
+			return 0, false
+		}
+		if t.Load64(cur+iK0) == k0 && t.Load64(cur+iK1) == k1 {
+			old := t.Load64(cur + iVal)
+			nv := old + delta
+			if df != 0 {
+				if old < delta {
+					nv = 0
+				} else {
+					nv = old - delta
+				}
+			}
+			t.Boundary(ridIncrUpd, append(persist.Outs(t),
+				persist.RV(4, cur), persist.RV(3, nv))...)
+			incrUpd(env, t, tbl, cur, nv)
+			return nv, true
+		}
+		cur = t.Load64(cur + iHNext)
+	}
+}
+
+// incrUpd is region ridIncrUpd: publish the new value and release.
+// Store-only: trivially idempotent.
+func incrUpd(env *Env, t persist.Thread, tbl, item, nv uint64) {
+	t.Store64(item+iVal, nv)
+	release(env, t, tbl)
+}
+
+// Touch retires a batch of sampled read stats as one FASE: cmd_get
+// grows by gets, get_hits by hits, and if the key is still present its
+// access time is refreshed. The server's read fast lane queues these
+// off the read path (lossy sampling, like memcached's
+// ITEM_UPDATE_INTERVAL) and the pipeline thread drains them here.
+func (c *Cache) Touch(t persist.Thread, k0, k1, gets, hits uint64) {
+	t.Lock(c.lock)
+	t.Boundary(ridTouchEnt, append(persist.Outs(t),
+		persist.RV(0, c.tbl), persist.RV(1, k0), persist.RV(2, k1),
+		persist.RV(3, gets), persist.RV(5, hits))...)
+	touchEntry(c.env, t, c.tbl, k0, k1, gets, hits)
+}
+
+// touchEntry is region ridTouchEnt: read both counters, scan for the
+// item (pure reads), and compute the new counter values — retiring
+// them antidepends on the loads, so the stores are the next region.
+func touchEntry(env *Env, t persist.Thread, tbl, k0, k1, gets, hits uint64) {
+	cg := t.Load64(tbl + tCmdGet)
+	hs := t.Load64(tbl + tHits)
+	ba := bucketAddr(t, tbl, k0, k1)
+	cur := t.Load64(ba)
+	for cur != 0 {
+		if t.Load64(cur+iK0) == k0 && t.Load64(cur+iK1) == k1 {
+			break
+		}
+		cur = t.Load64(cur + iHNext)
+	}
+	t.Boundary(ridTouchRel, append(persist.Outs(t),
+		persist.RV(4, cur), persist.RV(7, cg+gets), persist.RV(9, hs+hits))...)
+	touchRel(env, t, tbl, cur, cg+gets, hs+hits)
+}
+
+// touchRel is region ridTouchRel: retire the batched counters, refresh
+// the item's access time, and release. Store-only: idempotent.
+func touchRel(env *Env, t persist.Thread, tbl, item, ncg, nhs uint64) {
+	t.Store64(tbl+tCmdGet, ncg)
+	t.Store64(tbl+tHits, nhs)
+	if item != 0 {
+		t.Store64(item+iTime, ncg)
+	}
+	release(env, t, tbl)
+}
+
 // Count returns the item count (unsynchronized; tests and sizing only).
 func (c *Cache) Count() uint64 { return c.env.Reg.Dev.Load64(c.tbl + tCount) }
 
@@ -437,5 +537,17 @@ func Register(rr *persist.ResumeRegistry, env *Env) {
 	})
 	rr.Register(ridEvEntry, func(t persist.Thread, rf []uint64) {
 		evEntry(env, t, rf[0])
+	})
+	rr.Register(ridIncrEnt, func(t persist.Thread, rf []uint64) {
+		incrEntry(env, t, rf[0], rf[1], rf[2], rf[3], rf[10])
+	})
+	rr.Register(ridIncrUpd, func(t persist.Thread, rf []uint64) {
+		incrUpd(env, t, rf[0], rf[4], rf[3])
+	})
+	rr.Register(ridTouchEnt, func(t persist.Thread, rf []uint64) {
+		touchEntry(env, t, rf[0], rf[1], rf[2], rf[3], rf[5])
+	})
+	rr.Register(ridTouchRel, func(t persist.Thread, rf []uint64) {
+		touchRel(env, t, rf[0], rf[4], rf[7], rf[9])
 	})
 }

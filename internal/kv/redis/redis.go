@@ -49,6 +49,7 @@ const (
 	ridDelEntry = ridBase + 8
 	ridDelChain = ridBase + 10
 	ridDelCnt   = ridBase + 11
+	ridIncrEnt  = ridBase + 12 // INCR: scan, read the value, compute
 )
 
 // Env gives the store and its resume closures region access.
@@ -60,6 +61,12 @@ type Env struct {
 type DB struct {
 	env *Env
 	tbl uint64
+
+	// cursor is the next bucket an EvictOne probe starts at. Volatile
+	// and unsynchronized: eviction runs only on the owning pipeline
+	// thread, and a stale cursor after a crash merely restarts the
+	// rotation.
+	cursor uint64
 }
 
 // New creates a store with nbuckets chains (rounded to a power of two).
@@ -230,6 +237,105 @@ func delCnt(env *Env, t persist.Thread, tbl, cnt, dr uint64) {
 	end(env, t)
 }
 
+// Incr adds delta to a key's value inside a durable FASE, treating an
+// absent key as 0 (Redis INCR semantics, on this store's uint64
+// values). Returns the new value.
+func (d *DB) Incr(t persist.Thread, key, delta uint64) uint64 {
+	t.BeginDurable()
+	t.Boundary(ridIncrEnt, append(persist.Outs(t),
+		persist.RV(0, d.tbl), persist.RV(1, key), persist.RV(2, delta))...)
+	return incrEntry(d.env, t, d.tbl, key, delta)
+}
+
+// incrEntry is region ridIncrEnt: scan the chain (pure reads) and on a
+// hit read the old value and compute the new one. The final store
+// shares the ridSetUpd region — identical code (publish value, retire
+// dirty, end), with the new value logged into the value slot so resume
+// replays the computed result. A miss is an insert of delta and reuses
+// the set insert regions the same way.
+func incrEntry(env *Env, t persist.Thread, tbl, key, delta uint64) uint64 {
+	dr := t.Load64(tbl + tDirty)
+	ba := bucketAddr(t, tbl, key)
+	hb := t.Load64(ba)
+	for cur := hb; ; cur = t.Load64(cur + eNext) {
+		if cur == 0 {
+			entry, err := env.Reg.Alloc.Alloc(eSize)
+			if err != nil {
+				panic(err)
+			}
+			t.Store64(entry+eKey, key)
+			t.Store64(entry+eVal, delta)
+			t.Store64(entry+eNext, hb)
+			t.Boundary(ridSetIns2, append(persist.Outs(t),
+				persist.RV(3, entry), persist.RV(6, ba), persist.RV(7, dr))...)
+			setInsert2(env, t, tbl, entry, ba, dr)
+			return delta
+		}
+		if t.Load64(cur+eKey) == key {
+			nv := t.Load64(cur+eVal) + delta
+			t.Boundary(ridSetUpd, append(persist.Outs(t),
+				persist.RV(3, cur), persist.RV(2, nv), persist.RV(7, dr))...)
+			setUpdate(env, t, tbl, cur, nv, dr)
+			return nv
+		}
+	}
+}
+
+// GetFast is the lock-free read fast lane: a device-direct chain walk
+// with no FASE and no fence, sound only under the caller's seqlock
+// protocol (snapshot the shard's write epoch before, re-check after,
+// discard on change). Every pointer is validated before dereference and
+// the walk is step-bounded, because the chain races Set/Del/Incr FASEs
+// that free entries back to the allocator. Returns (value, hit, ok);
+// ok=false means the walk could not complete safely, not a miss.
+func (d *DB) GetFast(key uint64) (v uint64, hit, ok bool) {
+	dev := d.env.Reg.Dev
+	limit := uint64(dev.Size())
+	n := dev.Load64(d.tbl + tBuckets)
+	if n == 0 || n&(n-1) != 0 {
+		return 0, false, false
+	}
+	ba := d.tbl + tArray + hash(key, n)*8
+	if ba+8 > limit {
+		return 0, false, false
+	}
+	cur := dev.Load64(ba)
+	for steps := 0; steps < 1024; steps++ {
+		if cur == 0 {
+			return 0, false, true
+		}
+		if cur&7 != 0 || cur+eSize > limit {
+			return 0, false, false
+		}
+		if dev.Load64(cur+eKey) == key {
+			return dev.Load64(cur + eVal), true, true
+		}
+		cur = dev.Load64(cur + eNext)
+	}
+	return 0, false, false
+}
+
+// EvictOne removes one entry to bound the store's size: it rotates a
+// volatile bucket cursor to find a victim (reads outside any FASE) and
+// deletes it with the ordinary Del FASE. Reports whether a victim
+// existed. Pipeline-thread only, like every write.
+func (d *DB) EvictOne(t persist.Thread) bool {
+	dev := d.env.Reg.Dev
+	n := dev.Load64(d.tbl + tBuckets)
+	if n == 0 {
+		return false
+	}
+	for i := uint64(0); i < n; i++ {
+		b := (d.cursor + i) & (n - 1)
+		e := dev.Load64(d.tbl + tArray + b*8)
+		if e != 0 {
+			d.cursor = b + 1
+			return d.Del(t, dev.Load64(e+eKey))
+		}
+	}
+	return false
+}
+
 // Count returns the entry count (no synchronization: the store is
 // single-threaded by design).
 func (d *DB) Count() uint64 { return d.env.Reg.Dev.Load64(d.tbl + tCount) }
@@ -259,5 +365,8 @@ func Register(rr *persist.ResumeRegistry, env *Env) {
 	})
 	rr.Register(ridDelCnt, func(t persist.Thread, rf []uint64) {
 		delCnt(env, t, rf[0], rf[5], rf[7])
+	})
+	rr.Register(ridIncrEnt, func(t persist.Thread, rf []uint64) {
+		incrEntry(env, t, rf[0], rf[1], rf[2])
 	})
 }

@@ -39,6 +39,7 @@ type Config struct {
 	SetPct   int     // percent SETs (Fig. 5c mix: 40)
 	DelPct   int     // percent DELETEs (Fig. 5c mix: 20); the rest are GETs
 	Zipf     float64 // key skew exponent when > 1; uniform otherwise
+	MGet     int     // keys per GET request (memcache multi-get / RESP MGET); <= 1 means single-key
 
 	Duration    time.Duration // stop after this long (when Ops == 0)
 	Ops         uint64        // per-connection op budget (overrides Duration)
@@ -70,6 +71,12 @@ func (cfg *Config) fill() {
 	}
 	if cfg.Ops == 0 && cfg.Duration <= 0 {
 		cfg.Duration = time.Second
+	}
+	if cfg.MGet < 1 {
+		cfg.MGet = 1
+	}
+	if cfg.MGet > 60 { // the server's per-request key cap (both protocols)
+		cfg.MGet = 60
 	}
 }
 
@@ -170,6 +177,7 @@ func (s *latSnap) quantile(q float64) uint64 {
 // ack that could observe it.
 type pend struct {
 	get  bool
+	nk   int // keys in a GET request (multi-get batches count as one op)
 	key  uint64
 	hist *KeyHist // non-nil: tracked mutation (ack advances Acked)
 	ts   int64    // send timestamp (intended send time in open-loop mode)
@@ -414,8 +422,19 @@ func (c *clientConn) writeLoop() {
 			scratch = c.encodeDel(scratch, key)
 			p.hist = c.track(key, KeyOp{Del: true})
 		default:
-			scratch = c.encodeGet(scratch, key)
 			p.get = true
+			p.nk = cfg.MGet
+			if p.nk > 1 {
+				// Multi-get: MGet consecutive keys starting at the rolled
+				// one, wrapped within this connection's key space so every
+				// key stays connection-local.
+				base := uint64(c.id) * perConn
+				scratch = c.encodeGetN(scratch, func(i int) uint64 {
+					return base + (kidx+uint64(i))%perConn
+				}, p.nk)
+			} else {
+				scratch = c.encodeGet(scratch, key)
+			}
 		}
 		if _, err := bw.Write(scratch); err != nil {
 			goto out
@@ -452,6 +471,28 @@ func (c *clientConn) encodeGet(b []byte, key uint64) []byte {
 	b = append(b, "*2\r\n$3\r\nGET\r\n$8\r\n"...)
 	b = AppendKey(b, key)
 	return append(b, '\r', '\n')
+}
+
+// encodeGetN encodes one n-key batch read: a space-separated memcache
+// multi-get or a RESP MGET array. keyAt(i) yields the i-th key.
+func (c *clientConn) encodeGetN(b []byte, keyAt func(int) uint64, n int) []byte {
+	if c.cfg.Proto == ProtoMemcache {
+		b = append(b, "get"...)
+		for i := 0; i < n; i++ {
+			b = append(b, ' ')
+			b = AppendKey(b, keyAt(i))
+		}
+		return append(b, '\r', '\n')
+	}
+	b = append(b, '*')
+	b = strconv.AppendUint(b, uint64(n+1), 10)
+	b = append(b, "\r\n$4\r\nMGET\r\n"...)
+	for i := 0; i < n; i++ {
+		b = append(b, "$8\r\n"...)
+		b = AppendKey(b, keyAt(i))
+		b = append(b, '\r', '\n')
+	}
+	return b
 }
 
 func (c *clientConn) encodeDel(b []byte, key uint64) []byte {
@@ -491,7 +532,7 @@ func (c *clientConn) encodeSet(b []byte, key, val uint64) []byte {
 func (c *clientConn) readLoop() {
 	br := bufio.NewReaderSize(c.nc, 32<<10)
 	for p := range c.meta {
-		ok, hit, err := c.readReply(br, p.get)
+		ok, hits, err := c.readReply(br, p.get)
 		if err != nil {
 			// Server went away mid-window: the remaining in-flight
 			// requests are unacknowledged by definition.
@@ -509,10 +550,11 @@ func (c *clientConn) readLoop() {
 			c.errs.Add(1)
 		} else {
 			if p.get {
-				if hit {
-					c.hits.Add(1)
-				} else {
-					c.misses.Add(1)
+				// Per-key accounting: a multi-get is one op but nk
+				// hit-or-miss outcomes.
+				c.hits.Add(uint64(hits))
+				if p.nk > hits {
+					c.misses.Add(uint64(p.nk - hits))
 				}
 			}
 			if p.hist != nil {
@@ -527,10 +569,11 @@ func (c *clientConn) readLoop() {
 	}
 }
 
-// readReply consumes exactly one response. ok=false is a server-reported
-// error (the connection stays usable); err != nil is a transport or
-// framing failure.
-func (c *clientConn) readReply(br *bufio.Reader, isGet bool) (ok, hit bool, err error) {
+// readReply consumes exactly one response and returns the number of
+// values it carried (hits). ok=false is a server-reported error (the
+// connection stays usable); err != nil is a transport or framing
+// failure.
+func (c *clientConn) readReply(br *bufio.Reader, isGet bool) (ok bool, hits int, err error) {
 	if c.cfg.Proto == ProtoMemcache {
 		return c.readMcReply(br, isGet)
 	}
@@ -545,65 +588,103 @@ func readLine(br *bufio.Reader) ([]byte, error) {
 	return bytes.TrimRight(line, "\r\n"), nil
 }
 
-func (c *clientConn) readMcReply(br *bufio.Reader, isGet bool) (bool, bool, error) {
+func (c *clientConn) readMcReply(br *bufio.Reader, isGet bool) (bool, int, error) {
 	if isGet {
-		hit := false
+		hits := 0
 		for {
 			line, err := readLine(br)
 			if err != nil {
-				return false, false, err
+				return false, 0, err
 			}
 			switch {
 			case bytes.Equal(line, []byte("END")):
-				return true, hit, nil
+				return true, hits, nil
 			case bytes.HasPrefix(line, []byte("VALUE ")):
-				hit = true
+				hits++
 				if _, err := readLine(br); err != nil { // data line
-					return false, false, err
+					return false, 0, err
 				}
 			default:
-				return false, false, nil // protocol error reply
+				return false, 0, nil // protocol error reply
 			}
 		}
 	}
 	line, err := readLine(br)
 	if err != nil {
-		return false, false, err
+		return false, 0, err
 	}
 	switch {
 	case bytes.Equal(line, []byte("STORED")),
 		bytes.Equal(line, []byte("DELETED")),
 		bytes.Equal(line, []byte("NOT_FOUND")):
-		return true, false, nil
+		return true, 0, nil
 	}
-	return false, false, nil
+	return false, 0, nil
 }
 
-func (c *clientConn) readRespReply(br *bufio.Reader) (bool, bool, error) {
+func (c *clientConn) readRespReply(br *bufio.Reader) (bool, int, error) {
 	line, err := readLine(br)
 	if err != nil {
-		return false, false, err
+		return false, 0, err
 	}
 	if len(line) == 0 {
-		return false, false, fmt.Errorf("loadgen: empty RESP reply")
+		return false, 0, fmt.Errorf("loadgen: empty RESP reply")
 	}
 	switch line[0] {
 	case '+', ':':
-		return true, false, nil
+		return true, 0, nil
 	case '-':
-		return false, false, nil
+		return false, 0, nil
 	case '$':
+		hit, err := c.readRespBulk(br, line)
+		if err != nil {
+			return false, 0, err
+		}
+		if hit {
+			return true, 1, nil
+		}
+		return true, 0, nil
+	case '*':
+		// MGET reply: an array of n bulk elements, one per requested key,
+		// null for misses.
 		n, perr := strconv.Atoi(string(line[1:]))
-		if perr != nil {
-			return false, false, fmt.Errorf("loadgen: bad bulk header %q", line)
+		if perr != nil || n < 0 {
+			return false, 0, fmt.Errorf("loadgen: bad array header %q", line)
 		}
-		if n < 0 {
-			return true, false, nil // $-1 miss
+		hits := 0
+		for i := 0; i < n; i++ {
+			el, err := readLine(br)
+			if err != nil {
+				return false, 0, err
+			}
+			if len(el) == 0 || el[0] != '$' {
+				return false, 0, fmt.Errorf("loadgen: bad array element %q", el)
+			}
+			hit, err := c.readRespBulk(br, el)
+			if err != nil {
+				return false, 0, err
+			}
+			if hit {
+				hits++
+			}
 		}
-		if _, err := readLine(br); err != nil { // data line
-			return false, false, err
-		}
-		return true, true, nil
+		return true, hits, nil
 	}
-	return false, false, fmt.Errorf("loadgen: unparseable reply %q", line)
+	return false, 0, fmt.Errorf("loadgen: unparseable reply %q", line)
+}
+
+// readRespBulk consumes the data line of a bulk reply whose `$n` header
+// line is already in hand; a negative length is a null bulk (miss).
+func (c *clientConn) readRespBulk(br *bufio.Reader, header []byte) (hit bool, err error) {
+	n, perr := strconv.Atoi(string(header[1:]))
+	if perr != nil {
+		return false, fmt.Errorf("loadgen: bad bulk header %q", header)
+	}
+	if n < 0 {
+		return false, nil
+	}
+	if _, err := readLine(br); err != nil { // data line
+		return false, err
+	}
+	return true, nil
 }

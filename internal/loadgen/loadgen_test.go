@@ -161,9 +161,11 @@ func miniServe(t *testing.T, proto Proto, nc io.ReadWriteCloser) {
 		if proto == ProtoMemcache {
 			switch {
 			case bytes.HasPrefix(l, []byte("get ")):
-				if v, hit := store[string(l[4:])]; hit {
-					bw.WriteString("VALUE " + string(l[4:]) + " 0 " +
-						strconv.Itoa(len(v)) + "\r\n" + v + "\r\n")
+				for _, k := range bytes.Fields(l[4:]) {
+					if v, hit := store[string(k)]; hit {
+						bw.WriteString("VALUE " + string(k) + " 0 " +
+							strconv.Itoa(len(v)) + "\r\n" + v + "\r\n")
+					}
 				}
 				bw.WriteString("END\r\n")
 			case bytes.HasPrefix(l, []byte("set ")):
@@ -203,6 +205,15 @@ func miniServe(t *testing.T, proto Proto, nc io.ReadWriteCloser) {
 					bw.WriteString("$" + strconv.Itoa(len(v)) + "\r\n" + v + "\r\n")
 				} else {
 					bw.WriteString("$-1\r\n")
+				}
+			case "MGET":
+				bw.WriteString("*" + strconv.Itoa(len(args)-1) + "\r\n")
+				for _, k := range args[1:] {
+					if v, hit := store[k]; hit {
+						bw.WriteString("$" + strconv.Itoa(len(v)) + "\r\n" + v + "\r\n")
+					} else {
+						bw.WriteString("$-1\r\n")
+					}
 				}
 			case "SET":
 				store[args[1]] = args[2]
@@ -283,6 +294,46 @@ func testLoadgenRun(t *testing.T, proto Proto) {
 
 func TestLoadgenRunMemcache(t *testing.T) { testLoadgenRun(t, ProtoMemcache) }
 func TestLoadgenRunRESP(t *testing.T)     { testLoadgenRun(t, ProtoRESP) }
+
+func TestLoadgenMGetMemcache(t *testing.T) { testLoadgenMGet(t, ProtoMemcache) }
+func TestLoadgenMGetRESP(t *testing.T)     { testLoadgenMGet(t, ProtoRESP) }
+
+// testLoadgenMGet drives batched reads: every GET carries MGet keys,
+// still one op per batch, with per-key hit/miss accounting.
+func testLoadgenMGet(t *testing.T, proto Proto) {
+	cfg := Config{
+		Proto:    proto,
+		Conns:    2,
+		Pipeline: 4,
+		Keys:     64,
+		SetPct:   30,
+		MGet:     3,
+		Ops:      300,
+		Seed:     5,
+	}
+	res, err := Run(cfg, func() (net.Conn, error) {
+		client, srvEnd := MemPipe(32 << 10)
+		go miniServe(t, proto, srvEnd)
+		return client, nil
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if want := uint64(cfg.Conns) * cfg.Ops; res.Ops != want {
+		t.Fatalf("ops: got %d, want %d", res.Ops, want)
+	}
+	if res.Errs != 0 {
+		t.Fatalf("errs: %d", res.Errs)
+	}
+	if res.Hits == 0 || res.Misses == 0 {
+		t.Fatalf("GET accounting degenerate: hits=%d misses=%d", res.Hits, res.Misses)
+	}
+	// Every GET batch carries exactly MGet keys, each scored hit or miss.
+	if (res.Hits+res.Misses)%uint64(cfg.MGet) != 0 {
+		t.Fatalf("hits+misses = %d not a multiple of MGet=%d",
+			res.Hits+res.Misses, cfg.MGet)
+	}
+}
 
 func TestLoadgenOpenLoop(t *testing.T) {
 	cfg := Config{

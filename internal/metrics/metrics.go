@@ -31,8 +31,19 @@ type ShardStats struct {
 	Gets       uint64
 	Sets       uint64
 	Dels       uint64
+	Incrs      uint64 // incr + decr read-modify-writes
 	Hits       uint64 // gets that found the key
 	Misses     uint64 // gets that did not
+
+	// Read fast-lane counters: gets served lock-free off the reader
+	// goroutine, seqlock conflicts retried, parks on in-flight commit
+	// tickets, and bounded-retry falls back to the slot path.
+	FastGets      uint64
+	FastRetries   uint64
+	FastParks     uint64
+	FastFallbacks uint64
+	Touches       uint64 // sampled LRU-touch FASEs drained by the pipeline
+	Evictions     uint64 // watermark evictions performed by the pipeline
 }
 
 // ServerStats is the front end's counter/gauge block, filled by the

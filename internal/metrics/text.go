@@ -34,14 +34,22 @@ func appendStatF(b []byte, name string, v float64) []byte {
 // wire tests depend on it, and so may scripts built on `nc`.
 func AppendMemcacheStats(b []byte, s *Snapshot) []byte {
 	uptime := uint64(s.UptimeNS / 1e9)
-	var gets, sets, dels, hits, misses uint64
+	var gets, sets, dels, incrs, hits, misses uint64
+	var fgets, fretries, fparks, ffalls, touches, evicts uint64
 	for i := range s.Srv.Shards {
 		sh := &s.Srv.Shards[i]
 		gets += sh.Gets
 		sets += sh.Sets
 		dels += sh.Dels
+		incrs += sh.Incrs
 		hits += sh.Hits
 		misses += sh.Misses
+		fgets += sh.FastGets
+		fretries += sh.FastRetries
+		fparks += sh.FastParks
+		ffalls += sh.FastFallbacks
+		touches += sh.Touches
+		evicts += sh.Evictions
 	}
 	b = appendStat(b, "uptime", uptime)
 	b = appendStat(b, "curr_connections", uint64(s.Srv.ConnsOpen))
@@ -49,13 +57,20 @@ func AppendMemcacheStats(b []byte, s *Snapshot) []byte {
 	b = appendStat(b, "cmd_get", gets)
 	b = appendStat(b, "cmd_set", sets)
 	b = appendStat(b, "cmd_delete", dels)
+	b = appendStat(b, "cmd_incr", incrs)
 	b = appendStat(b, "get_hits", hits)
 	b = appendStat(b, "get_misses", misses)
+	b = appendStat(b, "evictions", evicts)
 	b = appendStat(b, "bytes_read", s.Srv.BytesIn)
 	b = appendStat(b, "bytes_written", s.Srv.BytesOut)
 	b = appendStat(b, "protocol_errors", s.Srv.ProtoErrs)
 	b = appendStat(b, "ido_requests", s.Srv.Reqs)
 	b = appendStat(b, "ido_shards", uint64(len(s.Srv.Shards)))
+	b = appendStat(b, "ido_fast_gets", fgets)
+	b = appendStat(b, "ido_fast_retries", fretries)
+	b = appendStat(b, "ido_fast_parks", fparks)
+	b = appendStat(b, "ido_fast_fallbacks", ffalls)
+	b = appendStat(b, "ido_touch_fases", touches)
 	b = appendStat(b, "ido_fences", s.Dev.Fences)
 	b = appendStat(b, "ido_flushes", s.Dev.Flushes)
 	b = appendStat(b, "ido_nt_stores", s.Dev.NTStores)
@@ -98,14 +113,19 @@ func AppendRESPInfo(b []byte, s *Snapshot) []byte {
 }
 
 func appendInfoPayload(b []byte, s *Snapshot) []byte {
-	var gets, sets, dels, hits, misses uint64
+	var gets, sets, dels, incrs, hits, misses uint64
+	var fgets, ffalls, evicts uint64
 	for i := range s.Srv.Shards {
 		sh := &s.Srv.Shards[i]
 		gets += sh.Gets
 		sets += sh.Sets
 		dels += sh.Dels
+		incrs += sh.Incrs
 		hits += sh.Hits
 		misses += sh.Misses
+		fgets += sh.FastGets
+		ffalls += sh.FastFallbacks
+		evicts += sh.Evictions
 	}
 	b = append(b, "# Server\r\n"...)
 	b = appendInfo(b, "uptime_in_seconds", uint64(s.UptimeNS/1e9))
@@ -117,9 +137,12 @@ func appendInfoPayload(b []byte, s *Snapshot) []byte {
 	b = appendInfo(b, "total_net_input_bytes", s.Srv.BytesIn)
 	b = appendInfo(b, "total_net_output_bytes", s.Srv.BytesOut)
 	b = appendInfo(b, "total_reads_processed", gets)
-	b = appendInfo(b, "total_writes_processed", sets+dels)
+	b = appendInfo(b, "total_writes_processed", sets+dels+incrs)
+	b = appendInfo(b, "fastlane_reads_processed", fgets)
+	b = appendInfo(b, "fastlane_fallbacks", ffalls)
 	b = appendInfo(b, "keyspace_hits", hits)
 	b = appendInfo(b, "keyspace_misses", misses)
+	b = appendInfo(b, "evicted_keys", evicts)
 	b = appendInfo(b, "protocol_errors", s.Srv.ProtoErrs)
 	b = append(b, "# Persistence\r\n"...)
 	b = appendInfo(b, "ido_fences", s.Dev.Fences)

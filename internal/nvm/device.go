@@ -212,6 +212,11 @@ type Device struct {
 	// combiner (gc, nil when disabled) exists to amortize.
 	fenceTok atomic.Uint32
 	gc       *combiner
+
+	// tick is the commit-ticket export (ticket.go): a fence-drain
+	// sequence number plus waiter parking, used by lock-free readers to
+	// wait for in-flight commits without fencing themselves.
+	tick ticketing
 }
 
 // SetTracer attaches (or, with nil, detaches) a persist-event tracer.
@@ -249,6 +254,7 @@ func New(cfg Config) *Device {
 		d.evict[i].x = z
 	}
 	d.extraNS.Store(int64(cfg.ExtraNS))
+	d.tick.init()
 	d.trc.Store(cfg.Tracer)
 	if cfg.GroupCommit.Enabled {
 		d.gc = newCombiner(cfg.GroupCommit)
@@ -456,6 +462,7 @@ func (d *Device) Fence() {
 	}
 	spin(d.cfg.FenceNS)
 	d.fenceTok.Store(0)
+	d.tick.bump()
 	if tr != nil {
 		tr.DevSpan(obs.KFence, 0, 0, t0)
 	}
@@ -538,8 +545,11 @@ func (d *Device) Crash(mode CrashMode, rng *rand.Rand) {
 	}
 	// The fence token and the combiner are volatile CPU-side state:
 	// whoever held them is dead, so the reopened device starts clean.
+	// The ticket bump wakes readers parked on pre-crash commits — they
+	// re-check their predicate, see the injected crash, and unwind.
 	d.fenceTok.Store(0)
 	d.gc.reset()
+	d.tick.bump()
 }
 
 // DrainCache writes back every dirty line (a global flush). Used by

@@ -110,6 +110,9 @@ const (
 	// KNetBatch is one batched response write flushed back to a client
 	// connection. A = bytes written, B = requests covered by the flush.
 	KNetBatch
+	// KNetFastGet is one GET served by the lock-free read fast lane —
+	// no slot, no FASE, no fence. A = first key word, B = shard index.
+	KNetFastGet
 
 	nKinds
 )
@@ -165,6 +168,8 @@ func (k Kind) String() string {
 		return "net-req"
 	case KNetBatch:
 		return "net-batch"
+	case KNetFastGet:
+		return "net-fastget"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/ido-nvm/ido/internal/kv/memcache"
 	"github.com/ido-nvm/ido/internal/kv/redis"
+	"github.com/ido-nvm/ido/internal/nvm"
 	"github.com/ido-nvm/ido/internal/persist"
 	"github.com/ido-nvm/ido/internal/region"
 )
@@ -25,6 +26,28 @@ type Store interface {
 	Get(t persist.Thread, shard int, k0, k1 uint64) (uint64, bool)
 	Set(t persist.Thread, shard int, k0, k1, val uint64)
 	Del(t persist.Thread, shard int, k0, k1 uint64) bool
+	// Incr adjusts a key read-modify-write as one FASE: wrapping add,
+	// or (dec) subtract clamped at zero. Memcache semantics report a
+	// miss; Redis semantics treat a missing key as zero and insert.
+	Incr(t persist.Thread, shard int, k0, k1, delta uint64, dec bool) (uint64, bool)
+	// GetFast is the lock-free device-direct read used by the server's
+	// read fast lane. Safe to call from any goroutine concurrently with
+	// the shard's pipeline thread; only sound under the caller's
+	// seqlock validation. ok=false means the walk could not complete
+	// safely (fall back to the slot path), distinct from a miss.
+	GetFast(shard int, k0, k1 uint64) (v uint64, hit, ok bool)
+	// Touch retires sampled read stats (and the item's access time) as
+	// an ordinary FASE on the pipeline thread. May be a no-op for
+	// stores without read-side stats.
+	Touch(t persist.Thread, shard int, k0, k1, gets, hits uint64)
+	// Count reports a shard's live item count (unsynchronized read).
+	Count(shard int) uint64
+	// EvictOne removes one item from a shard to bound its size,
+	// reporting whether a victim existed. Pipeline-thread only.
+	EvictOne(t persist.Thread, shard int) bool
+	// Device exposes the underlying NVM device; the fast lane uses its
+	// commit tickets to park reads behind in-flight commits.
+	Device() *nvm.Device
 	// Register declares the store's resumable FASEs for recovery.
 	Register(rr *persist.ResumeRegistry)
 }
@@ -196,6 +219,20 @@ func (st *McStore) Set(t persist.Thread, shard int, k0, k1, val uint64) {
 func (st *McStore) Del(t persist.Thread, shard int, k0, k1 uint64) bool {
 	return st.caches[shard].Delete(t, k0, k1)
 }
+func (st *McStore) Incr(t persist.Thread, shard int, k0, k1, delta uint64, dec bool) (uint64, bool) {
+	return st.caches[shard].Incr(t, k0, k1, delta, dec)
+}
+func (st *McStore) GetFast(shard int, k0, k1 uint64) (uint64, bool, bool) {
+	return st.caches[shard].GetFast(k0, k1)
+}
+func (st *McStore) Touch(t persist.Thread, shard int, k0, k1, gets, hits uint64) {
+	st.caches[shard].Touch(t, k0, k1, gets, hits)
+}
+func (st *McStore) Count(shard int) uint64 { return st.caches[shard].Count() }
+func (st *McStore) EvictOne(t persist.Thread, shard int) bool {
+	return st.caches[shard].EvictOne(t)
+}
+func (st *McStore) Device() *nvm.Device { return st.env.Reg.Dev }
 func (st *McStore) Register(rr *persist.ResumeRegistry) {
 	// One registration covers every cache in the region.
 	memcache.Register(rr, st.env)
@@ -260,6 +297,25 @@ func (st *RespStore) Set(t persist.Thread, shard int, k0, _, val uint64) {
 func (st *RespStore) Del(t persist.Thread, shard int, k0, _ uint64) bool {
 	return st.dbs[shard].Del(t, k0)
 }
+func (st *RespStore) Incr(t persist.Thread, shard int, k0, _, delta uint64, dec bool) (uint64, bool) {
+	if dec {
+		// RESP DECR is unimplemented at the protocol layer; keep the
+		// store honest anyway by refusing rather than corrupting.
+		return 0, false
+	}
+	return st.dbs[shard].Incr(t, k0, delta), true
+}
+func (st *RespStore) GetFast(shard int, k0, _ uint64) (uint64, bool, bool) {
+	return st.dbs[shard].GetFast(k0)
+}
+func (st *RespStore) Touch(persist.Thread, int, uint64, uint64, uint64, uint64) {
+	// kv/redis GETs maintain no read-side stats or access times.
+}
+func (st *RespStore) Count(shard int) uint64 { return st.dbs[shard].Count() }
+func (st *RespStore) EvictOne(t persist.Thread, shard int) bool {
+	return st.dbs[shard].EvictOne(t)
+}
+func (st *RespStore) Device() *nvm.Device { return st.env.Reg.Dev }
 func (st *RespStore) Register(rr *persist.ResumeRegistry) {
 	redis.Register(rr, st.env)
 }

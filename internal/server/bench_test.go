@@ -26,6 +26,51 @@ func BenchmarkServeSteadyRESP(b *testing.B) {
 		len("+OK\r\n"+"$2\r\n42\r\n"+":1\r\n"+"$-1\r\n"))
 }
 
+// BenchmarkServeSteadyReadHeavy measures the GET-only serve path —
+// with the fast lane on, every measured get is served lock-free on the
+// reader goroutine. Covered by the same CI 0-alloc gate as the mixed
+// cycle; the slot-path twin quantifies what the fast lane saves.
+func BenchmarkServeSteadyReadHeavy(b *testing.B) {
+	benchServeReadHeavy(b, false)
+}
+
+func BenchmarkServeSteadyReadHeavySlotPath(b *testing.B) {
+	benchServeReadHeavy(b, true)
+}
+
+func benchServeReadHeavy(b *testing.B, disableFast bool) {
+	w := newWorldCfg(b, server.ProtoMemcache, 2, nvm.Config{Size: 1 << 22}, nil,
+		func(c *server.Config) { c.DisableFastReads = disableFast })
+	c := w.dial(b)
+	// Populate outside the measured region; the replies drain the
+	// connection's write pipeline so the fast lane is open.
+	if _, err := c.Write([]byte("set bk 0 0 2\r\n42\r\nset bj 0 0 2\r\n43\r\n")); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := io.ReadFull(c, make([]byte, 2*len("STORED\r\n"))); err != nil {
+		b.Fatal(err)
+	}
+	req := []byte("get bk\r\nget bj\r\nget bk bj\r\nget miss\r\n")
+	resp := make([]byte, len("VALUE bk 0 2\r\n42\r\nEND\r\n"+"VALUE bj 0 2\r\n43\r\nEND\r\n"+
+		"VALUE bk 0 2\r\n42\r\nVALUE bj 0 2\r\n43\r\nEND\r\n"+"END\r\n"))
+	if _, err := c.Write(req); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := io.ReadFull(c, resp); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Write(req); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.ReadFull(c, resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func benchServeSteady(b *testing.B, proto server.Proto, cycle string, respLen int) {
 	w := newWorld(b, proto, 2, nvm.Config{Size: 1 << 22}, nil)
 	c := w.dial(b)

@@ -33,6 +33,191 @@ func TestServerCrashMidServe(t *testing.T) {
 	}
 }
 
+// TestServerCrashUnderFastReads is the fast-lane chaos schedule: a
+// write-heavy stream keeps shards mutating while 16 read-only
+// connections race the same keys through the lock-free fast lane, and
+// the crash is a device-op *budget* rather than a timer — it fires ON
+// a device access, which under this mix lands inside a mutating FASE's
+// window: after the shard's store hit the device, before its even
+// epoch bump. Readers racing that exact window must never have acked a
+// torn value (every reader reply is parsed and validated before the
+// crash), parked readers must unwind, and the image must recover and
+// serve again. The budget is chosen to land mid-run; the test asserts
+// it actually fired with acked traffic outstanding.
+func TestServerCrashUnderFastReads(t *testing.T) {
+	const shards = 4
+	devcfg := nvm.Config{
+		Size:        1 << 22,
+		GroupCommit: nvm.GroupCommitConfig{Enabled: true, WindowNS: 2000},
+	}
+	nvm.ArmCrash(400_000)
+	defer nvm.ArmCrash(-1)
+
+	reg := region.Create(1<<22, devcfg)
+	lm := locks.NewManager(reg)
+	rt := core.New(core.DefaultConfig())
+	if err := rt.Attach(reg, lm); err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	store, err := server.NewMcStore(&memcache.Env{Reg: reg, LM: lm}, shards, 64)
+	if err != nil {
+		t.Fatalf("new store: %v", err)
+	}
+	srv, err := server.New(rt, store, server.Config{Proto: server.ProtoMemcache}, nil)
+	if err != nil {
+		t.Fatalf("new server: %v", err)
+	}
+	dialer := func() (net.Conn, error) {
+		client, srvEnd := loadgen.MemPipe(64 << 10)
+		if serr := srv.ServeConn(srvEnd); serr != nil {
+			return nil, serr
+		}
+		return client, nil
+	}
+
+	// Writers mutate a small key set hard; readers are separate
+	// connections with no writes in flight, so every get attempts the
+	// fast lane against shards whose epochs are almost always churning.
+	type out struct {
+		res *loadgen.Result
+		err error
+	}
+	wc, rc := make(chan out, 1), make(chan out, 1)
+	go func() {
+		res, lerr := loadgen.Run(loadgen.Config{
+			Proto: loadgen.ProtoMemcache, Conns: 4, Pipeline: 4, Keys: 64,
+			SetPct: 80, DelPct: 10, Duration: 30 * time.Second, Seed: 11, Track: true,
+		}, dialer)
+		wc <- out{res, lerr}
+	}()
+	go func() {
+		res, lerr := loadgen.Run(loadgen.Config{
+			Proto: loadgen.ProtoMemcache, Conns: 16, Pipeline: 4, Keys: 64,
+			SetPct: 0, DelPct: 0, Duration: 30 * time.Second, Seed: 12,
+		}, dialer)
+		rc <- out{res, lerr}
+	}()
+
+	select {
+	case <-srv.Crashed():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("crash budget did not fire under load")
+	}
+	srv.Close()
+	var wres, rres out
+	select {
+	case wres = <-wc:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("writer loadgen did not unwind")
+	}
+	select {
+	case rres = <-rc:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("reader loadgen did not unwind (parked fast reader leaked?)")
+	}
+	if wres.err != nil || rres.err != nil {
+		t.Fatalf("loadgen: writers=%v readers=%v", wres.err, rres.err)
+	}
+	if !nvm.CrashFired() {
+		t.Fatalf("injected crash did not fire")
+	}
+	// Every reply either side acked before the crash parsed cleanly
+	// (loadgen counts malformed replies as errors).
+	if wres.res.Errs != 0 || rres.res.Errs != 0 {
+		t.Fatalf("malformed replies before crash: writers=%d readers=%d",
+			wres.res.Errs, rres.res.Errs)
+	}
+	if rres.res.Ops == 0 {
+		t.Fatalf("no reader traffic acked before the crash; schedule proves nothing")
+	}
+	t.Logf("crash after %d writer + %d reader acked ops (%d hits)",
+		wres.res.Ops, rres.res.Ops, rres.res.Hits)
+
+	// Recover as a restarted process and hold the image to the same
+	// structural and history invariants as the mid-serve smoke.
+	nvm.ArmCrash(-1)
+	rng := rand.New(rand.NewSource(3))
+	reg2, err := reg.Crash(nvm.CrashRandom, rng)
+	if err != nil {
+		t.Fatalf("reattach: %v", err)
+	}
+	lm2 := locks.NewManager(reg2)
+	rt2 := core.New(core.DefaultConfig())
+	if err := rt2.Attach(reg2, lm2); err != nil {
+		t.Fatalf("attach2: %v", err)
+	}
+	rr := persist.NewResumeRegistry()
+	store2, err := server.AttachMcStore(&memcache.Env{Reg: reg2, LM: lm2})
+	if err != nil {
+		t.Fatalf("attach store: %v", err)
+	}
+	store2.Register(rr)
+	if _, err := rt2.Recover(rr); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	for i, tbl := range store2.Tables() {
+		if err := chaos.CheckCacheImage(reg2.Dev, tbl); err != nil {
+			t.Fatalf("shard %d image: %v", i, err)
+		}
+		if err := chaos.CheckCacheLockFree(reg2.Dev, lm2, tbl); err != nil {
+			t.Fatalf("shard %d lock: %v", i, err)
+		}
+	}
+	th, err := rt2.NewThread()
+	if err != nil {
+		t.Fatalf("verify thread: %v", err)
+	}
+	checked := 0
+	for k, h := range wres.res.Tracked {
+		if len(h.Ops) == 0 {
+			continue
+		}
+		kb := loadgen.AppendKey(nil, k)
+		k0, k1, okk := server.McKeyWords(kb)
+		if !okk {
+			t.Fatalf("generated key %q is not storable", kb)
+		}
+		shard := store2.ShardOf(k0, k1)
+		val, present := store2.Get(th, shard, k0, k1)
+		if !h.Explainable(present, val) {
+			t.Fatalf("key %q (present=%v val=%d) unexplainable: acked=%d ops=%+v",
+				kb, present, val, h.Acked, h.Ops)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatalf("no tracked keys to verify")
+	}
+
+	// Fast reads must work against the recovered image too.
+	srv2, err := server.New(rt2, store2, server.Config{Proto: server.ProtoMemcache}, nil)
+	if err != nil {
+		t.Fatalf("re-serve: %v", err)
+	}
+	defer srv2.Close()
+	res2, err := loadgen.Run(loadgen.Config{
+		Proto: loadgen.ProtoMemcache, Conns: 2, Pipeline: 4, Keys: 64,
+		SetPct: 0, DelPct: 0, Ops: 200, Seed: 13,
+	}, dialer2(srv2))
+	if err != nil {
+		t.Fatalf("post-recovery loadgen: %v", err)
+	}
+	if res2.Errs != 0 || res2.Ops != 400 {
+		t.Fatalf("post-recovery reads: %d ops, %d errors", res2.Ops, res2.Errs)
+	}
+	t.Logf("%d keys verified, %d post-recovery reads clean", checked, res2.Ops)
+}
+
+func dialer2(srv *server.Server) func() (net.Conn, error) {
+	return func() (net.Conn, error) {
+		client, srvEnd := loadgen.MemPipe(64 << 10)
+		if serr := srv.ServeConn(srvEnd); serr != nil {
+			return nil, serr
+		}
+		return client, nil
+	}
+}
+
 func runCrashMidServe(t *testing.T, proto server.Proto) {
 	const shards = 4
 	devcfg := nvm.Config{

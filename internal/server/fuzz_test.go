@@ -18,7 +18,7 @@ func checkMcFrame(t *testing.T, buf []byte, f mcFrame, n int) {
 		if f.nkeys < 1 || f.nkeys > maxMultiGet {
 			t.Fatalf("get frame with %d keys", f.nkeys)
 		}
-	case opSet, opDel:
+	case opSet, opDel, opIncr, opDecr:
 		if f.nkeys != 1 {
 			t.Fatalf("op %d with %d keys", f.op, f.nkeys)
 		}
@@ -51,6 +51,9 @@ func FuzzParseMemcache(f *testing.F) {
 	f.Add([]byte("set foo 0 0 3 noreply\r\n123\r\n"))
 	f.Add([]byte("set foo 0 0 25\r\n1234567890123456789012345\r\n"))
 	f.Add([]byte("delete foo noreply\r\n"))
+	f.Add([]byte("incr foo 5\r\n"))
+	f.Add([]byte("decr foo 1 noreply\r\n"))
+	f.Add([]byte("incr foo abc\r\n"))
 	f.Add([]byte("version\r\nquit\r\n"))
 	f.Add([]byte("stats\r\n"))
 	f.Add([]byte("stats items\r\n"))
@@ -87,7 +90,20 @@ func FuzzParseMemcache(f *testing.F) {
 func checkRespFrame(t *testing.T, buf []byte, f respFrame, n int) {
 	t.Helper()
 	switch f.op {
-	case opGet, opSet, opDel:
+	case opGet:
+		if f.nkeys < 1 || f.nkeys > respMaxKeys {
+			t.Fatalf("get frame with %d keys", f.nkeys)
+		}
+		for i := 0; i < f.nkeys; i++ {
+			s, e := f.keys[i][0], f.keys[i][1]
+			if s < 0 || s >= e || e > n {
+				t.Fatalf("key %d offsets [%d,%d) outside consumed %d", i, s, e, n)
+			}
+			if !validKey(buf[s:e], respKeyLen) {
+				t.Fatalf("frame carries invalid key %q", buf[s:e])
+			}
+		}
+	case opSet, opDel, opIncr:
 		s, e := f.key[0], f.key[1]
 		if s < 0 || s >= e || e > n {
 			t.Fatalf("key offsets [%d,%d) outside consumed %d", s, e, n)
@@ -111,6 +127,10 @@ func FuzzParseRESP(f *testing.F) {
 	f.Add([]byte("*2\r\n$3\r\nDEL\r\n$2\r\nk1\r\nPING\r\n"))
 	f.Add([]byte("GET k1\r\nSET k1 5\r\n"))
 	f.Add([]byte("*1\r\n$4\r\nPING\r\n"))
+	f.Add([]byte("*3\r\n$4\r\nMGET\r\n$2\r\nk1\r\n$2\r\nk2\r\n"))
+	f.Add([]byte("MGET k1 k2 k3\r\n"))
+	f.Add([]byte("INCR k1\r\n"))
+	f.Add([]byte("*3\r\n$6\r\nINCRBY\r\n$2\r\nk1\r\n$1\r\n5\r\n"))
 	f.Add([]byte("QUIT\r\n"))
 	f.Add([]byte("INFO\r\n"))
 	f.Add([]byte("*1\r\n$4\r\nINFO\r\n"))

@@ -36,6 +36,8 @@ const (
 	opReply              // locally-served canned response (errors, VERSION, PONG)
 	opQuit               // client hangup: flush and close, no response
 	opStats              // introspection (memcache `stats` / RESP `INFO`), served reader-side
+	opIncr               // read-modify-write add; vOut/okOut carry the result
+	opDecr               // read-modify-write subtract, clamped at zero (memcache only)
 )
 
 // Frame-size bounds. A command line and its inline data always fit well
@@ -59,6 +61,7 @@ const (
 	mcReplyTooLong   = "CLIENT_ERROR line too long\r\n"
 	mcReplyTooBig    = "SERVER_ERROR object too large for cache\r\n"
 	mcReplyTooMany   = "SERVER_ERROR too many keys\r\n"
+	mcReplyBadDelta  = "CLIENT_ERROR invalid numeric delta argument\r\n"
 	mcReplyVersion   = "VERSION ido/1.0\r\n"
 )
 
@@ -266,6 +269,37 @@ func parseMemcache(buf []byte) (mcFrame, int, error) {
 		f.keys[0] = [2]int{ks, ke}
 		return f, n, nil
 
+	case tokIs(cmd, "incr") || tokIs(cmd, "decr"):
+		// incr/decr <key> <delta> [noreply]
+		ks, ke := nextTok(line, ce)
+		ds, de := nextTok(line, ke)
+		os, oe := nextTok(line, de)
+		xs, xe := nextTok(line, oe)
+		if ks == ke || ds == de || xs != xe {
+			return mcReply(mcReplyError, n, false)
+		}
+		noreply := false
+		if os != oe {
+			if !tokIs(line[os:oe], "noreply") {
+				return mcReply(mcReplyError, n, false)
+			}
+			noreply = true
+		}
+		if !validKey(line[ks:ke], maxKeyLen) {
+			return mcReply(mcReplyBadKey, n, false)
+		}
+		delta, ok := parseUint(line[ds:de])
+		if !ok {
+			return mcReply(mcReplyBadDelta, n, false)
+		}
+		op := opIncr
+		if cmd[0] == 'd' {
+			op = opDecr
+		}
+		f := mcFrame{op: op, nkeys: 1, val: delta, noreply: noreply}
+		f.keys[0] = [2]int{ks, ke}
+		return f, n, nil
+
 	case tokIs(cmd, "stats"):
 		// Bare `stats` only: the sub-commands (items, slabs, ...) describe
 		// machinery this server does not have.
@@ -314,6 +348,15 @@ func encodeMcReply(s *slot) {
 		if !s.noreply {
 			if s.okOut {
 				b = append(b, "DELETED\r\n"...)
+			} else {
+				b = append(b, "NOT_FOUND\r\n"...)
+			}
+		}
+	case opIncr, opDecr:
+		if !s.noreply {
+			if s.okOut {
+				b = strconv.AppendUint(b, s.vOut, 10)
+				b = append(b, '\r', '\n')
 			} else {
 				b = append(b, "NOT_FOUND\r\n"...)
 			}

@@ -18,7 +18,8 @@ import (
 // resynchronizing a broken RESP stream is guesswork).
 
 const (
-	respMaxArgs = 8   // arrays beyond this are refused (commands take ≤3)
+	respMaxArgs = 64 // arrays beyond this are refused (MGET takes up to 63 keys)
+	respMaxKeys = respMaxArgs - 1
 	respMaxBulk = 512 // single bulk-string bound; keeps frames buffer-sized
 )
 
@@ -33,10 +34,15 @@ const (
 )
 
 // respFrame is one parsed RESP command; key is a [start,end) offset pair
-// into the buffer passed to parseRESP.
+// into the buffer passed to parseRESP. GET and MGET carry their keys in
+// keys[:nkeys]; mget marks a reply that needs the *N array header even
+// for a single key.
 type respFrame struct {
 	op    uint8
 	key   [2]int
+	nkeys int
+	keys  [respMaxKeys][2]int
+	mget  bool
 	val   uint64
 	reply string
 	fatal bool
@@ -198,7 +204,41 @@ func respCommand(buf []byte, args [][2]int) (respFrame, bool) {
 		if !validKey(buf[args[1][0]:args[1][1]], respKeyLen) {
 			return respFrame{op: opReply, reply: respReplyBadKey}, false
 		}
-		return respFrame{op: opGet, key: args[1]}, false
+		f := respFrame{op: opGet, nkeys: 1}
+		f.keys[0] = args[1]
+		return f, false
+	case eqFold(cmd, "MGET"):
+		if len(args) < 2 {
+			return respFrame{op: opReply, reply: respReplyArity}, false
+		}
+		f := respFrame{op: opGet, mget: true, nkeys: len(args) - 1}
+		for i, a := range args[1:] {
+			if !validKey(buf[a[0]:a[1]], respKeyLen) {
+				return respFrame{op: opReply, reply: respReplyBadKey}, false
+			}
+			f.keys[i] = a
+		}
+		return f, false
+	case eqFold(cmd, "INCR") || eqFold(cmd, "INCRBY"):
+		// INCR <key> adds 1; INCRBY <key> <delta> adds delta. A missing
+		// key counts from zero, Redis-style (on this store's uint64s).
+		delta := uint64(1)
+		if eqFold(cmd, "INCRBY") {
+			if len(args) != 3 {
+				return respFrame{op: opReply, reply: respReplyArity}, false
+			}
+			d, ok := parseUint(buf[args[2][0]:args[2][1]])
+			if !ok {
+				return respFrame{op: opReply, reply: respReplyBadInt}, false
+			}
+			delta = d
+		} else if len(args) != 2 {
+			return respFrame{op: opReply, reply: respReplyArity}, false
+		}
+		if !validKey(buf[args[1][0]:args[1][1]], respKeyLen) {
+			return respFrame{op: opReply, reply: respReplyBadKey}, false
+		}
+		return respFrame{op: opIncr, key: args[1], val: delta}, false
 	case eqFold(cmd, "SET"):
 		if len(args) != 3 {
 			return respFrame{op: opReply, reply: respReplyArity}, false
@@ -245,6 +285,13 @@ func encodeRespReply(s *slot) {
 	b := s.resp[:0]
 	switch s.op {
 	case opGet:
+		if s.mhdr > 0 {
+			// First slot of an MGET: the array header rides the first
+			// element's response so the reply stays one slot per key.
+			b = append(b, '*')
+			b = strconv.AppendUint(b, uint64(s.mhdr), 10)
+			b = append(b, '\r', '\n')
+		}
 		if s.okOut {
 			var dig [maxDataLen]byte
 			d := strconv.AppendUint(dig[:0], s.vOut, 10)
@@ -263,6 +310,14 @@ func encodeRespReply(s *slot) {
 			b = append(b, ":1\r\n"...)
 		} else {
 			b = append(b, ":0\r\n"...)
+		}
+	case opIncr:
+		if s.okOut {
+			b = append(b, ':')
+			b = strconv.AppendUint(b, s.vOut, 10)
+			b = append(b, '\r', '\n')
+		} else {
+			b = append(b, respReplyBadInt...)
 		}
 	}
 	s.rlen = int32(len(b))

@@ -73,11 +73,26 @@ type Config struct {
 	// collector drives the admin plane's /metrics. When nil the server
 	// builds a private collector over its own gauges alone.
 	Metrics *metrics.Collector
+	// MaxItems, when > 0, is the per-shard live-item watermark: after
+	// each mutating FASE the pipeline thread evicts (at most a couple
+	// per request, so writes stay bounded) while the shard exceeds it.
+	MaxItems int
+	// DisableFastReads forces every GET through the slot path,
+	// serializing reads behind writes on the shard pipelines as PR 7
+	// did. Benchmark A/B knob; leave false to serve reads lock-free.
+	DisableFastReads bool
 }
 
 func (cfg *Config) fill() {
 	if cfg.Ring <= 0 {
 		cfg.Ring = 256
+	}
+	// The ring must exceed the largest multi-get (maxMultiGet keys, 63
+	// for RESP MGET): scatter-gather claims every slot of a multi-get
+	// before dispatching any of them, and claims can only unblock if
+	// all older slots were dispatched or completed.
+	if cfg.Ring < 64 {
+		cfg.Ring = 64
 	}
 	if cfg.ShardQueue <= 0 {
 		cfg.ShardQueue = 256
@@ -114,7 +129,13 @@ type slot struct {
 	vOut    uint64
 	okOut   bool
 	rlen    int32
+	mhdr    int32 // >0 on an MGET's first slot: prepend the *N array header
 	resp    [respCap]byte
+	// next chains this slot to the next fallback slot bound for the
+	// same shard within one scatter-gather multi-get. Written by the
+	// reader before the chain head is dispatched, consumed (and nilled)
+	// by the shard pipeline; always nil outside a batched dispatch.
+	next *slot
 	// big is the overflow response for replies that cannot fit resp
 	// (stats/INFO bodies). Filled reader-side, consumed and nilled by the
 	// writer; always nil on the GET/SET/DEL hot path, which stays
@@ -143,6 +164,23 @@ type conn struct {
 	rseq  uint64        // next slot to claim (reader only)
 	wseq  uint64        // next slot to emit (writer only)
 	wbuf  []byte
+
+	// Scatter-gather scratch (reader only): per-shard chain head/tail
+	// for the multi-get being dispatched, plus the list of shards the
+	// current request actually touched. Sized once at accept.
+	schHead []*slot
+	schTail []*slot
+	schIdx  []int32
+	touchN  uint64 // fast-read hit counter driving LRU touch sampling
+
+	// wpend[i] counts this connection's mutating slots dispatched to
+	// shard i and not yet executed (reader increments at dispatch, shard
+	// decrements after the FASE's even epoch bump). The fast lane is
+	// gated on wpend == 0 so a pipelined get never overtakes this
+	// connection's own earlier writes: memcache/RESP promise
+	// read-your-writes per connection, and a device-direct read sees
+	// only what has already committed.
+	wpend []atomic.Int32
 }
 
 // shard is one commit pipeline: a goroutine owning one persist.Thread
@@ -152,18 +190,51 @@ type shard struct {
 	srv  *Server
 	idx  int
 	th   persist.Thread
+	dev  *nvm.Device
 	in   chan *slot
 	cur  *slot
 	fn   func()
 	ring *obs.Ring
+
+	// seq is the shard's seqlock epoch: odd exactly while a mutating
+	// FASE (set/del/incr/decr/evict) runs on the pipeline thread. Fast
+	// readers snapshot it, walk the store device-direct, and re-check;
+	// an even, unchanged epoch proves the observed data came from a
+	// completed — hence fenced, hence durable — FASE. GETs on the slot
+	// path and touch drains don't bump: they only write read-stat words
+	// (cmd_get/hits/iTime) that fast readers never load.
+	seq atomic.Uint64
+
+	// touch is the sampled LRU-touch ring: fast-read hits enqueue keys
+	// (lossy, non-blocking) and the pipeline thread drains each as one
+	// ordinary FASE, retiring the batched read-stat counts alongside.
+	touch    chan [2]uint64
+	pendGets atomic.Uint64
+	pendHits atomic.Uint64
+	tkey     [2]uint64 // drain-in-progress args (pipeline thread only)
+	tgets    uint64
+	thits    uint64
+	touchFn  func()
+	evFn     func()
+	evOK     bool
 
 	// Pipeline gauges/counters, read by MetricsSnapshot. inflight is 1
 	// while the shard thread is inside a FASE; queue depth is len(in).
 	inflight atomic.Int32
 	reqs     atomic.Uint64
 	verbs    [3]atomic.Uint64 // gets, sets, dels (indexed op-opGet)
+	incrs    atomic.Uint64    // incr + decr, which share the RMW path
 	hits     atomic.Uint64
 	misses   atomic.Uint64
+
+	// Fast-lane counters: served lock-free, seqlock conflicts retried,
+	// parks on in-flight commits, and falls back to the slot path.
+	fastGets    atomic.Uint64
+	fastRetries atomic.Uint64
+	fastParks   atomic.Uint64
+	fastFalls   atomic.Uint64
+	touches     atomic.Uint64
+	evictions   atomic.Uint64
 }
 
 // Stats is a point-in-time counter snapshot.
@@ -226,13 +297,19 @@ func New(rt persist.Runtime, store Store, cfg Config, tr *obs.Tracer) (*Server, 
 			return nil, fmt.Errorf("server: shard %d thread: %w", i, err)
 		}
 		sh := &shard{
-			srv:  srv,
-			idx:  i,
-			th:   th,
-			in:   make(chan *slot, cfg.ShardQueue),
-			ring: tr.ThreadRing(fmt.Sprintf("server/shard%d", i)),
+			srv:   srv,
+			idx:   i,
+			th:    th,
+			dev:   store.Device(),
+			in:    make(chan *slot, cfg.ShardQueue),
+			touch: make(chan [2]uint64, 64),
+			ring:  tr.ThreadRing(fmt.Sprintf("server/shard%d", i)),
 		}
 		sh.fn = func() { sh.exec(sh.cur) }
+		sh.touchFn = func() {
+			sh.srv.store.Touch(sh.th, sh.idx, sh.tkey[0], sh.tkey[1], sh.tgets, sh.thits)
+		}
+		sh.evFn = func() { sh.evOK = sh.srv.store.EvictOne(sh.th, sh.idx) }
 		srv.shards = append(srv.shards, sh)
 		srv.wg.Add(1)
 		go sh.run()
@@ -289,8 +366,15 @@ func (srv *Server) MetricsSnapshot(dst *metrics.ServerStats) {
 		d.Gets = sh.verbs[0].Load()
 		d.Sets = sh.verbs[1].Load()
 		d.Dels = sh.verbs[2].Load()
+		d.Incrs = sh.incrs.Load()
 		d.Hits = sh.hits.Load()
 		d.Misses = sh.misses.Load()
+		d.FastGets = sh.fastGets.Load()
+		d.FastRetries = sh.fastRetries.Load()
+		d.FastParks = sh.fastParks.Load()
+		d.FastFallbacks = sh.fastFalls.Load()
+		d.Touches = sh.touches.Load()
+		d.Evictions = sh.evictions.Load()
 	}
 }
 
@@ -304,14 +388,19 @@ func (srv *Server) ServeConn(nc net.Conn) error {
 		nc.Close()
 		return ErrServerClosed
 	}
+	nsh := len(srv.shards)
 	c := &conn{
-		srv:   srv,
-		nc:    nc,
-		ring:  make([]slot, srv.cfg.Ring),
-		free:  make(chan struct{}, srv.cfg.Ring),
-		cmpl:  make(chan struct{}, 1),
-		deadc: make(chan struct{}),
-		wbuf:  make([]byte, 0, srv.cfg.WriteBuf),
+		srv:     srv,
+		nc:      nc,
+		ring:    make([]slot, srv.cfg.Ring),
+		free:    make(chan struct{}, srv.cfg.Ring),
+		cmpl:    make(chan struct{}, 1),
+		deadc:   make(chan struct{}),
+		wbuf:    make([]byte, 0, srv.cfg.WriteBuf),
+		schHead: make([]*slot, nsh),
+		schTail: make([]*slot, nsh),
+		schIdx:  make([]int32, 0, nsh),
+		wpend:   make([]atomic.Int32, nsh),
 	}
 	srv.conns[c] = struct{}{}
 	srv.mu.Unlock()
@@ -361,6 +450,10 @@ func (srv *Server) Close() error {
 
 func (srv *Server) shutdown() {
 	srv.stopOnce.Do(func() { close(srv.stopc) })
+	// Belt-and-suspenders for readers parked on commit tickets: every
+	// park is also cancelled by its shard's epoch bump, but waking here
+	// costs one atomic load in the common no-waiter case.
+	srv.store.Device().WakeTicketWaiters()
 	srv.mu.Lock()
 	srv.closed = true
 	for c := range srv.conns {
@@ -400,6 +493,8 @@ func (sh *shard) exec(s *slot) {
 		sh.srv.store.Set(sh.th, sh.idx, s.k0, s.k1, s.val)
 	case opDel:
 		s.okOut = sh.srv.store.Del(sh.th, sh.idx, s.k0, s.k1)
+	case opIncr, opDecr:
+		s.vOut, s.okOut = sh.srv.store.Incr(sh.th, sh.idx, s.k0, s.k1, s.val, s.op == opDecr)
 	}
 }
 
@@ -418,35 +513,109 @@ func (sh *shard) run() {
 	for {
 		select {
 		case s := <-sh.in:
-			sh.inflight.Store(1)
-			sh.cur = s
-			sh.th.Exec(sh.fn)
-			sh.cur = nil
-			sh.inflight.Store(0)
-			sh.reqs.Add(1)
-			sh.verbs[s.op-opGet].Add(1)
-			if s.op == opGet {
-				if s.okOut {
-					sh.hits.Add(1)
-				} else {
-					sh.misses.Add(1)
-				}
+			// A dispatch may carry a chain of sibling slots — the
+			// fallbacks of one scatter-gather multi-get bound here.
+			for s != nil {
+				nxt := s.next
+				s.next = nil
+				sh.serve(s, mc)
+				s = nxt
 			}
-			if mc {
-				encodeMcReply(s)
-			} else {
-				encodeRespReply(s)
-			}
-			if sh.ring != nil {
-				now := sh.ring.Clock()
-				sh.ring.Span(obs.KNetReq, uint64(s.op), uint64(sh.idx), s.ts)
-				sh.ring.Observe(obs.HReqLatency, uint64(now-s.ts))
-			}
-			complete(s)
+		case k := <-sh.touch:
+			sh.drainTouch(k)
 		case <-sh.srv.stopc:
 			return
 		}
 	}
+}
+
+// serve executes one slot's FASE and completes it. Mutating ops run
+// inside the shard's seqlock write section: the odd bump before Exec
+// tells fast readers a write is in flight, the even bump after — which
+// happens only once Exec has returned, i.e. after the FASE's final
+// fence — tells them the shard is quiescent again, and the ticket wake
+// releases any reader that parked on this commit.
+func (sh *shard) serve(s *slot, mc bool) {
+	sh.inflight.Store(1)
+	sh.cur = s
+	wr := s.op != opGet
+	if wr {
+		sh.seq.Add(1)
+	}
+	sh.th.Exec(sh.fn)
+	sh.cur = nil
+	if wr {
+		sh.seq.Add(1)
+		sh.dev.WakeTicketWaiters()
+		// The write is applied and the epoch even again: release the
+		// owning connection's read-your-writes gate (before complete —
+		// the writer may recycle s the moment it is published).
+		s.c.wpend[sh.idx].Add(-1)
+	}
+	sh.inflight.Store(0)
+	sh.reqs.Add(1)
+	switch s.op {
+	case opGet, opSet, opDel:
+		sh.verbs[s.op-opGet].Add(1)
+	case opIncr, opDecr:
+		sh.incrs.Add(1)
+	}
+	if s.op == opGet {
+		if s.okOut {
+			sh.hits.Add(1)
+		} else {
+			sh.misses.Add(1)
+		}
+	}
+	if mc {
+		encodeMcReply(s)
+	} else {
+		encodeRespReply(s)
+	}
+	if sh.ring != nil {
+		now := sh.ring.Clock()
+		sh.ring.Span(obs.KNetReq, uint64(s.op), uint64(sh.idx), s.ts)
+		sh.ring.Observe(obs.HReqLatency, uint64(now-s.ts))
+	}
+	complete(s)
+	if wr {
+		sh.maybeEvict()
+	}
+}
+
+// maybeEvict enforces the size watermark after a mutating FASE: while
+// the shard holds more than MaxItems live items, evict — bounded per
+// request so one write never stalls behind a long eviction storm.
+// Evictions are writes, so they run inside their own seqlock sections.
+func (sh *shard) maybeEvict() {
+	max := sh.srv.cfg.MaxItems
+	if max <= 0 {
+		return
+	}
+	for i := 0; i < 2 && sh.srv.store.Count(sh.idx) > uint64(max); i++ {
+		sh.seq.Add(1)
+		sh.th.Exec(sh.evFn)
+		sh.seq.Add(1)
+		sh.dev.WakeTicketWaiters()
+		if !sh.evOK {
+			return
+		}
+		sh.evictions.Add(1)
+	}
+}
+
+// drainTouch retires one sampled LRU touch plus every batched read-stat
+// count as a single ordinary FASE. No seqlock bump: the touch FASE
+// writes only stat words (cmd_get/hits/iTime) that fast readers never
+// load, so it cannot invalidate a concurrent fast read.
+func (sh *shard) drainTouch(k [2]uint64) {
+	sh.tkey = k
+	sh.tgets = sh.pendGets.Swap(0)
+	sh.thits = sh.pendHits.Swap(0)
+	sh.inflight.Store(1)
+	sh.th.Exec(sh.touchFn)
+	sh.inflight.Store(0)
+	sh.touches.Add(1)
 }
 
 // complete publishes a finished slot to its connection writer: the done
@@ -568,8 +737,128 @@ func (c *conn) sendOp(op uint8, kb []byte, val uint64, noreply, last bool, ts in
 	s.val = val
 	s.ts = ts
 	s.rlen = 0
+	s.mhdr = 0
+	s.next = nil
 	s.fillKey(kb)
+	if op != opGet {
+		c.wpend[s.shard].Add(1)
+	}
 	return c.dispatch(s)
+}
+
+// fastGet runs the optimistic lock-free read protocol against one
+// shard: snapshot the seqlock epoch, walk the store device-direct, and
+// re-validate the epoch. An odd epoch means a mutating FASE is in
+// flight — instead of re-walking hot, the reader parks on the device's
+// next commit ticket, cancelled by the epoch itself in case the FASE's
+// fence already landed before the even bump. Bounded attempts; ok=false
+// tells the caller to fall back to the slot path. A successful return
+// was validated under an even, unchanged epoch, so the data it reports
+// was produced by a completed FASE, whose Exec return implies its final
+// persist fence: acked ⇒ durable holds with zero fences on this path.
+func (c *conn) fastGet(sh *shard, k0, k1 uint64) (v uint64, hit, ok bool) {
+	for attempt := 0; attempt < 4; attempt++ {
+		s1 := sh.seq.Load()
+		if s1&1 != 0 {
+			sh.fastParks.Add(1)
+			sh.dev.WaitTicket(sh.dev.CommitTicket()+1, &sh.seq, s1)
+			continue
+		}
+		v, hit, wok := sh.srv.store.GetFast(sh.idx, k0, k1)
+		if wok && sh.seq.Load() == s1 {
+			return v, hit, true
+		}
+		sh.fastRetries.Add(1)
+	}
+	sh.fastFalls.Add(1)
+	return 0, false, false
+}
+
+// sendGets serves a (multi-)get. Slots are claimed in key order — ring
+// order is emission order, so the gather side comes for free: the
+// writer already emits in claim order regardless of which side
+// completed each slot. Every key first tries the fast lane and, on
+// success, completes immediately on this goroutine with no dispatch at
+// all. Fallbacks are chained per shard through slot.next and handed
+// over as one batched dispatch per shard (the scatter), so an N-key
+// multi-get costs at most min(N, shards) queue sends instead of N.
+func (c *conn) sendGets(raw []byte, keys [][2]int, mget bool, ts int64) bool {
+	mc := c.srv.cfg.Proto == ProtoMemcache
+	fast := !c.srv.cfg.DisableFastReads
+	tr := c.srv.tr
+	for i := range keys {
+		s, ok := c.claim()
+		if !ok {
+			return false
+		}
+		s.op = opGet
+		s.last = mc && i == len(keys)-1
+		s.noreply = false
+		s.fatal = false
+		s.val = 0
+		s.ts = ts
+		s.rlen = 0
+		s.next = nil
+		s.mhdr = 0
+		if mget && i == 0 {
+			s.mhdr = int32(len(keys))
+		}
+		s.fillKey(raw[keys[i][0]:keys[i][1]])
+		sh := c.srv.shards[s.shard]
+		if fast && c.wpend[s.shard].Load() == 0 {
+			if v, hit, fok := c.fastGet(sh, s.k0, s.k1); fok {
+				s.vOut, s.okOut = v, hit
+				sh.reqs.Add(1)
+				sh.verbs[0].Add(1)
+				sh.fastGets.Add(1)
+				if hit {
+					sh.hits.Add(1)
+				} else {
+					sh.misses.Add(1)
+				}
+				if mc {
+					// Batch the durable read stats; sample 1 in 16 hits
+					// for an LRU touch, dropped when the ring is full.
+					sh.pendGets.Add(1)
+					if hit {
+						sh.pendHits.Add(1)
+						c.touchN++
+						if c.touchN&15 == 0 {
+							select {
+							case sh.touch <- [2]uint64{s.k0, s.k1}:
+							default:
+							}
+						}
+					}
+					encodeMcReply(s)
+				} else {
+					encodeRespReply(s)
+				}
+				if tr != nil {
+					tr.DevEmit(obs.KNetFastGet, s.k0, uint64(s.shard))
+				}
+				complete(s)
+				continue
+			}
+		}
+		if c.schHead[s.shard] == nil {
+			c.schHead[s.shard] = s
+			c.schIdx = append(c.schIdx, s.shard)
+		} else {
+			c.schTail[s.shard].next = s
+		}
+		c.schTail[s.shard] = s
+	}
+	ok := true
+	for _, si := range c.schIdx {
+		head := c.schHead[si]
+		c.schHead[si], c.schTail[si] = nil, nil
+		if ok {
+			ok = c.dispatch(head)
+		}
+	}
+	c.schIdx = c.schIdx[:0]
+	return ok
 }
 
 func (c *conn) dispatchMc(f *mcFrame, raw []byte, ts int64) bool {
@@ -577,14 +866,8 @@ func (c *conn) dispatchMc(f *mcFrame, raw []byte, ts int64) bool {
 	case opNone:
 		return true
 	case opGet:
-		for i := 0; i < f.nkeys; i++ {
-			kb := raw[f.keys[i][0]:f.keys[i][1]]
-			if !c.sendOp(opGet, kb, 0, false, i == f.nkeys-1, ts) {
-				return false
-			}
-		}
-		return true
-	case opSet, opDel:
+		return c.sendGets(raw, f.keys[:f.nkeys], false, ts)
+	case opSet, opDel, opIncr, opDecr:
 		kb := raw[f.keys[0][0]:f.keys[0][1]]
 		return c.sendOp(f.op, kb, f.val, f.noreply, false, ts)
 	case opReply:
@@ -601,7 +884,9 @@ func (c *conn) dispatchResp(f *respFrame, raw []byte, ts int64) bool {
 	switch f.op {
 	case opNone:
 		return true
-	case opGet, opSet, opDel:
+	case opGet:
+		return c.sendGets(raw, f.keys[:f.nkeys], f.mget, ts)
+	case opSet, opDel, opIncr, opDecr:
 		kb := raw[f.key[0]:f.key[1]]
 		return c.sendOp(f.op, kb, f.val, false, false, ts)
 	case opReply:
@@ -614,6 +899,18 @@ func (c *conn) dispatchResp(f *respFrame, raw []byte, ts int64) bool {
 
 func (c *conn) readLoop() {
 	defer c.srv.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(nvm.CrashSignal); ok {
+				// A fast read hit the injected crash — a device load or
+				// ticket park on this goroutine touched the device the
+				// moment it died. Fall like a shard pipeline does.
+				c.srv.noteCrash()
+				return
+			}
+			panic(r)
+		}
+	}()
 	buf := make([]byte, c.srv.cfg.ReadBuf)
 	mc := c.srv.cfg.Proto == ProtoMemcache
 	start, end := 0, 0

@@ -34,6 +34,13 @@ type world struct {
 
 func newWorld(t testing.TB, proto server.Proto, shards int, devcfg nvm.Config, tr *obs.Tracer) *world {
 	t.Helper()
+	return newWorldCfg(t, proto, shards, devcfg, tr, nil)
+}
+
+// newWorldCfg is newWorld with a server.Config hook (watermarks,
+// disabling the read fast lane, ...) applied before the server starts.
+func newWorldCfg(t testing.TB, proto server.Proto, shards int, devcfg nvm.Config, tr *obs.Tracer, mut func(*server.Config)) *world {
+	t.Helper()
 	w := &world{}
 	devcfg.Tracer = tr
 	w.reg = region.Create(1<<22, devcfg)
@@ -53,8 +60,11 @@ func newWorld(t testing.TB, proto server.Proto, shards int, devcfg nvm.Config, t
 	}
 	// Wire the collector the way cmd/idoserve does, so in-band stats see
 	// device counters too.
-	w.srv, err = server.New(w.rt, w.store,
-		server.Config{Proto: proto, Metrics: metrics.NewCollector(tr, w.reg.Dev)}, tr)
+	cfg := server.Config{Proto: proto, Metrics: metrics.NewCollector(tr, w.reg.Dev)}
+	if mut != nil {
+		mut(&cfg)
+	}
+	w.srv, err = server.New(w.rt, w.store, cfg, tr)
 	if err != nil {
 		t.Fatalf("new server: %v", err)
 	}

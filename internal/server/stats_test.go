@@ -56,9 +56,12 @@ func readUntil(t *testing.T, c net.Conn, suffix string) []byte {
 // ido_fences_per_op only appears once the server has served a request.
 var mcStatOrder = []string{
 	"uptime", "curr_connections", "total_connections",
-	"cmd_get", "cmd_set", "cmd_delete", "get_hits", "get_misses",
+	"cmd_get", "cmd_set", "cmd_delete", "cmd_incr",
+	"get_hits", "get_misses", "evictions",
 	"bytes_read", "bytes_written", "protocol_errors",
 	"ido_requests", "ido_shards",
+	"ido_fast_gets", "ido_fast_retries", "ido_fast_parks",
+	"ido_fast_fallbacks", "ido_touch_fases",
 	"ido_fences", "ido_flushes", "ido_nt_stores", "ido_crashes",
 	"ido_fences_per_op",
 	"ido_gc_epochs", "ido_gc_combined",
@@ -134,18 +137,21 @@ func TestMemcacheStatsWire(t *testing.T) {
 	}
 	sent += len("stats\r\n")
 	for name, wantV := range map[string]uint64{
-		"curr_connections":  1,
-		"total_connections": 1,
-		"cmd_get":           2,
-		"cmd_set":           1,
-		"cmd_delete":        1,
-		"get_hits":          1,
-		"get_misses":        1,
-		"protocol_errors":   0,
-		"ido_requests":      4,
-		"ido_shards":        2,
-		"ido_crashes":       0,
-		"bytes_read":        uint64(sent),
+		"curr_connections":   1,
+		"total_connections":  1,
+		"cmd_get":            2,
+		"cmd_set":            1,
+		"cmd_delete":         1,
+		"cmd_incr":           0,
+		"get_hits":           1,
+		"get_misses":         1,
+		"ido_fast_gets":      2,
+		"ido_fast_fallbacks": 0,
+		"protocol_errors":    0,
+		"ido_requests":       4,
+		"ido_shards":         2,
+		"ido_crashes":        0,
+		"bytes_read":         uint64(sent),
 	} {
 		if got := statU(t, vals, name); got != wantV {
 			t.Errorf("stat %s = %d, want %d", name, got, wantV)
@@ -254,6 +260,7 @@ func TestRESPInfoWire(t *testing.T) {
 		"total_commands_processed:4\r\n",
 		"total_reads_processed:2\r\n",
 		"total_writes_processed:2\r\n",
+		"fastlane_reads_processed:2\r\n",
 		"keyspace_hits:1\r\n",
 		"keyspace_misses:1\r\n",
 		"protocol_errors:0\r\n",
