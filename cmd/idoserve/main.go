@@ -8,21 +8,32 @@
 //	idoserve                                  # memcache on :11211
 //	idoserve -proto resp -addr :6379 -gc -gcwindow 2000
 //	idoserve -admin :8080                     # /metrics /healthz /readyz /debug/*
+//	idoserve -replicate :11311                # primary: ship the iDO log to a standby
+//	idoserve -standby -primary host:11311     # hot standby: apply, promote on primary death
 //	idoserve -load -conns 16 -pipeline 8 -duration 2s   # in-process load run
-//	idoserve -load -statsevery 500ms          # load run with a live rate table
+//	idoserve -load -targets host1:11211,host2:11211     # fault-tolerant load over TCP
 //
-// The default mode listens on -addr and serves until interrupted. With
-// -load it instead drives the server through in-memory connections with
-// the built-in load generator (the Fig. 5c GET/SET/DELETE mix) and
-// prints client throughput, latency quantiles, and device fences per
-// operation — the single-command demo of the BENCH_server_e2e.json
-// experiment.
+// The default mode listens on -addr and serves until SIGINT/SIGTERM,
+// then drains gracefully: in-flight FASEs finish, their responses
+// flush, the final group-commit epoch is fenced, and the process exits
+// 0. With -load it instead drives the built-in load generator (the
+// Fig. 5c GET/SET/DELETE mix) and prints client throughput, latency
+// quantiles, and device fences per operation.
+//
+// With -replicate the server is a replication primary: every committed
+// mutation is shipped, in commit order, to a standby attached on that
+// port, and client completions ride the standby's receipt acks
+// (semi-synchronous). With -standby the process applies the stream
+// from -primary through its own FASE machinery, reports not-ready on
+// /readyz while replicating, and on primary death promotes itself and
+// starts serving on -addr.
 //
 // The admin plane (-admin) serves Prometheus text on /metrics, liveness
 // and readiness on /healthz + /readyz, the full JSON snapshot on
 // /debug/snapshot, and a windowed Chrome trace capture on
 // /debug/trace?ms=N. The same counters answer the in-band memcache
-// `stats` verb and RESP `INFO` command on the data port.
+// `stats` verb and RESP `INFO` command on the data port, including the
+// replication role and lag block.
 package main
 
 import (
@@ -32,6 +43,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"github.com/ido-nvm/ido/internal/core"
@@ -43,6 +56,7 @@ import (
 	"github.com/ido-nvm/ido/internal/nvm"
 	"github.com/ido-nvm/ido/internal/obs"
 	"github.com/ido-nvm/ido/internal/region"
+	"github.com/ido-nvm/ido/internal/replica"
 	"github.com/ido-nvm/ido/internal/server"
 )
 
@@ -60,6 +74,12 @@ func main() {
 	gcforce := flag.Bool("gcforce", false, "with -gc: route solo commits through the combiner ring too")
 	maxitems := flag.Int("maxitems", 0, "per-shard live-item watermark; the pipeline evicts LRU items above it (0 = unbounded)")
 	nofast := flag.Bool("nofastreads", false, "disable the lock-free GET fast lane (serve every read through its shard pipeline)")
+	maxconns := flag.Int("maxconns", 0, "reject connections past this many with a busy error (0 = unbounded)")
+	idletimeout := flag.Duration("idletimeout", 0, "close connections idle for this long (0 = never)")
+	draintimeout := flag.Duration("draintimeout", 5*time.Second, "graceful-shutdown budget for in-flight requests on SIGINT/SIGTERM")
+	replicate := flag.String("replicate", "", "primary: listen here for a standby and ship the iDO log to it (empty = no replication)")
+	standby := flag.Bool("standby", false, "run as a hot standby: apply the stream from -primary, promote on primary death")
+	primaryAddr := flag.String("primary", "", "with -standby: the primary's -replicate address")
 	load := flag.Bool("load", false, "run the in-process load generator instead of listening")
 	conns := flag.Int("conns", 16, "with -load: client connections")
 	pipeline := flag.Int("pipeline", 8, "with -load: in-flight requests per connection")
@@ -71,7 +91,16 @@ func main() {
 	mget := flag.Int("mget", 1, "with -load: keys per GET request (multi-get batch)")
 	rate := flag.Int("rate", 0, "with -load: open-loop aggregate request rate, ops/s (0 = closed loop)")
 	seed := flag.Int64("seed", 1, "with -load: workload seed")
+	targets := flag.String("targets", "", "with -load: comma-separated server addresses to drive over TCP with the fault-tolerant client (failover order; empty = in-process)")
+	optimeout := flag.Duration("optimeout", 2*time.Second, "with -load -targets: per-operation timeout before the connection is declared lost")
 	flag.Parse()
+
+	if *standby && *primaryAddr == "" {
+		fatalf("-standby requires -primary host:port")
+	}
+	if *standby && *load {
+		fatalf("-standby and -load are mutually exclusive")
+	}
 
 	// The tracer is on by default: emit is lock-free and allocation-free,
 	// and the admin plane's quantiles come from its histograms. Modest
@@ -91,7 +120,8 @@ func main() {
 
 	// The admin plane comes up before the store attaches so /readyz
 	// reports "attaching" (503) during boot and recovery, then flips
-	// ready once the shards are serving.
+	// ready once the shards are serving — or, on a standby, once
+	// promotion makes it the serving primary.
 	coll := metrics.NewCollector(tr, reg.Dev)
 	health := metrics.NewHealth("attaching store")
 	if *admin != "" {
@@ -130,9 +160,69 @@ func main() {
 	if err != nil {
 		fatalf("create store: %v", err)
 	}
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	// Standby mode: replicate until the primary dies, then fall through
+	// to the serve path as the promoted primary.
+	if *standby {
+		sb, err := replica.NewStandby(replica.StandbyConfig{
+			Store: store, RT: rt, Reg: reg,
+		})
+		if err != nil {
+			fatalf("create standby: %v", err)
+		}
+		coll.Repl = sb
+		health.Set(false, "standby: replicating from "+*primaryAddr)
+		fmt.Printf("idoserve: standby replicating from %s\n", *primaryAddr)
+		stopped := make(chan struct{})
+		go func() {
+			select {
+			case <-sig:
+				fmt.Println("idoserve: interrupt, stopping standby")
+				sb.Stop()
+			case <-stopped:
+			}
+		}()
+		err = sb.Run(func() (net.Conn, error) {
+			return net.Dial("tcp", *primaryAddr)
+		})
+		close(stopped)
+		switch err {
+		case nil:
+			var rs metrics.ReplStats
+			sb.ReplSnapshot(&rs)
+			fmt.Printf("idoserve: primary lost; promoted after applying %d records\n", rs.Records)
+		case replica.ErrStandbyStopped:
+			return
+		default:
+			fatalf("standby: %v", err)
+		}
+	}
+
+	// Replication primary (or promoted standby chaining a new standby):
+	// a shipper publishes every committed mutation; client completions
+	// ride the standby's receipt acks (semi-synchronous).
+	var sh *replica.Shipper
+	if *replicate != "" {
+		sh, err = replica.NewShipper(replica.ShipperConfig{Shards: store.NumShards()})
+		if err != nil {
+			fatalf("create shipper: %v", err)
+		}
+		rln, err := net.Listen("tcp", *replicate)
+		if err != nil {
+			fatalf("replication listen: %v", err)
+		}
+		fmt.Printf("idoserve: shipping replication log on %s\n", rln.Addr())
+		go sh.Serve(rln)
+		coll.Repl = sh
+	}
+
 	srv, err := server.New(rt, store, server.Config{
-		Proto: sproto, Metrics: coll,
-		MaxItems: *maxitems, DisableFastReads: *nofast}, tr)
+		Proto: sproto, Metrics: coll, Repl: sh,
+		MaxItems: *maxitems, DisableFastReads: *nofast,
+		MaxConns: *maxconns, IdleTimeout: *idletimeout}, tr)
 	if err != nil {
 		fatalf("create server: %v", err)
 	}
@@ -152,12 +242,13 @@ func main() {
 			OpenRateOPS: *rate,
 			Duration:    *duration,
 			Seed:        *seed,
+			OpTimeout:   *optimeout,
 		}
 		if *statsevery > 0 {
 			lcfg.ReportEvery = *statsevery
 			lcfg.Report = loadgen.ReportPrinter(os.Stdout)
 		}
-		runLoad(srv, reg.Dev, lcfg)
+		runLoad(srv, reg.Dev, lcfg, *targets)
 		srv.Close()
 		return
 	}
@@ -172,12 +263,18 @@ func main() {
 	}
 	fmt.Printf("idoserve: %s protocol on %s, %d shards, group commit %v\n",
 		sproto, ln.Addr(), store.NumShards(), *gc)
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
 	go func() {
 		<-sig
 		fmt.Println("idoserve: interrupt, draining")
-		srv.Close()
+		health.Set(false, "draining")
+		err := srv.Drain(*draintimeout)
+		st := srv.Stats()
+		fmt.Printf("idoserve: served %d requests in %d write batches\n", st.Reqs, st.Batches)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "idoserve: drain: %v\n", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
 	}()
 	if err := srv.Serve(ln); err != nil && err != server.ErrServerClosed {
 		fatalf("serve: %v", err)
@@ -213,16 +310,37 @@ func statsLogger(coll *metrics.Collector, every time.Duration, stop <-chan struc
 	}
 }
 
-// runLoad drives the server over in-memory pipes and prints the result.
-func runLoad(srv *server.Server, dev *nvm.Device, cfg loadgen.Config) {
+// runLoad drives either the in-process server over memory pipes or, with
+// targets, remote servers over TCP with the fault-tolerant client, and
+// prints the result.
+func runLoad(srv *server.Server, dev *nvm.Device, cfg loadgen.Config, targets string) {
 	dev.ResetStats()
-	res, err := loadgen.Run(cfg, func() (net.Conn, error) {
-		client, srvEnd := loadgen.MemPipe(64 << 10)
-		if serr := srv.ServeConn(srvEnd); serr != nil {
-			return nil, serr
+	var res *loadgen.Result
+	var err error
+	if targets != "" {
+		var dials []func() (net.Conn, error)
+		for _, a := range strings.Split(targets, ",") {
+			a := strings.TrimSpace(a)
+			if a == "" {
+				continue
+			}
+			dials = append(dials, func() (net.Conn, error) {
+				return net.Dial("tcp", a)
+			})
 		}
-		return client, nil
-	})
+		if len(dials) == 0 {
+			fatalf("-targets has no addresses")
+		}
+		res, err = loadgen.RunFT(cfg, dials)
+	} else {
+		res, err = loadgen.Run(cfg, func() (net.Conn, error) {
+			client, srvEnd := loadgen.MemPipe(64 << 10)
+			if serr := srv.ServeConn(srvEnd); serr != nil {
+				return nil, serr
+			}
+			return client, nil
+		})
+	}
 	if err != nil {
 		fatalf("loadgen: %v", err)
 	}
@@ -232,7 +350,11 @@ func runLoad(srv *server.Server, dev *nvm.Device, cfg loadgen.Config) {
 	fmt.Printf("latency p50 %v  p99 %v  max %v  mean %v\n",
 		time.Duration(res.P50), time.Duration(res.P99),
 		time.Duration(res.Max), time.Duration(res.MeanNS))
-	if res.Ops > 0 {
+	if res.Retries+res.Reconnects+res.Failovers+res.TimedOut > 0 {
+		fmt.Printf("robustness: retries %d  reconnects %d  failovers %d  lost in flight %d\n",
+			res.Retries, res.Reconnects, res.Failovers, res.TimedOut)
+	}
+	if res.Ops > 0 && targets == "" {
 		fmt.Printf("fences %d  %.2f fences/op  combiner epochs %d\n",
 			fences, float64(fences)/float64(res.Ops), dev.Epoch())
 	}

@@ -54,6 +54,17 @@ type Config struct {
 	// progresses — the converging rate table, instead of one final line.
 	ReportEvery time.Duration
 	Report      func(Interval)
+
+	// Fault tolerance (RunFT). OpTimeout bounds each response wait; a
+	// timeout or transport failure kills the session and the client
+	// reconnects with exponential backoff + jitter, rotating to the
+	// next target after every failed attempt — how a client rides a
+	// primary crash onto the promoted standby. Lost in-flight ops are
+	// not reissued (they are counted, and tracking records them as
+	// maybe-applied). Run ignores these: one session per connection.
+	OpTimeout        time.Duration
+	ReconnectBackoff time.Duration // base backoff, doubles per failure (default 10ms)
+	MaxDialTries     int           // consecutive failed attempts before a conn gives up (default 16)
 }
 
 func (cfg *Config) fill() {
@@ -78,6 +89,12 @@ func (cfg *Config) fill() {
 	if cfg.MGet > 60 { // the server's per-request key cap (both protocols)
 		cfg.MGet = 60
 	}
+	if cfg.ReconnectBackoff <= 0 {
+		cfg.ReconnectBackoff = 10 * time.Millisecond
+	}
+	if cfg.MaxDialTries <= 0 {
+		cfg.MaxDialTries = 16
+	}
 }
 
 // Result aggregates a run.
@@ -90,6 +107,12 @@ type Result struct {
 
 	P50, P99, Max uint64  // response latency, nanoseconds (log2-bucket upper bounds)
 	MeanNS        float64 // exact mean
+
+	// Fault-tolerance counters (always zero under Run).
+	Retries    uint64 // dial attempts that failed and were retried
+	Reconnects uint64 // sessions re-established after a transport loss
+	Failovers  uint64 // reconnects that landed on a different target
+	TimedOut   uint64 // in-flight ops abandoned to a timeout or dead session
 
 	// Tracked holds per-key mutation histories when Config.Track is set;
 	// key spaces are connection-disjoint, so the merge is a plain union.
@@ -176,63 +199,97 @@ func (s *latSnap) quantile(q float64) uint64 {
 // increments Acked, and the meta channel orders each append before the
 // ack that could observe it.
 type pend struct {
-	get  bool
-	nk   int // keys in a GET request (multi-get batches count as one op)
-	key  uint64
-	hist *KeyHist // non-nil: tracked mutation (ack advances Acked)
-	ts   int64    // send timestamp (intended send time in open-loop mode)
+	get   bool
+	nk    int // keys in a GET request (multi-get batches count as one op)
+	key   uint64
+	hist  *KeyHist // non-nil: tracked mutation (ack advances Acked)
+	opIdx int      // this mutation's position in hist.Ops
+	ts    int64    // send timestamp (intended send time in open-loop mode)
 }
 
-// clientConn is one connection's state; writer and reader goroutines
-// share it through the meta channel and the window semaphore.
+// clientConn is one logical client across its (possibly several)
+// transport sessions. The live session's writer and reader goroutines
+// share it through that session's meta channel and window semaphore.
 type clientConn struct {
-	cfg    Config
-	id     int
-	nc     net.Conn
-	window chan struct{} // pipeline window tokens
-	meta   chan pend     // FIFO of in-flight requests (writer → reader)
-	dead   chan struct{} // closed by the reader on transport failure
+	cfg Config
+	id  int
 
 	// Reader-written, atomically readable by the live reporter.
 	ops, errs, hits, misses atomic.Uint64
 	lat                     latHist
 
+	// Fault-tolerance counters (RunFT).
+	retries, reconnects, failovers, timedOut atomic.Uint64
+
 	tracked map[uint64]*KeyHist
 	rerr    error
+
+	// Budget and value-uniqueness state carried across sessions.
+	issued   uint64
+	valSeq   uint64
+	deadline time.Time
+}
+
+// session is one transport attempt of a clientConn.
+type session struct {
+	c      *clientConn
+	nc     net.Conn
+	window chan struct{} // pipeline window tokens
+	meta   chan pend     // FIFO of in-flight requests (writer → reader)
+	dead   chan struct{} // closed by the reader on transport failure
 }
 
 // Run drives the configured load against connections from dial and
 // blocks until every connection finished (op budget, duration, or server
-// hangup). dial is called once per connection.
+// hangup). dial is called once per connection; a session loss ends that
+// connection. For reconnection and failover use RunFT.
 func Run(cfg Config, dial func() (net.Conn, error)) (*Result, error) {
+	return run(cfg, []func() (net.Conn, error){dial}, false)
+}
+
+// RunFT drives the same load fault-tolerantly against a preference-
+// ordered target list (dials[0] is the primary). Each connection starts
+// on the primary; when a session dies — transport error, per-op timeout,
+// server crash — the client reconnects with exponential backoff plus
+// jitter, rotating to the next target after every failed attempt, and
+// keeps going until its budget or MaxDialTries is exhausted. Acked ops
+// are never double-issued; in-flight ops lost with a session are counted
+// in Result.TimedOut and recorded as maybe-applied in tracking.
+func RunFT(cfg Config, dials []func() (net.Conn, error)) (*Result, error) {
+	if len(dials) == 0 {
+		return nil, fmt.Errorf("loadgen: no targets")
+	}
+	return run(cfg, dials, true)
+}
+
+func run(cfg Config, dials []func() (net.Conn, error), ft bool) (*Result, error) {
 	cfg.fill()
 	clients := make([]*clientConn, cfg.Conns)
+	ncs := make([]net.Conn, cfg.Conns)
 	for i := range clients {
-		nc, err := dial()
+		// The first session dials synchronously so a bad address fails
+		// the run instead of spinning the reconnect loop.
+		nc, err := dials[0]()
 		if err != nil {
-			for _, c := range clients[:i] {
-				c.nc.Close()
+			for _, nc := range ncs[:i] {
+				nc.Close()
 			}
 			return nil, fmt.Errorf("loadgen: dial conn %d: %w", i, err)
 		}
-		clients[i] = &clientConn{
-			cfg:    cfg,
-			id:     i,
-			nc:     nc,
-			window: make(chan struct{}, cfg.Pipeline),
-			meta:   make(chan pend, cfg.Pipeline),
-			dead:   make(chan struct{}),
-		}
+		ncs[i] = nc
+		clients[i] = &clientConn{cfg: cfg, id: i}
 		if cfg.Track {
 			clients[i].tracked = map[uint64]*KeyHist{}
 		}
 	}
 	start := time.Now()
 	var wg sync.WaitGroup
-	for _, c := range clients {
-		wg.Add(2)
-		go func(c *clientConn) { defer wg.Done(); c.writeLoop() }(c)
-		go func(c *clientConn) { defer wg.Done(); c.readLoop() }(c)
+	for i, c := range clients {
+		wg.Add(1)
+		go func(c *clientConn, nc net.Conn) {
+			defer wg.Done()
+			c.drive(nc, dials, ft)
+		}(c, ncs[i])
 	}
 	repStop := make(chan struct{})
 	var repWG sync.WaitGroup
@@ -249,11 +306,14 @@ func Run(cfg Config, dial func() (net.Conn, error)) (*Result, error) {
 	res := &Result{Elapsed: time.Since(start)}
 	var all latSnap
 	for _, c := range clients {
-		c.nc.Close()
 		res.Ops += c.ops.Load()
 		res.Errs += c.errs.Load()
 		res.Hits += c.hits.Load()
 		res.Misses += c.misses.Load()
+		res.Retries += c.retries.Load()
+		res.Reconnects += c.reconnects.Load()
+		res.Failovers += c.failovers.Load()
+		res.TimedOut += c.timedOut.Load()
 		c.lat.read(&all)
 		if cfg.Track {
 			if res.Tracked == nil {
@@ -273,6 +333,95 @@ func Run(cfg Config, dial func() (net.Conn, error)) (*Result, error) {
 	return res, nil
 }
 
+// drive runs c's full budget across as many sessions as it takes,
+// starting on the already-established nc (dialed as dials[0]). Without
+// ft the first session loss ends the connection — Run's historical
+// contract.
+func (c *clientConn) drive(nc net.Conn, dials []func() (net.Conn, error), ft bool) {
+	cfg := &c.cfg
+	if cfg.Ops == 0 {
+		c.deadline = time.Now().Add(cfg.Duration)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5EED ^ int64(c.id)<<17))
+	target, fails := 0, 0
+	for {
+		opsBefore := c.ops.Load()
+		done, lost := c.runSession(nc, cfg.OpTimeout)
+		c.timedOut.Add(uint64(lost))
+		if done || !ft {
+			return
+		}
+		// A session that made zero progress burns a dial try too —
+		// otherwise a listener that accepts and instantly hangs up
+		// (a dead-but-bound primary) would livelock the loop.
+		if c.ops.Load() == opsBefore {
+			fails++
+		} else {
+			fails = 0
+		}
+		prev := target
+		for {
+			if c.budgetDone() {
+				return
+			}
+			if fails >= cfg.MaxDialTries {
+				c.rerr = fmt.Errorf("loadgen: conn %d: gave up after %d attempts", c.id, fails)
+				return
+			}
+			var err error
+			nc, err = dials[target]()
+			if err == nil {
+				break
+			}
+			c.retries.Add(1)
+			fails++
+			// Rotate to the next target and back off: doubling per
+			// failure (capped), plus jitter so reconnecting clients
+			// don't stampede the freshly promoted standby in phase.
+			target = (target + 1) % len(dials)
+			shift := fails
+			if shift > 6 {
+				shift = 6
+			}
+			d := cfg.ReconnectBackoff << uint(shift-1)
+			time.Sleep(d + time.Duration(rng.Int63n(int64(d/2+1))))
+		}
+		c.reconnects.Add(1)
+		if target != prev {
+			c.failovers.Add(1)
+		}
+	}
+}
+
+// budgetDone reports whether the connection's op or time budget is
+// spent.
+func (c *clientConn) budgetDone() bool {
+	if c.cfg.Ops > 0 {
+		return c.issued >= c.cfg.Ops
+	}
+	return time.Now().After(c.deadline)
+}
+
+// runSession runs one transport attempt: the writer inline, the reader
+// in its own goroutine. done means the budget completed cleanly (every
+// issued op acknowledged); lost counts in-flight ops abandoned when the
+// transport died.
+func (c *clientConn) runSession(nc net.Conn, opTimeout time.Duration) (done bool, lost int) {
+	s := &session{
+		c:      c,
+		nc:     nc,
+		window: make(chan struct{}, c.cfg.Pipeline),
+		meta:   make(chan pend, c.cfg.Pipeline),
+		dead:   make(chan struct{}),
+	}
+	rdone := make(chan int, 1)
+	go func() { rdone <- s.readLoop(opTimeout) }()
+	finished := s.writeLoop()
+	lost = <-rdone
+	nc.Close()
+	return finished && lost == 0, lost
+}
+
 // Interval is one live progress report from a running load: the window's
 // throughput and latency distribution, plus cumulative position. A rate
 // table of Intervals converging is how a warm-up (or a regression) shows
@@ -286,6 +435,13 @@ type Interval struct {
 	Errs      uint64 // error responses in the window
 	OpsPerSec float64
 	P50, P99  uint64 // window latency, ns (log2-bucket upper bounds)
+
+	// Fault-tolerance counters, cumulative (RunFT): a jump in
+	// Reconnects or Failovers between rows is the live view of a
+	// session loss or a primary→standby switch.
+	Reconnects uint64
+	Failovers  uint64
+	TimedOut   uint64
 }
 
 // reportLoop snapshots the clients every ReportEvery and reports the
@@ -303,10 +459,14 @@ func reportLoop(cfg *Config, clients []*clientConn, start time.Time, stop <-chan
 			return
 		case now := <-tick.C:
 			var ops, errs uint64
+			var rc, fo, to uint64
 			var lat latSnap
 			for _, c := range clients {
 				ops += c.ops.Load()
 				errs += c.errs.Load()
+				rc += c.reconnects.Load()
+				fo += c.failovers.Load()
+				to += c.timedOut.Load()
 				c.lat.read(&lat)
 			}
 			win := lat.sub(&prevLat)
@@ -316,8 +476,11 @@ func reportLoop(cfg *Config, clients []*clientConn, start time.Time, stop <-chan
 				Window:  now.Sub(prevT),
 				Ops:     ops - prevOps,
 				Errs:    errs - prevErrs,
-				P50:     win.quantile(0.50),
-				P99:     win.quantile(0.99),
+				P50:        win.quantile(0.50),
+				P99:        win.quantile(0.99),
+				Reconnects: rc,
+				Failovers:  fo,
+				TimedOut:   to,
 			}
 			if iv.Window > 0 {
 				iv.OpsPerSec = float64(iv.Ops) / iv.Window.Seconds()
@@ -333,17 +496,28 @@ func reportLoop(cfg *Config, clients []*clientConn, start time.Time, stop <-chan
 // per interval to w — the idoserve -load live view.
 func ReportPrinter(w io.Writer) func(Interval) {
 	return func(iv Interval) {
-		fmt.Fprintf(w, "interval %3d  t=%6.1fs  %10.0f ops/s  errs %d  p50 %v  p99 %v\n",
+		fmt.Fprintf(w, "interval %3d  t=%6.1fs  %10.0f ops/s  errs %d  p50 %v  p99 %v",
 			iv.Seq, iv.Elapsed.Seconds(), iv.OpsPerSec, iv.Errs,
 			time.Duration(iv.P50), time.Duration(iv.P99))
+		if iv.Reconnects > 0 || iv.TimedOut > 0 {
+			fmt.Fprintf(w, "  reconnects %d  failovers %d  lost %d",
+				iv.Reconnects, iv.Failovers, iv.TimedOut)
+		}
+		fmt.Fprintln(w)
 	}
 }
 
 // ---- writer ----
 
-func (c *clientConn) writeLoop() {
+// writeLoop issues requests until the connection's budget is spent or
+// the session dies; true means the budget completed. Budget state lives
+// on the clientConn so a reconnected session resumes where the dead one
+// stopped. The RNG is reseeded per session from the cumulative issue
+// count, keeping the op mix deterministic for a given loss pattern.
+func (ss *session) writeLoop() bool {
+	c := ss.c
 	cfg := &c.cfg
-	rng := rand.New(rand.NewSource(cfg.Seed + int64(c.id)*7919))
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(c.id)*7919 + int64(c.issued)))
 	perConn := cfg.Keys / uint64(cfg.Conns)
 	if perConn == 0 {
 		perConn = 1
@@ -352,11 +526,7 @@ func (c *clientConn) writeLoop() {
 	if cfg.Zipf > 1 {
 		zipf = rand.NewZipf(rng, cfg.Zipf, 1, perConn-1)
 	}
-	bw := bufio.NewWriterSize(c.nc, 32<<10)
-	var deadline time.Time
-	if cfg.Ops == 0 {
-		deadline = time.Now().Add(cfg.Duration)
-	}
+	bw := bufio.NewWriterSize(ss.nc, 32<<10)
 	var interval time.Duration
 	next := time.Now()
 	if cfg.OpenRateOPS > 0 {
@@ -367,27 +537,23 @@ func (c *clientConn) writeLoop() {
 		interval = time.Second / time.Duration(rate)
 	}
 	scratch := make([]byte, 0, 64)
-	valSeq := uint64(0)
-	issued := uint64(0)
+	finished := false
 	for {
-		if cfg.Ops > 0 {
-			if issued >= cfg.Ops {
-				break
-			}
-		} else if time.Now().After(deadline) {
+		if c.budgetDone() {
+			finished = true
 			break
 		}
 		// Window slot: flush buffered requests before blocking, so the
 		// server always sees everything we are waiting on.
 		select {
-		case c.window <- struct{}{}:
+		case ss.window <- struct{}{}:
 		default:
 			if bw.Flush() != nil {
 				goto out
 			}
 			select {
-			case c.window <- struct{}{}:
-			case <-c.dead:
+			case ss.window <- struct{}{}:
+			case <-ss.dead:
 				goto out
 			}
 		}
@@ -414,13 +580,13 @@ func (c *clientConn) writeLoop() {
 		scratch = scratch[:0]
 		switch {
 		case roll < cfg.SetPct:
-			valSeq++
-			val := uint64(c.id+1)<<40 | valSeq
+			c.valSeq++
+			val := uint64(c.id+1)<<40 | c.valSeq
 			scratch = c.encodeSet(scratch, key, val)
-			p.hist = c.track(key, KeyOp{Val: val})
+			p.hist, p.opIdx = c.track(key, KeyOp{Val: val})
 		case roll < cfg.SetPct+cfg.DelPct:
 			scratch = c.encodeDel(scratch, key)
-			p.hist = c.track(key, KeyOp{Del: true})
+			p.hist, p.opIdx = c.track(key, KeyOp{Del: true})
 		default:
 			p.get = true
 			p.nk = cfg.MGet
@@ -439,19 +605,21 @@ func (c *clientConn) writeLoop() {
 		if _, err := bw.Write(scratch); err != nil {
 			goto out
 		}
-		c.meta <- p
-		issued++
+		ss.meta <- p
+		c.issued++
 	}
 out:
 	bw.Flush()
-	close(c.meta)
+	close(ss.meta)
+	return finished
 }
 
 // track appends a mutation to the key's history and returns it (nil when
-// tracking is off) so the reader can ack without reading the map.
-func (c *clientConn) track(key uint64, op KeyOp) *KeyHist {
+// tracking is off) plus the op's position, so the reader can ack without
+// reading the map.
+func (c *clientConn) track(key uint64, op KeyOp) (*KeyHist, int) {
 	if c.tracked == nil {
-		return nil
+		return nil, 0
 	}
 	h := c.tracked[key]
 	if h == nil {
@@ -459,7 +627,7 @@ func (c *clientConn) track(key uint64, op KeyOp) *KeyHist {
 		c.tracked[key] = h
 	}
 	h.Ops = append(h.Ops, op)
-	return h
+	return h, len(h.Ops) - 1
 }
 
 func (c *clientConn) encodeGet(b []byte, key uint64) []byte {
@@ -529,15 +697,24 @@ func (c *clientConn) encodeSet(b []byte, key, val uint64) []byte {
 
 // ---- reader ----
 
-func (c *clientConn) readLoop() {
-	br := bufio.NewReaderSize(c.nc, 32<<10)
-	for p := range c.meta {
+// readLoop consumes replies until the meta stream closes or the
+// transport dies, returning the number of in-flight ops it abandoned
+// (zero on a clean finish). With opTimeout set, each wait is bounded by
+// a read deadline — a server that stops answering counts as dead.
+func (ss *session) readLoop(opTimeout time.Duration) (lost int) {
+	c := ss.c
+	br := bufio.NewReaderSize(ss.nc, 32<<10)
+	for p := range ss.meta {
+		if opTimeout > 0 {
+			ss.nc.SetReadDeadline(time.Now().Add(opTimeout))
+		}
 		ok, hits, err := c.readReply(br, p.get)
 		if err != nil {
-			// Server went away mid-window: the remaining in-flight
-			// requests are unacknowledged by definition.
+			// Server went away mid-window: this reply and the remaining
+			// in-flight requests are unacknowledged by definition.
 			c.rerr = err
-			close(c.dead)
+			lost++
+			close(ss.dead)
 			break
 		}
 		lat := uint64(time.Now().UnixNano() - p.ts)
@@ -557,16 +734,18 @@ func (c *clientConn) readLoop() {
 					c.misses.Add(uint64(p.nk - hits))
 				}
 			}
-			if p.hist != nil {
-				p.hist.Acked++
+			if p.hist != nil && p.opIdx+1 > p.hist.Acked {
+				p.hist.Acked = p.opIdx + 1
 			}
 		}
-		<-c.window
+		<-ss.window
 	}
 	// Drain any leftover meta so the writer never blocks on a full
 	// channel after a read error.
-	for range c.meta {
+	for range ss.meta {
+		lost++
 	}
+	return lost
 }
 
 // readReply consumes exactly one response and returns the number of

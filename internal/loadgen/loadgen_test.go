@@ -3,6 +3,7 @@ package loadgen
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"io"
 	"net"
 	"strconv"
@@ -362,5 +363,59 @@ func TestLoadgenOpenLoop(t *testing.T) {
 	// loop over MemPipe would finish in well under a millisecond.
 	if elapsed := time.Since(start); elapsed < 4*time.Millisecond {
 		t.Fatalf("open loop did not pace: finished in %v", elapsed)
+	}
+}
+
+// TestMemPipeReadDeadline: the deadline contract the fault-tolerant
+// client and the server's idle kick both lean on — a blocked Read wakes
+// when the deadline lands and returns a net.Error with Timeout() true;
+// clearing or extending the deadline restores normal reads.
+func TestMemPipeReadDeadline(t *testing.T) {
+	a, b := MemPipe(64)
+
+	// A parked reader wakes on the deadline, not on data.
+	b.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	start := time.Now()
+	var buf [8]byte
+	_, err := b.Read(buf[:])
+	if err == nil {
+		t.Fatal("read returned without data or deadline error")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("deadline error = %v (%T), want net.Error with Timeout()", err, err)
+	}
+	if el := time.Since(start); el < 40*time.Millisecond {
+		t.Fatalf("read returned after %v, before the 50ms deadline", el)
+	}
+
+	// An already-expired deadline fails a Read immediately even though
+	// no timer ever fires for it.
+	b.SetReadDeadline(time.Now().Add(-time.Second))
+	if _, err := b.Read(buf[:]); err == nil {
+		t.Fatal("read with expired deadline returned nil error")
+	} else if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("expired-deadline error = %v, want timeout", err)
+	}
+
+	// Clearing the deadline un-poisons the pipe: a normal blocking read
+	// completes when data shows up.
+	b.SetReadDeadline(time.Time{})
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		a.Write([]byte("late"))
+	}()
+	n, err := b.Read(buf[:])
+	if err != nil || string(buf[:n]) != "late" {
+		t.Fatalf("read after clearing deadline: %q, %v", buf[:n], err)
+	}
+
+	// Buffered data beats the deadline: a Read with data already queued
+	// returns it even if the deadline is near.
+	a.Write([]byte("now"))
+	b.SetReadDeadline(time.Now().Add(time.Millisecond))
+	n, err = b.Read(buf[:])
+	if err != nil || string(buf[:n]) != "now" {
+		t.Fatalf("read of queued data under deadline: %q, %v", buf[:n], err)
 	}
 }

@@ -13,8 +13,10 @@ import (
 // ahead of a slow reader the way TCP allows — which is the behavior the
 // server's response batching and the load generator's pipelining are
 // built around. Closing either end wakes all blocked readers/writers on
-// both ends; deadlines are accepted and ignored (the tests that use
-// MemPipe bound themselves with their own timeouts).
+// both ends. Read deadlines are honored (a timed-out Read returns a
+// net.Error with Timeout() true, like a socket); write deadlines are
+// accepted and ignored — the buffered writes the tests issue never
+// block long enough to need them.
 func MemPipe(capBytes int) (net.Conn, net.Conn) {
 	if capBytes <= 0 {
 		capBytes = 64 << 10
@@ -36,6 +38,14 @@ type pipeBuf struct {
 	n       int
 	closedW bool // write end closed: drained reads return EOF
 	closedR bool // read end closed: writes fail immediately
+
+	// Read-deadline support: rdDeadline is the reader's current
+	// deadline (zero = none), rdGen increments on every deadline change
+	// so a stale timer can tell it has been superseded, rdTimer wakes
+	// parked readers when the deadline lands.
+	rdDeadline time.Time
+	rdGen      uint64
+	rdTimer    *time.Timer
 }
 
 func newPipeBuf(capBytes int) *pipeBuf {
@@ -80,6 +90,9 @@ func (p *pipeBuf) read(b []byte) (int, error) {
 		if p.closedW || p.closedR {
 			return 0, io.EOF
 		}
+		if !p.rdDeadline.IsZero() && !time.Now().Before(p.rdDeadline) {
+			return 0, timeoutError{}
+		}
 		p.rd.Wait()
 	}
 	total := 0
@@ -97,6 +110,48 @@ func (p *pipeBuf) read(b []byte) (int, error) {
 	p.wr.Broadcast()
 	return total, nil
 }
+
+// setReadDeadline installs t as the reader's deadline. A timer wakes
+// parked readers when it lands; each call supersedes the previous
+// timer via the generation counter.
+func (p *pipeBuf) setReadDeadline(t time.Time) {
+	p.mu.Lock()
+	p.rdDeadline = t
+	p.rdGen++
+	gen := p.rdGen
+	if p.rdTimer != nil {
+		p.rdTimer.Stop()
+		p.rdTimer = nil
+	}
+	if !t.IsZero() {
+		d := time.Until(t)
+		if d < 0 {
+			d = 0
+		}
+		p.rdTimer = time.AfterFunc(d, func() {
+			p.mu.Lock()
+			if p.rdGen == gen {
+				p.rd.Broadcast()
+			}
+			p.mu.Unlock()
+		})
+	}
+	p.mu.Unlock()
+	if t.IsZero() || t.After(time.Now()) {
+		return
+	}
+	// Already-expired deadline: wake parked readers immediately.
+	p.mu.Lock()
+	p.rd.Broadcast()
+	p.mu.Unlock()
+}
+
+// timeoutError is the net.Error a timed-out MemPipe read returns.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "mempipe: i/o timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
 
 func (p *pipeBuf) closeWrite() {
 	p.mu.Lock()
@@ -135,6 +190,12 @@ func (a memAddr) String() string  { return string(a) }
 
 func (c *memConn) LocalAddr() net.Addr                { return memAddr(c.name) }
 func (c *memConn) RemoteAddr() net.Addr               { return memAddr(c.name) }
-func (c *memConn) SetDeadline(t time.Time) error      { return nil }
-func (c *memConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *memConn) SetDeadline(t time.Time) error {
+	c.r.setReadDeadline(t)
+	return nil
+}
+func (c *memConn) SetReadDeadline(t time.Time) error {
+	c.r.setReadDeadline(t)
+	return nil
+}
 func (c *memConn) SetWriteDeadline(t time.Time) error { return nil }

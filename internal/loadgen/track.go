@@ -25,9 +25,18 @@ type KeyOp struct {
 }
 
 // KeyHist is the mutation history of one key on one connection.
+//
+// Acked is positional: 1 + the index of the highest acknowledged
+// mutation. Under Run acks arrive in issue order, so it is exactly the
+// acknowledged prefix length. Under RunFT a session loss can strand
+// unacknowledged ops *below* later acknowledged ones; the prefix
+// argument still holds because sets and deletes each fully determine
+// the key's state — any state reachable by applying an order-preserving
+// subsequence through the last acked op equals the state after some
+// whole prefix of length >= Acked.
 type KeyHist struct {
 	Ops   []KeyOp
-	Acked int // mutations acknowledged before shutdown (a prefix of Ops)
+	Acked int // 1 + index of the highest acknowledged mutation
 }
 
 // Explainable reports whether an observed post-recovery state (present

@@ -49,15 +49,17 @@ type ShardStats struct {
 // ServerStats is the front end's counter/gauge block, filled by the
 // server through the Source interface so this package never imports it.
 type ServerStats struct {
-	ConnsOpen  int64  // connections currently served
-	ConnsTotal uint64 // connections ever accepted
-	Reqs       uint64 // requests completed (all shards)
-	Batches    uint64 // response batches flushed to clients
-	BytesIn    uint64 // bytes read from clients
-	BytesOut   uint64 // bytes written to clients
-	ProtoErrs  uint64 // error replies sent (malformed/unsupported input)
-	Crashes    uint64 // injected device crashes observed while serving
-	Shards     []ShardStats
+	ConnsOpen     int64  // connections currently served
+	ConnsTotal    uint64 // connections ever accepted
+	Reqs          uint64 // requests completed (all shards)
+	Batches       uint64 // response batches flushed to clients
+	BytesIn       uint64 // bytes read from clients
+	BytesOut      uint64 // bytes written to clients
+	ProtoErrs     uint64 // error replies sent (malformed/unsupported input)
+	ConnsRejected uint64 // connections refused by the MaxConns ingress gate
+	IdleClosed    uint64 // connections closed by the idle-timeout deadline
+	Crashes       uint64 // injected device crashes observed while serving
+	Shards        []ShardStats
 }
 
 // Source is anything that can fill a ServerStats in place. Implemented
@@ -65,6 +67,36 @@ type ServerStats struct {
 // suffices so steady-state reads stay allocation-free.
 type Source interface {
 	MetricsSnapshot(dst *ServerStats)
+}
+
+// Replication roles for ReplStats.Role.
+const (
+	ReplRoleNone    = 0
+	ReplRolePrimary = 1
+	ReplRoleStandby = 2
+)
+
+// ReplStats is the hot-standby replication block, filled by a
+// replica.Shipper (primary) or replica.Standby through the ReplSource
+// interface. Lag fields are instantaneous gauges; the rest are
+// cumulative.
+type ReplStats struct {
+	Role       int64  // ReplRoleNone / ReplRolePrimary / ReplRoleStandby
+	Attached   int64  // 1 while the replication stream is live
+	Records    uint64 // records shipped (primary) or applied (standby)
+	Bytes      uint64 // stream bytes shipped (primary) or received (standby)
+	AckedRecs  uint64 // records the standby has durably applied
+	Degraded   uint64 // completions without standby coverage (primary) / replay dups skipped (standby)
+	LagRecs    uint64 // records published but not yet durably applied
+	LagBytes   uint64 // the same lag in stream bytes
+	LagNS      int64  // age of the oldest completion still waiting on a receipt ack
+	Reconnects uint64 // stream (re)attaches
+	Failovers  uint64 // standby promotions
+}
+
+// ReplSource is anything that can fill a ReplStats in place.
+type ReplSource interface {
+	ReplSnapshot(dst *ReplStats)
 }
 
 // Snapshot is one cumulative observation of the whole stack. Every
@@ -77,10 +109,11 @@ type Snapshot struct {
 	MonoNS   int64
 	UptimeNS int64
 
-	Dev nvm.Stats
-	GC  nvm.GCStats
-	Obs obs.State
-	Srv ServerStats
+	Dev  nvm.Stats
+	GC   nvm.GCStats
+	Obs  obs.State
+	Srv  ServerStats
+	Repl ReplStats
 }
 
 // Collector reads the live stack into Snapshots. Any of the fields may
@@ -90,6 +123,7 @@ type Collector struct {
 	Tracer *obs.Tracer
 	Dev    *nvm.Device
 	Src    Source
+	Repl   ReplSource
 	Start  time.Time // collector birth; uptime base. Zero value = first Read.
 }
 
@@ -124,6 +158,11 @@ func (c *Collector) Read(s *Snapshot) {
 		c.Src.MetricsSnapshot(&s.Srv)
 	} else {
 		s.Srv = ServerStats{Shards: s.Srv.Shards[:0]}
+	}
+	if c.Repl != nil {
+		c.Repl.ReplSnapshot(&s.Repl)
+	} else {
+		s.Repl = ReplStats{}
 	}
 }
 

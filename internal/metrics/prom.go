@@ -70,6 +70,8 @@ func WritePrometheus(w io.Writer, cur *Snapshot, d *Delta) {
 	counter("ido_server_bytes_out_total", "Bytes written to clients.", cur.Srv.BytesOut)
 	counter("ido_server_protocol_errors_total", "Error replies sent for malformed or unsupported input.", cur.Srv.ProtoErrs)
 	counter("ido_server_connections_total", "Connections ever accepted.", cur.Srv.ConnsTotal)
+	counter("ido_server_connections_rejected_total", "Connections refused by the MaxConns ingress gate.", cur.Srv.ConnsRejected)
+	counter("ido_server_idle_closed_total", "Connections closed by the idle-timeout deadline.", cur.Srv.IdleClosed)
 	counter("ido_server_crashes_total", "Injected device crashes observed while serving.", cur.Srv.Crashes)
 	gaugeI("ido_server_connections_open", "Connections currently served.", cur.Srv.ConnsOpen)
 
@@ -118,6 +120,19 @@ func WritePrometheus(w io.Writer, cur *Snapshot, d *Delta) {
 		counter("ido_server_touch_fases_total", "Sampled LRU-touch FASEs drained by shard pipelines.", touches)
 		counter("ido_server_evictions_total", "Watermark evictions performed by shard pipelines.", evicts)
 	}
+
+	// Hot-standby replication: role/lag gauges and stream counters.
+	gaugeI("ido_repl_role", "Replication role: 0 none, 1 primary, 2 standby.", cur.Repl.Role)
+	gaugeI("ido_repl_attached", "1 while the replication stream is live.", cur.Repl.Attached)
+	counter("ido_repl_records_total", "Replication records shipped (primary) or applied (standby).", cur.Repl.Records)
+	counter("ido_repl_bytes_total", "Replication stream bytes shipped or received.", cur.Repl.Bytes)
+	counter("ido_repl_acked_records_total", "Records durably applied on the standby.", cur.Repl.AckedRecs)
+	counter("ido_repl_degraded_total", "Client completions released without standby coverage.", cur.Repl.Degraded)
+	counter("ido_repl_reconnects_total", "Replication stream (re)attaches.", cur.Repl.Reconnects)
+	counter("ido_repl_failovers_total", "Standby promotions to primary.", cur.Repl.Failovers)
+	gaugeI("ido_repl_lag_records", "Records published but not yet durably applied on the standby.", int64(cur.Repl.LagRecs))
+	gaugeI("ido_repl_lag_bytes", "Replication lag in stream bytes.", int64(cur.Repl.LagBytes))
+	gaugeI("ido_repl_lag_ns", "Age of the oldest completion still waiting on a receipt ack.", cur.Repl.LagNS)
 
 	// Tracer event counts and ring accounting.
 	fmt.Fprintf(w, "# HELP ido_events_total Exact traced event counts by kind.\n# TYPE ido_events_total counter\n")

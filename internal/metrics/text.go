@@ -64,6 +64,8 @@ func AppendMemcacheStats(b []byte, s *Snapshot) []byte {
 	b = appendStat(b, "bytes_read", s.Srv.BytesIn)
 	b = appendStat(b, "bytes_written", s.Srv.BytesOut)
 	b = appendStat(b, "protocol_errors", s.Srv.ProtoErrs)
+	b = appendStat(b, "rejected_connections", s.Srv.ConnsRejected)
+	b = appendStat(b, "idle_kicks", s.Srv.IdleClosed)
 	b = appendStat(b, "ido_requests", s.Srv.Reqs)
 	b = appendStat(b, "ido_shards", uint64(len(s.Srv.Shards)))
 	b = appendStat(b, "ido_fast_gets", fgets)
@@ -83,6 +85,17 @@ func AppendMemcacheStats(b []byte, s *Snapshot) []byte {
 	lat := &s.Obs.Hists[obs.HReqLatency]
 	b = appendStat(b, "ido_req_p50_ns", lat.Quantile(0.50))
 	b = appendStat(b, "ido_req_p99_ns", lat.Quantile(0.99))
+	b = appendStat(b, "ido_repl_role", uint64(s.Repl.Role))
+	b = appendStat(b, "ido_repl_attached", uint64(s.Repl.Attached))
+	b = appendStat(b, "ido_repl_records", s.Repl.Records)
+	b = appendStat(b, "ido_repl_bytes", s.Repl.Bytes)
+	b = appendStat(b, "ido_repl_acked", s.Repl.AckedRecs)
+	b = appendStat(b, "ido_repl_degraded", s.Repl.Degraded)
+	b = appendStat(b, "ido_repl_lag_records", s.Repl.LagRecs)
+	b = appendStat(b, "ido_repl_lag_bytes", s.Repl.LagBytes)
+	b = appendStat(b, "ido_repl_lag_ns", uint64(s.Repl.LagNS))
+	b = appendStat(b, "ido_repl_reconnects", s.Repl.Reconnects)
+	b = appendStat(b, "ido_repl_failovers", s.Repl.Failovers)
 	return append(b, "END\r\n"...)
 }
 
@@ -144,6 +157,8 @@ func appendInfoPayload(b []byte, s *Snapshot) []byte {
 	b = appendInfo(b, "keyspace_misses", misses)
 	b = appendInfo(b, "evicted_keys", evicts)
 	b = appendInfo(b, "protocol_errors", s.Srv.ProtoErrs)
+	b = appendInfo(b, "rejected_connections", s.Srv.ConnsRejected)
+	b = appendInfo(b, "idle_closed_connections", s.Srv.IdleClosed)
 	b = append(b, "# Persistence\r\n"...)
 	b = appendInfo(b, "ido_fences", s.Dev.Fences)
 	b = appendInfo(b, "ido_flushes", s.Dev.Flushes)
@@ -154,6 +169,25 @@ func appendInfoPayload(b []byte, s *Snapshot) []byte {
 	}
 	b = appendInfo(b, "ido_gc_epochs", s.GC.Epochs)
 	b = appendInfo(b, "ido_gc_combined", s.GC.Combined)
+	b = append(b, "# Replication\r\n"...)
+	switch s.Repl.Role {
+	case ReplRolePrimary:
+		b = append(b, "role:master\r\n"...)
+	case ReplRoleStandby:
+		b = append(b, "role:slave\r\n"...)
+	default:
+		b = append(b, "role:none\r\n"...)
+	}
+	b = appendInfo(b, "connected_slaves", uint64(s.Repl.Attached))
+	b = appendInfo(b, "repl_records", s.Repl.Records)
+	b = appendInfo(b, "repl_bytes", s.Repl.Bytes)
+	b = appendInfo(b, "repl_acked_records", s.Repl.AckedRecs)
+	b = appendInfo(b, "repl_degraded", s.Repl.Degraded)
+	b = appendInfo(b, "repl_lag_records", s.Repl.LagRecs)
+	b = appendInfo(b, "repl_lag_bytes", s.Repl.LagBytes)
+	b = appendInfo(b, "repl_lag_ns", uint64(s.Repl.LagNS))
+	b = appendInfo(b, "repl_reconnects", s.Repl.Reconnects)
+	b = appendInfo(b, "repl_failovers", s.Repl.Failovers)
 	b = append(b, "# Latency\r\n"...)
 	lat := &s.Obs.Hists[obs.HReqLatency]
 	b = appendInfo(b, "req_p50_ns", lat.Quantile(0.50))

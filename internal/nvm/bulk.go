@@ -124,7 +124,7 @@ func (d *Device) FlushLines(lines []uint64) {
 	cost := d.cfg.FlushNS + int(d.extraNS.Load())
 	tr := d.trc.Load()
 	for _, base := range lines {
-		tickCrash()
+		d.crashTick()
 		d.checkAddr(base)
 		d.count(statFlushes, 1)
 		t0 := tr.Clock()

@@ -217,6 +217,10 @@ type Device struct {
 	// sequence number plus waiter parking, used by lock-free readers to
 	// wait for in-flight commits without fencing themselves.
 	tick ticketing
+
+	// linj is device-scoped crash injection (inject_local.go), checked
+	// by every event hook after the global state.
+	linj localInject
 }
 
 // SetTracer attaches (or, with nil, detaches) a persist-event tracer.
@@ -300,16 +304,23 @@ func (d *Device) count(ev int, n uint64) {
 	addCounter(&d.stripes[h>>58].n[ev], n)
 }
 
-// lockLine acquires line li's spinlock via fetch-OR test-and-set and
-// returns the observed state (lock bit set). Only the lock holder may
-// mutate the line's cached words or its valid/dirty masks, so the holder
-// releases by storing the complete new state word. The loop is
-// crash-aware: waiters die once an injected crash has fired, mirroring
-// the lock-spin behavior documented in inject.go.
+// lockLine acquires line li's spinlock via test-and-set and returns the
+// observed state (lock bit set). Only the lock holder may mutate the
+// line's cached words or its valid/dirty masks, so the holder releases
+// by storing the complete new state word. The loop is crash-aware:
+// waiters die once an injected crash has fired, mirroring the lock-spin
+// behavior documented in inject.go.
+//
+// Acquisition is spelled Load+CompareAndSwap rather than the tidier
+// s.Or(lineLock): go1.24.0/amd64 lowers value-returning atomic Or to a
+// CMPXCHG loop whose scratch register is not modeled as clobbered, so
+// the allocator may park a live pointer there — with d needed across
+// the intrinsic for the crash check below, the spin then dereferenced
+// a state word as d and segfaulted under lock contention.
 func (d *Device) lockLine(li uint64) uint64 {
 	s := &d.state[li]
 	for i := 0; ; i++ {
-		if st := s.Or(lineLock); st&lineLock == 0 {
+		if st := s.Load(); st&lineLock == 0 && s.CompareAndSwap(st, st|lineLock) {
 			return st | lineLock
 		}
 		// Spin on plain loads until the lock looks free; on a
@@ -318,7 +329,7 @@ func (d *Device) lockLine(li uint64) uint64 {
 		for s.Load()&lineLock != 0 {
 			i++
 			if i&63 == 0 {
-				if injectArmed.Load() && injectFired.Load() {
+				if d.anyCrashFired() {
 					panic(CrashSignal{})
 				}
 				runtime.Gosched()
@@ -335,7 +346,7 @@ func (d *Device) unlockLine(li, st uint64) {
 
 // Store64 writes an 8-byte word into the volatile cache.
 func (d *Device) Store64(addr, val uint64) {
-	tickCrash()
+	d.crashTick()
 	d.checkAddr(addr)
 	d.count(statStores, 1)
 	w := addr >> wordShift
@@ -355,7 +366,7 @@ func (d *Device) Store64(addr, val uint64) {
 // either the old or the new value — exactly the guarantee 8-byte-atomic
 // hardware gives two unsynchronized threads.
 func (d *Device) Load64(addr uint64) uint64 {
-	tickCrash()
+	d.crashTick()
 	d.checkAddr(addr)
 	d.count(statLoads, 1)
 	w := addr >> wordShift
@@ -370,7 +381,7 @@ func (d *Device) Load64(addr uint64) uint64 {
 // persistence domain, bypassing (and invalidating in) the cache. Ordering
 // with respect to later stores still requires a Fence.
 func (d *Device) StoreNT(addr, val uint64) {
-	tickCrash()
+	d.crashTick()
 	d.checkAddr(addr)
 	d.count(statNTStores, 1)
 	tr := d.trc.Load()
@@ -405,7 +416,7 @@ func (d *Device) writeBack(li, st uint64) uint64 {
 // CLWB writes back the dirty words of the cache line containing addr to
 // the persistence domain, leaving the line cached clean.
 func (d *Device) CLWB(addr uint64) {
-	tickCrash()
+	d.crashTick()
 	d.checkAddr(addr)
 	d.count(statFlushes, 1)
 	tr := d.trc.Load()
@@ -445,7 +456,7 @@ func (d *Device) PersistRange(addr, n uint64) {
 // That queueing is what group commit (PersistBatch/FenceBatch) exists
 // to amortize.
 func (d *Device) Fence() {
-	tickCrash()
+	d.crashTick()
 	d.count(statFences, 1)
 	tr := d.trc.Load()
 	t0 := tr.Clock()
@@ -454,7 +465,7 @@ func (d *Device) Fence() {
 	// the token cannot leak across an injected crash.
 	for i := 0; !d.fenceTok.CompareAndSwap(0, 1); i++ {
 		if i&63 == 63 {
-			if injectArmed.Load() && injectFired.Load() {
+			if d.anyCrashFired() {
 				panic(CrashSignal{})
 			}
 			runtime.Gosched()
@@ -518,6 +529,10 @@ func (d *Device) maybeEvict(li uint64, rate int) {
 // reached the persistence domain, exactly like a machine losing power.
 func (d *Device) Crash(mode CrashMode, rng *rand.Rand) {
 	d.count(statCrashes, 1)
+	// The local crash (if any) has now happened: the reopened device
+	// starts with injection disarmed, like a rebooted machine. Global
+	// injection stays armed until the harness disarms it, as before.
+	d.ArmLocalCrash(-1)
 	if tr := d.trc.Load(); tr != nil {
 		tr.DevEmit(obs.KCrash, uint64(mode), 0)
 	}

@@ -242,8 +242,8 @@ func (d *Device) FenceBatch() {
 // combiner spin, mirroring lockLine: once an injected crash has fired
 // every waiter dies, and on a single-P schedule the serving leader
 // needs the processor to make progress.
-func gcSpinCheck() {
-	if injectArmed.Load() && injectFired.Load() {
+func (d *Device) gcSpinCheck() {
+	if d.anyCrashFired() {
 		panic(CrashSignal{})
 	}
 	runtime.Gosched()
@@ -274,14 +274,14 @@ func (d *Device) gcPersist(lines []uint64) {
 			break
 		}
 		if i&63 == 63 {
-			gcSpinCheck()
+			d.gcSpinCheck()
 		}
 	}
 	s.lines = lines
 	// The combiner-publish crash point: the batch is about to become
 	// visible to a leader. A crash here (or any time before the merged
 	// fence) leaves this FASE recoverable via its own log.
-	tickCrash()
+	d.crashTick()
 	s.state.Store(gcPublished)
 
 	// Wait for a leader to serve the slot, volunteering when no one is.
@@ -331,17 +331,17 @@ func (d *Device) gcPersist(lines []uint64) {
 		}
 		if i < gcSpinRounds {
 			if i&63 == 63 {
-				gcSpinCheck()
+				d.gcSpinCheck()
 			}
 			continue
 		}
 		c.mu.Lock()
 		for s.state.Load() != gcDone && c.leader.Load() == 1 &&
-			!(injectArmed.Load() && injectFired.Load()) {
+			!d.anyCrashFired() {
 			c.wake.Wait()
 		}
 		c.mu.Unlock()
-		if injectArmed.Load() && injectFired.Load() {
+		if d.anyCrashFired() {
 			panic(CrashSignal{})
 		}
 	}
@@ -383,7 +383,7 @@ func (d *Device) gcLead() {
 		// dwell ends early when a whole round gathered nobody new and
 		// no committer is still en route to publishing.
 		for rounds := (w + gcDwellSliceNS - 1) / gcDwellSliceNS; rounds > 0; rounds-- {
-			if injectArmed.Load() && injectFired.Load() {
+			if d.anyCrashFired() {
 				panic(CrashSignal{})
 			}
 			c.dwell.Add(1)

@@ -1,0 +1,80 @@
+package nvm
+
+import "testing"
+
+// TestLocalCrashScopedToDevice proves a local crash kills users of the
+// armed device and leaves a second device in the same process untouched.
+func TestLocalCrashScopedToDevice(t *testing.T) {
+	a := New(Config{Size: 1 << 12})
+	b := New(Config{Size: 1 << 12})
+
+	a.ArmLocalCrash(1 << 60)
+	a.TriggerLocalCrash()
+	if !a.LocalCrashFired() {
+		t.Fatal("local crash did not fire")
+	}
+
+	// b is unaffected: stores and fences proceed.
+	b.Store64(0, 42)
+	b.Fence()
+	if got := b.Load64(0); got != 42 {
+		t.Fatalf("device b load = %d, want 42", got)
+	}
+
+	// a panics CrashSignal at its next event.
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatal("expected CrashSignal from device a")
+			} else if _, ok := r.(CrashSignal); !ok {
+				t.Fatalf("unexpected panic payload %v", r)
+			}
+		}()
+		a.Store64(0, 1)
+	}()
+
+	// Crash (reboot) disarms local injection; the reopened device works.
+	a.Crash(CrashDiscard, nil)
+	if a.LocalCrashArmed() || a.LocalCrashFired() {
+		t.Fatal("Crash did not clear local injection")
+	}
+	a.Store64(8, 7)
+	a.Fence()
+	if got := a.Load64(8); got != 7 {
+		t.Fatalf("device a load after reboot = %d, want 7", got)
+	}
+}
+
+// TestLocalCrashBudget checks the budget burns down on the armed device
+// only and fires on exhaustion.
+func TestLocalCrashBudget(t *testing.T) {
+	a := New(Config{Size: 1 << 12})
+	b := New(Config{Size: 1 << 12})
+	a.ArmLocalCrash(3)
+	b.Store64(0, 1) // must not consume a's budget
+	b.Store64(8, 2)
+	fired := 0
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(CrashSignal); !ok {
+					panic(r)
+				}
+				fired++
+			}
+		}()
+		for i := 0; i < 10; i++ {
+			a.Store64(uint64(i*8), uint64(i))
+		}
+	}()
+	if fired != 1 {
+		t.Fatalf("crash fired %d times, want 1", fired)
+	}
+	if !a.LocalCrashFired() {
+		t.Fatal("local fired flag not set")
+	}
+	if b.LocalCrashFired() {
+		t.Fatal("device b fired flag set")
+	}
+	a.ArmLocalCrash(-1)
+}

@@ -78,7 +78,7 @@ func (d *Device) WaitTicket(t uint64, cancel *atomic.Uint64, was uint64) {
 	done := func() bool {
 		return tk.fenceSeq.Load() >= t ||
 			(cancel != nil && cancel.Load() != was) ||
-			(injectArmed.Load() && injectFired.Load())
+			d.anyCrashFired()
 	}
 	for i := 0; i < 256; i++ {
 		if done() {
@@ -96,7 +96,7 @@ func (d *Device) WaitTicket(t uint64, cancel *atomic.Uint64, was uint64) {
 	tk.mu.Unlock()
 	tk.waiters.Add(-1)
 out:
-	if injectArmed.Load() && injectFired.Load() {
+	if d.anyCrashFired() {
 		panic(CrashSignal{})
 	}
 }

@@ -1,0 +1,160 @@
+// Package replica is the hot-standby availability layer over the iDO
+// durability core: a primary-side log shipper that taps every committed
+// mutating FASE into a bounded, per-shard-sequenced replication stream,
+// and a standby that applies those records through the same FASE
+// machinery against its own device, tracking durable per-shard
+// watermarks so replay after a standby crash is idempotent.
+//
+// The wire protocol is four frame kinds over one full-duplex byte
+// stream (TCP or loadgen.MemPipe), all little-endian:
+//
+//	HELLO  'H' magic u32, version u8, nshards u32, nshards x u64
+//	       — standby -> primary at connect: the standby's durable
+//	       applied watermark per shard. The primary resends every
+//	       buffered record above each watermark.
+//	RECORD 'R' shard u32, seq u64, op u8, k0 u64, k1 u64, val u64
+//	       — primary -> standby: one committed mutation. seq is
+//	       per-shard and contiguous; op is recSet or recDel. Records
+//	       are state-based (an INCR ships its resulting value as a
+//	       set), so in-order replay from any watermark converges.
+//	ACK    'A' shard u32, recv u64, durable u64
+//	       — standby -> primary: recv is the highest contiguous seq
+//	       received into the apply queue, durable the highest seq whose
+//	       apply is persisted under the standby's watermark table.
+//	HEART  'B'
+//	       — primary -> standby on an idle stream; the standby's read
+//	       deadline detects primary death by its absence.
+//
+// Durability contract (DESIGN.md §11): the primary defers a mutating
+// request's client completion until the standby's receipt ack covers
+// its record — acked therefore implies on-standby while a standby is
+// attached (semi-synchronous). With no standby attached the shipper
+// degrades to immediate completion and counts it.
+package replica
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Frame type bytes.
+const (
+	frameHello  = 'H'
+	frameRecord = 'R'
+	frameAck    = 'A'
+	frameHeart  = 'B'
+)
+
+// Record ops.
+const (
+	recSet = 1
+	recDel = 2
+)
+
+// helloMagic tags a HELLO frame; the version byte lets the protocol
+// evolve without silent misparses.
+const (
+	helloMagic   = 0x1D0AB1E5
+	helloVersion = 1
+)
+
+// Frame sizes (after the type byte).
+const (
+	recordSize = 4 + 8 + 1 + 8 + 8 + 8 // 37
+	ackSize    = 4 + 8 + 8             // 20
+)
+
+// rec is one replication record in memory.
+type rec struct {
+	shard uint32
+	seq   uint64
+	op    byte
+	k0    uint64
+	k1    uint64
+	val   uint64
+}
+
+// appendRecord encodes r as a RECORD frame.
+func appendRecord(b []byte, r rec) []byte {
+	b = append(b, frameRecord)
+	b = binary.LittleEndian.AppendUint32(b, r.shard)
+	b = binary.LittleEndian.AppendUint64(b, r.seq)
+	b = append(b, r.op)
+	b = binary.LittleEndian.AppendUint64(b, r.k0)
+	b = binary.LittleEndian.AppendUint64(b, r.k1)
+	b = binary.LittleEndian.AppendUint64(b, r.val)
+	return b
+}
+
+// decodeRecord decodes a RECORD frame body (the bytes after 'R').
+func decodeRecord(b []byte) rec {
+	return rec{
+		shard: binary.LittleEndian.Uint32(b[0:4]),
+		seq:   binary.LittleEndian.Uint64(b[4:12]),
+		op:    b[12],
+		k0:    binary.LittleEndian.Uint64(b[13:21]),
+		k1:    binary.LittleEndian.Uint64(b[21:29]),
+		val:   binary.LittleEndian.Uint64(b[29:37]),
+	}
+}
+
+// appendAck encodes an ACK frame.
+func appendAck(b []byte, shard uint32, recv, durable uint64) []byte {
+	b = append(b, frameAck)
+	b = binary.LittleEndian.AppendUint32(b, shard)
+	b = binary.LittleEndian.AppendUint64(b, recv)
+	b = binary.LittleEndian.AppendUint64(b, durable)
+	return b
+}
+
+// decodeAck decodes an ACK frame body.
+func decodeAck(b []byte) (shard uint32, recv, durable uint64) {
+	return binary.LittleEndian.Uint32(b[0:4]),
+		binary.LittleEndian.Uint64(b[4:12]),
+		binary.LittleEndian.Uint64(b[12:20])
+}
+
+// writeHello sends the standby's HELLO with its durable watermarks.
+func writeHello(w io.Writer, wm []uint64) error {
+	b := make([]byte, 0, 10+8*len(wm))
+	b = append(b, frameHello)
+	b = binary.LittleEndian.AppendUint32(b, helloMagic)
+	b = append(b, helloVersion)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(wm)))
+	for _, w := range wm {
+		b = binary.LittleEndian.AppendUint64(b, w)
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// readHello reads and validates a HELLO, returning the watermarks.
+func readHello(r io.Reader, wantShards int) ([]uint64, error) {
+	var hdr [10]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("replica: reading hello: %w", err)
+	}
+	if hdr[0] != frameHello {
+		return nil, fmt.Errorf("replica: expected hello frame, got %#x", hdr[0])
+	}
+	if m := binary.LittleEndian.Uint32(hdr[1:5]); m != helloMagic {
+		return nil, fmt.Errorf("replica: hello magic %#x", m)
+	}
+	if v := hdr[5]; v != helloVersion {
+		return nil, fmt.Errorf("replica: hello version %d, want %d", v, helloVersion)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[6:10]))
+	if n != wantShards {
+		return nil, fmt.Errorf("replica: hello declares %d shards, primary has %d", n, wantShards)
+	}
+	wm := make([]uint64, n)
+	buf := make([]byte, 8*n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("replica: reading hello watermarks: %w", err)
+	}
+	for i := range wm {
+		wm[i] = binary.LittleEndian.Uint64(buf[8*i:])
+	}
+	return wm, nil
+}

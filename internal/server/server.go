@@ -26,11 +26,13 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/ido-nvm/ido/internal/metrics"
 	"github.com/ido-nvm/ido/internal/nvm"
 	"github.com/ido-nvm/ido/internal/obs"
 	"github.com/ido-nvm/ido/internal/persist"
+	"github.com/ido-nvm/ido/internal/replica"
 )
 
 // Proto selects the wire protocol (and with it the backend flavor).
@@ -51,6 +53,10 @@ func (p Proto) String() string {
 // ErrServerClosed is returned by Serve and ServeConn after Close (or a
 // device crash) has shut the server down.
 var ErrServerClosed = errors.New("server: closed")
+
+// ErrServerBusy is returned by ServeConn when the MaxConns accept gate
+// refuses a connection (after sending the canned busy reply).
+var ErrServerBusy = errors.New("server: too many connections")
 
 // Config sizes the per-connection and per-shard machinery.
 type Config struct {
@@ -81,6 +87,20 @@ type Config struct {
 	// serializing reads behind writes on the shard pipelines as PR 7
 	// did. Benchmark A/B knob; leave false to serve reads lock-free.
 	DisableFastReads bool
+	// Repl, when non-nil, is the hot-standby log shipper: every
+	// state-changing FASE publishes a replication record after its
+	// commit fence, and the client completion is deferred until the
+	// standby's receipt ack (DESIGN.md §11). Must be built for the
+	// store's shard count.
+	Repl *replica.Shipper
+	// MaxConns, when > 0, bounds concurrently served connections: an
+	// accept beyond it gets a canned busy error and an immediate close
+	// instead of a slot ring.
+	MaxConns int
+	// IdleTimeout, when > 0, is the per-connection read deadline: a
+	// connection idle longer than this is closed (after flushing any
+	// pending responses).
+	IdleTimeout time.Duration
 }
 
 func (cfg *Config) fill() {
@@ -263,15 +283,20 @@ type Server struct {
 	closed bool
 
 	coll *metrics.Collector
+	repl *replica.Shipper
 
-	reqs       atomic.Uint64
-	batches    atomic.Uint64
-	bytesOut   atomic.Uint64
-	bytesIn    atomic.Uint64
-	protoErrs  atomic.Uint64
-	connsOpen  atomic.Int64
-	connsTotal atomic.Uint64
-	crashes    atomic.Uint64
+	draining atomic.Bool
+
+	reqs          atomic.Uint64
+	batches       atomic.Uint64
+	bytesOut      atomic.Uint64
+	bytesIn       atomic.Uint64
+	protoErrs     atomic.Uint64
+	connsOpen     atomic.Int64
+	connsTotal    atomic.Uint64
+	connsRejected atomic.Uint64
+	idleClosed    atomic.Uint64
+	crashes       atomic.Uint64
 }
 
 // New builds a server over an attached store. One persist.Thread is
@@ -286,6 +311,13 @@ func New(rt persist.Runtime, store Store, cfg Config, tr *obs.Tracer) (*Server, 
 		stopc:  make(chan struct{}),
 		crashc: make(chan struct{}),
 		conns:  map[*conn]struct{}{},
+	}
+	if cfg.Repl != nil {
+		if cfg.Repl.Shards() != store.NumShards() {
+			return nil, fmt.Errorf("server: shipper built for %d shards, store has %d", cfg.Repl.Shards(), store.NumShards())
+		}
+		srv.repl = cfg.Repl
+		srv.repl.SetComplete(func(tok any) { complete(tok.(*slot)) })
 	}
 	for i := 0; i < store.NumShards(); i++ {
 		th, err := rt.NewThread()
@@ -352,6 +384,8 @@ func (srv *Server) MetricsSnapshot(dst *metrics.ServerStats) {
 	dst.BytesIn = srv.bytesIn.Load()
 	dst.BytesOut = srv.bytesOut.Load()
 	dst.ProtoErrs = srv.protoErrs.Load()
+	dst.ConnsRejected = srv.connsRejected.Load()
+	dst.IdleClosed = srv.idleClosed.Load()
 	dst.Crashes = srv.crashes.Load()
 	n := len(srv.shards)
 	if cap(dst.Shards) < n {
@@ -382,6 +416,19 @@ func (srv *Server) MetricsSnapshot(dst *metrics.ServerStats) {
 // goroutines and returns. The connection is closed when the client
 // quits, errors, or the server stops.
 func (srv *Server) ServeConn(nc net.Conn) error {
+	if max := srv.cfg.MaxConns; max > 0 && srv.connsOpen.Load() >= int64(max) {
+		// Ingress gate: refuse with a canned error the client's protocol
+		// can parse, then close. No ring, no goroutines — a connection
+		// storm costs the server one write per reject.
+		srv.connsRejected.Add(1)
+		if srv.cfg.Proto == ProtoMemcache {
+			nc.Write([]byte("SERVER_ERROR busy\r\n"))
+		} else {
+			nc.Write([]byte("-ERR server busy\r\n"))
+		}
+		nc.Close()
+		return ErrServerBusy
+	}
 	srv.mu.Lock()
 	if srv.closed {
 		srv.mu.Unlock()
@@ -429,6 +476,11 @@ func (srv *Server) Serve(l net.Listener) error {
 	for {
 		nc, err := l.Accept()
 		if err != nil {
+			// Drain closes the listeners before stopc: either way the
+			// accept failure is an ordered shutdown, not an error.
+			if srv.draining.Load() {
+				return ErrServerClosed
+			}
 			select {
 			case <-srv.stopc:
 				return ErrServerClosed
@@ -443,8 +495,54 @@ func (srv *Server) Serve(l net.Listener) error {
 // Close stops the server and waits for every goroutine to unwind. Safe
 // after a crash (it then only joins).
 func (srv *Server) Close() error {
+	if srv.repl != nil {
+		srv.repl.Close()
+	}
 	srv.shutdown()
 	srv.wg.Wait()
+	return nil
+}
+
+// Drain is the graceful shutdown path: stop accepting, nudge every
+// connection's reader off its blocking Read, and wait (up to timeout)
+// for in-flight FASEs to finish and their responses to flush before
+// tearing the process down. The final fence publishes whatever the last
+// group-commit epoch still held. Safe to call once; Close after Drain
+// only joins.
+func (srv *Server) Drain(timeout time.Duration) error {
+	srv.draining.Store(true)
+	srv.mu.Lock()
+	for _, l := range srv.lns {
+		l.Close()
+	}
+	conns := make([]*conn, 0, len(srv.conns))
+	for c := range srv.conns {
+		conns = append(conns, c)
+	}
+	srv.mu.Unlock()
+	// Expire every reader's deadline: the Read returns, the reader
+	// emits its zero-length fatal slot, and the writer flushes pending
+	// responses before closing — exactly the torn-connection path, but
+	// with all acked work preserved.
+	for _, c := range conns {
+		c.nc.SetReadDeadline(time.Now())
+	}
+	deadline := time.Now().Add(timeout)
+	for srv.connsOpen.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	left := srv.connsOpen.Load()
+	if srv.repl != nil {
+		srv.repl.Close()
+	}
+	srv.shutdown()
+	srv.wg.Wait()
+	// Flush the final group-commit epoch so the store image is durable
+	// at exit.
+	srv.store.Device().Fence()
+	if left > 0 {
+		return fmt.Errorf("server: drain timed out with %d connections open", left)
+	}
 	return nil
 }
 
@@ -472,6 +570,13 @@ func (srv *Server) noteCrash() {
 		srv.crashes.Add(1)
 		close(srv.crashc)
 	})
+	if srv.repl != nil {
+		// Process death: sever the replication stream without running
+		// completions — the in-flight clients die unacked, which is the
+		// invariant the failover tests lean on (unacked may be lost,
+		// acked must survive on the standby).
+		srv.repl.Kill()
+	}
 	srv.shutdown()
 }
 
@@ -577,7 +682,27 @@ func (sh *shard) serve(s *slot, mc bool) {
 		sh.ring.Span(obs.KNetReq, uint64(s.op), uint64(sh.idx), s.ts)
 		sh.ring.Observe(obs.HReqLatency, uint64(now-s.ts))
 	}
-	complete(s)
+	// State-changing mutations ship to the standby; Publish defers the
+	// client completion until the standby's receipt ack (the record is
+	// already durable here — Exec returned past the commit fence). Ops
+	// that changed nothing (missed DELETE, failed INCR) and reads
+	// complete inline: there is nothing to replicate.
+	if rp := sh.srv.repl; rp != nil {
+		switch {
+		case s.op == opSet:
+			rp.Publish(sh.idx, replica.OpSet, s.k0, s.k1, s.val, s)
+		case (s.op == opIncr || s.op == opDecr) && s.okOut:
+			// State-based record: ship the arithmetic result as a set
+			// so replay from any watermark converges.
+			rp.Publish(sh.idx, replica.OpSet, s.k0, s.k1, s.vOut, s)
+		case s.op == opDel && s.okOut:
+			rp.Publish(sh.idx, replica.OpDel, s.k0, s.k1, 0, s)
+		default:
+			complete(s)
+		}
+	} else {
+		complete(s)
+	}
 	if wr {
 		sh.maybeEvict()
 	}
@@ -946,12 +1071,19 @@ func (c *conn) readLoop() {
 			end -= start
 			start = 0
 		}
+		if it := c.srv.cfg.IdleTimeout; it > 0 && !c.srv.draining.Load() {
+			c.nc.SetReadDeadline(time.Now().Add(it))
+		}
 		n, err := c.nc.Read(buf[end:])
 		end += n
 		c.srv.bytesIn.Add(uint64(n))
 		if err != nil {
-			// EOF or a torn connection: emit a zero-length fatal slot so
-			// the writer flushes everything pending, then closes.
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				c.srv.idleClosed.Add(1)
+			}
+			// EOF, idle timeout, or a torn connection: emit a zero-length
+			// fatal slot so the writer flushes everything pending, then
+			// closes.
 			c.local("", true)
 			return
 		}

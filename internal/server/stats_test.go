@@ -59,6 +59,7 @@ var mcStatOrder = []string{
 	"cmd_get", "cmd_set", "cmd_delete", "cmd_incr",
 	"get_hits", "get_misses", "evictions",
 	"bytes_read", "bytes_written", "protocol_errors",
+	"rejected_connections", "idle_kicks",
 	"ido_requests", "ido_shards",
 	"ido_fast_gets", "ido_fast_retries", "ido_fast_parks",
 	"ido_fast_fallbacks", "ido_touch_fases",
@@ -66,6 +67,10 @@ var mcStatOrder = []string{
 	"ido_fences_per_op",
 	"ido_gc_epochs", "ido_gc_combined",
 	"ido_req_p50_ns", "ido_req_p99_ns",
+	"ido_repl_role", "ido_repl_attached", "ido_repl_records",
+	"ido_repl_bytes", "ido_repl_acked", "ido_repl_degraded",
+	"ido_repl_lag_records", "ido_repl_lag_bytes", "ido_repl_lag_ns",
+	"ido_repl_reconnects", "ido_repl_failovers",
 }
 
 // parseStats splits a memcache stats body into ordered name→value pairs
@@ -184,7 +189,7 @@ func TestMemcacheStatsWire(t *testing.T) {
 }
 
 // respInfoSections is the fixed section order AppendRESPInfo emits.
-var respInfoSections = []string{"# Server", "# Clients", "# Stats", "# Persistence", "# Latency"}
+var respInfoSections = []string{"# Server", "# Clients", "# Stats", "# Persistence", "# Replication", "# Latency"}
 
 // readLine reads one CRLF line byte-by-byte (the whole reply may land
 // in a single Read, so readUntil would overshoot into the payload).
@@ -265,6 +270,8 @@ func TestRESPInfoWire(t *testing.T) {
 		"keyspace_misses:1\r\n",
 		"protocol_errors:0\r\n",
 		"ido_crashes:0\r\n",
+		"role:none\r\n",
+		"repl_lag_records:0\r\n",
 	} {
 		if !strings.Contains(payload, wantLn) {
 			t.Errorf("INFO missing %q:\n%s", strings.TrimSuffix(wantLn, "\r\n"), payload)
